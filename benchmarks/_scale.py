@@ -1,0 +1,87 @@
+"""Benchmark scale control.
+
+Every bench reads ``REPRO_SCALE`` from the environment:
+
+* ``smoke``   — minimal sizes, seconds per bench (CI sanity);
+* ``default`` — reduced replicate/permutation counts that preserve the
+  paper's qualitative shapes in a few minutes per bench;
+* ``paper``   — the paper's own sizes (100 replicate datasets, 1000
+  permutations, full UCI record counts); hours of compute.
+
+``EXPERIMENTS.md`` records which scale produced the committed numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs that trade fidelity for wall-clock time."""
+
+    name: str
+    replicates: int          # datasets per experimental cell
+    permutations: int        # permutation count for Perm_* methods
+    runtime_permutations: int  # permutations in the Fig 4/5 timing runs
+    adult_records: int       # adult stand-in size (paper: 32561)
+    mushroom_records: int    # mushroom stand-in size (paper: 8124)
+    synth_records: int       # N for the synthetic experiments (paper: 2000)
+    conf_sweep: Tuple[float, ...]
+    minsup_sweep: Tuple[int, ...]
+    random_minsup_sweep: Tuple[int, ...]
+
+
+_SCALES = {
+    "smoke": Scale(
+        name="smoke", replicates=3, permutations=60,
+        runtime_permutations=20, adult_records=2000,
+        mushroom_records=1500, synth_records=1000,
+        conf_sweep=(0.60, 0.70),
+        # Must stay at or below the embedded coverage (N/5) so the
+        # planted rule is minable at every sweep point.
+        minsup_sweep=(100, 150),
+        random_minsup_sweep=(200, 600),
+    ),
+    "default": Scale(
+        name="default", replicates=10, permutations=150,
+        runtime_permutations=60, adult_records=8000,
+        mushroom_records=4000, synth_records=2000,
+        conf_sweep=(0.55, 0.60, 0.65, 0.70),
+        minsup_sweep=(100, 150, 200, 300, 400),
+        random_minsup_sweep=(100, 200, 400, 600, 800, 1000),
+    ),
+    "paper": Scale(
+        name="paper", replicates=100, permutations=1000,
+        runtime_permutations=1000, adult_records=32561,
+        mushroom_records=8124, synth_records=2000,
+        conf_sweep=(0.55, 0.58, 0.60, 0.62, 0.65, 0.70),
+        minsup_sweep=(100, 150, 200, 250, 300, 350, 400),
+        random_minsup_sweep=(100, 200, 300, 400, 500, 600, 700, 800,
+                             900, 1000),
+    ),
+}
+
+
+def current_scale() -> Scale:
+    """Resolve the active scale from ``REPRO_SCALE`` (default: default)."""
+    name = os.environ.get("REPRO_SCALE", "default")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        valid = ", ".join(sorted(_SCALES))
+        raise RuntimeError(
+            f"REPRO_SCALE={name!r} is not one of: {valid}") from None
+
+
+def banner(experiment: str, detail: str = "") -> str:
+    """Standard header printed by every bench."""
+    scale = current_scale()
+    line = "=" * 72
+    parts = [line, f"{experiment}  [scale={scale.name}]"]
+    if detail:
+        parts.append(detail)
+    parts.append(line)
+    return "\n".join(parts)

@@ -1,0 +1,85 @@
+"""Ablation: analytic power model vs simulated power (Figure 8(a)).
+
+:func:`repro.stats.power.detection_power` predicts the Section 5.5
+power sweeps from the hypergeometric machinery alone — no mining, no
+permutations. This bench runs the Bonferroni arm of the Figure 8
+experiment and overlays the analytic prediction, computed at each
+replicate set's mean hypothesis count.
+
+Expected outcome: the two curves share the regime structure (≈0 at
+conf .55, transitional around .60, ≈1 by .65-.70) and agree pointwise
+to within Monte-Carlo noise plus model error (the model holds ``n_c``
+at its nominal value and ignores coverage realisation jitter).
+"""
+
+from __future__ import annotations
+
+from _scale import banner, current_scale
+from repro.data import GeneratorConfig
+from repro.evaluation import ExperimentRunner, format_series
+from repro.stats.power import detection_power, deterministic_detection
+
+
+def run_experiment():
+    scale = current_scale()
+    n = scale.synth_records
+    coverage = n // 5
+    min_sup = max(50, n * 150 // 2000)
+    runner = ExperimentRunner(methods=("BC",))
+    simulated = {}
+    thresholds = {}
+    for confidence in scale.conf_sweep:
+        config = GeneratorConfig(
+            n_records=n, n_attributes=40, n_rules=1,
+            min_length=2, max_length=4,
+            min_coverage=coverage, max_coverage=coverage,
+            min_confidence=confidence, max_confidence=confidence)
+        result = runner.run(config, min_sup=min_sup,
+                            n_replicates=scale.replicates, seed=313)
+        simulated[confidence] = result.aggregates["BC"].power
+        thresholds[confidence] = (
+            0.05 / result.mean_tested["whole dataset"])
+    return simulated, thresholds
+
+
+def test_ablation_analytic_power(benchmark):
+    simulated, thresholds = benchmark.pedantic(run_experiment,
+                                               rounds=1, iterations=1)
+    scale = current_scale()
+    n = scale.synth_records
+    coverage = n // 5
+    confidences = list(simulated)
+
+    binomial = [detection_power(n, n // 2, coverage, conf,
+                                thresholds[conf])
+                for conf in confidences]
+    step = [1.0 if deterministic_detection(n, n // 2, coverage, conf,
+                                           thresholds[conf]) else 0.0
+            for conf in confidences]
+    measured = [simulated[conf] for conf in confidences]
+
+    print()
+    print(banner("Ablation: analytic vs simulated Bonferroni power",
+                 f"N={n}, coverage(Rt)={coverage}, "
+                 f"{scale.replicates} replicates"))
+    print(format_series("conf(Rt)", confidences, {
+        "binomial model": binomial,
+        "deterministic model": step,
+        "simulated": measured,
+    }))
+
+    # Both analytic curves are non-decreasing in confidence.
+    assert binomial == sorted(binomial)
+    assert step == sorted(step)
+    # Same regimes at the sweep's ends.
+    assert binomial[0] < 0.25 and measured[0] < 0.25
+    assert binomial[-1] > 0.9 and measured[-1] > 0.9
+    # The deterministic model matches the generator's embedding:
+    # pointwise agreement within replicate noise.
+    for s, m in zip(step, measured):
+        assert abs(s - m) <= 0.3, (s, m)
+    # The binomial model brackets the transition: it may lag inside
+    # the boundary band but must agree outside it.
+    for b, m, conf in zip(binomial, measured, confidences):
+        if b < 0.05 or b > 0.95:
+            assert abs(b - m) <= 0.3, (conf, b, m)

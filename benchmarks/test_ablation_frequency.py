@@ -1,0 +1,172 @@
+"""Ablation: frequency-significance methods (Section 6's related work).
+
+Two methods from the lineage the paper situates itself against, run on
+Quest-style market-basket data where ground truth is the generator's
+own potential itemsets:
+
+* **Megiddo & Srikant resampling** — Section 6's criticism is that the
+  original calibrated its cut-off from only 9 random datasets, "which
+  may be too small". Sweeping the resample count quantifies it: the
+  calibrated threshold's spread across replicate runs should shrink as
+  the resample count grows.
+* **Kirsch et al. s***  — on structured (Quest) data a significant
+  support threshold should exist with a small FDR bound; on marginal-
+  preserving random data the search should (almost always) come back
+  empty — the frequency analogue of the paper's Figure 6 finding that
+  corrected methods stay quiet on random datasets.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from _scale import banner, current_scale
+from repro.data import QuestConfig, generate_quest
+from repro.evaluation import format_series, format_table
+from repro.frequency import (
+    NullModel,
+    calibrate_cutoff,
+    find_support_threshold,
+    score_patterns,
+)
+
+RESAMPLE_COUNTS = (3, 9, 30)
+
+
+def _workload(scale):
+    # Sparse baskets (universe 80, T6) keep the item marginals low, so
+    # planted co-occurrence stands clear of the marginal-preserving
+    # null; dense baskets launder the signal into the marginals.
+    n_transactions = {"smoke": 300, "default": 800,
+                      "paper": 2000}[scale.name]
+    return QuestConfig(
+        n_transactions=n_transactions, avg_transaction_length=6.0,
+        avg_pattern_length=4.0, n_items=80, n_patterns=8,
+        corruption_mean=0.05)
+
+
+def run_experiment():
+    scale = current_scale()
+    config = _workload(scale)
+    min_sup = max(8, config.n_transactions // 40)
+    replicates = max(3, scale.replicates // 2)
+    master = random.Random(7171)
+
+    spreads = {count: [] for count in RESAMPLE_COUNTS}
+    kirsch_structured = []
+    kirsch_random = []
+    fdr_bounds = []
+    best_fdr_bounds = []
+    survivors = []
+    for __ in range(replicates):
+        seed = master.getrandbits(48)
+        data = generate_quest(config, seed=seed)
+        tidsets = data.tidsets()
+        n = data.n_transactions
+
+        # Megiddo-Srikant: calibrate at several resample counts, three
+        # runs each, record the log10-threshold spread per count.
+        for count in RESAMPLE_COUNTS:
+            thresholds = []
+            for run in range(3):
+                calibration = calibrate_cutoff(
+                    tidsets, n, min_sup, n_resamples=count,
+                    max_length=3, seed=seed ^ (run + count * 101))
+                thresholds.append(max(calibration.threshold, 1e-300))
+            logs = [math.log10(t) for t in thresholds]
+            spreads[count].append(max(logs) - min(logs))
+
+        scored = score_patterns(tidsets, n, min_sup, max_length=3)
+        calibration = calibrate_cutoff(
+            tidsets, n, min_sup, n_resamples=9, max_length=3,
+            seed=seed ^ 0xBEEF)
+        survivors.append(sum(1 for s in scored
+                             if s.p_value <= calibration.threshold))
+
+        # Kirsch s*: structured vs marginal-preserving random data.
+        # Size k=3: planted patterns average 4 items, and a heavy
+        # pattern inflates its items' marginals enough that the
+        # independence null nearly reproduces the observed *pair*
+        # counts — the signal is laundered into the marginals. Triple
+        # co-occurrence decays as f^3 under the null and survives.
+        result = find_support_threshold(
+            tidsets, n, k=3, min_sup=min_sup, n_null_samples=10,
+            seed=seed ^ 0xABba)
+        kirsch_structured.append(1.0 if result.found else 0.0)
+        if result.found:
+            # s* is the *smallest* passing threshold (largest flagged
+            # family, weakest FDR bound); also record the cleanest
+            # bound any passing candidate offers.
+            fdr_bounds.append(result.fdr_bound)
+            passing = [
+                min(1.0, mean_ / observed)
+                for observed, mean_, adj_p in
+                result.candidates.values()
+                if adj_p <= result.alpha and observed >= 5]
+            best_fdr_bounds.append(min(passing))
+        null = NullModel(tidsets, n)
+        random_tidsets = null.sample_tidsets(random.Random(seed ^ 7))
+        null_result = find_support_threshold(
+            random_tidsets, n, k=3, min_sup=min_sup,
+            n_null_samples=10, seed=seed ^ 0xCAFE)
+        kirsch_random.append(1.0 if null_result.found else 0.0)
+
+    return {
+        "spreads": spreads,
+        "kirsch_structured": kirsch_structured,
+        "kirsch_random": kirsch_random,
+        "fdr_bounds": fdr_bounds,
+        "best_fdr_bounds": best_fdr_bounds,
+        "survivors": survivors,
+    }
+
+
+def test_ablation_frequency(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    scale = current_scale()
+
+    def mean(values):
+        return sum(values) / len(values) if values else 0.0
+
+    spread_means = [mean(results["spreads"][count])
+                    for count in RESAMPLE_COUNTS]
+    print()
+    print(banner("Ablation: frequency significance (refs [10], [13])",
+                 "Quest T8I3 workload"))
+    print(format_series(
+        "resamples", RESAMPLE_COUNTS,
+        {"threshold spread (log10)": spread_means},
+        title="Megiddo-Srikant cut-off stability vs resample count"))
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["MS survivors (structured data)",
+             f"{mean(results['survivors']):.1f}"],
+            ["Kirsch s* found rate, structured",
+             f"{mean(results['kirsch_structured']):.2f}"],
+            ["Kirsch s* found rate, random",
+             f"{mean(results['kirsch_random']):.2f}"],
+            ["Kirsch FDR bound at s* (largest family)",
+             f"{mean(results['fdr_bounds']):.3g}"],
+            ["Kirsch FDR bound, best passing candidate",
+             f"{mean(results['best_fdr_bounds']):.3g}"],
+        ],
+        title="Kirsch support-threshold search"))
+
+    # Section 6's criticism made quantitative: 30 resamples calibrate
+    # a tighter cut-off than 3.
+    assert spread_means[-1] <= spread_means[0] + 0.5
+    # Structured data carries frequency-significant patterns.
+    assert mean(results["survivors"]) >= 1.0
+    assert mean(results["kirsch_structured"]) >= 0.65
+    # Random data rarely yields a threshold (grid-level Bonferroni).
+    assert mean(results["kirsch_random"]) <= 0.34
+    # s* maximizes the flagged family, so its bound is the weakest a
+    # passing candidate carries; it must still be well below one ...
+    if results["fdr_bounds"]:
+        assert mean(results["fdr_bounds"]) <= 0.9
+    # ... and some deeper threshold always offers a clean family.
+    if results["best_fdr_bounds"]:
+        assert mean(results["best_fdr_bounds"]) <= 0.35

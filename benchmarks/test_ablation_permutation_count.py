@@ -1,0 +1,58 @@
+"""Ablation: how many permutations does the min-p threshold need?
+
+The paper fixes N=1000 permutations. This bench measures how the
+Perm_FWER cut-off stabilizes as N grows: the alpha-quantile of the
+min-p distribution is noisy for small N (and undefined below 1/alpha),
+then converges. Useful guidance for anyone trading cost for fidelity.
+"""
+
+from __future__ import annotations
+
+from _scale import banner, current_scale
+from repro.corrections import PermutationEngine
+from repro.data import GeneratorConfig, generate
+from repro.evaluation import format_table
+from repro.mining import mine_class_rules
+
+COUNTS = (20, 50, 100, 200, 400)
+
+
+def run_sweep():
+    scale = current_scale()
+    config = GeneratorConfig(n_records=scale.synth_records,
+                             n_attributes=30, n_rules=0)
+    dataset = generate(config, seed=777).dataset
+    min_sup = max(40, scale.synth_records // 13)
+    ruleset = mine_class_rules(dataset, min_sup)
+    rows = []
+    for n_permutations in COUNTS:
+        thresholds = []
+        for seed in range(3):
+            engine = PermutationEngine(ruleset,
+                                       n_permutations=n_permutations,
+                                       seed=seed)
+            thresholds.append(engine.fwer(0.05).threshold)
+        mean = sum(thresholds) / len(thresholds)
+        spread = max(thresholds) - min(thresholds)
+        rows.append([n_permutations, mean, spread])
+    return ruleset, rows
+
+
+def test_ablation_permutation_count(benchmark):
+    ruleset, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(banner("Ablation: Perm_FWER threshold vs permutation count",
+                 f"{ruleset.n_tests} rules; 3 seeds per count"))
+    print(format_table(
+        ["N permutations", "mean cut-off", "max-min spread"],
+        [[r[0], f"{r[1]:.3g}", f"{r[2]:.3g}"] for r in rows]))
+
+    # N=20 cannot estimate the 5% quantile: floor(0.05*20)=1 works, but
+    # any N below 20 would yield threshold 0. All means must be finite
+    # and positive from N=20 up.
+    for n_permutations, mean, _spread in rows:
+        assert mean > 0.0, n_permutations
+    # Relative spread shrinks from the smallest to the largest count.
+    first_rel = rows[0][2] / max(rows[0][1], 1e-300)
+    last_rel = rows[-1][2] / max(rows[-1][1], 1e-300)
+    assert last_rel <= first_rel * 1.5

@@ -1,0 +1,54 @@
+"""Figure 1: p-value of X => c against confidence for several coverages.
+
+Paper setting: n=1000 records, supp(c)=500, supp(X) in
+{5, 10, 20, 40, 70, 100}; confidence sweeps 0.5 .. 1.0. The expected
+shape: every curve falls steeply as confidence rises, and larger
+coverage gives uniformly smaller p-values (the coverage-5 curve never
+drops below ~0.06, the paper's Section 2.3 observation).
+"""
+
+from __future__ import annotations
+
+from _scale import banner
+from repro.evaluation import format_series
+from repro.stats import PValueBuffer
+
+N_RECORDS = 1000
+CLASS_SUPPORT = 500
+COVERAGES = (5, 10, 20, 40, 70, 100)
+CONFIDENCES = [0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0]
+
+
+def compute_curves():
+    """p(conf; supp_x) for every coverage via the p-value buffers."""
+    curves = {}
+    for supp_x in COVERAGES:
+        buffer = PValueBuffer(N_RECORDS, CLASS_SUPPORT, supp_x)
+        series = []
+        for confidence in CONFIDENCES:
+            supp_r = round(confidence * supp_x)
+            supp_r = min(max(supp_r, buffer.low), buffer.high)
+            series.append(buffer.p_value(supp_r))
+        curves[f"supp(X)={supp_x}"] = series
+    return curves
+
+
+def test_fig01_pvalue_vs_confidence(benchmark):
+    curves = benchmark(compute_curves)
+    print()
+    print(banner("Figure 1: p-value vs confidence",
+                 f"#records={N_RECORDS}, supp(c)={CLASS_SUPPORT}"))
+    print(format_series("confidence", CONFIDENCES, curves))
+
+    # Shape assertions from the paper.
+    for name, series in curves.items():
+        # Monotone non-increasing in confidence at and above 0.5.
+        for earlier, later in zip(series, series[1:]):
+            assert later <= earlier * (1 + 1e-9), name
+    # Larger coverage -> smaller p at confidence 1.0.
+    finals = [curves[f"supp(X)={s}"][-1] for s in COVERAGES]
+    assert finals == sorted(finals, reverse=True)
+    # Section 2.3: the coverage-5 rule cannot beat 0.062.
+    assert min(curves["supp(X)=5"]) > 0.06
+    # coverage 100 at confidence 1 is astronomically significant.
+    assert curves["supp(X)=100"][-1] < 1e-20

@@ -1,0 +1,102 @@
+"""Figure 5: running time of the three correction approaches.
+
+Paper finding (Sections 5.3, 7): permutation test > holdout > direct
+adjustment in cost; the permutation approach can be tens of times
+slower than direct adjustment, the holdout a few times slower.
+Times include frequent pattern mining, as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _scale import banner, current_scale
+from repro.corrections import (
+    HoldoutRun,
+    PermutationEngine,
+    benjamini_hochberg,
+    bonferroni,
+)
+from repro.data import GeneratorConfig, generate, load_real_dataset
+from repro.evaluation import format_table
+from repro.mining import mine_class_rules
+
+
+def _datasets():
+    scale = current_scale()
+    yield ("adult", load_real_dataset("adult",
+                                      n_records=scale.adult_records),
+           max(60, scale.adult_records // 20))
+    yield ("german", load_real_dataset("german"), 60)
+    yield ("hypo", load_real_dataset("hypo"), 2000)
+    yield ("mushroom", load_real_dataset(
+        "mushroom", n_records=scale.mushroom_records),
+        scale.mushroom_records // 10)
+    yield ("D8hA20R0", generate(GeneratorConfig(
+        n_records=800, n_attributes=20, n_rules=0), seed=404).dataset, 20)
+    yield ("D2kA20R5", generate(GeneratorConfig(
+        n_records=2000, n_attributes=20, n_rules=5,
+        min_coverage=400, max_coverage=600,
+        min_confidence=0.6, max_confidence=0.8), seed=405).dataset, 60)
+
+
+def _time_methods(dataset, min_sup, n_permutations):
+    start = time.perf_counter()
+    ruleset = mine_class_rules(dataset, min_sup, max_length=5)
+    mining_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    bonferroni(ruleset)
+    benjamini_hochberg(ruleset)
+    direct_time = mining_time + (time.perf_counter() - start)
+
+    start = time.perf_counter()
+    run = HoldoutRun(dataset, min_sup, max_length=5)
+    run.bonferroni()
+    run.benjamini_hochberg()
+    holdout_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    engine = PermutationEngine(ruleset, n_permutations=n_permutations,
+                               seed=7)
+    engine.fwer()
+    engine.fdr()
+    permutation_time = mining_time + (time.perf_counter() - start)
+
+    return ruleset.n_tests, direct_time, holdout_time, permutation_time
+
+
+def run_comparison():
+    scale = current_scale()
+    rows = []
+    for name, dataset, min_sup in _datasets():
+        n_tests, direct, hold, perm = _time_methods(
+            dataset, min_sup, scale.runtime_permutations)
+        rows.append([name, n_tests, direct, hold, perm])
+    return rows
+
+
+def test_fig05_correction_runtime(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    scale = current_scale()
+    print()
+    print(banner(
+        "Figure 5: running time of the three approaches",
+        f"seconds, including mining; permutations="
+        f"{scale.runtime_permutations}"))
+    printable = [
+        [r[0], r[1], f"{r[2]:.3f}", f"{r[3]:.3f}", f"{r[4]:.3f}"]
+        for r in rows
+    ]
+    print(format_table(
+        ["dataset", "#rules", "direct adjustment", "holdout",
+         "permutation"], printable))
+
+    slower_perm = sum(1 for r in rows if r[4] > r[2])
+    # The permutation approach must be the most expensive arm nearly
+    # everywhere (it repeats scoring hundreds of times).
+    assert slower_perm >= len(rows) - 1
+    # Direct adjustment is never the slowest by a wide margin: its cost
+    # is one mining pass plus two threshold scans.
+    for row in rows:
+        assert row[2] <= row[4] * 1.2, row[0]

@@ -1,0 +1,77 @@
+"""Figure 7 (dedicated): average #rules tested vs conf(Rt).
+
+Paper setting: N=2000, A=40, one embedded rule with coverage 400,
+confidence swept 0.55..0.70, min_sup=150 on the whole dataset
+(min_sup/2 on the exploratory halves). Expected shape: the whole
+dataset tests the most rules; both exploratory halves test fewer
+(half the records at half the min_sup); the candidate counts reaching
+the evaluation halves are orders of magnitude smaller. The sweep is
+essentially flat in confidence — one embedded rule barely moves the
+frequent-pattern count.
+
+Figure 8's bench re-prints this panel from its own (heavier) runs;
+this dedicated bench runs only the cheap methods needed for the
+counts, matching DESIGN.md's per-experiment index.
+"""
+
+from __future__ import annotations
+
+from _scale import banner, current_scale
+from repro.data import GeneratorConfig
+from repro.evaluation import ExperimentRunner, format_series
+
+COUNT_METHODS = ("No correction", "HD_BC", "RH_BC")
+
+SERIES_KEYS = ("whole dataset", "HD_exploratory", "RH_exploratory",
+               "HD_evaluation", "RH_evaluation")
+
+
+def run_experiment():
+    scale = current_scale()
+    coverage = scale.synth_records // 5
+    min_sup = max(50, scale.synth_records * 150 // 2000)
+    runner = ExperimentRunner(methods=COUNT_METHODS)
+    sweep = {}
+    for confidence in scale.conf_sweep:
+        config = GeneratorConfig(
+            n_records=scale.synth_records, n_attributes=40, n_rules=1,
+            min_length=2, max_length=4,
+            min_coverage=coverage, max_coverage=coverage,
+            min_confidence=confidence, max_confidence=confidence)
+        sweep[confidence] = runner.run(config, min_sup=min_sup,
+                                       n_replicates=scale.replicates,
+                                       seed=707)
+    return sweep
+
+
+def test_fig07_rules_tested(benchmark):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    scale = current_scale()
+    confidences = list(sweep)
+    tested = {key: [sweep[c].mean_tested.get(key, 0.0)
+                    for c in confidences]
+              for key in SERIES_KEYS}
+
+    print()
+    print(banner("Figure 7: average #rules tested vs conf(Rt)",
+                 f"N={scale.synth_records}, A=40, "
+                 f"coverage(Rt)={scale.synth_records // 5}, "
+                 f"{scale.replicates} replicates"))
+    print(format_series("conf(Rt)", confidences, tested))
+
+    for i, _confidence in enumerate(confidences):
+        whole = tested["whole dataset"][i]
+        # Halving both the records and min_sup keeps the relative
+        # threshold, so the exploratory counts track the whole-dataset
+        # count (same order of magnitude; sampling noise goes both
+        # ways).
+        assert tested["HD_exploratory"][i] <= 3.0 * whole
+        assert tested["RH_exploratory"][i] <= 3.0 * whole
+        # Candidates passing to the evaluation half are a small subset
+        # of the exploratory rule population.
+        assert tested["HD_evaluation"][i] <= tested["HD_exploratory"][i]
+        assert tested["RH_evaluation"][i] <= tested["RH_exploratory"][i]
+    # The count barely depends on the embedded rule's confidence:
+    # within a factor 2 across the sweep.
+    whole_series = tested["whole dataset"]
+    assert max(whole_series) <= 2.0 * min(whole_series)

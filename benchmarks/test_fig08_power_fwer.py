@@ -1,0 +1,88 @@
+"""Figures 7 and 8: power/FWER/#FP vs conf(Rt) when FWER is controlled.
+
+Paper setting: N=2000, A=40, one embedded rule with coverage 400,
+confidence swept 0.55..0.70, min_sup=150 on the whole dataset, FWER
+controlled at 5%. Expected shapes (Figure 8): power of every corrected
+method rises with confidence; the permutation approach dominates the
+direct adjustment, which dominates the holdout; no-correction has
+power 1 throughout but FWER 1. Figure 7's #rules-tested panel comes
+from the same runs.
+"""
+
+from __future__ import annotations
+
+from _scale import banner, current_scale
+from repro.data import GeneratorConfig
+from repro.evaluation import FWER_METHODS, ExperimentRunner, format_series
+
+
+def run_experiment():
+    scale = current_scale()
+    coverage = scale.synth_records // 5
+    runner = ExperimentRunner(methods=FWER_METHODS,
+                              n_permutations=scale.permutations)
+    min_sup = max(50, scale.synth_records * 150 // 2000)
+    sweep = {}
+    for confidence in scale.conf_sweep:
+        config = GeneratorConfig(
+            n_records=scale.synth_records, n_attributes=40, n_rules=1,
+            min_length=2, max_length=4,
+            min_coverage=coverage, max_coverage=coverage,
+            min_confidence=confidence, max_confidence=confidence)
+        sweep[confidence] = runner.run(config, min_sup=min_sup,
+                                       n_replicates=scale.replicates,
+                                       seed=808)
+    return sweep
+
+
+def test_fig08_power_fwer(benchmark):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    scale = current_scale()
+    confidences = list(sweep)
+
+    power = {m: [sweep[c].aggregates[m].power for c in confidences]
+             for m in FWER_METHODS}
+    fwer = {m: [sweep[c].aggregates[m].fwer for c in confidences]
+            for m in FWER_METHODS}
+    false_positives = {
+        m: [sweep[c].aggregates[m].avg_false_positives
+            for c in confidences]
+        for m in FWER_METHODS}
+    tested = {key: [sweep[c].mean_tested.get(key, 0.0)
+                    for c in confidences]
+              for key in ("whole dataset", "HD_exploratory",
+                          "RH_exploratory", "HD_evaluation",
+                          "RH_evaluation")}
+
+    print()
+    print(banner("Figure 7: average #rules tested",
+                 f"coverage(Rt)={scale.synth_records // 5}, "
+                 f"{scale.replicates} replicates"))
+    print(format_series("conf(Rt)", confidences, tested))
+    print()
+    print(banner("Figure 8(a): power when controlling FWER at 5%"))
+    print(format_series("conf(Rt)", confidences, power))
+    print()
+    print(banner("Figure 8(b): FWER"))
+    print(format_series("conf(Rt)", confidences, fwer))
+    print()
+    print(banner("Figure 8(c): average #false positives"))
+    print(format_series("conf(Rt)", confidences, false_positives))
+
+    # No-correction detects the rule everywhere but with FWER ~ 1.
+    assert all(p == 1.0 for p in power["No correction"])
+    assert all(f >= 0.9 for f in fwer["No correction"])
+    # Corrected methods: power non-decreasing overall (compare ends).
+    for method in ("BC", "Perm_FWER"):
+        assert power[method][-1] >= power[method][0], method
+    # At the top of the sweep everything detects the rule.
+    assert power["BC"][-1] == 1.0
+    assert power["Perm_FWER"][-1] == 1.0
+    # Ordering: permutation >= direct >= holdout (paper Section 7),
+    # averaged over the sweep to absorb replicate noise.
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    assert mean(power["Perm_FWER"]) >= mean(power["BC"]) - 1e-9
+    assert mean(power["BC"]) >= mean(power["HD_BC"]) - 1e-9
+    # Holdout keeps the fewest false positives.
+    assert mean(false_positives["HD_BC"]) <= \
+        mean(false_positives["No correction"])

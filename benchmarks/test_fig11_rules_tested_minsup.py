@@ -1,0 +1,68 @@
+"""Figure 11 (dedicated): average #rules tested vs min_sup.
+
+Paper setting: N=2000, A=40, one embedded rule with coverage 400 and
+conf(Rt)=0.60; the minimum support threshold on the whole dataset is
+swept 100..400 (halved on the exploratory halves). Expected shape:
+the number of rules tested *increases steeply as min_sup decreases*
+on every split, and the whole dataset always tests the most.
+
+Figure 12's bench re-prints this panel from its own runs; this
+dedicated bench runs only the counting methods, matching DESIGN.md's
+per-experiment index.
+"""
+
+from __future__ import annotations
+
+from _scale import banner, current_scale
+from repro.data import GeneratorConfig
+from repro.evaluation import ExperimentRunner, format_series
+
+COUNT_METHODS = ("No correction", "HD_BC", "RH_BC")
+
+SERIES_KEYS = ("whole dataset", "HD_exploratory", "RH_exploratory",
+               "HD_evaluation", "RH_evaluation")
+
+
+def run_experiment():
+    scale = current_scale()
+    coverage = scale.synth_records // 5
+    config = GeneratorConfig(
+        n_records=scale.synth_records, n_attributes=40, n_rules=1,
+        min_length=2, max_length=4,
+        min_coverage=coverage, max_coverage=coverage,
+        min_confidence=0.60, max_confidence=0.60)
+    runner = ExperimentRunner(methods=COUNT_METHODS)
+    sweep = {}
+    for min_sup in scale.minsup_sweep:
+        sweep[min_sup] = runner.run(config, min_sup=min_sup,
+                                    n_replicates=scale.replicates,
+                                    seed=1111)
+    return sweep
+
+
+def test_fig11_rules_tested_minsup(benchmark):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    scale = current_scale()
+    min_sups = list(sweep)
+    tested = {key: [sweep[s].mean_tested.get(key, 0.0)
+                    for s in min_sups]
+              for key in SERIES_KEYS}
+
+    print()
+    print(banner("Figure 11: average #rules tested vs min_sup",
+                 f"N={scale.synth_records}, A=40, conf(Rt)=0.60, "
+                 f"{scale.replicates} replicates"))
+    print(format_series("min_sup", min_sups, tested))
+
+    whole = tested["whole dataset"]
+    # Rule count decreases monotonically as min_sup grows.
+    assert all(a >= b for a, b in zip(whole, whole[1:]))
+    # The spread is large: the lowest min_sup tests many times more
+    # rules than the highest.
+    assert whole[0] >= 3.0 * whole[-1]
+    for i in range(len(min_sups)):
+        # Exploratory counts track the whole-dataset count (same
+        # relative threshold on half the records).
+        assert tested["HD_exploratory"][i] <= 3.0 * whole[i]
+        assert tested["HD_evaluation"][i] <= tested["HD_exploratory"][i]
+        assert tested["RH_evaluation"][i] <= tested["RH_exploratory"][i]

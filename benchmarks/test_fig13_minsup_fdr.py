@@ -1,0 +1,70 @@
+"""Figure 13: impact of the number of rules tested (FDR control).
+
+Same sweep as Figure 12 (conf(Rt)=0.60, min_sup 100..400) with the
+FDR-controlling panel. Paper findings: BH and Perm_FDR track each
+other closely across the whole sweep; the holdout variants stay the
+most conservative; FDR remains controlled (well under the panel's 0.2
+axis) everywhere.
+"""
+
+from __future__ import annotations
+
+from _scale import banner, current_scale
+from repro.data import GeneratorConfig
+from repro.evaluation import FDR_METHODS, ExperimentRunner, format_series
+
+
+def run_experiment():
+    scale = current_scale()
+    coverage = scale.synth_records // 5
+    config = GeneratorConfig(
+        n_records=scale.synth_records, n_attributes=40, n_rules=1,
+        min_length=2, max_length=4,
+        min_coverage=coverage, max_coverage=coverage,
+        min_confidence=0.60, max_confidence=0.60)
+    runner = ExperimentRunner(methods=FDR_METHODS,
+                              n_permutations=scale.permutations)
+    sweep = {}
+    for min_sup in scale.minsup_sweep:
+        sweep[min_sup] = runner.run(config, min_sup=min_sup,
+                                    n_replicates=scale.replicates,
+                                    seed=1313)
+    return sweep
+
+
+def test_fig13_minsup_fdr(benchmark):
+    sweep = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    scale = current_scale()
+    min_sups = list(sweep)
+
+    power = {m: [sweep[s].aggregates[m].power for s in min_sups]
+             for m in FDR_METHODS}
+    fdr = {m: [sweep[s].aggregates[m].fdr for s in min_sups]
+           for m in FDR_METHODS}
+    false_positives = {
+        m: [sweep[s].aggregates[m].avg_false_positives for s in min_sups]
+        for m in FDR_METHODS}
+
+    print()
+    print(banner("Figure 13(a): power when controlling FDR at 5%",
+                 f"conf(Rt)=0.60, {scale.replicates} replicates"))
+    print(format_series("min_sup", min_sups, power))
+    print()
+    print(banner("Figure 13(b): FDR"))
+    print(format_series("min_sup", min_sups, fdr))
+    print()
+    print(banner("Figure 13(c): average #false positives"))
+    print(format_series("min_sup", min_sups, false_positives))
+
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    # BH ~ Perm_FDR across the sweep (the paper's FDR headline).
+    assert abs(mean(power["BH"]) - mean(power["Perm_FDR"])) <= 0.25
+    # Holdout most conservative.
+    assert mean(power["HD_BH"]) <= \
+        max(mean(power["BH"]), mean(power["Perm_FDR"])) + 1e-9
+    # FDR controlled for all corrected methods.
+    for method in ("BH", "Perm_FDR", "HD_BH", "RH_BH"):
+        assert mean(fdr[method]) <= 0.25, method
+    # No-correction false positives dwarf everything else.
+    assert mean(false_positives["No correction"]) >= \
+        mean(false_positives["BH"])

@@ -1,0 +1,77 @@
+"""Figure 16: #significant rules on real datasets, FDR controlled at 5%.
+
+Paper findings: the counts reported by the direct adjustment (BH) and
+the permutation approach are very similar on all datasets — the basis
+for recommending plain BH for FDR control — while the holdout reports
+much fewer on german and hypo.
+"""
+
+from __future__ import annotations
+
+from _scale import banner, current_scale
+from repro.corrections import (
+    HoldoutRun,
+    PermutationEngine,
+    benjamini_hochberg,
+    no_correction,
+)
+from repro.data import load_real_dataset
+from repro.evaluation import format_series
+from repro.mining import mine_class_rules
+
+
+def _sweeps():
+    scale = current_scale()
+    return {
+        "adult": (load_real_dataset("adult",
+                                    n_records=scale.adult_records),
+                  [scale.adult_records // 20, scale.adult_records // 10]),
+        "german": (load_real_dataset("german"), [40, 60, 80]),
+        "hypo": (load_real_dataset("hypo"), [1800, 2000, 2100]),
+    }
+
+
+def run_experiment():
+    scale = current_scale()
+    output = {}
+    for name, (dataset, min_sups) in _sweeps().items():
+        counts = {"No correction": [], "BH": [], "Perm_FDR": [],
+                  "RH_BH": []}
+        for min_sup in min_sups:
+            ruleset = mine_class_rules(dataset, min_sup, max_length=5)
+            counts["No correction"].append(
+                no_correction(ruleset).n_significant)
+            counts["BH"].append(
+                benjamini_hochberg(ruleset).n_significant)
+            engine = PermutationEngine(
+                ruleset, n_permutations=scale.permutations, seed=16)
+            counts["Perm_FDR"].append(engine.fdr().n_significant)
+            run = HoldoutRun(dataset, min_sup, split="random", seed=16,
+                             max_length=5)
+            counts["RH_BH"].append(
+                run.benjamini_hochberg().n_significant)
+        output[name] = (min_sups, counts)
+    return output
+
+
+def test_fig16_real_fdr(benchmark):
+    output = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    for name, (min_sups, counts) in output.items():
+        print(banner(f"Figure 16 ({name}): #significant rules, "
+                     f"FDR at 5%"))
+        print(format_series("min_sup", min_sups, counts))
+        print()
+
+    for name, (min_sups, counts) in output.items():
+        for i in range(len(min_sups)):
+            assert counts["BH"][i] <= counts["No correction"][i]
+            # BH and Perm_FDR report very similar counts (within 25%).
+            bh = counts["BH"][i]
+            perm = counts["Perm_FDR"][i]
+            assert abs(perm - bh) <= 0.25 * max(bh, perm, 1), \
+                (name, min_sups[i])
+    # Holdout reports notably fewer on german and hypo.
+    for name in ("german", "hypo"):
+        _, counts = output[name]
+        assert sum(counts["RH_BH"]) < sum(counts["BH"]), name

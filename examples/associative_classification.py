@@ -1,0 +1,121 @@
+"""Associative classification: rules as a classifier, corrections as a
+rule-base diet.
+
+Class association rules earned their keep in classification (CBA,
+CMAR), and the paper's Section 2 leans on that record. This example
+builds both classifiers on a simulated `german` credit dataset and
+shows the practical payoff of multiple-testing correction that accuracy
+numbers alone hide: the statistically filtered rule base is a fraction
+of the size — fewer spurious rules for a credit officer to audit — at
+essentially no accuracy cost.
+
+Run with::
+
+    python examples/associative_classification.py
+"""
+
+from __future__ import annotations
+
+from repro.classify import (
+    CBAClassifier,
+    CMARClassifier,
+    CPARClassifier,
+    compare_filtered_rule_bases,
+    cross_validate,
+    record_item_sets,
+    significance_filtered_classifier,
+)
+from repro.data import make_german
+from repro.mining.rules import mine_class_rules
+
+MIN_SUP = 80
+
+
+def main() -> None:
+    dataset = make_german(seed=7)
+    print(f"dataset: {dataset}")
+    prior = max(dataset.class_support(c)
+                for c in range(dataset.n_classes)) / dataset.n_records
+    print(f"majority-class prior: {prior:.3f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 1. Plain CBA and CMAR on the unfiltered rule base.
+    # ------------------------------------------------------------------
+    ruleset = mine_class_rules(dataset, MIN_SUP)
+    print(f"mined {ruleset.n_tests} candidate rules at "
+          f"min_sup={MIN_SUP}")
+    cba = CBAClassifier().fit(ruleset)
+    cmar = CMARClassifier(delta=3).fit(ruleset)
+    print(f"CBA keeps {cba.n_rules} rules after coverage pruning "
+          f"({cba.training_errors} training errors)")
+    print(f"CMAR keeps {cmar.n_rules} voters at delta=3")
+    print()
+    print(cba.describe(dataset, limit=5))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Cross-validate the full pipeline per correction.
+    # ------------------------------------------------------------------
+    print("correction-filtered rule bases (3-fold CV):")
+    reports = compare_filtered_rule_bases(
+        dataset, MIN_SUP, corrections=("none", "bh", "bonferroni"),
+        k=3, seed=0)
+    header = (f"{'correction':12s} {'significant':>11s} "
+              f"{'CBA rules':>9s} {'train':>6s} {'cv':>6s}")
+    print(header)
+    for report in reports:
+        cv_acc = report.cv.mean_accuracy if report.cv else float("nan")
+        print(f"{report.correction:12s} "
+              f"{report.n_significant_rules:>11d} "
+              f"{report.n_classifier_rules:>9d} "
+              f"{report.training_accuracy:>6.3f} "
+              f"{cv_acc:>6.3f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. A single filtered classifier, inspected.
+    # ------------------------------------------------------------------
+    filtered = significance_filtered_classifier(
+        dataset, MIN_SUP, correction="bonferroni", classifier="cba")
+    print("Bonferroni-filtered CBA:")
+    print(filtered.describe(dataset, limit=5))
+    print()
+
+    # CMAR voting cross-validated for comparison.
+    def cmar_factory(train):
+        return CMARClassifier(delta=3).fit(
+            mine_class_rules(train, max(1, MIN_SUP * 2 // 3)))
+
+    result = cross_validate(dataset, cmar_factory, k=3, seed=0)
+    print(f"CMAR 3-fold CV accuracy: {result.mean_accuracy:.3f} "
+          f"(+/- {result.std_accuracy:.3f})")
+    print()
+    print("pooled confusion matrix:")
+    print(result.confusion.describe())
+
+    # ------------------------------------------------------------------
+    # 4. CPAR: greedy induction instead of mine-then-select.
+    # ------------------------------------------------------------------
+    cpar = CPARClassifier(min_gain=0.5).fit(dataset)
+    survivors = cpar.filtered("bonferroni", 0.05)
+    print(f"CPAR induces {cpar.n_rules} rules by FOIL gain "
+          f"(vs {ruleset.n_tests} tested by the miner); "
+          f"{survivors.n_rules} survive Bonferroni over the induced "
+          f"set")
+    print()
+
+    # Show one concrete prediction with its justification.
+    items = record_item_sets(dataset)[0]
+    prediction = filtered.predict_itemset(items)
+    print("example prediction for record 0:")
+    label = dataset.class_names[prediction.class_index]
+    if prediction.rule is not None:
+        print(f"  -> {label} because "
+              f"{prediction.rule.describe(dataset)}")
+    else:
+        print(f"  -> {label} (default class; no filtered rule matched)")
+
+
+if __name__ == "__main__":
+    main()

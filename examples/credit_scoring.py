@@ -1,0 +1,73 @@
+"""Credit scoring: which applicant profiles really predict default?
+
+Uses the german-credit stand-in (1000 applications, 20 attributes,
+70% good / 30% bad — the paper's Table 2 shape). This is exactly the
+regime where naive mining misleads: with only 1000 records and
+thousands of tested rules, many "risk patterns" with impressive
+confidence are statistical noise.
+
+The script reproduces the paper's Table 4 lesson: filtering rules by a
+minimum-confidence threshold alone either keeps hundreds of
+insignificant rules or throws away hundreds of genuinely significant
+ones, while multiple-testing-corrected p-values separate the two
+cleanly.
+
+Run with::
+
+    python examples/credit_scoring.py
+"""
+
+from __future__ import annotations
+
+from repro import mine_significant_rules
+from repro.data import make_german
+from repro.evaluation import confidence_pvalue_bins, format_binned_table
+from repro.mining import mine_class_rules
+
+
+def main() -> None:
+    dataset = make_german()
+    print(f"dataset: {dataset}")
+    print(f"class prior: {dataset.class_support(0)} good / "
+          f"{dataset.class_support(1)} bad")
+    print()
+
+    # --- Table-4 style analysis: confidence is not significance -------
+    ruleset = mine_class_rules(dataset, min_sup=60, rhs_class=0)
+    matrix = confidence_pvalue_bins(ruleset.rules)
+    print(format_binned_table(
+        matrix,
+        title=f"Rules by confidence and p-value "
+              f"(=> good, min_sup=60, {ruleset.n_tests} rules tested)"))
+    high_conf_insignificant = sum(
+        1 for rule in ruleset.rules
+        if rule.confidence >= 0.85 and rule.p_value > 1e-4)
+    low_conf_significant = sum(
+        1 for rule in ruleset.rules
+        if rule.confidence < 0.9 and rule.p_value <= 1e-6)
+    print(f"\nhigh-confidence (>=0.85) but weakly significant rules: "
+          f"{high_conf_insignificant}")
+    print(f"significant (p<=1e-6) rules that a min_conf=0.9 filter "
+          f"would discard: {low_conf_significant}")
+    print()
+
+    # --- corrected mining ---------------------------------------------
+    for correction in ("bonferroni", "permutation-fwer"):
+        report = mine_significant_rules(
+            dataset, min_sup=60, correction=correction,
+            n_permutations=500, seed=7)
+        print(f"{correction}: {len(report.significant)} rules survive "
+              f"(cut-off {report.result.threshold:.3g})")
+    print()
+
+    report = mine_significant_rules(dataset, min_sup=60,
+                                    correction="permutation-fwer",
+                                    n_permutations=500, seed=7)
+    print("Strongest corrected risk/safety profiles:")
+    for rule in sorted(report.significant,
+                       key=lambda r: r.p_value)[:8]:
+        print("  " + rule.describe(dataset))
+
+
+if __name__ == "__main__":
+    main()

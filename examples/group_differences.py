@@ -1,0 +1,58 @@
+"""Contrast-set mining: what actually differs between two groups?
+
+STUCCO (the paper's ref [3]) answers questions like "how do
+high-income and low-income census records differ?" while charging a
+layered Bonferroni price for every conjunction it examines. This
+example runs it on the simulated adult census data and then repeats
+the cautionary experiment on pure noise: naive chi-square testing
+"discovers" hundreds of group differences in data that has none.
+
+Run with::
+
+    python examples/group_differences.py
+"""
+
+from __future__ import annotations
+
+from repro.contrast import find_contrast_sets
+from repro.data import GeneratorConfig, generate, make_adult
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Real-shaped data: income-group contrasts on simulated adult.
+    # ------------------------------------------------------------------
+    dataset = make_adult(seed=3, n_records=4000)
+    print(f"dataset: {dataset}")
+    result = find_contrast_sets(dataset, min_deviation=0.1,
+                                min_sup=40, max_length=2)
+    print()
+    print(result.describe(limit=8))
+    print()
+    print("layered alpha per search depth:")
+    for level in sorted(result.alpha_per_level):
+        count = result.candidates_per_level[level]
+        print(f"  level {level}: {count:5d} candidates, "
+              f"alpha_l = {result.alpha_per_level[level]:.3g}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. The control experiment: no differences exist.
+    # ------------------------------------------------------------------
+    config = GeneratorConfig(n_records=1000, n_attributes=12, n_rules=0)
+    random_data = generate(config, seed=11).dataset
+    naive = find_contrast_sets(random_data, min_deviation=0.02,
+                               correction="none")
+    layered = find_contrast_sets(random_data, min_deviation=0.02,
+                                 correction="stucco")
+    print("random data (no real group differences):")
+    print(f"  naive chi-square at 5%:  {naive.n_found:4d} 'contrasts'")
+    print(f"  STUCCO layered levels:   {layered.n_found:4d} contrasts")
+    print()
+    print("Every naive finding above is a false positive - the same "
+          "flood the paper's")
+    print("Figure 6 shows for uncorrected association rules.")
+
+
+if __name__ == "__main__":
+    main()

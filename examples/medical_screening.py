@@ -1,0 +1,69 @@
+"""Medical screening: rare-disease rules need FDR, not raw p-values.
+
+Uses the hypothyroid stand-in (3163 patients, 25 attributes, ~5%
+positive — Table 2's most skewed dataset). Association rule mining here
+is *exploratory*: clinicians want a candidate set of symptom
+combinations in which a high proportion are real, then confirm them in
+a follow-up study. That is precisely the FDR use-case the paper
+describes in Section 2.3.
+
+The script contrasts:
+
+* raw p <= 0.05 (hundreds of candidates, many spurious),
+* Benjamini-Hochberg at FDR 5%,
+* the permutation-calibrated FDR (the paper shows these two are close,
+  so the cheaper BH is recommended — we verify that here),
+* the holdout approach (noticeably more conservative).
+
+Run with::
+
+    python examples/medical_screening.py
+"""
+
+from __future__ import annotations
+
+from repro import mine_significant_rules
+from repro.data import make_hypo
+from repro.evaluation import format_table
+
+
+def main() -> None:
+    dataset = make_hypo()
+    print(f"dataset: {dataset}")
+    prevalence = dataset.class_support(1) / dataset.n_records
+    print(f"disease prevalence: {prevalence:.1%}")
+    print()
+
+    rows = []
+    reports = {}
+    for correction in ("none", "bh", "permutation-fdr", "holdout-fdr"):
+        report = mine_significant_rules(
+            dataset, min_sup=2000, correction=correction,
+            alpha=0.05, n_permutations=300, seed=11,
+            holdout_split="random")
+        reports[correction] = report
+        rows.append([correction, report.n_tested,
+                     len(report.significant),
+                     f"{report.result.threshold:.3g}"])
+    print(format_table(
+        ["correction", "rules tested", "candidates", "raw-p cut-off"],
+        rows,
+        title="Candidate symptom-combinations at FDR 5% "
+              "(min_sup=2000)"))
+    print()
+
+    bh = len(reports["bh"].significant)
+    perm = len(reports["permutation-fdr"].significant)
+    print(f"BH vs permutation-FDR candidate counts: {bh} vs {perm} "
+          f"(the paper finds these nearly identical; the cheap direct "
+          f"adjustment is the right default for FDR control)")
+    print()
+
+    print("Top corrected candidates for follow-up study:")
+    for rule in sorted(reports["bh"].significant,
+                       key=lambda r: r.p_value)[:8]:
+        print("  " + rule.describe(dataset))
+
+
+if __name__ == "__main__":
+    main()

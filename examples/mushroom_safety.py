@@ -1,0 +1,78 @@
+"""Mushroom safety: when (almost) everything is significant.
+
+Uses the mushroom stand-in (8124 records, 22 attributes, ~52/48
+edible/poisonous). Mushroom's attributes are nearly deterministic
+predictors of edibility, so the paper's Figure 15 shows >80% of mined
+rules with p-values below 1e-12 — the regime where *every* correction
+approach reports nearly the same rule set, and paying for permutation
+testing buys nothing (the Section 7 guidance).
+
+The script demonstrates:
+
+1. the p-value distribution is extreme-heavy (unlike german/hypo);
+2. Bonferroni and permutation FWER report nearly identical counts;
+3. closed patterns drastically reduce the number of tested hypotheses
+   on this highly redundant data (the Section 3 motivation).
+
+Run with::
+
+    python examples/mushroom_safety.py
+"""
+
+from __future__ import annotations
+
+from repro.corrections import PermutationEngine, bonferroni
+from repro.data import make_mushroom
+from repro.evaluation import format_table, pvalue_cdf
+from repro.mining import mine_apriori, mine_class_rules
+
+
+def main() -> None:
+    dataset = make_mushroom(n_records=4000)
+    print(f"dataset: {dataset}")
+    print()
+
+    min_sup = 300
+    ruleset = mine_class_rules(dataset, min_sup=min_sup, max_length=4)
+    print(f"{ruleset.n_tests} closed-pattern rules at "
+          f"min_sup={min_sup} (max_length=4)")
+
+    # --- 1. p-value distribution --------------------------------------
+    cdf = pvalue_cdf(ruleset.p_values(), normalized=True)
+    rows = [(f"{threshold:.0e}", f"{fraction:.1%}")
+            for threshold, fraction in cdf
+            if threshold in (1e-12, 1e-8, 1e-4, 1e-2, 1.0)]
+    print(format_table(["p <=", "fraction of rules"], rows,
+                       title="\nP-value distribution (Figure 15 regime)"))
+    extreme = sum(1 for p in ruleset.p_values() if p <= 1e-12)
+    print(f"rules below 1e-12: {extreme / ruleset.n_tests:.1%}")
+    print()
+
+    # --- 2. corrections agree here ------------------------------------
+    bc = bonferroni(ruleset, 0.05)
+    perm = PermutationEngine(ruleset, n_permutations=200,
+                             seed=5).fwer(0.05)
+    print(f"Bonferroni:   {bc.n_significant} significant "
+          f"(cut-off {bc.threshold:.3g})")
+    print(f"Permutation:  {perm.n_significant} significant "
+          f"(cut-off {perm.threshold:.3g})")
+    gap = abs(perm.n_significant - bc.n_significant)
+    print(f"difference: {gap} rules "
+          f"({gap / max(bc.n_significant, 1):.1%}) — on extreme-heavy "
+          f"data the cheap direct adjustment suffices (Section 7)")
+    print()
+
+    # --- 3. closed patterns vs all frequent patterns ------------------
+    sample = dataset.subset(range(800))
+    closed = mine_class_rules(sample, min_sup=80, max_length=3)
+    all_frequent = mine_apriori(sample.item_tidsets, sample.n_records,
+                                min_sup=80, max_length=3)
+    print(f"on an 800-record sample (max_length=3): "
+          f"{len(all_frequent)} frequent patterns vs "
+          f"{len(closed.patterns) - 1} closed patterns "
+          f"({len(all_frequent) / max(len(closed.patterns) - 1, 1):.1f}x "
+          f"fewer hypotheses to correct for)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: mine statistically significant class association rules.
+
+Generates a synthetic dataset with one planted rule, then shows how the
+choice of multiple-testing correction changes what gets reported:
+
+* no correction        -> a flood of rules, most of them spurious;
+* Bonferroni           -> strict FWER control;
+* Benjamini-Hochberg   -> FDR control, more power;
+* permutation test     -> the paper's most powerful FWER control.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import mine_significant_rules
+from repro.data import GeneratorConfig, generate
+
+
+def main() -> None:
+    # A 2000-record dataset, 40 categorical attributes, one planted rule
+    # with coverage 400 and confidence 0.65 (Section 5.5's setting).
+    config = GeneratorConfig(
+        n_records=2000, n_attributes=40, n_rules=1,
+        min_length=2, max_length=4,
+        min_coverage=400, max_coverage=400,
+        min_confidence=0.65, max_confidence=0.65,
+    )
+    data = generate(config, seed=42)
+    dataset = data.dataset
+    planted = data.embedded_rules[0]
+    print(f"dataset: {dataset}")
+    print(f"planted rule: {planted.describe()} "
+          f"(coverage={planted.coverage}, "
+          f"confidence~{planted.target_confidence:.2f})")
+    print()
+
+    for correction in ("none", "bonferroni", "bh", "permutation-fwer"):
+        report = mine_significant_rules(
+            dataset, min_sup=150, correction=correction,
+            alpha=0.05, n_permutations=300, seed=0)
+        detected = _detects_planted(report, data)
+        print(f"{correction:18s} -> {len(report.significant):6d} "
+              f"significant rules "
+              f"(raw-p cut-off {report.result.threshold:.3g}); "
+              f"planted rule detected: {detected}")
+
+    print()
+    print("Most significant rules under Bonferroni:")
+    report = mine_significant_rules(dataset, min_sup=150,
+                                    correction="bonferroni")
+    print(report.describe(limit=5))
+
+
+def _detects_planted(report, data) -> bool:
+    dataset = data.dataset
+    planted = data.embedded_rules[0]
+    target = dataset.pattern_tidset(planted.item_ids)
+    return any(dataset.pattern_tidset(rule.items) == target
+               and rule.class_index == planted.class_index
+               for rule in report.significant)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Section 7 future work in action: representative-pattern reduction.
+
+The paper closes by observing that closed patterns still leave *near*
+duplicates — a sub-pattern and super-pattern with almost the same
+support test essentially the same hypothesis — and that pruning them
+should "reduce the number of tests and improve the power of the
+correction approaches".
+
+This example plants one moderate-confidence rule (hard to detect at
+Bonferroni's default budget), then sweeps the merge tolerance
+``delta``:
+
+* ``Nt`` (hypotheses tested) shrinks as delta grows;
+* the Bonferroni per-test budget ``alpha / Nt`` grows;
+* at some delta the planted rule crosses the decision boundary and
+  becomes detectable — power bought purely by testing less redundancy.
+
+Also shows the upgraded direct-adjustment procedures (Holm, Hochberg)
+and the permutation step-down as alternative power levers on the same
+dataset.
+
+Run with::
+
+    python examples/redundancy_reduction.py
+"""
+
+from __future__ import annotations
+
+from repro import mine_significant_rules
+from repro.data import GeneratorConfig, generate
+from repro.mining import mine_closed, select_representatives
+
+
+def main() -> None:
+    # A planted rule at confidence 0.60: detectable by the permutation
+    # test but marginal for plain Bonferroni (Section 5.5.1's regime).
+    config = GeneratorConfig(
+        n_records=2000, n_attributes=40, n_rules=1,
+        min_length=2, max_length=4,
+        min_coverage=400, max_coverage=400,
+        min_confidence=0.60, max_confidence=0.60,
+    )
+    data = generate(config, seed=7)
+    dataset = data.dataset
+    planted = data.embedded_rules[0]
+    print(f"dataset: {dataset}")
+    print(f"planted rule: {planted.describe()}")
+    print()
+
+    # --- how much redundancy do closed patterns still carry? ----------
+    patterns = mine_closed(dataset.item_tidsets, dataset.n_records, 150)
+    print(f"closed patterns at min_sup=150: {len(patterns)}")
+    for delta in (0.0, 0.3, 0.5, 0.6, 0.7):
+        selection = select_representatives(patterns, delta=delta)
+        print(f"  delta={delta:.1f}: {selection.n_clusters:5d} "
+              f"representatives ({selection.reduction:.1%} removed)")
+    print()
+
+    # --- does the reduction buy Bonferroni power? ----------------------
+    print("Bonferroni at 5% FWER, with and without reduction:")
+    print(f"{'delta':>8s} {'Nt':>7s} {'cut-off':>10s} "
+          f"{'#significant':>13s} {'planted detected':>17s}")
+    for delta in (None, 0.3, 0.5, 0.6, 0.7):
+        report = mine_significant_rules(
+            dataset, min_sup=150, correction="bonferroni", alpha=0.05,
+            redundancy_delta=delta)
+        detected = _planted_detected(report, data)
+        label = "off" if delta is None else f"{delta:.1f}"
+        print(f"{label:>8s} {report.n_tested:7d} "
+              f"{report.result.threshold:10.3g} "
+              f"{len(report.significant):13d} {str(detected):>17s}")
+    print()
+
+    # --- alternative power levers on the same data ---------------------
+    print("alternative procedures (no reduction):")
+    for correction in ("bonferroni", "holm", "hochberg",
+                       "permutation-fwer", "permutation-fwer-stepdown"):
+        report = mine_significant_rules(
+            dataset, min_sup=150, correction=correction, alpha=0.05,
+            n_permutations=300, seed=0)
+        detected = _planted_detected(report, data)
+        print(f"  {correction:26s} -> {len(report.significant):5d} "
+              f"significant, planted detected: {detected}")
+    print()
+    print("takeaway: reducing the hypothesis count (Section 7) and")
+    print("upgrading the procedure (step-down/permutation) are two")
+    print("independent levers for recovering moderate-confidence rules —")
+    print("but an over-aggressive delta can absorb the very pattern you")
+    print("are after into a weaker representative, so sweep it and watch")
+    print("both Nt and the rules you care about.")
+
+
+def _planted_detected(report, data) -> bool:
+    planted_items = set(data.embedded_rules[0].item_ids)
+    return any(set(rule.items) >= planted_items or
+               set(rule.items) <= planted_items
+               for rule in report.significant)
+
+
+if __name__ == "__main__":
+    main()

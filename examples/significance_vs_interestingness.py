@@ -1,0 +1,115 @@
+"""Statistical significance vs interestingness measures.
+
+Section 2.3 of the paper argues the two are complementary: p-values
+answer "is this association real?", interestingness measures answer
+"is this association big enough to matter in the domain?". This
+example mines the (simulated) german credit dataset at the paper's
+Table 4 setting and shows:
+
+1. rules that a naive confidence filter keeps but that are NOT
+   statistically significant (Table 4's upper-left mass);
+2. rules that the same filter throws away despite being extremely
+   significant (Table 4's lower-left mass);
+3. how differently the catalogue of interestingness measures ranks
+   the statistically significant rules (Kendall-tau agreement matrix).
+
+Run with::
+
+    python examples/significance_vs_interestingness.py
+"""
+
+from __future__ import annotations
+
+from repro import mine_significant_rules
+from repro.data import make_german
+from repro.interest import (
+    ContingencyTable,
+    agreement_matrix,
+    lift,
+    top_k,
+)
+
+
+def main() -> None:
+    dataset = make_german()
+    # Table 4's setting: min_sup=60, rules reported toward class
+    # "good"; Bonferroni decides statistical significance.
+    report = mine_significant_rules(dataset, min_sup=60,
+                                    correction="bonferroni", alpha=0.05)
+    ruleset = report.ruleset
+    assert ruleset is not None
+    threshold = report.result.threshold
+    print(f"dataset: {dataset.name}, {ruleset.n_tests} rules tested, "
+          f"Bonferroni raw-p cut-off {threshold:.3g}")
+    print()
+
+    # --- 1. high confidence, not significant --------------------------
+    confident_insignificant = [
+        rule for rule in ruleset.rules
+        if rule.confidence >= 0.85 and rule.p_value > threshold
+    ]
+    print(f"1. rules with confidence >= 0.85 that are NOT significant: "
+          f"{len(confident_insignificant)}")
+    for rule in sorted(confident_insignificant,
+                       key=lambda r: -r.confidence)[:3]:
+        print("   " + rule.describe(dataset))
+    print("   -> a confidence filter alone would report these even")
+    print("      though their coverage is too small to rule out chance.")
+    print()
+
+    # --- 2. moderate confidence, extremely significant ----------------
+    significant_moderate = [
+        rule for rule in ruleset.rules
+        if rule.confidence < 0.85 and rule.p_value <= threshold
+    ]
+    print(f"2. significant rules a min_conf=0.85 filter would discard: "
+          f"{len(significant_moderate)}")
+    for rule in sorted(significant_moderate,
+                       key=lambda r: r.p_value)[:3]:
+        print("   " + rule.describe(dataset))
+    print("   -> Section 2.3's point: raising min_conf to clean up")
+    print("      noise throws away real systematic effects.")
+    print()
+
+    # --- 3. measure disagreement on the significant set ---------------
+    significant_report = report.significant
+    print(f"3. ranking the {len(significant_report)} significant rules "
+          f"by different measures:")
+    best_lift = top_k(ruleset, "lift", 3)
+    best_leverage = top_k(ruleset, "leverage", 3)
+    print("   top-3 by lift:")
+    for rule, score in best_lift:
+        print(f"     lift={score:6.2f}  " + rule.describe(dataset))
+    print("   top-3 by leverage:")
+    for rule, score in best_leverage:
+        print(f"     leverage={score:6.3f}  " + rule.describe(dataset))
+    print()
+
+    names = ("confidence", "lift", "leverage", "jaccard", "conviction")
+    matrix = agreement_matrix(ruleset, measures=names)
+    print("   Kendall-tau agreement between measures:")
+    header = "            " + "".join(f"{name:>12s}" for name in names)
+    print(header)
+    for name_a in names:
+        cells = []
+        for name_b in names:
+            key = (name_a, name_b) if (name_a, name_b) in matrix \
+                else (name_b, name_a)
+            cells.append(f"{matrix[key]:12.2f}")
+        print(f"   {name_a:>9s}" + "".join(cells))
+    print()
+    print("   -> measures disagree substantially (tau well below 1):")
+    print("      choose the domain-significance axis deliberately, and")
+    print("      let the statistics handle the is-it-real axis.")
+
+    # A concrete contingency-table computation, for the curious.
+    rule = min(ruleset.rules, key=lambda r: r.p_value)
+    table = ContingencyTable.from_rule(rule, dataset)
+    print()
+    print(f"most significant rule: {rule.describe(dataset)}")
+    print(f"  2x2 cells (a,b,c,d) = {table.cells}, "
+          f"lift = {lift(table):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Planning a mining study with the detectability calculator.
+
+Before mining anything, the shape of your dataset already determines
+what you can possibly find: Section 2.3's arithmetic says a rule
+covering 5 of 1000 records can never beat p = 0.062, and Figure 9
+shows how halving a dataset (the holdout approach) pushes the
+detection boundary up. `repro.stats.power` packages that arithmetic.
+
+This example walks the planning workflow for a hypothetical 2000
+record study:
+
+1. how small a coverage is even *testable* once the correction is
+   accounted for;
+2. the minimum detectable confidence per coverage (Figure 1, solved
+   for the boundary);
+3. the chance of detecting a believed effect (power), and how the
+   paper's three approaches compare before running any of them;
+4. what the holdout split costs in detectability (Figure 9).
+
+Run with::
+
+    python examples/study_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.stats import (
+    detection_power,
+    min_detectable_confidence,
+    min_testable_coverage,
+)
+
+N = 2000            # records you expect to collect
+N_C = 1000          # records of the target class (balanced study)
+EXPECTED_RULES = 3500   # hypothesis count at min_sup=150 (from a pilot)
+ALPHA = 0.05
+
+
+def main() -> None:
+    bonferroni_cut = ALPHA / EXPECTED_RULES
+    print(f"study shape: n={N}, n_c={N_C}; expecting ~{EXPECTED_RULES} "
+          f"rules, Bonferroni cut-off {bonferroni_cut:.2e}")
+    print()
+
+    # --- 1. testability floor -----------------------------------------
+    uncorrected = min_testable_coverage(N, N_C, ALPHA)
+    corrected = min_testable_coverage(N, N_C, bonferroni_cut)
+    print(f"1. minimum testable coverage")
+    print(f"   at raw alpha {ALPHA}:            {uncorrected}")
+    print(f"   at the Bonferroni cut-off:     {corrected}")
+    print(f"   -> rules covering fewer than {corrected} records can "
+          f"never be reported;")
+    print(f"      mining below min_sup={corrected} only inflates the "
+          f"correction burden.")
+    print()
+
+    # --- 2. the detection boundary per coverage ------------------------
+    print("2. minimum detectable confidence by coverage "
+          "(at the Bonferroni cut-off):")
+    for coverage in (100, 200, 400, 800):
+        boundary = min_detectable_confidence(N, N_C, coverage,
+                                             bonferroni_cut)
+        print(f"   coverage {coverage:4d}: confidence >= {boundary:.3f}")
+    print("   -> weak effects need coverage; Figure 1's curves, "
+          "solved for the boundary.")
+    print()
+
+    # --- 3. power for a believed effect --------------------------------
+    print("3. power to detect a coverage-400 rule, by true confidence")
+    print("   (binomial effect model; thresholds: raw 0.05 vs "
+          "Bonferroni):")
+    print(f"   {'confidence':>10s} {'no correction':>14s} "
+          f"{'Bonferroni':>11s}")
+    for confidence in (0.55, 0.60, 0.65, 0.70):
+        raw = detection_power(N, N_C, 400, confidence, ALPHA)
+        corrected_power = detection_power(N, N_C, 400, confidence,
+                                          bonferroni_cut)
+        print(f"   {confidence:10.2f} {raw:14.3f} "
+              f"{corrected_power:11.3f}")
+    print("   -> the correction costs nothing at confidence .65+, "
+          "everything at .55;")
+    print("      the contested band is narrow — exactly Figure 8's "
+          "shape.")
+    print()
+
+    # --- 4. what holdout halving costs ----------------------------------
+    print("4. the holdout penalty (Figure 9): the same rule on half "
+          "the data")
+    whole = min_detectable_confidence(N, N_C, 400, bonferroni_cut)
+    # Exploratory half: n, n_c, coverage and the hypothesis count all
+    # halve (roughly); the cut-off loosens a little, the coverage loss
+    # dominates.
+    half_cut = ALPHA / (EXPECTED_RULES // 2)
+    half = min_detectable_confidence(N // 2, N_C // 2, 200, half_cut)
+    print(f"   whole dataset:     confidence >= {whole:.3f}")
+    print(f"   exploratory half:  confidence >= {half:.3f}")
+    print(f"   -> the boundary moves up {half - whole:.3f}; rules "
+          f"inside that gap are")
+    print("      invisible to the holdout approach — the paper's "
+          "explanation for its")
+    print("      low power, quantified for your own study before "
+          "running it.")
+
+
+if __name__ == "__main__":
+    main()

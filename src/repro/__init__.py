@@ -1,0 +1,81 @@
+"""repro — reproduction of *Controlling False Positives in Association
+Rule Mining* (Liu, Zhang, Wong; PVLDB 5(2), VLDB 2011).
+
+Statistically sound class association rule mining: closed frequent
+pattern mining, exact-test scoring, and three families of multiple
+testing correction (direct adjustment, permutation-based, holdout).
+
+Quickstart
+----------
+>>> from repro import mine_significant_rules
+>>> from repro.data import make_german
+>>> report = mine_significant_rules(make_german(), min_sup=60,
+...                                 correction="permutation-fdr",
+...                                 n_permutations=200, seed=0)
+>>> len(report.significant) <= report.n_tested
+True
+
+Subpackages
+-----------
+``repro.data``
+    Datasets, item encoding, loaders, discretization, synthetic and
+    simulated-UCI generators.
+``repro.mining``
+    Closed frequent pattern mining, diffsets, Apriori baseline, rule
+    generation.
+``repro.stats``
+    Log-factorial buffer, hypergeometric distribution, Fisher exact and
+    chi-square tests, p-value buffers and caches.
+``repro.corrections``
+    Bonferroni, Benjamini–Hochberg, permutation FWER/FDR, holdout,
+    layered critical values; stepwise (Holm/Hochberg/Šidák), adaptive
+    FDR (Storey, BKY) and Westfall–Young step-down extensions.
+``repro.interest``
+    Objective interestingness measures (lift, leverage, conviction,
+    ...), rule ranking and measure-agreement analysis.
+``repro.evaluation``
+    Planted-rule ground truth, power/FWER/FDR metrics, replicated
+    experiment runner, report formatting.
+``repro.classify``
+    Associative classification (CBA rule lists, CMAR weighted voting,
+    CPAR greedy FOIL induction) with correction-filtered rule bases
+    and cross-validation.
+``repro.contrast``
+    STUCCO contrast-set mining with layered Bonferroni control.
+``repro.frequency``
+    Frequency-significance of patterns: Megiddo-Srikant resampling
+    calibration and Kirsch et al.'s support threshold ``s*``.
+"""
+
+from .core import (
+    CORRECTIONS,
+    MiningReport,
+    SignificantRuleMiner,
+    mine_significant_rules,
+)
+from .errors import (
+    CorrectionError,
+    DataError,
+    EvaluationError,
+    LoaderError,
+    MiningError,
+    ReproError,
+    StatsError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CORRECTIONS",
+    "MiningReport",
+    "SignificantRuleMiner",
+    "mine_significant_rules",
+    "CorrectionError",
+    "DataError",
+    "EvaluationError",
+    "LoaderError",
+    "MiningError",
+    "ReproError",
+    "StatsError",
+    "__version__",
+]

@@ -1,0 +1,124 @@
+"""Bitset utilities built on arbitrary-precision integers.
+
+The mining substrate stores the set of record ids containing an item (a
+*tidset*) as a single Python ``int``: record ``i`` is present when bit
+``i`` is set. This gives set intersection, union, difference and
+cardinality as single C-level operations (``&``, ``|``, ``&~`` and
+``bit_count``), which is what makes pure-Python permutation testing
+tractable (Section 4.2 of the paper re-scores every rule on every
+permutation from these tidsets).
+
+All functions treat a bitset as immutable; operations return new ints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+__all__ = [
+    "bitset_from_indices",
+    "bitset_to_indices",
+    "iter_indices",
+    "popcount",
+    "universe",
+    "complement",
+    "is_subset",
+]
+
+
+def popcount(bits: int) -> int:
+    """Return the number of set bits (the cardinality of the set)."""
+    return bits.bit_count()
+
+
+if not hasattr(int, "bit_count"):  # pragma: no cover - Python < 3.10 fallback
+
+    def popcount(bits: int) -> int:  # noqa: F811
+        """Return the number of set bits (the cardinality of the set)."""
+        return bin(bits).count("1")
+
+
+def bitset_from_indices(indices: Iterable[int], n: int | None = None) -> int:
+    """Build a bitset from an iterable of record ids.
+
+    ``n`` is accepted for symmetry with fixed-width representations and
+    used only to validate that indices are in range when provided.
+    """
+    bits = 0
+    if n is None:
+        for i in indices:
+            bits |= 1 << i
+        return bits
+    for i in indices:
+        if i < 0 or i >= n:
+            raise ValueError(f"record id {i} out of range [0, {n})")
+        bits |= 1 << i
+    return bits
+
+
+def iter_indices(bits: int) -> Iterator[int]:
+    """Yield the indices of set bits in ascending order.
+
+    Uses the lowest-set-bit trick: ``bits & -bits`` isolates the lowest
+    set bit, whose position is recovered via ``bit_length``.
+    """
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def bitset_to_indices(bits: int) -> List[int]:
+    """Return the sorted list of indices of set bits."""
+    return list(iter_indices(bits))
+
+
+def universe(n: int) -> int:
+    """Return the bitset containing every record id in ``[0, n)``."""
+    if n < 0:
+        raise ValueError("universe size must be non-negative")
+    return (1 << n) - 1
+
+
+def complement(bits: int, n: int) -> int:
+    """Return the complement of ``bits`` within a universe of size ``n``."""
+    return universe(n) & ~bits
+
+
+def is_subset(a: int, b: int) -> bool:
+    """Return True when every bit of ``a`` is also set in ``b``."""
+    return a & ~b == 0
+
+
+def bitset_from_bool_sequence(flags: Sequence[bool]) -> int:
+    """Build a bitset where bit ``i`` is set iff ``flags[i]`` is truthy."""
+    bits = 0
+    for i, flag in enumerate(flags):
+        if flag:
+            bits |= 1 << i
+    return bits
+
+
+def to_numpy_indices(bits: int, n: int):
+    """Vectorized ``bitset_to_indices``: int32 array of set-bit positions.
+
+    Goes through the little-endian byte representation and
+    ``numpy.unpackbits`` so large tidsets convert without a Python-level
+    loop per bit.
+    """
+    import numpy as np
+
+    if bits == 0:
+        return np.empty(0, dtype=np.int32)
+    raw = bits.to_bytes((n + 7) // 8, "little")
+    flags = np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
+                          bitorder="little")[:n]
+    return np.nonzero(flags)[0].astype(np.int32)
+
+
+def from_numpy_bool(flags) -> int:
+    """Vectorized ``bitset_from_bool_sequence`` for a numpy bool array."""
+    import numpy as np
+
+    packed = np.packbits(np.asarray(flags, dtype=bool), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")

@@ -1,0 +1,61 @@
+"""Associative classification on class association rules.
+
+The paper motivates class association rules by their success in
+classification (Section 2, citing Liu/Hsu/Ma's CBA [11], Megiddo &
+Srikant [13] and CPAR [21]). This subpackage closes that loop: it turns
+a mined-and-corrected rule set into a working classifier, so the effect
+of statistical filtering on *downstream predictive accuracy* can be
+measured instead of argued.
+
+Two classifiers are provided:
+
+* :class:`~repro.classify.cba.CBAClassifier` — CBA-CB style: a total
+  order on rules (confidence, support, brevity), database-coverage
+  pruning, and a default class chosen to minimize training errors.
+* :class:`~repro.classify.cmar.CMARClassifier` — CMAR style: multiple
+  matching rules vote per class with a weighted chi-square score.
+* :class:`~repro.classify.cpar.CPARClassifier` — CPAR style (ref
+  [21]): rules induced greedily by weighted FOIL gain instead of
+  selected from frequent patterns; prediction averages the best-k
+  Laplace accuracies per class.
+
+:mod:`~repro.classify.evaluate` adds stratified cross-validation and
+the correction-vs-accuracy harness used by
+``benchmarks/test_ablation_classifier.py``.
+"""
+
+from .base import Prediction, record_item_sets, rule_matches
+from .cba import CBAClassifier
+from .cmar import CMARClassifier
+from .cpar import CPARClassifier, InducedRuleSet, foil_gain
+from .evaluate import (
+    ConfusionMatrix,
+    CrossValidationResult,
+    FilteredBaseReport,
+    compare_filtered_rule_bases,
+    cross_validate,
+    significance_filtered_classifier,
+    stratified_folds,
+)
+from .ranking import cba_sort_key, rank_rules, significance_sort_key
+
+__all__ = [
+    "Prediction",
+    "record_item_sets",
+    "rule_matches",
+    "CBAClassifier",
+    "CMARClassifier",
+    "CPARClassifier",
+    "InducedRuleSet",
+    "foil_gain",
+    "ConfusionMatrix",
+    "CrossValidationResult",
+    "FilteredBaseReport",
+    "compare_filtered_rule_bases",
+    "cross_validate",
+    "significance_filtered_classifier",
+    "stratified_folds",
+    "cba_sort_key",
+    "rank_rules",
+    "significance_sort_key",
+]

@@ -1,0 +1,166 @@
+"""CBA-style associative classifier (Liu, Hsu, Ma; SIGKDD 1998).
+
+The classifier builder follows CBA-CB (the M1 variant):
+
+1. rank the candidate rules by CBA precedence (or by significance when
+   the rule base came out of a correction procedure);
+2. walk the ranking; a rule is kept iff it correctly classifies at
+   least one still-uncovered training record, and keeping it covers all
+   the uncovered records it matches;
+3. after each kept rule, record the default class (majority of the
+   still-uncovered records) and the total number of training errors the
+   classifier-so-far plus that default would make;
+4. cut the list at the prefix with the fewest total errors.
+
+Prediction fires the first (highest-precedence) kept rule whose
+left-hand side the record contains, falling back to the default class.
+
+Coverage bookkeeping is done on record-id bitsets, reusing the mining
+substrate, so building a classifier costs one tidset intersection per
+candidate rule.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from .. import bitset as bs
+from ..data.dataset import Dataset
+from ..errors import DataError
+from ..mining.rules import ClassRule, RuleSet
+from .base import Prediction, majority_class, rule_matches
+from .ranking import rank_rules
+
+__all__ = ["CBAClassifier"]
+
+
+class CBAClassifier:
+    """Ordered-rule-list classifier with database-coverage pruning.
+
+    Parameters
+    ----------
+    order:
+        Rule precedence used for pruning and prediction: ``"cba"``
+        (default) or ``"significance"``.
+
+    Attributes
+    ----------
+    rules:
+        The kept rules, in firing order (available after :meth:`fit`).
+    default_class:
+        Class predicted when no rule matches.
+    training_errors:
+        Training errors of the final (pruned) classifier.
+    """
+
+    def __init__(self, order: str = "cba") -> None:
+        self.order = order
+        self.rules: List[ClassRule] = []
+        self.default_class: Optional[int] = None
+        self.training_errors: Optional[int] = None
+        self._n_classes: Optional[int] = None
+        self._default_score: float = 0.0
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+
+    def fit(self, rule_set: RuleSet,
+            rules: Optional[Sequence[ClassRule]] = None,
+            ) -> "CBAClassifier":
+        """Build the classifier from a mined rule set.
+
+        Parameters
+        ----------
+        rule_set:
+            The mining outcome; supplies the training dataset whose
+            records drive coverage pruning.
+        rules:
+            Candidate rules to build from; defaults to every rule in
+            ``rule_set``. Pass a correction's ``significant`` list to
+            build a statistically filtered classifier.
+        """
+        dataset = rule_set.dataset
+        candidates = rank_rules(
+            rule_set.rules if rules is None else rules, order=self.order)
+        self._n_classes = dataset.n_classes
+        self._fit_ranked(dataset, candidates)
+        return self
+
+    def _fit_ranked(self, dataset: Dataset,
+                    candidates: Iterable[ClassRule]) -> None:
+        n = dataset.n_records
+        uncovered = bs.universe(n)
+        kept: List[ClassRule] = []
+        # errors committed by kept rules on the records they covered
+        committed_errors = 0
+        # stage i = classifier (kept[:i], defaults[i]) making errors[i]
+        defaults = [majority_class(dataset)]
+        errors = [n - dataset.class_support(defaults[0])]
+        for rule in candidates:
+            if not uncovered:
+                break
+            matched = dataset.pattern_tidset(rule.items) & uncovered
+            if not matched:
+                continue
+            correct = bs.popcount(
+                matched & dataset.class_tidset(rule.class_index))
+            if correct == 0:
+                continue
+            kept.append(rule)
+            committed_errors += bs.popcount(matched) - correct
+            uncovered &= ~matched
+            default = majority_class(dataset, uncovered) if uncovered \
+                else majority_class(dataset)
+            default_errors = (
+                bs.popcount(uncovered) -
+                bs.popcount(uncovered & dataset.class_tidset(default)))
+            defaults.append(default)
+            errors.append(committed_errors + default_errors)
+        best_stage = min(range(len(errors)), key=lambda i: (errors[i], i))
+        self.rules = kept[:best_stage]
+        self.default_class = defaults[best_stage]
+        self.training_errors = errors[best_stage]
+        self._default_score = dataset.class_support(self.default_class) / n
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    def predict_itemset(self, items: FrozenSet[int]) -> Prediction:
+        """Classify one record given as a frozenset of item ids."""
+        if self.default_class is None:
+            raise DataError("classifier is not fitted")
+        for rule in self.rules:
+            if rule_matches(rule, items):
+                return Prediction(rule.class_index, rule, rule.confidence,
+                                  is_default=False)
+        return Prediction(self.default_class, None, self._default_score,
+                          is_default=True)
+
+    def predict(self, item_sets: Sequence[FrozenSet[int]]) -> List[int]:
+        """Predicted class indices for a batch of record item sets."""
+        return [self.predict_itemset(items).class_index
+                for items in item_sets]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rules(self) -> int:
+        """Number of rules kept after coverage pruning."""
+        return len(self.rules)
+
+    def describe(self, dataset: Dataset, limit: int = 20) -> str:
+        """Human-readable rule list with the default class appended."""
+        if self.default_class is None:
+            return "CBAClassifier (not fitted)"
+        lines = [f"CBAClassifier: {self.n_rules} rules, "
+                 f"default={dataset.class_names[self.default_class]}, "
+                 f"training_errors={self.training_errors}"]
+        for i, rule in enumerate(self.rules[:limit], start=1):
+            lines.append(f"  {i}. {rule.describe(dataset)}")
+        if self.n_rules > limit:
+            lines.append(f"  ... and {self.n_rules - limit} more")
+        return "\n".join(lines)

@@ -1,0 +1,432 @@
+"""CPAR: Classification based on Predictive Association Rules (Yin &
+Han, SDM 2003; the paper's ref [21]).
+
+Where CBA and CMAR *select* from exhaustively mined frequent rules,
+CPAR *induces* its rules greedily, FOIL-style: one class at a time,
+records of that class are the positive examples, everything else the
+negatives, and a rule grows by repeatedly adding the item with the best
+weighted FOIL gain. Two ideas keep the rule set small but expressive:
+
+* **weighted covering** — a covered positive example is not removed but
+  down-weighted (by ``weight_decay``), so later rules can reuse it and
+  several overlapping rules per region survive;
+* **gain-tied branching** — when several items come within
+  ``gain_similarity`` of the best gain, CPAR grows a rule through each
+  (bounded here by ``max_branches``), harvesting the near-ties PRM
+  would discard.
+
+Prediction averages the Laplace accuracy of the best ``k_best``
+matching rules per class and picks the class with the highest average.
+
+Every induced rule is emitted as a standard
+:class:`~repro.mining.rules.ClassRule` — with a genuine two-tailed
+Fisher p-value — so the library's correction procedures and describe
+machinery work on CPAR output unchanged. That is the bridge this
+module exists for: it lets the ablation ask how many of a greedy
+learner's rules would survive statistical control.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .. import bitset as bs
+from ..data.dataset import Dataset
+from ..errors import DataError
+from ..mining.rules import ClassRule
+from ..stats.fisher import fisher_two_tailed
+from ..stats.logfact import LogFactorialBuffer
+from .base import Prediction, majority_class, rule_matches
+
+__all__ = ["CPARClassifier", "InducedRuleSet", "foil_gain"]
+
+
+def _direct_correction(name: str):
+    """Resolve a direct-adjustment correction by identifier.
+
+    Imported lazily: repro.corrections imports repro.mining, which this
+    module's ClassRule import already pulls in — a module-scope import
+    back into corrections would be cyclic through repro.classify.
+    """
+    from ..corrections.by import benjamini_yekutieli
+    from ..corrections.direct import (
+        benjamini_hochberg,
+        bonferroni,
+        no_correction,
+    )
+    from ..corrections.stepwise import hochberg, holm, sidak
+    from ..corrections.storey import storey_fdr, two_stage_bh
+
+    table = {
+        "none": no_correction,
+        "bonferroni": bonferroni,
+        "bh": benjamini_hochberg,
+        "holm": holm,
+        "hochberg": hochberg,
+        "sidak": sidak,
+        "by": benjamini_yekutieli,
+        "storey": storey_fdr,
+        "bky": two_stage_bh,
+    }
+    if name not in table:
+        raise DataError(
+            f"correction {name!r} is not a direct adjustment; "
+            f"choose from {sorted(table)}")
+    return table[name]
+
+
+def foil_gain(p0: float, n0: float, p1: float, n1: float) -> float:
+    """Weighted FOIL gain of specializing a rule.
+
+    ``p0``/``n0`` are the (weighted) positive and negative counts the
+    current rule covers; ``p1``/``n1`` the counts after adding the
+    candidate literal. Gain is ``p1 * (log(p1/(p1+n1)) -
+    log(p0/(p0+n0)))``: the coverage kept, times the improvement in
+    log-precision. Zero when nothing positive remains.
+    """
+    if p1 <= 0.0 or p0 <= 0.0:
+        return 0.0
+    # log(p/(p+n)) as a difference of logs: the ratio itself can
+    # underflow to 0 when p is subnormal next to a large n.
+    log_precision_1 = math.log(p1) - math.log(p1 + n1)
+    log_precision_0 = math.log(p0) - math.log(p0 + n0)
+    return p1 * (log_precision_1 - log_precision_0)
+
+
+@dataclass(frozen=True)
+class _RuleSeed:
+    """A partial rule during greedy growth."""
+
+    items: FrozenSet[int]
+    covered: int        # bitset of records satisfying the rule
+
+
+@dataclass
+class InducedRuleSet:
+    """CPAR's induced rules as a correction-compatible rule set.
+
+    Duck-type compatible with :class:`~repro.mining.rules.RuleSet` for
+    every direct-adjustment correction (exposes ``rules``,
+    ``p_values()`` and ``n_tests``), so Bonferroni/BH/Holm/... can ask
+    how many of a greedy learner's rules are statistically defensible.
+    """
+
+    rules: List[ClassRule]
+
+    @property
+    def n_tests(self) -> int:
+        """The multiple-testing denominator: one test per induced rule.
+        """
+        return len(self.rules)
+
+    def p_values(self) -> List[float]:
+        """P-values of all induced rules, in rule order."""
+        return [rule.p_value for rule in self.rules]
+
+
+class CPARClassifier:
+    """Greedy FOIL-based associative classifier.
+
+    Parameters
+    ----------
+    min_gain:
+        Growth stops when no literal achieves this weighted gain.
+    weight_decay:
+        Multiplier applied to a positive example's weight each time a
+        finished rule covers it (Yin & Han use 2/3).
+    coverage_threshold:
+        Rule induction for a class stops once the remaining total
+        positive weight drops below this fraction of the initial
+        weight.
+    gain_similarity:
+        Literals with gain within this fraction of the best are also
+        expanded (CPAR's improvement over single-path PRM).
+    max_branches:
+        Bound on simultaneous near-tie expansions per growth step.
+    k_best:
+        Number of highest-Laplace-accuracy matching rules averaged per
+        class at prediction time.
+    max_rule_length:
+        Hard cap on rule antecedent size.
+    """
+
+    def __init__(self, min_gain: float = 0.7,
+                 weight_decay: float = 2.0 / 3.0,
+                 coverage_threshold: float = 0.05,
+                 gain_similarity: float = 0.01,
+                 max_branches: int = 2,
+                 k_best: int = 5,
+                 max_rule_length: int = 5) -> None:
+        if not 0.0 < weight_decay < 1.0:
+            raise DataError("weight_decay must be in (0, 1)")
+        if not 0.0 < coverage_threshold < 1.0:
+            raise DataError("coverage_threshold must be in (0, 1)")
+        if min_gain <= 0.0:
+            raise DataError("min_gain must be positive")
+        if max_branches < 1:
+            raise DataError("max_branches must be >= 1")
+        if k_best < 1:
+            raise DataError("k_best must be >= 1")
+        if max_rule_length < 1:
+            raise DataError("max_rule_length must be >= 1")
+        self.min_gain = min_gain
+        self.weight_decay = weight_decay
+        self.coverage_threshold = coverage_threshold
+        self.gain_similarity = gain_similarity
+        self.max_branches = max_branches
+        self.k_best = k_best
+        self.max_rule_length = max_rule_length
+        self.rules: List[ClassRule] = []
+        self.default_class: Optional[int] = None
+        self._laplace: Dict[int, float] = {}
+        self._n_classes: Optional[int] = None
+        self._class_priors: List[float] = []
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "CPARClassifier":
+        """Induce predictive rules for every class of the dataset."""
+        self._n_classes = dataset.n_classes
+        self.default_class = majority_class(dataset)
+        self._class_priors = [
+            dataset.class_support(c) / dataset.n_records
+            for c in range(dataset.n_classes)]
+        buffer = LogFactorialBuffer(dataset.n_records + 1)
+        rules: List[ClassRule] = []
+        seen: set = set()
+        for c in range(dataset.n_classes):
+            for items in self._induce_class(dataset, c):
+                key = (items, c)
+                if key in seen:
+                    continue
+                seen.add(key)
+                rules.append(self._score_rule(dataset, items, c,
+                                              buffer))
+        self.rules = rules
+        self._laplace = {
+            id(rule): self._laplace_accuracy(rule) for rule in rules
+        }
+        return self
+
+    def _laplace_accuracy(self, rule: ClassRule) -> float:
+        return (rule.support + 1) / (rule.coverage + self._n_classes)
+
+    def _score_rule(self, dataset: Dataset, items: FrozenSet[int],
+                    class_index: int,
+                    buffer: LogFactorialBuffer) -> ClassRule:
+        tidset = dataset.pattern_tidset(items)
+        coverage = bs.popcount(tidset)
+        support = bs.popcount(tidset & dataset.class_tidset(class_index))
+        confidence = support / coverage if coverage else 0.0
+        p_value = fisher_two_tailed(
+            support, dataset.n_records,
+            dataset.class_support(class_index), coverage,
+            buffer=buffer) if coverage else 1.0
+        return ClassRule(
+            pattern_id=-1,  # induced, not from the pattern tree
+            items=items,
+            class_index=class_index,
+            coverage=coverage,
+            support=support,
+            confidence=confidence,
+            p_value=p_value,
+        )
+
+    def _induce_class(self, dataset: Dataset,
+                      class_index: int) -> List[FrozenSet[int]]:
+        """Weighted-covering loop producing antecedents for one class.
+        """
+        positives = dataset.class_tidset(class_index)
+        universe = bs.universe(dataset.n_records)
+        weights: Dict[int, float] = {
+            r: 1.0 for r in bs.iter_indices(positives)}
+        if not weights:
+            return []
+        initial_weight = float(len(weights))
+        produced: List[FrozenSet[int]] = []
+        guard = 0
+        max_rules = 4 * dataset.n_items + 8
+        while (sum(weights.values())
+               > self.coverage_threshold * initial_weight
+               and guard < max_rules):
+            guard += 1
+            grown = self._grow_rules(dataset, positives, universe,
+                                     weights)
+            if not grown:
+                break
+            progressed = False
+            for items, covered in grown:
+                if items in produced:
+                    continue
+                produced.append(items)
+                for r in bs.iter_indices(covered & positives):
+                    if r in weights:
+                        weights[r] *= self.weight_decay
+                        progressed = True
+            if not progressed:
+                break
+        return produced
+
+    def _grow_rules(self, dataset: Dataset, positives: int,
+                    universe: int, weights: Dict[int, float],
+                    ) -> List[Tuple[FrozenSet[int], int]]:
+        """Grow one generation of rules, branching on near-tie gains."""
+        finished: List[Tuple[FrozenSet[int], int]] = []
+        frontier = [_RuleSeed(frozenset(), universe)]
+        while frontier:
+            seed = frontier.pop()
+            expansions = self._best_literals(dataset, positives,
+                                             weights, seed)
+            if not expansions:
+                if seed.items:
+                    finished.append((seed.items, seed.covered))
+                continue
+            for item, covered in expansions:
+                items = seed.items | {item}
+                child = _RuleSeed(frozenset(items), covered)
+                pure = (covered & ~positives) == 0
+                if len(items) >= self.max_rule_length or pure:
+                    finished.append((child.items, child.covered))
+                else:
+                    frontier.append(child)
+        return finished
+
+    def _best_literals(self, dataset: Dataset, positives: int,
+                       weights: Dict[int, float], seed: _RuleSeed,
+                       ) -> List[Tuple[int, int]]:
+        """Items whose gain is within ``gain_similarity`` of the best.
+        """
+        p0 = sum(weights[r]
+                 for r in bs.iter_indices(seed.covered & positives))
+        n0 = bs.popcount(seed.covered & ~positives)
+        scored: List[Tuple[float, int, int]] = []
+        for item in range(dataset.n_items):
+            if item in seed.items:
+                continue
+            covered = seed.covered & dataset.item_tidsets[item]
+            if covered == seed.covered:
+                continue  # adds no constraint
+            p1 = sum(weights[r]
+                     for r in bs.iter_indices(covered & positives))
+            if p1 == 0.0:
+                continue
+            n1 = bs.popcount(covered & ~positives)
+            gain = foil_gain(p0, n0, p1, n1)
+            if gain >= self.min_gain:
+                scored.append((gain, item, covered))
+        if not scored:
+            return []
+        scored.sort(key=lambda t: (-t[0], t[1]))
+        best_gain = scored[0][0]
+        floor = best_gain * (1.0 - self.gain_similarity)
+        chosen = [t for t in scored if t[0] >= floor]
+        return [(item, covered)
+                for __, item, covered in chosen[:self.max_branches]]
+
+    # ------------------------------------------------------------------
+    # statistical filtering
+    # ------------------------------------------------------------------
+
+    def induced_ruleset(self) -> InducedRuleSet:
+        """The induced rules wrapped for the correction procedures."""
+        if self.default_class is None:
+            raise DataError("classifier is not fitted")
+        return InducedRuleSet(list(self.rules))
+
+    def filtered(self, correction: str = "bonferroni",
+                 alpha: float = 0.05) -> "CPARClassifier":
+        """A copy keeping only the statistically significant rules.
+
+        ``correction`` is a direct-adjustment identifier (``none``,
+        ``bonferroni``, ``holm``, ``hochberg``, ``sidak``, ``bh``,
+        ``by``, ``storey``, ``bky``) applied over the induced rules'
+        Fisher p-values; the multiplicity charged is the number of
+        rules CPAR *emitted* — an honest accounting would also charge
+        the rules the greedy search visited and discarded, which is
+        unknowable, so treat the filter as a floor on stringency.
+        """
+        result = _direct_correction(correction)(
+            self.induced_ruleset(), alpha)
+        clone = CPARClassifier(
+            min_gain=self.min_gain, weight_decay=self.weight_decay,
+            coverage_threshold=self.coverage_threshold,
+            gain_similarity=self.gain_similarity,
+            max_branches=self.max_branches, k_best=self.k_best,
+            max_rule_length=self.max_rule_length)
+        clone.rules = list(result.significant)
+        clone.default_class = self.default_class
+        clone._n_classes = self._n_classes
+        clone._class_priors = list(self._class_priors)
+        clone._laplace = {
+            id(rule): self._laplace[id(rule)] for rule in clone.rules
+        }
+        return clone
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    def predict_itemset(self, items: FrozenSet[int]) -> Prediction:
+        """Average-of-k-best Laplace accuracies, per class."""
+        if self.default_class is None or self._n_classes is None:
+            raise DataError("classifier is not fitted")
+        per_class: Dict[int, List[float]] = {}
+        best_rule: Dict[int, ClassRule] = {}
+        for rule in self.rules:
+            if not rule_matches(rule, items):
+                continue
+            accuracy = self._laplace[id(rule)]
+            bucket = per_class.setdefault(rule.class_index, [])
+            bucket.append(accuracy)
+            incumbent = best_rule.get(rule.class_index)
+            if incumbent is None \
+                    or accuracy > self._laplace[id(incumbent)]:
+                best_rule[rule.class_index] = rule
+        if not per_class:
+            return Prediction(self.default_class, None,
+                              self._class_priors[self.default_class],
+                              is_default=True)
+        averages = {
+            c: sum(sorted(scores, reverse=True)[:self.k_best])
+            / min(len(scores), self.k_best)
+            for c, scores in per_class.items()
+        }
+        winner = max(averages,
+                     key=lambda c: (averages[c],
+                                    self._class_priors[c], -c))
+        return Prediction(winner, best_rule[winner], averages[winner],
+                          is_default=False)
+
+    def predict(self, item_sets: Sequence[FrozenSet[int]]) -> List[int]:
+        """Predicted class indices for a batch of record item sets."""
+        return [self.predict_itemset(items).class_index
+                for items in item_sets]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rules(self) -> int:
+        """Number of induced rules."""
+        return len(self.rules)
+
+    def describe(self, dataset: Dataset, limit: int = 20) -> str:
+        """Induced rules ordered by Laplace accuracy."""
+        if self.default_class is None:
+            return "CPARClassifier (not fitted)"
+        lines = [f"CPARClassifier: {self.n_rules} induced rules, "
+                 f"default={dataset.class_names[self.default_class]}"]
+        ranked = sorted(self.rules,
+                        key=lambda r: -self._laplace[id(r)])
+        for i, rule in enumerate(ranked[:limit], start=1):
+            lines.append(f"  {i}. laplace="
+                         f"{self._laplace[id(rule)]:.3f}  "
+                         + rule.describe(dataset))
+        if self.n_rules > limit:
+            lines.append(f"  ... and {self.n_rules - limit} more")
+        return "\n".join(lines)

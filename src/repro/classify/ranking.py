@@ -1,0 +1,46 @@
+"""Total orders on class association rules.
+
+CBA's rule ranking (Liu/Hsu/Ma 1998) prefers higher confidence, then
+higher support, then shorter left-hand sides; we append the pattern id
+as a final tiebreak so the order is total and runs are reproducible.
+The significance order ranks by p-value first, which is the natural
+companion when the rule base was filtered by a correction procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..mining.rules import ClassRule
+
+__all__ = ["cba_sort_key", "significance_sort_key", "rank_rules"]
+
+
+def cba_sort_key(rule: ClassRule) -> Tuple[float, int, int, int, int]:
+    """Sort key realizing CBA's precedence (earlier = higher ranked)."""
+    return (-rule.confidence, -rule.support, rule.length,
+            rule.pattern_id, rule.class_index)
+
+
+def significance_sort_key(rule: ClassRule) -> Tuple[float, float, int, int,
+                                                    int]:
+    """P-value-first precedence for significance-filtered rule bases."""
+    return (rule.p_value, -rule.confidence, -rule.support,
+            rule.pattern_id, rule.class_index)
+
+
+def rank_rules(rules: Iterable[ClassRule],
+               order: str = "cba") -> List[ClassRule]:
+    """Return rules sorted by the requested precedence.
+
+    Parameters
+    ----------
+    order:
+        ``"cba"`` (confidence/support/brevity) or ``"significance"``
+        (p-value first).
+    """
+    if order == "cba":
+        return sorted(rules, key=cba_sort_key)
+    if order == "significance":
+        return sorted(rules, key=significance_sort_key)
+    raise ValueError(f"unknown rule order {order!r}")

@@ -1,0 +1,21 @@
+"""Core public API: mine, score, and statistically filter class rules.
+
+:class:`SignificantRuleMiner` configures the full Section 3 + 4
+pipeline behind one object; :func:`mine_significant_rules` is its
+one-call wrapper and :data:`CORRECTIONS` enumerates every correction
+identifier the pipeline accepts.
+"""
+
+from .miner import (
+    CORRECTIONS,
+    MiningReport,
+    SignificantRuleMiner,
+    mine_significant_rules,
+)
+
+__all__ = [
+    "CORRECTIONS",
+    "MiningReport",
+    "SignificantRuleMiner",
+    "mine_significant_rules",
+]

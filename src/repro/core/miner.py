@@ -1,0 +1,236 @@
+"""The high-level public API: statistically sound rule mining.
+
+:class:`SignificantRuleMiner` ties the whole paper together: mine
+closed frequent patterns, score one hypothesis per rule with Fisher's
+exact test, and control false positives with the multiple-testing
+correction of your choice. :func:`mine_significant_rules` is the
+one-call convenience wrapper.
+
+Example
+-------
+>>> from repro import mine_significant_rules
+>>> from repro.data import make_german
+>>> report = mine_significant_rules(make_german(), min_sup=60,
+...                                 correction="bh", alpha=0.05)
+>>> print(report.summary())            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..corrections.base import CorrectionResult
+from ..corrections.direct import (
+    benjamini_hochberg,
+    bonferroni,
+    no_correction,
+)
+from ..corrections.by import benjamini_yekutieli
+from ..corrections.holdout import holdout
+from ..corrections.lamp import lamp_bonferroni
+from ..corrections.layered import layered_critical_values
+from ..corrections.permutation import PermutationEngine
+from ..corrections.stepwise import hochberg, holm, sidak
+from ..corrections.storey import storey_fdr, two_stage_bh
+from ..corrections.weighted import weighted_bh, weighted_bonferroni
+from ..data.dataset import Dataset
+from ..errors import CorrectionError
+from ..mining.representative import mine_representative_rules
+from ..mining.rules import ClassRule, RuleSet, mine_class_rules
+
+__all__ = ["SignificantRuleMiner", "MiningReport",
+           "mine_significant_rules", "CORRECTIONS"]
+
+#: Correction identifiers accepted by the public API, with the Table 3
+#: abbreviation each maps to.
+CORRECTIONS: Dict[str, str] = {
+    "none": "No correction",
+    "bonferroni": "BC",
+    "holm": "Holm",
+    "hochberg": "Hochberg",
+    "sidak": "Sidak",
+    "weighted-bonferroni": "wBC",
+    "bh": "BH",
+    "by": "BY",
+    "storey": "Storey",
+    "bky": "BKY",
+    "weighted-bh": "wBH",
+    "lamp": "LAMP",
+    "permutation-fwer": "Perm_FWER",
+    "permutation-fwer-stepdown": "Perm_FWER_SD",
+    "permutation-fdr": "Perm_FDR",
+    "holdout-fwer": "HD_BC / RH_BC",
+    "holdout-fdr": "HD_BH / RH_BH",
+    "layered": "Layered",
+}
+
+
+@dataclass
+class MiningReport:
+    """What a mining run hands back to the caller.
+
+    ``ruleset`` is the full scored rule population (``None`` for the
+    holdout corrections, which never score the whole dataset — that is
+    their point); ``result`` carries the significant rules and the
+    decision threshold.
+    """
+
+    dataset: Dataset
+    correction: str
+    result: CorrectionResult
+    ruleset: Optional[RuleSet] = field(default=None, repr=False)
+
+    @property
+    def significant(self) -> List[ClassRule]:
+        """Rules declared statistically significant."""
+        return self.result.significant
+
+    @property
+    def n_tested(self) -> int:
+        """Hypotheses the correction accounted for (``Nt``)."""
+        return self.result.n_tests
+
+    def summary(self) -> str:
+        """One-line outcome description."""
+        return (f"{self.dataset.name}: {self.result.summary()} "
+                f"[correction={self.correction}]")
+
+    def describe(self, limit: int = 20) -> str:
+        """Multi-line listing of the most significant rules."""
+        ordered = sorted(self.significant, key=lambda r: r.p_value)
+        lines = [self.summary()]
+        for rule in ordered[:limit]:
+            lines.append("  " + rule.describe(self.dataset))
+        if len(ordered) > limit:
+            lines.append(f"  ... and {len(ordered) - limit} more")
+        return "\n".join(lines)
+
+
+class SignificantRuleMiner:
+    """Configurable pipeline: mine, score, correct.
+
+    Parameters
+    ----------
+    min_sup:
+        Minimum coverage of a rule's left-hand side.
+    min_conf:
+        Domain-significance filter (Section 2.3 recommends choosing it
+        from domain knowledge, independent of the statistics).
+    correction:
+        One of :data:`CORRECTIONS`. The two permutation corrections
+        accept ``n_permutations``; the holdout corrections accept
+        ``holdout_split`` (``"structured"`` or ``"random"``) and use
+        the paper's convention of halving ``min_sup`` on the
+        exploratory half.
+    alpha:
+        Error budget: FWER or FDR level depending on the correction.
+    scorer:
+        ``"fisher"`` (default), ``"fisher-midp"`` or ``"chi2"``.
+    redundancy_delta:
+        When set, apply the Section 7 representative-pattern reduction
+        before scoring: near-duplicate sub/super-pattern chains whose
+        supports agree within a factor ``1 - delta`` are collapsed to
+        one representative, shrinking the hypothesis count ``Nt``. Not
+        available with the holdout corrections (they mine their own
+        halves).
+    """
+
+    def __init__(self, min_sup: int, min_conf: float = 0.0,
+                 correction: str = "bh", alpha: float = 0.05,
+                 n_permutations: int = 1000,
+                 holdout_split: str = "random",
+                 max_length: Optional[int] = None,
+                 scorer: str = "fisher",
+                 seed: Optional[int] = None,
+                 redundancy_delta: Optional[float] = None) -> None:
+        if correction not in CORRECTIONS:
+            raise CorrectionError(
+                f"unknown correction {correction!r}; "
+                f"choose from {sorted(CORRECTIONS)}")
+        if (redundancy_delta is not None
+                and correction in ("holdout-fwer", "holdout-fdr")):
+            raise CorrectionError(
+                "redundancy_delta is not supported with holdout "
+                "corrections")
+        self.min_sup = min_sup
+        self.min_conf = min_conf
+        self.correction = correction
+        self.alpha = alpha
+        self.n_permutations = n_permutations
+        self.holdout_split = holdout_split
+        self.max_length = max_length
+        self.scorer = scorer
+        self.seed = seed
+        self.redundancy_delta = redundancy_delta
+
+    def mine(self, dataset: Dataset) -> MiningReport:
+        """Run the configured pipeline on one dataset."""
+        if self.correction in ("holdout-fwer", "holdout-fdr"):
+            control = ("fwer" if self.correction == "holdout-fwer"
+                       else "fdr")
+            result = holdout(
+                dataset, self.min_sup, alpha=self.alpha, control=control,
+                split=self.holdout_split, seed=self.seed,
+                min_conf=self.min_conf, max_length=self.max_length,
+                scorer=self.scorer)
+            return MiningReport(dataset=dataset,
+                                correction=self.correction,
+                                result=result, ruleset=None)
+        if self.redundancy_delta is not None:
+            ruleset = mine_representative_rules(
+                dataset, self.min_sup, delta=self.redundancy_delta,
+                min_conf=self.min_conf, max_length=self.max_length,
+                scorer=self.scorer)
+        else:
+            ruleset = mine_class_rules(
+                dataset, self.min_sup, min_conf=self.min_conf,
+                max_length=self.max_length, scorer=self.scorer)
+        result = self._correct(ruleset)
+        return MiningReport(dataset=dataset, correction=self.correction,
+                            result=result, ruleset=ruleset)
+
+    def _correct(self, ruleset: RuleSet) -> CorrectionResult:
+        if self.correction == "none":
+            return no_correction(ruleset, self.alpha)
+        if self.correction == "bonferroni":
+            return bonferroni(ruleset, self.alpha)
+        if self.correction == "holm":
+            return holm(ruleset, self.alpha)
+        if self.correction == "hochberg":
+            return hochberg(ruleset, self.alpha)
+        if self.correction == "sidak":
+            return sidak(ruleset, self.alpha)
+        if self.correction == "weighted-bonferroni":
+            return weighted_bonferroni(ruleset, self.alpha)
+        if self.correction == "weighted-bh":
+            return weighted_bh(ruleset, self.alpha)
+        if self.correction == "bh":
+            return benjamini_hochberg(ruleset, self.alpha)
+        if self.correction == "by":
+            return benjamini_yekutieli(ruleset, self.alpha)
+        if self.correction == "storey":
+            return storey_fdr(ruleset, self.alpha)
+        if self.correction == "bky":
+            return two_stage_bh(ruleset, self.alpha)
+        if self.correction == "lamp":
+            return lamp_bonferroni(ruleset, self.alpha)
+        if self.correction == "layered":
+            return layered_critical_values(ruleset, self.alpha)
+        engine = PermutationEngine(
+            ruleset, n_permutations=self.n_permutations, seed=self.seed)
+        if self.correction == "permutation-fwer":
+            return engine.fwer(self.alpha)
+        if self.correction == "permutation-fwer-stepdown":
+            return engine.fwer_stepdown(self.alpha)
+        return engine.fdr(self.alpha)
+
+
+def mine_significant_rules(dataset: Dataset, min_sup: int,
+                           correction: str = "bh", alpha: float = 0.05,
+                           **kwargs) -> MiningReport:
+    """One-call pipeline; see :class:`SignificantRuleMiner`."""
+    miner = SignificantRuleMiner(min_sup=min_sup, correction=correction,
+                                 alpha=alpha, **kwargs)
+    return miner.mine(dataset)

@@ -1,0 +1,49 @@
+"""Multiple testing correction approaches (Section 4 of the paper)."""
+
+from .base import FDR, FWER, NONE, CorrectionResult, bh_step_up
+from .by import benjamini_yekutieli, harmonic_number
+from .direct import benjamini_hochberg, bonferroni, no_correction
+from .holdout import HoldoutRun, holdout
+from .lamp import lamp_bonferroni
+from .layered import layered_critical_values
+from .permutation import (
+    PermutationEngine,
+    permutation_fdr,
+    permutation_fwer,
+    permutation_fwer_stepdown,
+)
+from .stepwise import hochberg, holm, sidak, sidak_threshold
+from .storey import estimate_pi0, q_values, storey_fdr, two_stage_bh
+from .weighted import testability_weights, weighted_bh, weighted_bonferroni
+
+__all__ = [
+    "FDR",
+    "FWER",
+    "NONE",
+    "CorrectionResult",
+    "bh_step_up",
+    "benjamini_yekutieli",
+    "harmonic_number",
+    "benjamini_hochberg",
+    "bonferroni",
+    "no_correction",
+    "HoldoutRun",
+    "holdout",
+    "lamp_bonferroni",
+    "layered_critical_values",
+    "PermutationEngine",
+    "permutation_fdr",
+    "permutation_fwer",
+    "permutation_fwer_stepdown",
+    "hochberg",
+    "holm",
+    "sidak",
+    "sidak_threshold",
+    "estimate_pi0",
+    "q_values",
+    "storey_fdr",
+    "two_stage_bh",
+    "testability_weights",
+    "weighted_bh",
+    "weighted_bonferroni",
+]

@@ -1,0 +1,196 @@
+"""The holdout approach (Section 4.3; Webb, Machine Learning 2007).
+
+The dataset is split into an *exploratory* and an *evaluation* half.
+Rules are mined on the exploratory half (with ``min_sup`` halved, as in
+all the paper's experiments) and every rule with raw ``p <= alpha``
+becomes a *candidate*. Candidates are then re-scored on the evaluation
+half, and significance is decided there with Bonferroni (FWER) or
+Benjamini–Hochberg (FDR) over only the candidate count — typically
+orders of magnitude smaller than the full hypothesis count.
+
+Two splitting conventions from Section 5.1:
+
+* ``split="structured"`` — the first ``boundary`` records form the
+  exploratory half. Paired synthetic datasets
+  (:func:`repro.data.synthetic.generate_paired`) embed every rule in
+  both halves, so this split eliminates partitioning luck ("HD" in the
+  figures).
+* ``split="random"`` — a seeded random partition ("RH").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .. import bitset as bs
+from ..data.dataset import Dataset
+from ..errors import CorrectionError
+from ..mining.rules import ClassRule, RuleSet, mine_class_rules
+from ..stats.buffer_cache import BufferCache
+from .base import (
+    FDR,
+    FWER,
+    CorrectionResult,
+    bh_step_up,
+    validate_alpha,
+)
+
+__all__ = ["holdout", "HoldoutRun"]
+
+
+class HoldoutRun:
+    """A reusable split + exploratory mining, shared by BC and BH.
+
+    Mining the exploratory half and re-scoring candidates dominates the
+    cost; both error-control variants reuse this object.
+    """
+
+    def __init__(self, dataset: Dataset, min_sup: int,
+                 alpha: float = 0.05,
+                 split: str = "structured",
+                 boundary: Optional[int] = None,
+                 seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None,
+                 min_conf: float = 0.0,
+                 max_length: Optional[int] = None,
+                 scorer: str = "fisher") -> None:
+        validate_alpha(alpha)
+        if split not in ("structured", "random"):
+            raise CorrectionError(f"unknown split {split!r}")
+        if min_sup < 2:
+            raise CorrectionError(
+                "holdout needs min_sup >= 2 (it is halved on the "
+                "exploratory dataset)")
+        if seed is not None and rng is not None:
+            raise CorrectionError("give seed or rng, not both")
+        self.dataset = dataset
+        self.min_sup = min_sup
+        self.alpha = alpha
+        self.split = split
+        split_rng = rng or random.Random(seed)
+        self.exploratory, self.evaluation = dataset.split_half(
+            rng=split_rng if split == "random" else None,
+            boundary=boundary)
+        # The paper halves min_sup on the exploratory dataset.
+        exploratory_min_sup = max(1, min_sup // 2)
+        self.exploratory_rules: RuleSet = mine_class_rules(
+            self.exploratory, exploratory_min_sup, min_conf=min_conf,
+            max_length=max_length, scorer=scorer)
+        self.candidates: List[ClassRule] = [
+            rule for rule in self.exploratory_rules.rules
+            if rule.p_value <= alpha
+        ]
+        self.evaluated: List[Tuple[ClassRule, ClassRule]] = [
+            (rule, self._score_on_evaluation(rule))
+            for rule in self.candidates
+        ]
+
+    def _score_on_evaluation(self, rule: ClassRule) -> ClassRule:
+        """Re-score one candidate on the evaluation half.
+
+        The pattern need not be frequent (or closed) there; its tidset
+        is re-derived from the evaluation half's item tidsets.
+        """
+        evaluation = self.evaluation
+        tids = evaluation.pattern_tidset(rule.items)
+        coverage = bs.popcount(tids)
+        support = bs.popcount(tids
+                              & evaluation.class_tidset(rule.class_index))
+        confidence = support / coverage if coverage else 0.0
+        cache = self._cache_for(rule.class_index)
+        if coverage == 0:
+            p_value = 1.0  # unobservable on this half: never significant
+        else:
+            p_value = cache.p_value(support, coverage)
+        return ClassRule(
+            pattern_id=rule.pattern_id,
+            items=rule.items,
+            class_index=rule.class_index,
+            coverage=coverage,
+            support=support,
+            confidence=confidence,
+            p_value=p_value,
+        )
+
+    def _cache_for(self, class_index: int) -> BufferCache:
+        if not hasattr(self, "_caches"):
+            self._caches: Dict[int, BufferCache] = {}
+        cache = self._caches.get(class_index)
+        if cache is None:
+            cache = BufferCache(
+                self.evaluation.n_records,
+                self.evaluation.class_support(class_index),
+                min_sup=1)
+            self._caches[class_index] = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    # error control on the evaluation half
+    # ------------------------------------------------------------------
+
+    def bonferroni(self, alpha: Optional[float] = None) -> CorrectionResult:
+        """FWER control: candidates with ``p_eval <= alpha / #cand``."""
+        level = self.alpha if alpha is None else alpha
+        validate_alpha(level)
+        n_candidates = len(self.candidates)
+        threshold = level / n_candidates if n_candidates else 0.0
+        significant = [scored for _, scored in self.evaluated
+                       if scored.p_value <= threshold]
+        prefix = "HD" if self.split == "structured" else "RH"
+        return CorrectionResult(
+            method=f"{prefix}_BC", control=FWER, alpha=level,
+            threshold=threshold, significant=significant,
+            n_tests=n_candidates,
+            details=self._details(),
+        )
+
+    def benjamini_hochberg(self, alpha: Optional[float] = None,
+                           ) -> CorrectionResult:
+        """FDR control: BH over the candidates' evaluation p-values."""
+        level = self.alpha if alpha is None else alpha
+        validate_alpha(level)
+        eval_p = [scored.p_value for _, scored in self.evaluated]
+        threshold = bh_step_up(eval_p, level) if eval_p else 0.0
+        significant = [scored for _, scored in self.evaluated
+                       if scored.p_value <= threshold]
+        prefix = "HD" if self.split == "structured" else "RH"
+        return CorrectionResult(
+            method=f"{prefix}_BH", control=FDR, alpha=level,
+            threshold=threshold, significant=significant,
+            n_tests=len(self.candidates),
+            details=self._details(),
+        )
+
+    def _details(self) -> Dict[str, object]:
+        return {
+            "split": self.split,
+            "n_exploratory_rules": self.exploratory_rules.n_tests,
+            "n_candidates": len(self.candidates),
+            "exploratory_min_sup": max(1, self.min_sup // 2),
+            "exploratory_records": self.exploratory.n_records,
+            "evaluation_records": self.evaluation.n_records,
+        }
+
+
+def holdout(dataset: Dataset, min_sup: int, alpha: float = 0.05,
+            control: str = FWER, split: str = "structured",
+            boundary: Optional[int] = None, seed: Optional[int] = None,
+            rng: Optional[random.Random] = None,
+            min_conf: float = 0.0,
+            max_length: Optional[int] = None,
+            scorer: str = "fisher") -> CorrectionResult:
+    """One-shot holdout evaluation; see :class:`HoldoutRun`.
+
+    ``control`` picks Bonferroni (``"fwer"``) or BH (``"fdr"``) on the
+    evaluation half.
+    """
+    run = HoldoutRun(dataset, min_sup, alpha=alpha, split=split,
+                     boundary=boundary, seed=seed, rng=rng,
+                     min_conf=min_conf, max_length=max_length,
+                     scorer=scorer)
+    if control == FWER:
+        return run.bonferroni()
+    if control == FDR:
+        return run.benjamini_hochberg()
+    raise CorrectionError(f"unknown control {control!r}")

@@ -1,0 +1,91 @@
+"""LAMP: testability-aware Bonferroni correction.
+
+The paper's Section 7 observes that reducing the number of tested
+hypotheses directly buys power. LAMP (Terada et al., PNAS 2013 —
+published after this paper, in the research line it seeded) formalizes
+one safe reduction for Fisher-scored patterns: a rule whose coverage is
+so small that even a *perfect* class split cannot reach the corrected
+threshold is **untestable** — it can never be significant, so it need
+not count toward the Bonferroni denominator.
+
+The procedure finds the largest coverage threshold ``sigma`` such that
+
+    m(sigma) * f(sigma) <= alpha
+
+where ``m(sigma)`` is the number of rules with coverage >= sigma and
+``f(sigma)`` the minimum attainable p-value at coverage ``sigma``
+(monotone non-increasing in sigma). Rules with coverage >= sigma are
+then tested against ``alpha / m(sigma)``. FWER <= alpha still holds:
+untestable rules cannot be false positives at the corrected level by
+construction, and the union bound covers the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..mining.rules import RuleSet
+from ..stats.fisher import min_attainable_p_value
+from .base import FWER, CorrectionResult, validate_alpha
+
+__all__ = ["lamp_bonferroni"]
+
+
+def lamp_bonferroni(ruleset: RuleSet, alpha: float = 0.05,
+                    ) -> CorrectionResult:
+    """Bonferroni over only the *testable* rules (LAMP).
+
+    Always at least as powerful as plain Bonferroni: the testable count
+    ``m(sigma)`` never exceeds ``Nt``, so the per-rule threshold never
+    shrinks. On low-``min_sup`` mining runs, where most rules have tiny
+    coverage, the gain is substantial.
+    """
+    validate_alpha(alpha)
+    dataset = ruleset.dataset
+    n = dataset.n_records
+    rules = ruleset.rules
+    if not rules:
+        return CorrectionResult(
+            method="LAMP", control=FWER, alpha=alpha, threshold=0.0,
+            significant=[], n_tests=0,
+            details={"sigma": None, "n_testable": 0})
+
+    min_attainable: Dict[Tuple[int, int], float] = {}
+
+    def attainable(rule) -> float:
+        key = (rule.class_index, rule.coverage)
+        value = min_attainable.get(key)
+        if value is None:
+            n_c = dataset.class_support(rule.class_index)
+            value = min_attainable_p_value(n, n_c, rule.coverage)
+            min_attainable[key] = value
+        return value
+
+    # Keep the k rules with the smallest attainable floors; all of them
+    # must be individually testable against alpha/k, i.e. the k-th
+    # smallest floor must satisfy f_(k) <= alpha/k. Pick the largest
+    # such k: FWER <= k * (alpha/k) = alpha by the union bound over the
+    # tested set, and every excluded rule is simply never reported.
+    floors = sorted(attainable(rule) for rule in rules)
+    n_testable = 0
+    for k, floor in enumerate(floors, start=1):
+        if floor <= alpha / k:
+            n_testable = k
+    if n_testable <= 0:
+        threshold = 0.0
+    else:
+        threshold = alpha / n_testable
+    significant = [rule for rule in rules
+                   if attainable(rule) <= threshold
+                   and rule.p_value <= threshold]
+    sigma = None
+    testable_coverages = [rule.coverage for rule in rules
+                          if attainable(rule) <= threshold]
+    if testable_coverages:
+        sigma = min(testable_coverages)
+    return CorrectionResult(
+        method="LAMP", control=FWER, alpha=alpha, threshold=threshold,
+        significant=significant, n_tests=n_testable,
+        details={"sigma": sigma, "n_testable": n_testable,
+                 "n_total": len(rules)},
+    )

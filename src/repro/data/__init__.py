@@ -1,0 +1,65 @@
+"""Data substrate: datasets, items, loaders, discretization, generators."""
+
+from .dataset import ClassSummary, Dataset
+from .discretize import (
+    apply_cuts,
+    discretize_columns,
+    equal_frequency_cuts,
+    equal_width_cuts,
+    mdl_discretize,
+)
+from .items import Item, ItemCatalog
+from .loaders import load_arff, load_csv, load_fimi, save_csv, save_fimi
+from .quest import QuestConfig, QuestData, generate_quest
+from .summary import AttributeProfile, DatasetSummary, summarize
+from .synthetic import (
+    EmbeddedRule,
+    GeneratorConfig,
+    SyntheticData,
+    generate,
+    generate_paired,
+)
+from .uci import (
+    REAL_DATASETS,
+    UCISpec,
+    load_real_dataset,
+    make_adult,
+    make_german,
+    make_hypo,
+    make_mushroom,
+)
+
+__all__ = [
+    "ClassSummary",
+    "Dataset",
+    "Item",
+    "ItemCatalog",
+    "apply_cuts",
+    "discretize_columns",
+    "equal_frequency_cuts",
+    "equal_width_cuts",
+    "mdl_discretize",
+    "QuestConfig",
+    "QuestData",
+    "generate_quest",
+    "load_arff",
+    "load_csv",
+    "load_fimi",
+    "save_csv",
+    "save_fimi",
+    "AttributeProfile",
+    "DatasetSummary",
+    "summarize",
+    "EmbeddedRule",
+    "GeneratorConfig",
+    "SyntheticData",
+    "generate",
+    "generate_paired",
+    "REAL_DATASETS",
+    "UCISpec",
+    "load_real_dataset",
+    "make_adult",
+    "make_german",
+    "make_hypo",
+    "make_mushroom",
+]

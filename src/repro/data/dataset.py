@@ -1,0 +1,370 @@
+"""Attribute-valued dataset with class labels (Section 2.1 of the paper).
+
+A :class:`Dataset` stores records columnar: for every item (attribute =
+value pair) it keeps the *tidset* — the bitset of record ids containing
+the item — and for every class label the bitset of records carrying that
+label. All mining and statistics downstream consume only these bitsets
+plus a handful of integer counts, which is what enables the paper's
+"mine once, re-score per permutation" optimization (Section 4.2.1):
+permuting class labels leaves every item tidset untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import bitset as bs
+from ..errors import DataError
+from .items import Item, ItemCatalog
+
+__all__ = ["Dataset", "ClassSummary"]
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """Per-class bookkeeping: label name, index, support and tidset."""
+
+    index: int
+    name: str
+    support: int
+    tidset: int = field(repr=False)
+
+
+class Dataset:
+    """Records over categorical attributes plus a class label attribute.
+
+    Parameters
+    ----------
+    n_records:
+        Number of records ``n``.
+    catalog:
+        The item catalog; item ids index into ``item_tidsets``.
+    item_tidsets:
+        ``item_tidsets[i]`` is the bitset of record ids containing item
+        ``i``.
+    class_labels:
+        Per-record class index (length ``n_records``).
+    class_names:
+        Names of the classes; ``class_labels`` values index this list.
+    name:
+        Optional human-readable dataset name used in reports.
+    """
+
+    def __init__(
+        self,
+        n_records: int,
+        catalog: ItemCatalog,
+        item_tidsets: Sequence[int],
+        class_labels: Sequence[int],
+        class_names: Sequence[str],
+        name: str = "dataset",
+    ) -> None:
+        if len(class_labels) != n_records:
+            raise DataError(
+                f"{len(class_labels)} class labels for {n_records} records"
+            )
+        if len(item_tidsets) != len(catalog):
+            raise DataError(
+                f"{len(item_tidsets)} tidsets for {len(catalog)} items"
+            )
+        if n_records == 0:
+            raise DataError("dataset must contain at least one record")
+        n_classes = len(class_names)
+        if n_classes < 2:
+            raise DataError("dataset must have at least two classes")
+        self.n_records = n_records
+        self.catalog = catalog
+        self.item_tidsets: List[int] = list(item_tidsets)
+        self.class_labels: List[int] = list(class_labels)
+        self.class_names: List[str] = [str(c) for c in class_names]
+        self.name = name
+        limit = bs.universe(n_records)
+        for i, tids in enumerate(self.item_tidsets):
+            if tids & ~limit:
+                raise DataError(f"tidset of item {i} references records >= n")
+        for label in self.class_labels:
+            if not 0 <= label < n_classes:
+                raise DataError(f"class label {label} out of range")
+        self._class_tidsets = self._build_class_tidsets()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Sequence[object]],
+        class_labels: Sequence[object],
+        attribute_names: Optional[Sequence[str]] = None,
+        name: str = "dataset",
+        class_names: Optional[Sequence[str]] = None,
+    ) -> "Dataset":
+        """Build a dataset from row-major records of categorical values.
+
+        ``records[r][a]`` is the value of attribute ``a`` in record
+        ``r``; values are stringified. A value of ``None`` means
+        "missing" and produces no item for that cell.
+        """
+        if not records:
+            raise DataError("no records supplied")
+        n_attributes = len(records[0])
+        if attribute_names is None:
+            attribute_names = [f"A{j}" for j in range(n_attributes)]
+        if len(attribute_names) != n_attributes:
+            raise DataError("attribute_names length mismatch")
+        catalog = ItemCatalog()
+        tidsets: List[int] = []
+        for r, record in enumerate(records):
+            if len(record) != n_attributes:
+                raise DataError(f"record {r} has {len(record)} values, "
+                                f"expected {n_attributes}")
+            for j, value in enumerate(record):
+                if value is None:
+                    continue
+                item_id = catalog.add_pair(attribute_names[j], str(value))
+                if item_id == len(tidsets):
+                    tidsets.append(0)
+                tidsets[item_id] |= 1 << r
+        label_indices, names = _encode_labels(class_labels, class_names)
+        return cls(len(records), catalog, tidsets, label_indices, names,
+                   name=name)
+
+    @classmethod
+    def from_transactions(
+        cls,
+        transactions: Sequence[Iterable[object]],
+        class_labels: Sequence[object],
+        name: str = "dataset",
+        class_names: Optional[Sequence[str]] = None,
+    ) -> "Dataset":
+        """Build a dataset from item-set transactions (FIMI style).
+
+        Every distinct transaction element becomes an item of a
+        synthetic single-valued attribute named after the element, so a
+        market-basket file can be mined with the class-rule machinery.
+        """
+        if not transactions:
+            raise DataError("no transactions supplied")
+        catalog = ItemCatalog()
+        tidsets: List[int] = []
+        for r, transaction in enumerate(transactions):
+            for element in transaction:
+                item_id = catalog.add_pair(f"item:{element}", "1")
+                if item_id == len(tidsets):
+                    tidsets.append(0)
+                tidsets[item_id] |= 1 << r
+        label_indices, names = _encode_labels(class_labels, class_names)
+        return cls(len(transactions), catalog, tidsets, label_indices, names,
+                   name=name)
+
+    # ------------------------------------------------------------------
+    # core accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels."""
+        return len(self.class_names)
+
+    @property
+    def n_items(self) -> int:
+        """Number of distinct items (attribute=value pairs)."""
+        return len(self.catalog)
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes (excluding the class attribute)."""
+        return len(self.catalog.attributes)
+
+    def class_tidset(self, class_index: int) -> int:
+        """Bitset of records labelled with class ``class_index``."""
+        return self._class_tidsets[class_index]
+
+    def class_support(self, class_index: int) -> int:
+        """``n_c``: the number of records labelled with the class."""
+        return bs.popcount(self._class_tidsets[class_index])
+
+    def class_summaries(self) -> List[ClassSummary]:
+        """Per-class name/support/tidset summaries."""
+        return [
+            ClassSummary(i, self.class_names[i],
+                         bs.popcount(t), t)
+            for i, t in enumerate(self._class_tidsets)
+        ]
+
+    def item_support(self, item_id: int) -> int:
+        """Support of a single item."""
+        return bs.popcount(self.item_tidsets[item_id])
+
+    def pattern_tidset(self, item_ids: Iterable[int]) -> int:
+        """Tidset of a pattern: intersection of its items' tidsets."""
+        tids = bs.universe(self.n_records)
+        for item_id in item_ids:
+            tids &= self.item_tidsets[item_id]
+        return tids
+
+    def pattern_support(self, item_ids: Iterable[int]) -> int:
+        """Support (coverage) of a pattern."""
+        return bs.popcount(self.pattern_tidset(item_ids))
+
+    def rule_support(self, item_ids: Iterable[int], class_index: int) -> int:
+        """Support of the rule ``pattern => class``."""
+        tids = self.pattern_tidset(item_ids)
+        return bs.popcount(tids & self._class_tidsets[class_index])
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+
+    def with_class_labels(self, new_labels: Sequence[int],
+                          name: Optional[str] = None) -> "Dataset":
+        """Return a copy sharing tidsets but with different labels.
+
+        Item tidsets are shared (they are immutable ints), so this is
+        cheap; it is the primitive beneath permutation testing.
+        """
+        return Dataset(
+            self.n_records,
+            self.catalog,
+            self.item_tidsets,
+            new_labels,
+            self.class_names,
+            name=name or self.name,
+        )
+
+    def permuted(self, rng: random.Random,
+                 name: Optional[str] = None) -> "Dataset":
+        """Return a copy with class labels randomly shuffled."""
+        labels = list(self.class_labels)
+        rng.shuffle(labels)
+        return self.with_class_labels(labels, name=name or
+                                      f"{self.name}[permuted]")
+
+    def permuted_class_tidsets(self, rng: random.Random) -> List[int]:
+        """Shuffle labels and return only the per-class bitsets.
+
+        The permutation engine needs nothing but these bitsets, so this
+        avoids constructing a full Dataset per permutation.
+        """
+        labels = list(self.class_labels)
+        rng.shuffle(labels)
+        tidsets = [0] * self.n_classes
+        for r, label in enumerate(labels):
+            tidsets[label] |= 1 << r
+        return tidsets
+
+    def subset(self, record_ids: Sequence[int],
+               name: Optional[str] = None) -> "Dataset":
+        """Return the dataset restricted to ``record_ids`` (re-indexed).
+
+        Used by the holdout approach to materialize the exploratory and
+        evaluation halves. Items that vanish from the subset keep their
+        catalog entry with an empty tidset, so item ids remain
+        comparable across the two halves.
+        """
+        ordered = list(record_ids)
+        seen = set()
+        for r in ordered:
+            if r < 0 or r >= self.n_records:
+                raise DataError(f"record id {r} out of range")
+            if r in seen:
+                raise DataError(f"duplicate record id {r} in subset")
+            seen.add(r)
+        position = {r: i for i, r in enumerate(ordered)}
+        new_tidsets = []
+        for tids in self.item_tidsets:
+            new_bits = 0
+            for r in bs.iter_indices(tids):
+                pos = position.get(r)
+                if pos is not None:
+                    new_bits |= 1 << pos
+            new_tidsets.append(new_bits)
+        new_labels = [self.class_labels[r] for r in ordered]
+        return Dataset(len(ordered), self.catalog, new_tidsets, new_labels,
+                       self.class_names,
+                       name=name or f"{self.name}[subset]")
+
+    def split_half(self, rng: Optional[random.Random] = None,
+                   boundary: Optional[int] = None,
+                   ) -> Tuple["Dataset", "Dataset"]:
+        """Split into two halves for holdout evaluation.
+
+        With ``boundary`` given, records ``[0, boundary)`` form the
+        first half and the rest the second (the paper's structured
+        "holdout" on catenated sub-datasets). With ``rng`` given,
+        records are shuffled first (the paper's "random holdout").
+        """
+        if boundary is None:
+            boundary = self.n_records // 2
+        ids = list(range(self.n_records))
+        if rng is not None:
+            rng.shuffle(ids)
+        first = ids[:boundary]
+        second = ids[boundary:]
+        if not first or not second:
+            raise DataError("split would leave an empty half")
+        return (self.subset(first, name=f"{self.name}[exploratory]"),
+                self.subset(second, name=f"{self.name}[evaluation]"))
+
+    # ------------------------------------------------------------------
+    # conversions and dunder plumbing
+    # ------------------------------------------------------------------
+
+    def to_records(self) -> List[List[Optional[str]]]:
+        """Materialize row-major records (None for missing cells)."""
+        attributes = self.catalog.attributes
+        column_of = {a: j for j, a in enumerate(attributes)}
+        rows: List[List[Optional[str]]] = [
+            [None] * len(attributes) for _ in range(self.n_records)
+        ]
+        for item_id, tids in enumerate(self.item_tidsets):
+            item = self.catalog.item(item_id)
+            j = column_of[item.attribute]
+            for r in bs.iter_indices(tids):
+                rows[r][j] = item.value
+        return rows
+
+    def __repr__(self) -> str:
+        return (f"Dataset(name={self.name!r}, n_records={self.n_records}, "
+                f"n_attributes={self.n_attributes}, n_items={self.n_items}, "
+                f"n_classes={self.n_classes})")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _build_class_tidsets(self) -> List[int]:
+        tidsets = [0] * self.n_classes
+        for r, label in enumerate(self.class_labels):
+            tidsets[label] |= 1 << r
+        return tidsets
+
+
+def _encode_labels(
+    class_labels: Sequence[object],
+    class_names: Optional[Sequence[str]],
+) -> Tuple[List[int], List[str]]:
+    """Map raw labels to dense indices, preserving first-seen order."""
+    if class_names is not None:
+        names = [str(c) for c in class_names]
+        index_of: Dict[str, int] = {c: i for i, c in enumerate(names)}
+        indices = []
+        for label in class_labels:
+            key = str(label)
+            if key not in index_of:
+                raise DataError(f"label {key!r} not in class_names")
+            indices.append(index_of[key])
+        return indices, names
+    index_of = {}
+    names = []
+    indices = []
+    for label in class_labels:
+        key = str(label)
+        if key not in index_of:
+            index_of[key] = len(names)
+            names.append(key)
+        indices.append(index_of[key])
+    return indices, names

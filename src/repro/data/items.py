@@ -1,0 +1,110 @@
+"""Item model: attribute=value pairs and their dense integer encoding.
+
+Section 2.1 of the paper maps every attribute-value pair ``A = v`` to an
+*item*. The miner works on dense integer item ids; :class:`ItemCatalog`
+maintains the bidirectional mapping and remembers which attribute each
+item belongs to, which the synthetic generator and the rule printer both
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..errors import DataError
+
+__all__ = ["Item", "ItemCatalog"]
+
+
+@dataclass(frozen=True, order=True)
+class Item:
+    """An attribute=value pair.
+
+    Attributes
+    ----------
+    attribute:
+        Name of the attribute (for example ``"workclass"``).
+    value:
+        The categorical value taken by the attribute, always stored as a
+        string (continuous data must be discretized first).
+    """
+
+    attribute: str
+    value: str
+
+    def __str__(self) -> str:
+        return f"{self.attribute}={self.value}"
+
+
+class ItemCatalog:
+    """Bidirectional mapping between :class:`Item` objects and dense ids.
+
+    Ids are assigned in registration order starting from zero, so they
+    can index directly into per-item arrays (tidsets, supports).
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Item] = []
+        self._ids: Dict[Item, int] = {}
+        self._by_attribute: Dict[str, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._ids
+
+    def add(self, item: Item) -> int:
+        """Register ``item`` (idempotent) and return its dense id."""
+        existing = self._ids.get(item)
+        if existing is not None:
+            return existing
+        item_id = len(self._items)
+        self._items.append(item)
+        self._ids[item] = item_id
+        self._by_attribute.setdefault(item.attribute, []).append(item_id)
+        return item_id
+
+    def add_pair(self, attribute: str, value: str) -> int:
+        """Register the item ``attribute=value`` and return its id."""
+        return self.add(Item(attribute, str(value)))
+
+    def id_of(self, item: Item) -> int:
+        """Return the id of ``item``; raise :class:`DataError` if unknown."""
+        try:
+            return self._ids[item]
+        except KeyError:
+            raise DataError(f"unknown item {item!s}") from None
+
+    def item(self, item_id: int) -> Item:
+        """Return the :class:`Item` with dense id ``item_id``."""
+        try:
+            return self._items[item_id]
+        except IndexError:
+            raise DataError(f"unknown item id {item_id}") from None
+
+    def items_of_attribute(self, attribute: str) -> List[int]:
+        """Return the ids of every item belonging to ``attribute``."""
+        return list(self._by_attribute.get(attribute, []))
+
+    @property
+    def attributes(self) -> List[str]:
+        """Attribute names in first-seen order."""
+        return list(self._by_attribute)
+
+    def describe_pattern(self, item_ids: Iterable[int]) -> str:
+        """Render a pattern (set of item ids) as ``{A=v, B=w}``."""
+        parts = sorted(str(self.item(i)) for i in item_ids)
+        return "{" + ", ".join(parts) + "}"
+
+    def pattern_attributes(self, item_ids: Iterable[int]) -> List[str]:
+        """Return the attributes mentioned by a pattern, sorted."""
+        return sorted({self.item(i).attribute for i in item_ids})
+
+    def ids_for_pairs(self, pairs: Iterable[Tuple[str, str]]) -> List[int]:
+        """Map ``(attribute, value)`` pairs to item ids."""
+        return [self.id_of(Item(a, str(v))) for a, v in pairs]

@@ -1,0 +1,250 @@
+"""Dataset file loaders: CSV, FIMI transaction files, and ARFF-lite.
+
+The paper's real-data experiments use UCI datasets distributed as CSV
+(attribute-valued) files, while the frequent-itemset-mining community
+exchanges data as FIMI files (one transaction of space-separated item
+ids per line). Both are supported here, plus a minimal ARFF reader for
+Weka-formatted files, and matching writers so synthetic datasets can be
+round-tripped to disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..errors import LoaderError
+from .dataset import Dataset
+
+__all__ = [
+    "load_csv",
+    "save_csv",
+    "load_fimi",
+    "save_fimi",
+    "load_arff",
+]
+
+PathLike = Union[str, Path]
+
+
+def load_csv(
+    path: PathLike,
+    class_column: Union[int, str] = -1,
+    has_header: bool = True,
+    delimiter: str = ",",
+    missing_token: str = "?",
+    name: Optional[str] = None,
+) -> Dataset:
+    """Load an attribute-valued dataset from a delimited text file.
+
+    Parameters
+    ----------
+    class_column:
+        Index (may be negative) or header name of the class column.
+    has_header:
+        When True the first row supplies attribute names.
+    missing_token:
+        Cell value treated as missing (``None``), producing no item.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise LoaderError(f"cannot read {path}: {exc}") from exc
+    return _parse_csv_text(text, class_column, has_header, delimiter,
+                           missing_token, name or path.stem)
+
+
+def _parse_csv_text(
+    text: str,
+    class_column: Union[int, str],
+    has_header: bool,
+    delimiter: str,
+    missing_token: str,
+    name: str,
+) -> Dataset:
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [[cell.strip() for cell in row] for row in reader if row]
+    if not rows:
+        raise LoaderError("empty CSV input")
+    if has_header:
+        header, rows = rows[0], rows[1:]
+        if not rows:
+            raise LoaderError("CSV has a header but no data rows")
+    else:
+        header = [f"A{j}" for j in range(len(rows[0]))]
+    n_columns = len(header)
+    for i, row in enumerate(rows):
+        if len(row) != n_columns:
+            raise LoaderError(
+                f"row {i} has {len(row)} cells, expected {n_columns}")
+    if isinstance(class_column, str):
+        try:
+            class_index = header.index(class_column)
+        except ValueError:
+            raise LoaderError(
+                f"class column {class_column!r} not in header {header}"
+            ) from None
+    else:
+        class_index = class_column % n_columns
+    attribute_names = [h for j, h in enumerate(header) if j != class_index]
+    records: List[List[Optional[str]]] = []
+    labels: List[str] = []
+    for row in rows:
+        labels.append(row[class_index])
+        record = [
+            None if cell == missing_token else cell
+            for j, cell in enumerate(row)
+            if j != class_index
+        ]
+        records.append(record)
+    return Dataset.from_records(records, labels, attribute_names, name=name)
+
+
+def save_csv(dataset: Dataset, path: PathLike, delimiter: str = ",",
+             missing_token: str = "?") -> None:
+    """Write a dataset as CSV with the class label in the last column."""
+    path = Path(path)
+    attributes = dataset.catalog.attributes
+    rows = dataset.to_records()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(attributes + ["class"])
+        for r, row in enumerate(rows):
+            cells = [missing_token if v is None else v for v in row]
+            cells.append(dataset.class_names[dataset.class_labels[r]])
+            writer.writerow(cells)
+
+
+def load_fimi(
+    path: PathLike,
+    class_labels: Optional[Sequence[object]] = None,
+    label_path: Optional[PathLike] = None,
+    name: Optional[str] = None,
+) -> Dataset:
+    """Load a FIMI transaction file (space-separated item ids per line).
+
+    Class labels may come from an explicit sequence, from a companion
+    file with one label per line, or — when neither is given — from the
+    last item of every transaction (a common convention for class
+    transaction data).
+    """
+    path = Path(path)
+    try:
+        lines = [ln.split() for ln in path.read_text().splitlines()
+                 if ln.strip()]
+    except OSError as exc:
+        raise LoaderError(f"cannot read {path}: {exc}") from exc
+    if not lines:
+        raise LoaderError("empty FIMI input")
+    if class_labels is not None and label_path is not None:
+        raise LoaderError("give class_labels or label_path, not both")
+    if label_path is not None:
+        label_file = Path(label_path)
+        try:
+            class_labels = [ln.strip() for ln in
+                            label_file.read_text().splitlines() if ln.strip()]
+        except OSError as exc:
+            raise LoaderError(f"cannot read {label_file}: {exc}") from exc
+    if class_labels is None:
+        transactions = [ln[:-1] for ln in lines]
+        labels: Sequence[object] = [ln[-1] for ln in lines]
+        if any(not t for t in transactions):
+            raise LoaderError(
+                "transaction with a single item cannot supply both items "
+                "and a class label; pass labels explicitly")
+    else:
+        transactions = lines
+        labels = class_labels
+    if len(labels) != len(transactions):
+        raise LoaderError(
+            f"{len(labels)} labels for {len(transactions)} transactions")
+    return Dataset.from_transactions(transactions, labels,
+                                     name=name or path.stem)
+
+
+def save_fimi(dataset: Dataset, path: PathLike,
+              label_path: Optional[PathLike] = None) -> None:
+    """Write transactions as item-id lists; labels in a companion file.
+
+    Item ids are the catalog's dense ids, so ``load_fimi`` on the output
+    reconstructs an isomorphic dataset.
+    """
+    path = Path(path)
+    rows: List[List[int]] = [[] for _ in range(dataset.n_records)]
+    from .. import bitset as bs
+    for item_id, tids in enumerate(dataset.item_tidsets):
+        for r in bs.iter_indices(tids):
+            rows[r].append(item_id)
+    with path.open("w") as handle:
+        for row in rows:
+            handle.write(" ".join(str(i) for i in sorted(row)) + "\n")
+    if label_path is not None:
+        with Path(label_path).open("w") as handle:
+            for label in dataset.class_labels:
+                handle.write(dataset.class_names[label] + "\n")
+
+
+def load_arff(path: PathLike, class_attribute: Optional[str] = None,
+              name: Optional[str] = None) -> Dataset:
+    """Load a minimal ARFF file (nominal attributes, no quoting games).
+
+    Supports ``@relation``, ``@attribute NAME {v1,v2,...}`` and
+    ``@data`` sections with comma-separated rows; ``%`` comments are
+    ignored. The class attribute defaults to the last one declared.
+    """
+    path = Path(path)
+    try:
+        raw_lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise LoaderError(f"cannot read {path}: {exc}") from exc
+    attributes: List[str] = []
+    in_data = False
+    data_rows: List[List[str]] = []
+    relation = name or path.stem
+    for raw in raw_lines:
+        line = raw.strip()
+        if not line or line.startswith("%"):
+            continue
+        lowered = line.lower()
+        if in_data:
+            data_rows.append([c.strip() for c in line.split(",")])
+        elif lowered.startswith("@relation"):
+            parts = line.split(None, 1)
+            if len(parts) == 2 and name is None:
+                relation = parts[1].strip()
+        elif lowered.startswith("@attribute"):
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                raise LoaderError(f"malformed attribute line: {line!r}")
+            attributes.append(parts[1].strip().strip("'\""))
+        elif lowered.startswith("@data"):
+            in_data = True
+    if not attributes:
+        raise LoaderError("ARFF file declares no attributes")
+    if not data_rows:
+        raise LoaderError("ARFF file has no data rows")
+    if class_attribute is None:
+        class_index = len(attributes) - 1
+    else:
+        try:
+            class_index = attributes.index(class_attribute)
+        except ValueError:
+            raise LoaderError(
+                f"class attribute {class_attribute!r} not declared"
+            ) from None
+    for i, row in enumerate(data_rows):
+        if len(row) != len(attributes):
+            raise LoaderError(
+                f"data row {i} has {len(row)} cells, "
+                f"expected {len(attributes)}")
+    records = []
+    labels = []
+    kept_names = [a for j, a in enumerate(attributes) if j != class_index]
+    for row in data_rows:
+        labels.append(row[class_index])
+        records.append([None if cell == "?" else cell
+                        for j, cell in enumerate(row) if j != class_index])
+    return Dataset.from_records(records, labels, kept_names, name=relation)

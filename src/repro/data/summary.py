@@ -1,0 +1,120 @@
+"""Dataset profiling: the numbers a miner wants before choosing min_sup.
+
+Choosing ``min_sup`` well requires knowing how item supports are
+distributed (too high: nothing is frequent; too low: the hypothesis
+count explodes and every correction gets brutal). This module computes
+the per-attribute/per-class profile and a support histogram, and
+renders them as the same aligned tables the evaluation reports use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .. import bitset as bs
+from ..errors import DataError
+from .dataset import Dataset
+
+__all__ = ["AttributeProfile", "DatasetSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Shape of one attribute: cardinality and support extremes."""
+
+    name: str
+    n_values: int
+    max_support: int
+    min_support: int
+    missing: int
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Everything :func:`summarize` measures."""
+
+    name: str
+    n_records: int
+    n_attributes: int
+    n_items: int
+    class_counts: Dict[str, int]
+    attributes: List[AttributeProfile]
+    support_quantiles: Dict[str, int]
+
+    @property
+    def suggested_min_sup(self) -> int:
+        """Support of the k-th most frequent item (k from summarize).
+
+        A crude but practical heuristic: mining cost is driven by the
+        number of frequent items, so using the k-th most frequent
+        item's support as min_sup keeps roughly k items frequent.
+        """
+        return self.support_quantiles.get("suggested", 1)
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"dataset {self.name}: {self.n_records} records, "
+            f"{self.n_attributes} attributes, {self.n_items} items",
+            "classes: " + ", ".join(
+                f"{label}={count}"
+                for label, count in self.class_counts.items()),
+            "item support quantiles: " + ", ".join(
+                f"{key}={value}"
+                for key, value in self.support_quantiles.items()),
+            "attributes:",
+        ]
+        for profile in self.attributes:
+            lines.append(
+                f"  {profile.name}: {profile.n_values} values, support "
+                f"[{profile.min_support}, {profile.max_support}], "
+                f"{profile.missing} missing")
+        return "\n".join(lines)
+
+
+def summarize(dataset: Dataset, target_items: int = 50) -> DatasetSummary:
+    """Profile a dataset for mining-parameter selection."""
+    if target_items < 1:
+        raise DataError("target_items must be positive")
+    supports = [bs.popcount(t) for t in dataset.item_tidsets]
+    profiles: List[AttributeProfile] = []
+    for attribute in dataset.catalog.attributes:
+        item_ids = dataset.catalog.items_of_attribute(attribute)
+        attr_supports = [supports[i] for i in item_ids]
+        covered = sum(attr_supports)
+        profiles.append(AttributeProfile(
+            name=attribute,
+            n_values=len(item_ids),
+            max_support=max(attr_supports) if attr_supports else 0,
+            min_support=min(attr_supports) if attr_supports else 0,
+            missing=dataset.n_records - covered,
+        ))
+    ordered = sorted(supports, reverse=True)
+    quantiles = _support_quantiles(ordered, target_items)
+    class_counts = {
+        summary.name: summary.support
+        for summary in dataset.class_summaries()
+    }
+    return DatasetSummary(
+        name=dataset.name,
+        n_records=dataset.n_records,
+        n_attributes=dataset.n_attributes,
+        n_items=dataset.n_items,
+        class_counts=class_counts,
+        attributes=profiles,
+        support_quantiles=quantiles,
+    )
+
+
+def _support_quantiles(ordered_desc: Sequence[int],
+                       target_items: int) -> Dict[str, int]:
+    if not ordered_desc:
+        return {"max": 0, "median": 0, "min": 0, "suggested": 1}
+    suggestion_index = min(target_items, len(ordered_desc)) - 1
+    return {
+        "max": ordered_desc[0],
+        "median": ordered_desc[len(ordered_desc) // 2],
+        "min": ordered_desc[-1],
+        "suggested": max(1, ordered_desc[suggestion_index]),
+    }

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed or inconsistent with what an API expects."""
+
+
+class LoaderError(DataError):
+    """A file could not be parsed into a dataset."""
+
+
+class MiningError(ReproError):
+    """Frequent pattern mining was invoked with invalid parameters."""
+
+
+class StatsError(ReproError):
+    """A statistical routine received out-of-domain arguments."""
+
+
+class CorrectionError(ReproError):
+    """A multiple-testing-correction procedure was misconfigured."""
+
+
+class EvaluationError(ReproError):
+    """The evaluation harness was driven with inconsistent inputs."""

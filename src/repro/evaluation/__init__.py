@@ -1,0 +1,64 @@
+"""Evaluation framework: ground truth, metrics, runner, reporting."""
+
+from .ground_truth import (
+    ClassifiedRule,
+    RuleStatus,
+    adjusted_p_value,
+    classify_rules,
+    matches_embedded,
+    restrict_embedded,
+)
+from .metrics import (
+    AggregateMetrics,
+    DatasetOutcome,
+    aggregate,
+    evaluate_result,
+)
+from .export import rule_rows, rules_to_csv
+from .reporting import (
+    ABBREVIATIONS,
+    EXTENSION_ABBREVIATIONS,
+    confidence_pvalue_bins,
+    default_pvalue_grid,
+    format_binned_table,
+    format_series,
+    format_table,
+    pvalue_cdf,
+)
+from .runner import (
+    FDR_METHODS,
+    FWER_METHODS,
+    METHOD_KEYS,
+    ExperimentResult,
+    ExperimentRunner,
+    ReplicateRecord,
+)
+
+__all__ = [
+    "ClassifiedRule",
+    "RuleStatus",
+    "adjusted_p_value",
+    "classify_rules",
+    "matches_embedded",
+    "restrict_embedded",
+    "AggregateMetrics",
+    "DatasetOutcome",
+    "aggregate",
+    "evaluate_result",
+    "ABBREVIATIONS",
+    "EXTENSION_ABBREVIATIONS",
+    "rule_rows",
+    "rules_to_csv",
+    "confidence_pvalue_bins",
+    "default_pvalue_grid",
+    "format_binned_table",
+    "format_series",
+    "format_table",
+    "pvalue_cdf",
+    "FDR_METHODS",
+    "FWER_METHODS",
+    "METHOD_KEYS",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ReplicateRecord",
+]

@@ -1,0 +1,81 @@
+"""Exporting mined rules to CSV for downstream analysis.
+
+A mining run's end product is a rule list someone will inspect in a
+spreadsheet, join against domain metadata, or feed to a follow-up
+study (the FDR workflow the paper recommends). This module renders
+:class:`~repro.mining.rules.ClassRule` collections to CSV with the
+statistics the paper reports — coverage, support, confidence, p-value
+— plus any requested interestingness measures.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..data.dataset import Dataset
+from ..errors import EvaluationError
+from ..interest.measures import ALL_MEASURES, ContingencyTable
+from ..mining.rules import ClassRule
+
+__all__ = ["rules_to_csv", "rule_rows"]
+
+_BASE_HEADER = ["rule", "class", "length", "coverage", "support",
+                "confidence", "p_value"]
+
+
+def rule_rows(rules: Sequence[ClassRule], dataset: Dataset,
+              measures: Sequence[str] = ()) -> List[List[object]]:
+    """Row form of a rule list (header excluded), sorted by p-value.
+
+    ``measures`` names columns from
+    :data:`~repro.interest.measures.ALL_MEASURES` to append.
+    """
+    unknown = [m for m in measures if m not in ALL_MEASURES]
+    if unknown:
+        raise EvaluationError(
+            f"unknown measures {unknown}; "
+            f"choose from {sorted(ALL_MEASURES)}")
+    rows: List[List[object]] = []
+    for rule in sorted(rules, key=lambda r: r.p_value):
+        row: List[object] = [
+            dataset.catalog.describe_pattern(rule.items),
+            dataset.class_names[rule.class_index],
+            rule.length,
+            rule.coverage,
+            rule.support,
+            round(rule.confidence, 6),
+            rule.p_value,
+        ]
+        if measures:
+            table = ContingencyTable.from_rule(rule, dataset)
+            row.extend(ALL_MEASURES[m](table) for m in measures)
+        rows.append(row)
+    return rows
+
+
+def rules_to_csv(rules: Sequence[ClassRule], dataset: Dataset, path,
+                 measures: Sequence[str] = (),
+                 threshold: Optional[float] = None) -> int:
+    """Write rules to ``path`` as CSV; returns the number written.
+
+    Parameters
+    ----------
+    measures:
+        Interestingness measure columns to append (names from
+        :data:`~repro.interest.measures.ALL_MEASURES`).
+    threshold:
+        Optional raw-p filter (e.g. a correction's decision threshold)
+        applied before writing.
+    """
+    selected = list(rules)
+    if threshold is not None:
+        selected = [r for r in selected if r.p_value <= threshold]
+    header = _BASE_HEADER + list(measures)
+    rows = rule_rows(selected, dataset, measures)
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return len(rows)

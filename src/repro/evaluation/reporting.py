@@ -1,0 +1,214 @@
+"""Plain-text reporting: tables, series and the paper's histograms.
+
+The paper presents results as gnuplot figures and LaTeX tables; the
+benches reproduce each as aligned ASCII. This module holds the shared
+formatting helpers plus Table 3's abbreviation glossary, the p-value
+CDF used by Figures 3 and 15, and the confidence-by-p-value binning of
+Table 4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..mining.rules import ClassRule
+
+__all__ = [
+    "ABBREVIATIONS",
+    "format_table",
+    "format_series",
+    "pvalue_cdf",
+    "default_pvalue_grid",
+    "confidence_pvalue_bins",
+    "format_binned_table",
+]
+
+#: Table 3 of the paper.
+ABBREVIATIONS: Dict[str, str] = {
+    "BC": "Bonferroni correction",
+    "BH": "Benjamini and Hochberg's method",
+    "Perm_FWER": "Controlling FWER using permutation test",
+    "Perm_FDR": "Controlling FDR using permutation test",
+    "HD": "The holdout method on two sub-datasets",
+    "HD_BC": "Holdout with Bonferroni correction",
+    "HD_BH": "Holdout with Benjamini and Hochberg's method",
+    "RH": "The holdout method using random partitioning",
+    "RH_BC": "Random holdout with Bonferroni correction",
+    "RH_BH": "Random holdout with Benjamini and Hochberg's method",
+}
+
+#: Extension methods beyond Table 3 (same key convention).
+EXTENSION_ABBREVIATIONS: Dict[str, str] = {
+    "BY": "Benjamini and Yekutieli's method (FDR under dependence)",
+    "LAMP": "Testability-pruned Bonferroni (Terada et al.)",
+    "Layered": "Layered critical values (Webb 2008)",
+    "Holm": "Holm's step-down procedure",
+    "Hochberg": "Hochberg's step-up procedure",
+    "Sidak": "Sidak single-step correction",
+    "Storey": "Storey's q-value adaptive FDR",
+    "BKY": "Benjamini-Krieger-Yekutieli two-stage BH",
+    "Perm_FWER_SD": "Westfall-Young step-down minP permutation test",
+    "wBC": "Coverage-weighted Bonferroni (Genovese et al.)",
+    "wBH": "Coverage-weighted Benjamini-Hochberg",
+}
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_name: str, x_values: Sequence[object],
+                  series: Dict[str, Sequence[float]],
+                  title: Optional[str] = None) -> str:
+    """Render one figure panel as gnuplot-style columns.
+
+    First column is the sweep variable; one column per named series —
+    the same rows the paper's plots are drawn from.
+    """
+    headers = [x_name] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if 0 < abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def default_pvalue_grid(lowest_exponent: int = -12,
+                        per_decade: int = 2) -> List[float]:
+    """Log-spaced thresholds from ``10^lowest_exponent`` to 1.
+
+    Matches the x-axis of Figures 3 and 15.
+    """
+    grid = []
+    steps = -lowest_exponent * per_decade
+    for i in range(steps + 1):
+        grid.append(10.0 ** (lowest_exponent + i / per_decade))
+    return grid
+
+
+def pvalue_cdf(p_values: Sequence[float],
+               grid: Optional[Sequence[float]] = None,
+               normalized: bool = False) -> List[Tuple[float, float]]:
+    """Number (or fraction) of p-values at or below each grid point."""
+    thresholds = list(grid) if grid is not None else default_pvalue_grid()
+    ordered = sorted(p_values)
+    out = []
+    index = 0
+    for threshold in thresholds:
+        while index < len(ordered) and ordered[index] <= threshold:
+            index += 1
+        count = float(index)
+        if normalized and ordered:
+            count /= len(ordered)
+        out.append((threshold, count))
+    return out
+
+
+#: Table 4's confidence bins (left-closed, right-open except the last).
+DEFAULT_CONFIDENCE_BINS = ((0.75, 0.85), (0.85, 0.90), (0.90, 0.95),
+                           (0.95, 1.0 + 1e-12))
+
+#: Table 4's p-value bins, top to bottom (left-open, right-closed).
+DEFAULT_PVALUE_BINS = (
+    (0.05, 1.0), (0.01, 0.05), (0.001, 0.01), (1e-4, 1e-3),
+    (1e-5, 1e-4), (1e-6, 1e-5), (1e-7, 1e-6), (1e-8, 1e-7), (0.0, 1e-8),
+)
+
+
+def confidence_pvalue_bins(
+    rules: Sequence[ClassRule],
+    confidence_bins: Sequence[Tuple[float, float]]
+    = DEFAULT_CONFIDENCE_BINS,
+    pvalue_bins: Sequence[Tuple[float, float]] = DEFAULT_PVALUE_BINS,
+) -> List[List[int]]:
+    """Count rules per (p-value bin, confidence bin): Table 4's matrix.
+
+    Rules whose confidence falls below every confidence bin are not
+    counted (Table 4 starts at confidence 0.75).
+    """
+    matrix = [[0] * len(confidence_bins) for _ in pvalue_bins]
+    for rule in rules:
+        column = None
+        for j, (c_low, c_high) in enumerate(confidence_bins):
+            if c_low <= rule.confidence < c_high:
+                column = j
+                break
+        if column is None:
+            continue
+        for i, (p_low, p_high) in enumerate(pvalue_bins):
+            if p_low < rule.p_value <= p_high or (
+                    p_low == 0.0 and rule.p_value == 0.0):
+                matrix[i][column] += 1
+                break
+    return matrix
+
+
+def format_binned_table(
+    matrix: Sequence[Sequence[int]],
+    confidence_bins: Sequence[Tuple[float, float]]
+    = DEFAULT_CONFIDENCE_BINS,
+    pvalue_bins: Sequence[Tuple[float, float]] = DEFAULT_PVALUE_BINS,
+    title: Optional[str] = None,
+) -> str:
+    """Render the Table 4 matrix with the paper's bin labels."""
+    headers = ["p-value / conf"] + [
+        _confidence_label(low, high) for low, high in confidence_bins
+    ]
+    rows = []
+    for (p_low, p_high), counts in zip(pvalue_bins, matrix):
+        rows.append([_pvalue_label(p_low, p_high)] + list(counts))
+    return format_table(headers, rows, title=title)
+
+
+def _confidence_label(low: float, high: float) -> str:
+    if high > 1.0:
+        return f"[{low:g}, 1]"
+    return f"[{low:g}, {high:g})"
+
+
+def _pvalue_label(low: float, high: float) -> str:
+    def fmt(v: float) -> str:
+        if v == 0:
+            return "0"
+        exponent = math.log10(v)
+        if exponent == int(exponent) and v < 0.001:
+            return f"10^{int(exponent)}"
+        return f"{v:g}"
+    return f"({fmt(low)}, {fmt(high)}]"
+
+
+def significant_rule_counts(results: Dict[str, int]) -> str:
+    """Small helper for the Figure 14/16 panels."""
+    return format_table(["method", "#significant"],
+                        sorted(results.items()))

@@ -1,0 +1,303 @@
+"""Replicated-experiment driver for the Section 5 studies.
+
+The paper evaluates every correction approach on 100 datasets per
+parameter setting and reports averaged power / FWER / FDR. This module
+packages that loop: generate a synthetic dataset (paired construction
+by default, so the structured holdout split is fair), mine once, apply
+every requested method — sharing the permutation pass between
+``Perm_FWER``/``Perm_FDR`` and the holdout split between ``*_BC`` /
+``*_BH`` — classify each method's output against the planted ground
+truth, and aggregate.
+
+Method keys follow Table 3: ``"No correction"``, ``"BC"``, ``"BH"``,
+``"Perm_FWER"``, ``"Perm_FDR"``, ``"HD_BC"``, ``"HD_BH"``, ``"RH_BC"``,
+``"RH_BH"`` — plus the extension procedures ``"Layered"``, ``"BY"``,
+``"LAMP"``, ``"Holm"``, ``"Hochberg"``, ``"Sidak"``, ``"Storey"``,
+``"BKY"`` and ``"Perm_FWER_SD"``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..corrections.base import CorrectionResult
+from ..corrections.direct import (
+    benjamini_hochberg,
+    bonferroni,
+    no_correction,
+)
+from ..corrections.holdout import HoldoutRun
+from ..corrections.layered import layered_critical_values
+from ..corrections.permutation import PermutationEngine
+from ..data.dataset import Dataset
+from ..data.synthetic import (
+    EmbeddedRule,
+    GeneratorConfig,
+    SyntheticData,
+    generate,
+    generate_paired,
+)
+from ..errors import EvaluationError
+from ..mining.rules import RuleSet, mine_class_rules
+from .ground_truth import restrict_embedded
+from .metrics import AggregateMetrics, DatasetOutcome, aggregate, \
+    evaluate_result
+
+__all__ = ["ExperimentRunner", "ExperimentResult", "ReplicateRecord",
+           "METHOD_KEYS", "FWER_METHODS", "FDR_METHODS"]
+
+METHOD_KEYS = (
+    "No correction",
+    "BC",
+    "BH",
+    "Perm_FWER",
+    "Perm_FDR",
+    "HD_BC",
+    "HD_BH",
+    "RH_BC",
+    "RH_BH",
+    "Layered",
+    "BY",
+    "LAMP",
+    "Holm",
+    "Hochberg",
+    "Sidak",
+    "Storey",
+    "BKY",
+    "Perm_FWER_SD",
+)
+
+#: The paper's own nine methods (Table 3) — the runner default.
+PAPER_METHODS = METHOD_KEYS[:9]
+
+#: The method panels the FWER-controlling figures (8, 12) plot.
+FWER_METHODS = ("No correction", "BC", "Perm_FWER", "HD_BC", "RH_BC")
+#: The method panels the FDR-controlling figures (10, 13) plot.
+FDR_METHODS = ("No correction", "BH", "Perm_FDR", "HD_BH", "RH_BH")
+
+
+@dataclass
+class ReplicateRecord:
+    """Everything measured on one replicate dataset."""
+
+    seed: int
+    outcomes: Dict[str, DatasetOutcome]
+    n_rules_tested: int
+    tested_counts: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of one experimental cell.
+
+    ``mean_tested`` holds the Figure 6(b)/7/11 series: mean number of
+    rules tested on the whole dataset, on each holdout exploratory
+    half, and the candidate counts reaching each evaluation half.
+    """
+
+    config: GeneratorConfig
+    min_sup: int
+    alpha: float
+    n_replicates: int
+    aggregates: Dict[str, AggregateMetrics]
+    mean_tested: Dict[str, float]
+    replicates: List[ReplicateRecord] = field(default_factory=list,
+                                              repr=False)
+
+    def series(self, metric: str,
+               methods: Sequence[str]) -> Dict[str, float]:
+        """Extract one metric for a panel of methods."""
+        out = {}
+        for method in methods:
+            agg = self.aggregates.get(method)
+            if agg is None:
+                continue
+            out[method] = getattr(agg, metric)
+        return out
+
+
+class ExperimentRunner:
+    """Drives replicated synthetic-data experiments.
+
+    Parameters
+    ----------
+    methods:
+        Method keys to run (defaults to the paper's nine).
+    alpha:
+        Error level; the paper controls FWER and FDR at 5%.
+    n_permutations:
+        Permutation count for ``Perm_*``; the paper uses 1000 — scale
+        down for quick runs.
+    paired:
+        Generate datasets with :func:`generate_paired` so the
+        structured holdout split contains every embedded rule in both
+        halves (the paper's construction).
+    max_length:
+        Optional pattern-length cap passed to the miner.
+    """
+
+    def __init__(self, methods: Sequence[str] = PAPER_METHODS,
+                 alpha: float = 0.05, n_permutations: int = 1000,
+                 paired: bool = True,
+                 max_length: Optional[int] = None,
+                 min_conf: float = 0.0) -> None:
+        unknown = [m for m in methods if m not in METHOD_KEYS]
+        if unknown:
+            raise EvaluationError(f"unknown methods {unknown}; "
+                                  f"valid keys: {METHOD_KEYS}")
+        self.methods = tuple(methods)
+        self.alpha = alpha
+        self.n_permutations = n_permutations
+        self.paired = paired
+        self.max_length = max_length
+        self.min_conf = min_conf
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, config: GeneratorConfig, min_sup: int,
+            n_replicates: int = 100, seed: int = 0) -> ExperimentResult:
+        """Run every method on ``n_replicates`` generated datasets."""
+        if n_replicates < 1:
+            raise EvaluationError("n_replicates must be >= 1")
+        master = random.Random(seed)
+        records: List[ReplicateRecord] = []
+        for _ in range(n_replicates):
+            replicate_seed = master.getrandbits(48)
+            records.append(self.run_replicate(config, min_sup,
+                                              replicate_seed))
+        aggregates = {
+            method: aggregate([r.outcomes[method] for r in records])
+            for method in self.methods
+        }
+        mean_tested = _mean_tested(records)
+        return ExperimentResult(
+            config=config, min_sup=min_sup, alpha=self.alpha,
+            n_replicates=n_replicates, aggregates=aggregates,
+            mean_tested=mean_tested, replicates=records,
+        )
+
+    def run_replicate(self, config: GeneratorConfig, min_sup: int,
+                      seed: int) -> ReplicateRecord:
+        """Generate one dataset and evaluate every method on it."""
+        data = (generate_paired(config, seed=seed) if self.paired
+                else generate(config, seed=seed))
+        dataset = data.dataset
+        ruleset = mine_class_rules(dataset, min_sup,
+                                   min_conf=self.min_conf,
+                                   max_length=self.max_length)
+        shared: Dict[str, object] = {}
+        outcomes: Dict[str, DatasetOutcome] = {}
+        tested_counts: Dict[str, int] = {"whole dataset": ruleset.n_tests}
+        classification_caches: Dict[int, object] = {}
+        for method in self.methods:
+            result, decision_dataset, embedded = self._apply(
+                method, data, ruleset, min_sup, seed, shared,
+                tested_counts)
+            caches = (classification_caches
+                      if decision_dataset is dataset else None)
+            outcomes[method] = evaluate_result(result, embedded,
+                                               decision_dataset,
+                                               caches=caches)
+        return ReplicateRecord(seed=seed, outcomes=outcomes,
+                               n_rules_tested=ruleset.n_tests,
+                               tested_counts=tested_counts)
+
+    # ------------------------------------------------------------------
+    # method dispatch
+    # ------------------------------------------------------------------
+
+    def _apply(
+        self,
+        method: str,
+        data: SyntheticData,
+        ruleset: RuleSet,
+        min_sup: int,
+        seed: int,
+        shared: Dict[str, object],
+        tested_counts: Dict[str, int],
+    ) -> Tuple[CorrectionResult, Dataset, List[EmbeddedRule]]:
+        dataset = data.dataset
+        embedded = data.embedded_rules
+        if method == "No correction":
+            return no_correction(ruleset, self.alpha), dataset, embedded
+        if method == "BC":
+            return bonferroni(ruleset, self.alpha), dataset, embedded
+        if method == "BH":
+            return benjamini_hochberg(ruleset, self.alpha), dataset, \
+                embedded
+        if method == "Layered":
+            return layered_critical_values(ruleset, self.alpha), dataset, \
+                embedded
+        if method == "BY":
+            from ..corrections.by import benjamini_yekutieli
+            return benjamini_yekutieli(ruleset, self.alpha), dataset, \
+                embedded
+        if method == "LAMP":
+            from ..corrections.lamp import lamp_bonferroni
+            return lamp_bonferroni(ruleset, self.alpha), dataset, embedded
+        if method in ("Holm", "Hochberg", "Sidak"):
+            from ..corrections.stepwise import hochberg, holm, sidak
+            procedure = {"Holm": holm, "Hochberg": hochberg,
+                         "Sidak": sidak}[method]
+            return procedure(ruleset, self.alpha), dataset, embedded
+        if method == "Storey":
+            from ..corrections.storey import storey_fdr
+            return storey_fdr(ruleset, self.alpha), dataset, embedded
+        if method == "BKY":
+            from ..corrections.storey import two_stage_bh
+            return two_stage_bh(ruleset, self.alpha), dataset, embedded
+        if method in ("Perm_FWER", "Perm_FDR", "Perm_FWER_SD"):
+            engine = shared.get("engine")
+            if engine is None:
+                engine = PermutationEngine(
+                    ruleset, n_permutations=self.n_permutations,
+                    seed=seed ^ 0x5EED)
+                shared["engine"] = engine
+            assert isinstance(engine, PermutationEngine)
+            if method == "Perm_FWER":
+                result = engine.fwer(self.alpha)
+            elif method == "Perm_FWER_SD":
+                result = engine.fwer_stepdown(self.alpha)
+            else:
+                result = engine.fdr(self.alpha)
+            return result, dataset, embedded
+        if method in ("HD_BC", "HD_BH", "RH_BC", "RH_BH"):
+            split = "structured" if method.startswith("HD") else "random"
+            run = shared.get(split)
+            if run is None:
+                run = HoldoutRun(
+                    dataset, min_sup, alpha=self.alpha, split=split,
+                    boundary=(data.half_boundary
+                              if split == "structured" else None),
+                    seed=seed ^ 0xA5A5,
+                    min_conf=self.min_conf,
+                    max_length=self.max_length)
+                shared[split] = run
+                prefix = "HD" if split == "structured" else "RH"
+                tested_counts[f"{prefix}_exploratory"] = \
+                    run.exploratory_rules.n_tests
+                tested_counts[f"{prefix}_evaluation"] = \
+                    len(run.candidates)
+            assert isinstance(run, HoldoutRun)
+            result = (run.bonferroni() if method.endswith("BC")
+                      else run.benjamini_hochberg())
+            eval_embedded = restrict_embedded(embedded, run.evaluation)
+            return result, run.evaluation, eval_embedded
+        raise EvaluationError(f"unhandled method {method!r}")
+
+
+def _mean_tested(records: List[ReplicateRecord]) -> Dict[str, float]:
+    keys: List[str] = []
+    for record in records:
+        for key in record.tested_counts:
+            if key not in keys:
+                keys.append(key)
+    return {
+        key: (sum(r.tested_counts.get(key, 0) for r in records)
+              / len(records))
+        for key in keys
+    }

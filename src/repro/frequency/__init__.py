@@ -1,0 +1,47 @@
+"""Statistical significance of pattern *frequencies*.
+
+The paper's related work (Section 6) contrasts its rule-association
+question with an older one: is the *support* of a frequent itemset
+itself surprising? Two methods from that line are implemented here,
+both against the item-independence null model (items occur
+independently with their observed marginal frequencies):
+
+* :mod:`~repro.frequency.resampling` — Megiddo & Srikant [13]:
+  generate frequency-preserving random datasets, score patterns with
+  the exact binomial upper-tail test, and calibrate a cut-off p-value
+  from the false discoveries observed on the random data.
+* :mod:`~repro.frequency.kirsch` — Kirsch et al. [10]: find a support
+  threshold ``s*`` above which the *count* of frequent itemsets is
+  itself statistically surprising, giving the flagged family a small
+  false discovery rate.
+
+Both operate on plain tidset lists (no class labels), so they apply to
+market-basket transactions as well as attribute-value data.
+"""
+
+from .kirsch import SupportThresholdResult, find_support_threshold
+from .nullmodel import (
+    NullModel,
+    item_frequencies,
+    pattern_null_probability,
+)
+from .resampling import (
+    CalibrationResult,
+    ScoredPattern,
+    calibrate_cutoff,
+    score_patterns,
+    significant_frequent_patterns,
+)
+
+__all__ = [
+    "NullModel",
+    "item_frequencies",
+    "pattern_null_probability",
+    "CalibrationResult",
+    "ScoredPattern",
+    "calibrate_cutoff",
+    "score_patterns",
+    "significant_frequent_patterns",
+    "SupportThresholdResult",
+    "find_support_threshold",
+]

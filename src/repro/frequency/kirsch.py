@@ -1,0 +1,190 @@
+"""Kirsch et al.'s significant support threshold ``s*`` (PODS 2009,
+ref [10]).
+
+The question inverts the paper's: not "is this rule's class association
+real?" but "is the sheer *number* of frequent itemsets at support ``s``
+more than randomness would produce?". The procedure:
+
+1. fix an itemset size ``k`` and a grid of candidate thresholds
+   ``s in [min_sup, s_max]``;
+2. under the item-independence null, the count ``Q_k(s)`` of k-itemsets
+   with support at least ``s`` is approximately Poisson; its mean is
+   estimated here by Monte Carlo over frequency-preserving random
+   datasets (the original derives it analytically for their model —
+   the Monte Carlo version keeps the method honest on any marginals).
+   The estimate is regularized by two pseudo-events so a run of
+   all-zero samples cannot report an exactly-zero mean and make any
+   observed count look infinitely surprising;
+3. each candidate ``s`` is tested with the Poisson upper tail
+   ``P(Poisson(lambda(s)) >= Q_obs(s))``, Bonferroni-corrected over
+   the grid (their union bound over candidate thresholds); candidates
+   whose observed count falls below ``min_observed`` are ineligible —
+   the practical stand-in for the original's Poisson-validity
+   condition on ``s_min``;
+4. ``s*`` is the smallest passing candidate — smallest because every
+   itemset with support above a passing threshold is flagged, so the
+   smallest passing ``s`` flags the largest family;
+5. the flagged family's FDR is bounded by
+   ``lambda(s*) / Q_obs(s*)`` — the expected null count over the
+   observed count.
+
+A ``None`` threshold (nothing passes) is a legitimate outcome on
+structureless data, and exactly what the random-dataset test expects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import StatsError
+from ..mining.apriori import mine_apriori
+from ..stats.poisson import poisson_test_upper
+from .nullmodel import NullModel
+
+__all__ = ["SupportThresholdResult", "find_support_threshold"]
+
+
+@dataclass
+class SupportThresholdResult:
+    """Outcome of the support-threshold search.
+
+    ``candidates`` maps each candidate ``s`` to the triple
+    ``(observed count, null mean, Bonferroni-adjusted p-value)`` so
+    callers can render the full decision table.
+    """
+
+    k: int
+    alpha: float
+    threshold: Optional[int]
+    observed_count: int
+    null_mean: float
+    fdr_bound: float
+    n_null_samples: int
+    candidates: Dict[int, tuple] = field(default_factory=dict,
+                                         repr=False)
+
+    @property
+    def found(self) -> bool:
+        """True when some candidate threshold passed the test."""
+        return self.threshold is not None
+
+    def describe(self) -> str:
+        """Human-readable decision table."""
+        lines = [f"k={self.k}, alpha={self.alpha:g}, "
+                 f"{self.n_null_samples} null samples"]
+        lines.append(f"{'s':>6s} {'observed':>9s} {'null mean':>10s} "
+                     f"{'adj p':>10s}")
+        for s in sorted(self.candidates):
+            observed, mean, adj_p = self.candidates[s]
+            marker = "  <- s*" if s == self.threshold else ""
+            lines.append(f"{s:>6d} {observed:>9d} {mean:>10.2f} "
+                         f"{adj_p:>10.3g}{marker}")
+        if self.found:
+            lines.append(
+                f"s* = {self.threshold}: {self.observed_count} itemsets "
+                f"flagged, FDR <= {self.fdr_bound:.3g}")
+        else:
+            lines.append("no candidate threshold is significant")
+        return "\n".join(lines)
+
+
+def find_support_threshold(
+    item_tidsets: Sequence[int],
+    n_records: int,
+    k: int,
+    min_sup: int,
+    alpha: float = 0.05,
+    n_null_samples: int = 20,
+    n_candidates: int = 10,
+    min_observed: int = 5,
+    seed: Optional[int] = None,
+) -> SupportThresholdResult:
+    """Search for the significant support threshold ``s*``.
+
+    Parameters
+    ----------
+    k:
+        Itemset size under test (the method is per-size, as in the
+        original).
+    min_sup:
+        Lower end of the candidate grid, and the mining threshold for
+        both the observed and the null datasets.
+    n_null_samples:
+        Random datasets used to estimate the null mean of each count.
+    n_candidates:
+        Grid size; candidates are spaced evenly between ``min_sup``
+        and the largest observed k-itemset support.
+    min_observed:
+        Smallest observed count a candidate may flag. Counts below
+        this sit where the Poisson approximation (and the Monte-Carlo
+        mean estimate) are least trustworthy.
+    """
+    if k < 1:
+        raise StatsError(f"itemset size k must be >= 1, got {k}")
+    if not 0.0 < alpha < 1.0:
+        raise StatsError(f"alpha must be in (0, 1), got {alpha}")
+    if n_null_samples < 1:
+        raise StatsError("need at least one null sample")
+    if n_candidates < 1:
+        raise StatsError("need at least one candidate threshold")
+
+    observed_supports = _k_itemset_supports(item_tidsets, n_records,
+                                            k, min_sup)
+    grid = _candidate_grid(observed_supports, min_sup, n_candidates)
+
+    null = NullModel(item_tidsets, n_records)
+    rng = random.Random(seed)
+    null_counts: Dict[int, List[int]] = {s: [] for s in grid}
+    for __ in range(n_null_samples):
+        sampled = null.sample_tidsets(rng)
+        supports = _k_itemset_supports(sampled, n_records, k, min_sup)
+        for s in grid:
+            null_counts[s].append(sum(1 for v in supports if v >= s))
+
+    candidates: Dict[int, tuple] = {}
+    threshold: Optional[int] = None
+    for s in grid:
+        observed = sum(1 for v in observed_supports if v >= s)
+        # Two pseudo-events keep the Monte-Carlo mean away from an
+        # exact zero, which would score any observed count as p=0.
+        mean = (sum(null_counts[s]) + 2) / n_null_samples
+        raw_p = poisson_test_upper(observed, mean) if observed else 1.0
+        adj_p = min(1.0, raw_p * len(grid))
+        candidates[s] = (observed, mean, adj_p)
+        if adj_p <= alpha and observed >= min_observed:
+            if threshold is None or s < threshold:
+                threshold = s
+
+    if threshold is None:
+        return SupportThresholdResult(
+            k=k, alpha=alpha, threshold=None, observed_count=0,
+            null_mean=0.0, fdr_bound=1.0,
+            n_null_samples=n_null_samples, candidates=candidates)
+    observed, mean, __ = candidates[threshold]
+    return SupportThresholdResult(
+        k=k, alpha=alpha, threshold=threshold,
+        observed_count=observed, null_mean=mean,
+        fdr_bound=min(1.0, mean / observed),
+        n_null_samples=n_null_samples, candidates=candidates)
+
+
+def _k_itemset_supports(item_tidsets: Sequence[int], n_records: int,
+                        k: int, min_sup: int) -> List[int]:
+    """Supports of all size-k itemsets with support >= min_sup."""
+    patterns = mine_apriori(item_tidsets, n_records, min_sup,
+                            max_length=k)
+    return [p.support for p in patterns if len(p.items) == k]
+
+
+def _candidate_grid(observed_supports: Sequence[int], min_sup: int,
+                    n_candidates: int) -> List[int]:
+    """Evenly spaced candidate thresholds over the observed range."""
+    top = max(observed_supports, default=min_sup)
+    if top <= min_sup or n_candidates == 1:
+        return [min_sup]
+    step = (top - min_sup) / (n_candidates - 1)
+    grid = sorted({min_sup + round(i * step)
+                   for i in range(n_candidates)})
+    return grid

@@ -1,0 +1,102 @@
+"""The item-independence null model for pattern frequencies.
+
+Both frequency-significance methods share one null hypothesis: every
+item occurs independently, with the marginal frequency observed in the
+real data. Under it the support of pattern ``X`` is
+``Binomial(n, prod_i f_i)``. :class:`NullModel` packages the observed
+marginals, exact binomial scoring of a pattern's support, and the
+sampler that materializes frequency-preserving random datasets
+(Megiddo & Srikant's resampling step — their samples "preserve the
+frequency of single items but make all occurrences independent").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+from .. import bitset as bs
+from ..errors import StatsError
+from ..stats.binomial import binomial_test_upper
+from ..stats.logfact import LogFactorialBuffer
+
+__all__ = ["NullModel", "item_frequencies", "pattern_null_probability"]
+
+
+def item_frequencies(item_tidsets: Sequence[int],
+                     n_records: int) -> List[float]:
+    """Observed marginal frequency of every item."""
+    if n_records <= 0:
+        raise StatsError(f"n_records must be positive, got {n_records}")
+    return [bs.popcount(tids) / n_records for tids in item_tidsets]
+
+
+def pattern_null_probability(frequencies: Sequence[float],
+                             items: Iterable[int]) -> float:
+    """``prod_i f_i``: a record's chance of containing ``X`` under
+    independence."""
+    probability = 1.0
+    for item in items:
+        probability *= frequencies[item]
+    return probability
+
+
+class NullModel:
+    """Item-independence null for a fixed transactional dataset.
+
+    Parameters
+    ----------
+    item_tidsets:
+        Columnar layout of the observed data (one bitset per item).
+    n_records:
+        Number of records the tidsets index into.
+    """
+
+    def __init__(self, item_tidsets: Sequence[int],
+                 n_records: int) -> None:
+        self.n_records = n_records
+        self.frequencies = item_frequencies(item_tidsets, n_records)
+        self._buffer = LogFactorialBuffer(n_records + 1)
+
+    @property
+    def n_items(self) -> int:
+        """Number of items the model covers."""
+        return len(self.frequencies)
+
+    def pattern_probability(self, items: Iterable[int]) -> float:
+        """Null probability that one record contains the pattern."""
+        return pattern_null_probability(self.frequencies, items)
+
+    def p_value(self, support: int, items: Iterable[int]) -> float:
+        """Exact binomial upper-tail p-value of a pattern's support.
+
+        The probability, under independence, of the pattern occurring
+        in ``support`` or more of the ``n`` records.
+        """
+        p0 = self.pattern_probability(items)
+        return binomial_test_upper(support, self.n_records, p0,
+                                   buffer=self._buffer)
+
+    def expected_support(self, items: Iterable[int]) -> float:
+        """Null-mean support ``n * prod_i f_i`` of a pattern."""
+        return self.n_records * self.pattern_probability(items)
+
+    def sample_tidsets(self, rng: random.Random) -> List[int]:
+        """Draw one frequency-preserving independent dataset.
+
+        Item ``i`` enters each record independently with probability
+        ``f_i``; the returned tidsets have the observed data's shape
+        and (in expectation) its marginals, but no item interactions.
+        """
+        n = self.n_records
+        tidsets: List[int] = []
+        for frequency in self.frequencies:
+            bits = 0
+            if frequency >= 1.0:
+                bits = bs.universe(n)
+            elif frequency > 0.0:
+                for r in range(n):
+                    if rng.random() < frequency:
+                        bits |= 1 << r
+            tidsets.append(bits)
+        return tidsets

@@ -1,0 +1,63 @@
+"""Objective interestingness measures (Section 2.3 / Section 6 context).
+
+Domain-significance measures to be used *alongside* the statistical
+machinery, per the paper's recommendation that "statistical
+significance measures and domain significance measures should be used
+together".
+"""
+
+from .measures import (
+    ALL_MEASURES,
+    ContingencyTable,
+    added_value,
+    certainty_factor,
+    confidence,
+    conviction,
+    cosine,
+    gini_gain,
+    jaccard,
+    kappa,
+    laplace_accuracy,
+    leverage,
+    lift,
+    mutual_information,
+    odds_ratio,
+    piatetsky_shapiro,
+    support_fraction,
+    yules_q,
+    yules_y,
+)
+from .ranking import (
+    agreement_matrix,
+    measure_agreement,
+    rank_rules,
+    score_rules,
+    top_k,
+)
+
+__all__ = [
+    "ALL_MEASURES",
+    "ContingencyTable",
+    "added_value",
+    "certainty_factor",
+    "confidence",
+    "conviction",
+    "cosine",
+    "gini_gain",
+    "jaccard",
+    "kappa",
+    "laplace_accuracy",
+    "leverage",
+    "lift",
+    "mutual_information",
+    "odds_ratio",
+    "piatetsky_shapiro",
+    "support_fraction",
+    "yules_q",
+    "yules_y",
+    "agreement_matrix",
+    "measure_agreement",
+    "rank_rules",
+    "score_rules",
+    "top_k",
+]

@@ -1,0 +1,305 @@
+"""Objective interestingness measures for class association rules.
+
+Section 2.3 of the paper argues that *statistical* significance
+(p-values) and *domain* significance (confidence and its relatives)
+answer different questions and should be used together; Section 6
+points to the Tan/Kumar/Srivastava (SIGKDD 2002) and Geng/Hamilton
+(ACM Computing Surveys 2006) catalogues of such measures. This module
+implements the standard catalogue over the rule's 2x2 contingency
+table so users can cross-filter rules on both axes (the
+``significance_vs_interestingness`` example does exactly that).
+
+All measures are pure functions of a :class:`ContingencyTable`. Using
+the paper's notation — ``n`` records, ``n_c = supp(c)``,
+``supp(X)`` coverage, ``supp(R)`` rule support — the table is::
+
+                c        not-c
+    X        a=supp(R)  b=supp(X)-supp(R)   | supp(X)
+    not-X    c_=n_c-a   d=n-supp(X)-c_      | n-supp(X)
+             n_c        n-n_c               | n
+
+Conventions: measures that are undefined on degenerate margins (empty
+antecedent, empty class) raise :class:`~repro.errors.StatsError` from
+the table constructor; measures with removable singularities (e.g.
+conviction at confidence 1) return ``math.inf`` explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import StatsError
+
+__all__ = [
+    "ContingencyTable",
+    "support_fraction",
+    "confidence",
+    "lift",
+    "leverage",
+    "conviction",
+    "cosine",
+    "jaccard",
+    "kappa",
+    "odds_ratio",
+    "yules_q",
+    "yules_y",
+    "certainty_factor",
+    "added_value",
+    "mutual_information",
+    "gini_gain",
+    "laplace_accuracy",
+    "piatetsky_shapiro",
+    "ALL_MEASURES",
+]
+
+
+@dataclass(frozen=True)
+class ContingencyTable:
+    """The 2x2 table of one rule ``X => c``, in rule-mining coordinates.
+
+    Parameters
+    ----------
+    support:
+        ``supp(R)`` — records containing ``X`` with class ``c``.
+    coverage:
+        ``supp(X)`` — records containing ``X``.
+    class_support:
+        ``n_c`` — records of class ``c``.
+    n:
+        Total records.
+    """
+
+    support: int
+    coverage: int
+    class_support: int
+    n: int
+
+    def __post_init__(self) -> None:
+        a, b, c, d = self.cells
+        if self.n <= 0:
+            raise StatsError("contingency table needs n > 0")
+        if self.coverage <= 0:
+            raise StatsError("rule antecedent covers no records")
+        if not 0 < self.class_support < self.n:
+            raise StatsError(
+                f"class support {self.class_support} must be strictly "
+                f"between 0 and n={self.n} for association to be defined")
+        if min(a, b, c, d) < 0:
+            raise StatsError(
+                f"inconsistent rule counts: cells ({a}, {b}, {c}, {d})")
+
+    @property
+    def cells(self) -> tuple:
+        """The four cells ``(a, b, c, d)`` row-major."""
+        a = self.support
+        b = self.coverage - self.support
+        c = self.class_support - self.support
+        d = self.n - self.coverage - c
+        return a, b, c, d
+
+    @classmethod
+    def from_rule(cls, rule, dataset) -> "ContingencyTable":
+        """Build the table of a scored rule on its dataset."""
+        return cls(support=rule.support, coverage=rule.coverage,
+                   class_support=dataset.class_support(rule.class_index),
+                   n=dataset.n_records)
+
+
+def support_fraction(table: ContingencyTable) -> float:
+    """``supp(R) / n`` — the rule's relative support, in [0, 1]."""
+    return table.support / table.n
+
+
+def confidence(table: ContingencyTable) -> float:
+    """``supp(R) / supp(X)`` — the paper's domain-significance measure."""
+    return table.support / table.coverage
+
+
+def lift(table: ContingencyTable) -> float:
+    """Confidence over the class prior; 1 means independence.
+
+    ``lift > 1`` iff the rule is positively associated, and iff
+    :func:`leverage` is positive — the standard sanity identity the
+    property tests pin down.
+    """
+    prior = table.class_support / table.n
+    return confidence(table) / prior
+
+
+def leverage(table: ContingencyTable) -> float:
+    """``P(X, c) - P(X) P(c)`` (Piatetsky-Shapiro); 0 at independence."""
+    n = table.n
+    return (table.support / n
+            - (table.coverage / n) * (table.class_support / n))
+
+
+#: Alias under the measure's original name.
+piatetsky_shapiro = leverage
+
+
+def conviction(table: ContingencyTable) -> float:
+    """``P(X) P(not-c) / P(X, not-c)``; inf at confidence 1.
+
+    Unlike lift, conviction is sensitive to rule direction; at
+    independence it equals 1.
+    """
+    not_c = 1.0 - table.class_support / table.n
+    violation = 1.0 - confidence(table)
+    if violation <= 0.0:
+        return math.inf
+    return not_c / violation
+
+
+def cosine(table: ContingencyTable) -> float:
+    """``P(X, c) / sqrt(P(X) P(c))`` — the IS measure, in (0, 1]."""
+    n = table.n
+    return (table.support / n) / math.sqrt(
+        (table.coverage / n) * (table.class_support / n))
+
+
+def jaccard(table: ContingencyTable) -> float:
+    """``supp(R) / (supp(X) + n_c - supp(R))`` — set overlap, in
+    [0, 1]."""
+    denominator = table.coverage + table.class_support - table.support
+    return table.support / denominator
+
+
+def kappa(table: ContingencyTable) -> float:
+    """Cohen's kappa: chance-corrected agreement between X and c.
+
+    Zero at independence, 1 when ``X`` and ``c`` coincide, negative
+    when they disagree more than chance.
+    """
+    a, b, c, d = table.cells
+    n = table.n
+    observed = (a + d) / n
+    expected = ((table.coverage / n) * (table.class_support / n)
+                + ((n - table.coverage) / n)
+                * ((n - table.class_support) / n))
+    if expected >= 1.0:
+        return 0.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def odds_ratio(table: ContingencyTable) -> float:
+    """``(a d) / (b c)``; inf when an off-diagonal cell is empty."""
+    a, b, c, d = table.cells
+    if b * c == 0:
+        return math.inf if a * d > 0 else 1.0
+    return (a * d) / (b * c)
+
+
+def yules_q(table: ContingencyTable) -> float:
+    """Yule's Q: ``(ad - bc) / (ad + bc)``, the odds ratio mapped to
+    [-1, 1]."""
+    a, b, c, d = table.cells
+    ad, bc = a * d, b * c
+    if ad + bc == 0:
+        return 0.0
+    return (ad - bc) / (ad + bc)
+
+
+def yules_y(table: ContingencyTable) -> float:
+    """Yule's Y (coefficient of colligation), also in [-1, 1]."""
+    a, b, c, d = table.cells
+    sqrt_ad, sqrt_bc = math.sqrt(a * d), math.sqrt(b * c)
+    if sqrt_ad + sqrt_bc == 0:
+        return 0.0
+    return (sqrt_ad - sqrt_bc) / (sqrt_ad + sqrt_bc)
+
+
+def certainty_factor(table: ContingencyTable) -> float:
+    """Shortliffe's certainty factor, in [-1, 1]; 0 at independence.
+
+    Positive direction: ``(conf - prior) / (1 - prior)``; negative
+    direction normalised by the prior instead.
+    """
+    prior = table.class_support / table.n
+    conf = confidence(table)
+    if conf >= prior:
+        if prior >= 1.0:
+            return 0.0
+        return (conf - prior) / (1.0 - prior)
+    return (conf - prior) / prior
+
+
+def added_value(table: ContingencyTable) -> float:
+    """``conf(R) - P(c)`` — the raw confidence gain over the prior."""
+    return confidence(table) - table.class_support / table.n
+
+
+def mutual_information(table: ContingencyTable) -> float:
+    """Mutual information (nats) between the X-indicator and the
+    c-indicator.
+
+    Always non-negative; 0 exactly at independence. Cells with zero
+    count contribute zero (the ``x log x -> 0`` limit).
+    """
+    a, b, c, d = table.cells
+    n = table.n
+    row = (table.coverage / n, (n - table.coverage) / n)
+    col = (table.class_support / n, (n - table.class_support) / n)
+    joint = ((a / n, b / n), (c / n, d / n))
+    total = 0.0
+    for i in range(2):
+        for j in range(2):
+            p = joint[i][j]
+            if p > 0.0:
+                total += p * math.log(p / (row[i] * col[j]))
+    return max(0.0, total)
+
+
+def gini_gain(table: ContingencyTable) -> float:
+    """Reduction of the class Gini index after splitting on X.
+
+    Non-negative; 0 at independence. A decision-tree-style measure
+    included in the Tan et al. catalogue.
+    """
+    a, b, c, d = table.cells
+    n = table.n
+
+    def gini(positive: int, total: int) -> float:
+        if total == 0:
+            return 0.0
+        p = positive / total
+        return 1.0 - p * p - (1.0 - p) * (1.0 - p)
+
+    before = gini(table.class_support, n)
+    after = (table.coverage / n) * gini(a, table.coverage) \
+        + ((n - table.coverage) / n) * gini(c, n - table.coverage)
+    return max(0.0, before - after)
+
+
+def laplace_accuracy(table: ContingencyTable, k: int = 2) -> float:
+    """Laplace-corrected confidence ``(supp(R) + 1) / (supp(X) + k)``.
+
+    The smoothing pulls low-coverage rules toward ``1/k`` — a purely
+    heuristic guard against the same artefact the paper handles
+    rigorously with p-values (tiny coverage, perfect confidence).
+    """
+    if k < 1:
+        raise StatsError(f"k must be >= 1, got {k}")
+    return (table.support + 1) / (table.coverage + k)
+
+
+#: Name -> callable registry of every parameter-free measure, used by
+#: the ranking utilities and the CLI.
+ALL_MEASURES = {
+    "support": support_fraction,
+    "confidence": confidence,
+    "lift": lift,
+    "leverage": leverage,
+    "conviction": conviction,
+    "cosine": cosine,
+    "jaccard": jaccard,
+    "kappa": kappa,
+    "odds_ratio": odds_ratio,
+    "yules_q": yules_q,
+    "yules_y": yules_y,
+    "certainty_factor": certainty_factor,
+    "added_value": added_value,
+    "mutual_information": mutual_information,
+    "gini_gain": gini_gain,
+    "laplace": laplace_accuracy,
+}

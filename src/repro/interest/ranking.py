@@ -1,0 +1,107 @@
+"""Ranking rules by interestingness and comparing rankings.
+
+The Tan et al. survey's central observation is that different measures
+rank the same rules very differently; the practical question for a
+miner is *which measures agree on my data*. These utilities score a
+:class:`~repro.mining.rules.RuleSet` under any registered measure,
+rank the rules, and quantify the agreement between two measures (or
+between a measure and statistical significance) with Kendall's tau.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from scipy import stats as _scipy_stats
+
+from ..errors import StatsError
+from ..mining.rules import ClassRule, RuleSet
+from .measures import ALL_MEASURES, ContingencyTable
+
+__all__ = ["score_rules", "rank_rules", "top_k",
+           "measure_agreement", "agreement_matrix"]
+
+
+def _resolve(measure) -> Callable[[ContingencyTable], float]:
+    if callable(measure):
+        return measure
+    try:
+        return ALL_MEASURES[measure]
+    except KeyError:
+        raise StatsError(
+            f"unknown measure {measure!r}; choose from "
+            f"{sorted(ALL_MEASURES)} or pass a callable") from None
+
+
+def score_rules(ruleset: RuleSet, measure) -> List[float]:
+    """Score every rule under ``measure`` (name or callable), in rule
+    order."""
+    scorer = _resolve(measure)
+    dataset = ruleset.dataset
+    return [scorer(ContingencyTable.from_rule(rule, dataset))
+            for rule in ruleset.rules]
+
+
+def rank_rules(ruleset: RuleSet, measure,
+               descending: bool = True) -> List[Tuple[ClassRule, float]]:
+    """Rules paired with their scores, best first.
+
+    ``descending=True`` suits "bigger is more interesting" measures
+    (all of :data:`~repro.interest.measures.ALL_MEASURES`); pass
+    ``False`` for cost-like scores.
+    """
+    scores = score_rules(ruleset, measure)
+    pairs = list(zip(ruleset.rules, scores))
+    pairs.sort(key=lambda pair: pair[1], reverse=descending)
+    return pairs
+
+
+def top_k(ruleset: RuleSet, measure, k: int,
+          descending: bool = True) -> List[Tuple[ClassRule, float]]:
+    """The ``k`` best rules under ``measure``."""
+    if k < 0:
+        raise StatsError(f"k must be non-negative, got {k}")
+    return rank_rules(ruleset, measure, descending)[:k]
+
+
+def measure_agreement(ruleset: RuleSet, measure_a, measure_b,
+                      ) -> float:
+    """Kendall's tau-b between two measures' rankings of the rules.
+
+    1 means identical rankings, -1 exactly reversed, ~0 unrelated.
+    Degenerate inputs (fewer than two rules, or a constant measure)
+    return ``nan`` — scipy's convention, preserved deliberately so
+    callers can distinguish "no signal" from "no agreement".
+    """
+    scores_a = score_rules(ruleset, measure_a)
+    scores_b = score_rules(ruleset, measure_b)
+    if len(scores_a) < 2:
+        return float("nan")
+    tau, _p = _scipy_stats.kendalltau(scores_a, scores_b)
+    return float(tau)
+
+
+def agreement_matrix(ruleset: RuleSet,
+                     measures: Optional[Sequence[str]] = None,
+                     ) -> Dict[Tuple[str, str], float]:
+    """Pairwise Kendall tau over a set of measure names.
+
+    Returns the upper triangle (including the diagonal) keyed by
+    measure-name pairs; useful for reproducing the Tan et al. style
+    measure-correlation analyses on a mined ruleset.
+    """
+    names = list(measures) if measures is not None else sorted(ALL_MEASURES)
+    scored = {name: score_rules(ruleset, name) for name in names}
+    out: Dict[Tuple[str, str], float] = {}
+    for i, name_a in enumerate(names):
+        for name_b in names[i:]:
+            if name_a == name_b:
+                out[(name_a, name_b)] = 1.0
+                continue
+            if len(scored[name_a]) < 2:
+                out[(name_a, name_b)] = float("nan")
+                continue
+            tau, _p = _scipy_stats.kendalltau(scored[name_a],
+                                              scored[name_b])
+            out[(name_a, name_b)] = float(tau)
+    return out

@@ -1,0 +1,52 @@
+"""Mining substrate: vertical views, closed patterns, diffsets, rules."""
+
+from .apriori import FrequentPattern, mine_apriori
+from .fpgrowth import FPNode, FPTree, mine_fpgrowth
+from .general import (
+    GeneralRule,
+    GeneralRuleSet,
+    mine_general_rules,
+    rules_from_patterns,
+)
+from .closed import (
+    ClosedPattern,
+    iter_pattern_tree,
+    mine_closed,
+    mine_closed_from_view,
+)
+from .diffsets import POLICIES, ForestStats, PatternForest
+from .representative import (
+    RepresentativeSelection,
+    mine_representative_rules,
+    select_representatives,
+)
+from .rules import ClassRule, RuleSet, generate_rules, mine_class_rules
+from .tidsets import VerticalView, build_vertical_view
+
+__all__ = [
+    "FrequentPattern",
+    "mine_apriori",
+    "FPNode",
+    "FPTree",
+    "mine_fpgrowth",
+    "GeneralRule",
+    "GeneralRuleSet",
+    "mine_general_rules",
+    "rules_from_patterns",
+    "RepresentativeSelection",
+    "mine_representative_rules",
+    "select_representatives",
+    "ClosedPattern",
+    "iter_pattern_tree",
+    "mine_closed",
+    "mine_closed_from_view",
+    "POLICIES",
+    "ForestStats",
+    "PatternForest",
+    "ClassRule",
+    "RuleSet",
+    "generate_rules",
+    "mine_class_rules",
+    "VerticalView",
+    "build_vertical_view",
+]

@@ -1,0 +1,206 @@
+"""Closed frequent pattern mining (Section 3 of the paper).
+
+The paper mines *closed* frequent patterns as rule left-hand sides: a
+closed pattern is the unique longest pattern among all patterns
+occurring in the same set of records, so using closed patterns removes
+rules that are exact duplicates (same coverage, same confidence, same
+p-value) of another rule.
+
+The miner is a depth-first walk of the set-enumeration tree (Rymon
+1992) using LCM-style *prefix-preserving closure extension* (Uno et
+al.), which enumerates every closed frequent pattern exactly once with
+no global duplicate checking:
+
+* the closure of a tidset ``T`` is the set of all frequent items whose
+  tidset contains ``T``;
+* a closed pattern ``P`` with core position ``i`` is extended by each
+  item position ``j > i`` not already in ``P``; the closure ``Q`` of
+  ``P + {j}`` is kept only when its members below position ``j`` match
+  ``P``'s — otherwise ``Q`` is reachable from a lexicographically
+  earlier branch and is pruned here.
+
+Every emitted node records its tree parent, which the Diffsets storage
+policy (Section 4.2.2) and the permutation engine rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .. import bitset as bs
+from ..errors import MiningError
+from .tidsets import VerticalView, build_vertical_view
+
+__all__ = ["ClosedPattern", "mine_closed", "mine_closed_from_view",
+           "iter_pattern_tree"]
+
+
+@dataclass
+class ClosedPattern:
+    """One node of the closed-pattern enumeration tree.
+
+    Attributes
+    ----------
+    node_id:
+        Dense index in DFS emission order; parents precede children.
+    parent_id:
+        ``node_id`` of the tree parent (``-1`` for the root).
+    items:
+        Original catalog item ids of the pattern (frozen set).
+    tidset:
+        Bitset of records containing the pattern.
+    support:
+        ``popcount(tidset)`` — the coverage of rules built on this
+        pattern.
+    depth:
+        Distance from the root in the enumeration tree.
+    """
+
+    node_id: int
+    parent_id: int
+    items: frozenset
+    tidset: int
+    support: int
+    depth: int
+
+    @property
+    def length(self) -> int:
+        """Number of items in the pattern."""
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return (f"ClosedPattern(id={self.node_id}, "
+                f"items={sorted(self.items)}, support={self.support})")
+
+
+def mine_closed(
+    item_tidsets: Sequence[int],
+    n_records: int,
+    min_sup: int,
+    max_length: Optional[int] = None,
+    item_order: str = "support-ascending",
+) -> List[ClosedPattern]:
+    """Mine all closed frequent patterns from per-item tidsets.
+
+    Parameters
+    ----------
+    item_tidsets:
+        ``item_tidsets[i]`` is the bitset of records containing item
+        ``i`` (as stored by :class:`repro.data.Dataset`).
+    n_records:
+        Number of records ``n``.
+    min_sup:
+        Minimum coverage; patterns below it are pruned (anti-monotone).
+    max_length:
+        Optional cap on pattern length; a closed pattern longer than
+        the cap is not emitted and its branch is not explored.
+    item_order:
+        Mining order heuristic, see
+        :func:`repro.mining.tidsets.build_vertical_view`.
+
+    Returns
+    -------
+    list of :class:`ClosedPattern` in DFS order. The root node (the
+    closure of the empty pattern — non-empty only when some item occurs
+    in every record) is always first; rule generation skips patterns
+    with no items.
+    """
+    view = build_vertical_view(item_tidsets, n_records, min_sup, item_order)
+    return mine_closed_from_view(view, max_length=max_length)
+
+
+def mine_closed_from_view(
+    view: VerticalView,
+    max_length: Optional[int] = None,
+) -> List[ClosedPattern]:
+    """Mine closed patterns from a prepared :class:`VerticalView`."""
+    if max_length is not None and max_length < 0:
+        raise MiningError("max_length must be non-negative")
+    n = view.n_records
+    min_sup = view.min_sup
+    tidsets = view.tidsets
+    m = view.n_items
+    out: List[ClosedPattern] = []
+    if n < min_sup:
+        return out
+
+    root_tids = bs.universe(n)
+    root_positions = tuple(_closure_positions(root_tids, tidsets, m))
+    if max_length is not None and len(root_positions) > max_length:
+        return out
+    root_items = frozenset(view.item_ids[p] for p in root_positions)
+    out.append(ClosedPattern(
+        node_id=0, parent_id=-1, items=root_items, tidset=root_tids,
+        support=n, depth=0,
+    ))
+
+    # Iterative DFS. A stack entry describes a *not yet emitted* closed
+    # pattern: (positions, tidset, core position, parent node id,
+    # depth). Children are pushed in descending extension order so pops
+    # explore ascending item positions, matching the recursive LCM.
+    stack: List[Tuple[Tuple[int, ...], int, int, int, int]] = []
+    _push_children(stack, root_positions, root_tids, -1, 0, 0,
+                   view, max_length)
+    while stack:
+        positions, tids, _core, parent_id, depth = stack.pop()
+        node_id = len(out)
+        items = frozenset(view.item_ids[p] for p in positions)
+        out.append(ClosedPattern(
+            node_id=node_id, parent_id=parent_id, items=items,
+            tidset=tids, support=bs.popcount(tids), depth=depth,
+        ))
+        _push_children(stack, positions, tids, _core, node_id, depth,
+                       view, max_length)
+    return out
+
+
+def _push_children(
+    stack: List[Tuple[Tuple[int, ...], int, int, int, int]],
+    positions: Tuple[int, ...],
+    tids: int,
+    core: int,
+    node_id: int,
+    depth: int,
+    view: VerticalView,
+    max_length: Optional[int],
+) -> None:
+    """Push every prefix-preserving closure extension of one node."""
+    tidsets = view.tidsets
+    m = view.n_items
+    min_sup = view.min_sup
+    member = set(positions)
+    for j in range(m - 1, core, -1):
+        if j in member:
+            continue
+        new_tids = tids & tidsets[j]
+        if bs.popcount(new_tids) < min_sup:
+            continue
+        closure = tuple(_closure_positions(new_tids, tidsets, m))
+        if not _prefix_preserved(closure, positions, j):
+            continue
+        if max_length is not None and len(closure) > max_length:
+            continue
+        stack.append((closure, new_tids, j, node_id, depth + 1))
+
+
+def _closure_positions(tids: int, tidsets: Sequence[int],
+                       m: int) -> List[int]:
+    """Positions of every item whose tidset is a superset of ``tids``."""
+    return [p for p in range(m) if tids & ~tidsets[p] == 0]
+
+
+def _prefix_preserved(closure: Sequence[int], positions: Sequence[int],
+                      j: int) -> bool:
+    """LCM duplicate check: closure and parent agree below position j."""
+    closure_prefix = [p for p in closure if p < j]
+    parent_prefix = [p for p in positions if p < j]
+    return closure_prefix == parent_prefix
+
+
+def iter_pattern_tree(patterns: Sequence[ClosedPattern]
+                      ) -> Iterator[Tuple[ClosedPattern, ClosedPattern]]:
+    """Yield ``(parent, child)`` pairs of the enumeration tree."""
+    for pattern in patterns:
+        if pattern.parent_id >= 0:
+            yield patterns[pattern.parent_id], pattern

@@ -1,0 +1,211 @@
+"""Representative-pattern selection: the paper's Section 7 future work.
+
+    "If the support of two patterns, X and X', is very close and X is a
+    sub-pattern of X', then the two rules X => c and X' => c are
+    essentially testing the same hypothesis. It is desirable to reduce
+    the redundancy and retain a small number of representative patterns
+    for testing. This way, the number of tests is reduced and the power
+    of the correction approaches can be improved."
+
+Closed patterns already remove *exact* duplicates (identical tidsets);
+this module removes *near* duplicates. In the closed-pattern
+enumeration tree a child's tidset is a subset of its parent's, so the
+Jaccard similarity between a pattern and any ancestor is simply
+``supp(descendant) / supp(ancestor)``. A single DFS pass therefore
+clusters the tree greedily:
+
+* the root's children start their own clusters;
+* a node joins its parent's cluster when its support is within a
+  factor ``1 - delta`` of its *parent's* support (``delta = 0`` keeps
+  every closed pattern; larger ``delta`` merges more aggressively);
+* the *representative* of a cluster is its shallowest member — the
+  most general pattern, whose higher coverage gives the best attainable
+  p-value for the shared hypothesis.
+
+The merge test is per tree edge, so clusters are chains whose
+*consecutive* supports are nearly identical; a member can drift up to
+``(1 - delta)^depth`` below its representative over a long chain.
+Testing the edge rather than the representative makes the reduction
+**monotone in delta** (each edge merges independently, so raising
+delta only coarsens the clustering) — the representative-relative
+variant is not monotone, because a longer-lived high-support
+representative can reject descendants that a fresher, smaller one
+would have absorbed.
+
+Testing only representatives shrinks the multiple-testing denominator
+``Nt``; Bonferroni's per-test budget ``alpha / Nt`` grows accordingly,
+which is exactly the power mechanism Section 7 anticipates. The
+``test_ablation_representative`` bench measures both effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..data.dataset import Dataset
+from ..errors import MiningError
+from .closed import ClosedPattern, mine_closed
+from .rules import RuleSet, generate_rules
+
+__all__ = ["RepresentativeSelection", "select_representatives",
+           "mine_representative_rules"]
+
+
+@dataclass
+class RepresentativeSelection:
+    """Outcome of clustering a closed-pattern forest.
+
+    Attributes
+    ----------
+    representatives:
+        Cluster representatives in original DFS order (the root node is
+        retained so downstream consumers still see a rooted forest).
+    cluster_of:
+        Maps every pattern's ``node_id`` to its representative's
+        ``node_id``; representatives map to themselves.
+    delta:
+        The merge tolerance the selection was built with.
+    n_input:
+        Number of patterns before reduction.
+    """
+
+    representatives: List[ClosedPattern]
+    cluster_of: Dict[int, int]
+    delta: float
+    n_input: int
+    _members: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters (= number of representatives)."""
+        return len(self.representatives)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of patterns removed, in [0, 1)."""
+        if self.n_input == 0:
+            return 0.0
+        return 1.0 - self.n_clusters / self.n_input
+
+    def members(self, representative_id: int) -> List[int]:
+        """Node ids absorbed by the given representative (itself
+        included)."""
+        return list(self._members.get(representative_id, []))
+
+
+def select_representatives(patterns: Sequence[ClosedPattern],
+                           delta: float = 0.1,
+                           ) -> RepresentativeSelection:
+    """Greedily cluster a closed-pattern forest by support proximity.
+
+    Parameters
+    ----------
+    patterns:
+        A DFS-ordered forest as produced by
+        :func:`~repro.mining.closed.mine_closed` (parents precede
+        children; ``parent_id`` links are consistent).
+    delta:
+        Merge tolerance: node ``X`` joins its parent ``Y``'s cluster
+        when ``supp(X) >= (1 - delta) * supp(Y)``. ``delta = 0``
+        merges only exact support ties along tree edges — for closed
+        patterns those cannot exist, so nothing merges.
+
+    Notes
+    -----
+    Clusters follow tree edges, so two patterns land in one cluster
+    only when they sit on one root-to-leaf chain — precisely the
+    sub-pattern/super-pattern redundancy Section 7 describes. Sibling
+    patterns with similar supports but different record sets are never
+    merged (they test genuinely different hypotheses). The number of
+    representatives is non-increasing in ``delta``.
+    """
+    if not 0.0 <= delta < 1.0:
+        raise MiningError(f"delta must be in [0, 1), got {delta}")
+    representatives: List[ClosedPattern] = []
+    cluster_of: Dict[int, int] = {}
+    members: Dict[int, List[int]] = {}
+    by_id: Dict[int, ClosedPattern] = {}
+    for pattern in patterns:
+        by_id[pattern.node_id] = pattern
+        if pattern.parent_id < 0:
+            _start_cluster(pattern, representatives, cluster_of, members)
+            continue
+        parent = by_id[pattern.parent_id]
+        if not parent.items:
+            # Never absorb real patterns into the (empty) root cluster:
+            # the root is not a testable rule.
+            _start_cluster(pattern, representatives, cluster_of, members)
+            continue
+        if pattern.support >= (1.0 - delta) * parent.support:
+            parent_rep_id = cluster_of[pattern.parent_id]
+            cluster_of[pattern.node_id] = parent_rep_id
+            members[parent_rep_id].append(pattern.node_id)
+        else:
+            _start_cluster(pattern, representatives, cluster_of, members)
+    return RepresentativeSelection(
+        representatives=representatives, cluster_of=cluster_of,
+        delta=delta, n_input=len(by_id), _members=members)
+
+
+def _start_cluster(pattern: ClosedPattern,
+                   representatives: List[ClosedPattern],
+                   cluster_of: Dict[int, int],
+                   members: Dict[int, List[int]]) -> None:
+    representatives.append(pattern)
+    cluster_of[pattern.node_id] = pattern.node_id
+    members[pattern.node_id] = [pattern.node_id]
+
+
+def mine_representative_rules(
+    dataset: Dataset,
+    min_sup: int,
+    delta: float = 0.1,
+    min_conf: float = 0.0,
+    max_length: Optional[int] = None,
+    rhs_class: Optional[int] = None,
+    scorer: str = "fisher",
+    **kwargs,
+) -> RuleSet:
+    """Section 3 pipeline with Section 7's redundancy reduction.
+
+    Mines closed patterns, keeps one representative per near-duplicate
+    chain, and scores rules only on the representatives — so every
+    downstream correction sees the reduced hypothesis count ``Nt``.
+    The returned ruleset's ``patterns`` are the representatives (DFS
+    order is preserved, and ``pattern_id`` values still index into the
+    *original* forest's id space via each pattern's ``node_id``).
+    """
+    if min_sup < 1:
+        raise MiningError(f"min_sup must be >= 1, got {min_sup}")
+    patterns = mine_closed(dataset.item_tidsets, dataset.n_records,
+                           min_sup, max_length=max_length)
+    selection = select_representatives(patterns, delta=delta)
+    # Rule generation indexes patterns by node_id through the forest,
+    # so re-densify ids for the reduced pattern list.
+    reduced = _reindex(selection)
+    return generate_rules(dataset, reduced, min_sup, min_conf=min_conf,
+                          rhs_class=rhs_class, scorer=scorer, **kwargs)
+
+
+def _reindex(selection: RepresentativeSelection) -> List[ClosedPattern]:
+    """Densify node ids after filtering, keeping parent links valid.
+
+    A removed parent is replaced by its cluster representative — which
+    is retained and is an ancestor, because clusters are
+    tree-connected — so the reduced forest stays a forest.
+    """
+    new_id: Dict[int, int] = {}
+    out: List[ClosedPattern] = []
+    cluster_of = selection.cluster_of
+    for pattern in selection.representatives:
+        new_id[pattern.node_id] = len(out)
+        if pattern.parent_id >= 0:
+            mapped_parent = new_id[cluster_of[pattern.parent_id]]
+        else:
+            mapped_parent = -1
+        out.append(ClosedPattern(
+            node_id=len(out), parent_id=mapped_parent,
+            items=pattern.items, tidset=pattern.tidset,
+            support=pattern.support, depth=pattern.depth))
+    return out

@@ -1,0 +1,92 @@
+"""Vertical data view: per-item tidsets filtered and ordered for mining.
+
+Frequent pattern mining in this library is *vertical* (Zaki's Eclat
+family): every item carries the bitset of records containing it, and a
+pattern's tidset is the intersection of its items' tidsets. This module
+prepares the vertical view a miner consumes — infrequent items removed,
+remaining items ordered (ascending support by default, which keeps the
+set-enumeration tree small) — while remembering original item ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import bitset as bs
+from ..errors import MiningError
+
+__all__ = ["VerticalView", "build_vertical_view"]
+
+
+@dataclass
+class VerticalView:
+    """Frequent items with their tidsets, in mining order.
+
+    ``item_ids[p]`` is the original catalog id of the item at mining
+    position ``p``; ``tidsets[p]`` its bitset; ``supports[p]`` its
+    support. ``order_of`` maps original id back to position.
+    """
+
+    n_records: int
+    min_sup: int
+    item_ids: List[int]
+    tidsets: List[int]
+    supports: List[int]
+    order_of: Dict[int, int]
+
+    @property
+    def n_items(self) -> int:
+        """Number of frequent items in the view."""
+        return len(self.item_ids)
+
+    def pattern_tidset(self, positions: Sequence[int]) -> int:
+        """Intersect the tidsets at the given mining positions."""
+        tids = bs.universe(self.n_records)
+        for p in positions:
+            tids &= self.tidsets[p]
+        return tids
+
+
+def build_vertical_view(
+    item_tidsets: Sequence[int],
+    n_records: int,
+    min_sup: int,
+    order: str = "support-ascending",
+) -> VerticalView:
+    """Filter items by ``min_sup`` and order them for mining.
+
+    Parameters
+    ----------
+    order:
+        ``"support-ascending"`` (default; least frequent items first,
+        the classic heuristic that minimizes tree width near the root),
+        ``"support-descending"``, or ``"original"``.
+    """
+    if min_sup < 1:
+        raise MiningError(f"min_sup must be >= 1, got {min_sup}")
+    if n_records < 1:
+        raise MiningError("n_records must be positive")
+    frequent: List[Tuple[int, int, int]] = []
+    for item_id, tids in enumerate(item_tidsets):
+        support = bs.popcount(tids)
+        if support >= min_sup:
+            frequent.append((item_id, tids, support))
+    if order == "support-ascending":
+        frequent.sort(key=lambda t: (t[2], t[0]))
+    elif order == "support-descending":
+        frequent.sort(key=lambda t: (-t[2], t[0]))
+    elif order != "original":
+        raise MiningError(f"unknown item order {order!r}")
+    item_ids = [f[0] for f in frequent]
+    tidsets = [f[1] for f in frequent]
+    supports = [f[2] for f in frequent]
+    order_of = {item_id: p for p, item_id in enumerate(item_ids)}
+    return VerticalView(
+        n_records=n_records,
+        min_sup=min_sup,
+        item_ids=item_ids,
+        tidsets=tidsets,
+        supports=supports,
+        order_of=order_of,
+    )

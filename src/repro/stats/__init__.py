@@ -1,0 +1,67 @@
+"""Statistics substrate: exact tests, buffers and caches."""
+
+from .buffer_cache import BufferCache, CacheStats
+from .chi2 import chi2_rule_p_value, chi2_sf, chi2_statistic, chi2_test
+from .fisher import (
+    fisher_from_contingency,
+    fisher_left_tailed,
+    fisher_right_tailed,
+    fisher_two_tailed,
+    fisher_two_tailed_midp,
+    log_odds_ratio,
+    min_attainable_p_value,
+    rule_p_value,
+)
+from .hypergeom import log_pmf, mean, mode, pmf, pmf_table, support_bounds
+from .logfact import LogFactorialBuffer, default_buffer, log_binomial
+from .power import (
+    detection_power,
+    deterministic_detection,
+    min_detectable_confidence,
+    min_detectable_support,
+    min_testable_coverage,
+    power_curve,
+)
+from .pvalue_buffer import RELATIVE_TIE_TOLERANCE, PValueBuffer
+from .sequential import (
+    SequentialResult,
+    sequential_p_value,
+    sequential_rule_p_value,
+)
+
+__all__ = [
+    "BufferCache",
+    "CacheStats",
+    "chi2_rule_p_value",
+    "chi2_sf",
+    "chi2_statistic",
+    "chi2_test",
+    "fisher_from_contingency",
+    "fisher_left_tailed",
+    "fisher_right_tailed",
+    "fisher_two_tailed",
+    "fisher_two_tailed_midp",
+    "log_odds_ratio",
+    "min_attainable_p_value",
+    "rule_p_value",
+    "log_pmf",
+    "mean",
+    "mode",
+    "pmf",
+    "pmf_table",
+    "support_bounds",
+    "LogFactorialBuffer",
+    "default_buffer",
+    "log_binomial",
+    "RELATIVE_TIE_TOLERANCE",
+    "PValueBuffer",
+    "detection_power",
+    "deterministic_detection",
+    "min_detectable_confidence",
+    "min_detectable_support",
+    "min_testable_coverage",
+    "power_curve",
+    "SequentialResult",
+    "sequential_p_value",
+    "sequential_rule_p_value",
+]

@@ -1,0 +1,104 @@
+"""Binomial distribution built on the shared log-factorial buffer.
+
+The frequency-significance methods (Kirsch et al. [10], Megiddo &
+Srikant [13]) model the support of a pattern under item independence as
+``Binomial(n, p0)`` with ``p0`` the product of its items' marginal
+frequencies. This module provides the log pmf, the two tails, and the
+upper-tail exact test those methods score with — all in log space via
+:class:`~repro.stats.logfact.LogFactorialBuffer`, so the n=100k regime
+of transactional benchmarks does not overflow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import StatsError
+from .logfact import LogFactorialBuffer, default_buffer
+
+__all__ = [
+    "binomial_log_pmf",
+    "binomial_pmf",
+    "binomial_cdf",
+    "binomial_sf",
+    "binomial_test_upper",
+]
+
+
+def _validate(k: int, n: int, p: float) -> None:
+    if n < 0:
+        raise StatsError(f"n must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise StatsError(f"p must be in [0, 1], got {p}")
+    if not 0 <= k <= n:
+        raise StatsError(f"k={k} outside [0, n={n}]")
+
+
+def binomial_log_pmf(k: int, n: int, p: float,
+                     buffer: Optional[LogFactorialBuffer] = None,
+                     ) -> float:
+    """``log P(X = k)`` for ``X ~ Binomial(n, p)``.
+
+    Returns ``-inf`` where the pmf is exactly zero (``p`` degenerate at
+    0 or 1 and ``k`` off the atom).
+    """
+    _validate(k, n, p)
+    if p == 0.0:
+        return 0.0 if k == 0 else float("-inf")
+    if p == 1.0:
+        return 0.0 if k == n else float("-inf")
+    buffer = buffer or default_buffer()
+    return (buffer.log_binomial(n, k)
+            + k * math.log(p)
+            + (n - k) * math.log1p(-p))
+
+
+def binomial_pmf(k: int, n: int, p: float,
+                 buffer: Optional[LogFactorialBuffer] = None) -> float:
+    """``P(X = k)`` for ``X ~ Binomial(n, p)``."""
+    return math.exp(binomial_log_pmf(k, n, p, buffer=buffer))
+
+
+def binomial_cdf(k: int, n: int, p: float,
+                 buffer: Optional[LogFactorialBuffer] = None) -> float:
+    """``P(X <= k)``, summed from the lighter tail for accuracy."""
+    _validate(k, n, p)
+    if k == n:
+        return 1.0
+    # Sum whichever tail has fewer terms; both tails are exact.
+    if k + 1 <= n - k:
+        total = 0.0
+        for i in range(0, k + 1):
+            total += binomial_pmf(i, n, p, buffer=buffer)
+        return min(1.0, total)
+    return max(0.0, 1.0 - binomial_sf(k, n, p, buffer=buffer))
+
+
+def binomial_sf(k: int, n: int, p: float,
+                buffer: Optional[LogFactorialBuffer] = None) -> float:
+    """``P(X > k)`` (strict upper tail)."""
+    _validate(k, n, p)
+    if k == n:
+        return 0.0
+    if n - k <= k + 1:
+        total = 0.0
+        for i in range(k + 1, n + 1):
+            total += binomial_pmf(i, n, p, buffer=buffer)
+        return min(1.0, total)
+    return max(0.0, 1.0 - binomial_cdf(k, n, p, buffer=buffer))
+
+
+def binomial_test_upper(k: int, n: int, p: float,
+                        buffer: Optional[LogFactorialBuffer] = None,
+                        ) -> float:
+    """One-sided exact test ``P(X >= k)``.
+
+    The p-value of observing support ``k`` or more when the null
+    support distribution is ``Binomial(n, p)`` — the score both
+    frequency-significance methods attach to a pattern.
+    """
+    _validate(k, n, p)
+    if k == 0:
+        return 1.0
+    return min(1.0, binomial_sf(k - 1, n, p, buffer=buffer))

@@ -1,0 +1,77 @@
+"""The log-factorial buffer ``Bf`` of Section 4.2.3.
+
+The paper stores the factorials of ``0..n`` in a buffer to make each
+hypergeometric probability O(1); because ``n!`` overflows any fixed-
+width float long before the dataset sizes used here, the buffer holds
+*logarithms* of factorials, exactly as the paper prescribes ("we store
+the logarithm of the factorials in the buffer"). The buffer grows
+incrementally and is shared process-wide through
+:func:`default_buffer`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..errors import StatsError
+
+__all__ = ["LogFactorialBuffer", "default_buffer", "log_binomial"]
+
+
+class LogFactorialBuffer:
+    """Incrementally grown table of ``ln(k!)`` for ``k = 0..capacity``.
+
+    ``buffer[k]`` is ``ln(k!)``; extension is O(new entries) because
+    ``ln((k+1)!) = ln(k!) + ln(k+1)``.
+    """
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        if initial_capacity < 0:
+            raise StatsError("initial capacity must be non-negative")
+        self._table: List[float] = [0.0]
+        self.ensure(initial_capacity)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def capacity(self) -> int:
+        """Largest ``k`` for which ``ln(k!)`` is currently tabulated."""
+        return len(self._table) - 1
+
+    def ensure(self, n: int) -> None:
+        """Grow the table so that ``log_factorial(n)`` is O(1)."""
+        table = self._table
+        for k in range(len(table), n + 1):
+            table.append(table[-1] + math.log(k))
+
+    def log_factorial(self, k: int) -> float:
+        """Return ``ln(k!)``, growing the table if needed."""
+        if k < 0:
+            raise StatsError(f"factorial of negative number {k}")
+        if k > self.capacity:
+            self.ensure(k)
+        return self._table[k]
+
+    def log_binomial(self, a: int, b: int) -> float:
+        """Return ``ln(C(a, b))``; ``-inf`` when the coefficient is 0."""
+        if b < 0 or b > a:
+            return float("-inf")
+        if a > self.capacity:
+            self.ensure(a)
+        table = self._table
+        return table[a] - table[b] - table[a - b]
+
+
+_DEFAULT = LogFactorialBuffer()
+
+
+def default_buffer() -> LogFactorialBuffer:
+    """Process-wide shared buffer (grown lazily by all callers)."""
+    return _DEFAULT
+
+
+def log_binomial(a: int, b: int) -> float:
+    """Module-level convenience for ``ln(C(a, b))`` via the shared buffer."""
+    return _DEFAULT.log_binomial(a, b)

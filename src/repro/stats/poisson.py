@@ -1,0 +1,95 @@
+"""Poisson distribution built on the shared log-factorial buffer.
+
+Kirsch et al. (PODS 2009, ref [10]) approximate the null count of
+k-itemsets with support at least ``s`` by a Poisson law; their support-
+threshold procedure needs its upper tail. Implemented in log space so
+large means and large counts do not overflow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import StatsError
+from .logfact import LogFactorialBuffer, default_buffer
+
+__all__ = [
+    "poisson_log_pmf",
+    "poisson_pmf",
+    "poisson_cdf",
+    "poisson_sf",
+    "poisson_test_upper",
+]
+
+
+def _validate(k: int, mean: float) -> None:
+    if k < 0:
+        raise StatsError(f"k must be >= 0, got {k}")
+    if mean < 0.0 or math.isnan(mean):
+        raise StatsError(f"mean must be >= 0, got {mean}")
+
+
+def poisson_log_pmf(k: int, mean: float,
+                    buffer: Optional[LogFactorialBuffer] = None,
+                    ) -> float:
+    """``log P(X = k)`` for ``X ~ Poisson(mean)``."""
+    _validate(k, mean)
+    if mean == 0.0:
+        return 0.0 if k == 0 else float("-inf")
+    buffer = buffer or default_buffer()
+    return k * math.log(mean) - mean - buffer.log_factorial(k)
+
+
+def poisson_pmf(k: int, mean: float,
+                buffer: Optional[LogFactorialBuffer] = None) -> float:
+    """``P(X = k)`` for ``X ~ Poisson(mean)``."""
+    return math.exp(poisson_log_pmf(k, mean, buffer=buffer))
+
+
+def poisson_cdf(k: int, mean: float,
+                buffer: Optional[LogFactorialBuffer] = None) -> float:
+    """``P(X <= k)`` by direct summation of the lower tail."""
+    _validate(k, mean)
+    total = 0.0
+    for i in range(0, k + 1):
+        total += poisson_pmf(i, mean, buffer=buffer)
+    return min(1.0, total)
+
+
+def poisson_sf(k: int, mean: float,
+               buffer: Optional[LogFactorialBuffer] = None) -> float:
+    """``P(X > k)`` (strict upper tail).
+
+    Summed upward from ``k + 1`` when that tail is light (``k`` above
+    the mean), otherwise via the complement, so the result keeps
+    relative accuracy where it matters — in the small tail.
+    """
+    _validate(k, mean)
+    if k + 1 > mean:
+        # Light upper tail: terms decay geometrically by mean/(i+1).
+        log_term = poisson_log_pmf(k + 1, mean, buffer=buffer)
+        if log_term == float("-inf"):
+            return 0.0
+        term = math.exp(log_term)
+        total = 0.0
+        i = k + 1
+        while term > 0.0:
+            total += term
+            i += 1
+            term *= mean / i
+            if term < total * 1e-18:
+                total += term / (1.0 - mean / (i + 1))
+                break
+        return min(1.0, total)
+    return max(0.0, 1.0 - poisson_cdf(k, mean, buffer=buffer))
+
+
+def poisson_test_upper(k: int, mean: float,
+                       buffer: Optional[LogFactorialBuffer] = None,
+                       ) -> float:
+    """One-sided exact test ``P(X >= k)`` for ``X ~ Poisson(mean)``."""
+    _validate(k, mean)
+    if k == 0:
+        return 1.0
+    return min(1.0, poisson_sf(k - 1, mean, buffer=buffer))

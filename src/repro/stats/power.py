@@ -1,0 +1,206 @@
+"""Analytic detectability and power calculations.
+
+The paper's Figures 1 and 9 show how a rule's p-value is governed by
+its coverage and confidence, and Section 2.3 works through the
+consequences ("when #records=1000, supp(c)=500 and supp(X)=5, even if
+conf(R)=1, the p-value is as high as 0.062"). This module turns those
+observations into a calculator:
+
+* :func:`min_detectable_support` / :func:`min_detectable_confidence` —
+  the smallest rule support (equivalently confidence) at which a rule
+  of given coverage clears a raw-p threshold. This is the *decision
+  boundary* that every corrected method induces; Figure 8's power
+  curves are step functions of the planted confidence around it.
+* :func:`min_testable_coverage` — the smallest coverage that can reach
+  a threshold at all (the LAMP testability bound, exposed directly).
+* :func:`detection_power` — the probability that a planted rule with
+  given true confidence is detected at a threshold, under the
+  binomial model of the synthetic generator (``supp(R) ~
+  Binomial(coverage, conf)``). Predicts the Section 5.5 power sweeps
+  without running a single permutation.
+* :func:`power_curve` — :func:`detection_power` over a confidence
+  sweep, i.e. the analytic counterpart of Figure 8(a)/10(a).
+
+These are *planning* tools: given a dataset's shape and a correction's
+threshold, they answer "what is the weakest rule I could possibly
+find?" before any mining runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..errors import StatsError
+from .hypergeom import support_bounds
+from .logfact import LogFactorialBuffer, default_buffer
+from .pvalue_buffer import PValueBuffer
+
+__all__ = [
+    "deterministic_detection",
+    "min_detectable_support",
+    "min_detectable_confidence",
+    "min_testable_coverage",
+    "detection_power",
+    "power_curve",
+]
+
+
+def _check_shape(n: int, n_c: int, supp_x: int) -> None:
+    if n <= 0:
+        raise StatsError("n must be positive")
+    if not 0 < n_c < n:
+        raise StatsError(f"n_c={n_c} must be strictly between 0 and {n}")
+    if not 0 < supp_x <= n:
+        raise StatsError(f"coverage {supp_x} out of (0, {n}]")
+
+
+def min_detectable_support(n: int, n_c: int, supp_x: int,
+                           threshold: float,
+                           buffer: Optional[LogFactorialBuffer] = None,
+                           ) -> Optional[int]:
+    """Smallest ``supp(R)`` on the positive flank with ``p <=
+    threshold``.
+
+    Scans downward from the maximal support ``U = min(n_c, supp_x)``;
+    p-values increase toward the distribution's middle, so the first
+    failure ends the run. Returns ``None`` when even a perfect split
+    (``supp(R) = U``) is not significant — the coverage is untestable
+    at this threshold.
+    """
+    _check_shape(n, n_c, supp_x)
+    if not 0.0 < threshold <= 1.0:
+        raise StatsError(f"threshold must be in (0, 1], got {threshold}")
+    table = PValueBuffer(n, n_c, supp_x, buffer)
+    _low, high = support_bounds(n, n_c, supp_x)
+    best: Optional[int] = None
+    for k in range(high, -1, -1):
+        if k < table.low or table.p_value(k) > threshold:
+            break
+        best = k
+    return best
+
+
+def min_detectable_confidence(n: int, n_c: int, supp_x: int,
+                              threshold: float,
+                              buffer: Optional[LogFactorialBuffer] = None,
+                              ) -> Optional[float]:
+    """Smallest confidence at which coverage ``supp_x`` clears
+    ``threshold``.
+
+    The confidence form of :func:`min_detectable_support`; ``None``
+    when the coverage is untestable. This is the x-coordinate where
+    Figure 8's power curves leave zero.
+    """
+    support = min_detectable_support(n, n_c, supp_x, threshold, buffer)
+    if support is None:
+        return None
+    return support / supp_x
+
+
+def min_testable_coverage(n: int, n_c: int, threshold: float,
+                          buffer: Optional[LogFactorialBuffer] = None,
+                          ) -> Optional[int]:
+    """Smallest coverage whose best-case p-value reaches ``threshold``.
+
+    The LAMP testability bound: rules below this coverage can never be
+    significant at ``threshold`` no matter how pure their class split
+    (Section 2.3's coverage-5 example evaluates to 6 at threshold
+    0.05 with n=1000, n_c=500). Returns ``None`` if no coverage up to
+    ``n`` qualifies.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise StatsError(f"threshold must be in (0, 1], got {threshold}")
+    from .fisher import min_attainable_p_value
+    for supp_x in range(1, n + 1):
+        if min_attainable_p_value(n, n_c, supp_x, buffer) <= threshold:
+            return supp_x
+    return None
+
+
+def detection_power(n: int, n_c: int, supp_x: int,
+                    true_confidence: float, threshold: float,
+                    buffer: Optional[LogFactorialBuffer] = None) -> float:
+    """P(rule is detected) under the binomial support model.
+
+    Models the planted rule's realised support as ``Binomial(supp_x,
+    true_confidence)`` — each covered record carries the class
+    independently, the natural model for associations in real data —
+    and returns the probability that it lands at or above
+    :func:`min_detectable_support`. Returns 0.0 for untestable
+    coverages.
+
+    This is a *model* of the Section 5.5 experiments, not a bound: it
+    ignores the slight margin distortion embedding causes (``n_c`` is
+    held at its nominal value) and scores only the positive flank of
+    the two-tailed test. Note that this library's synthetic generator
+    embeds the planted support *deterministically*; against it the
+    sharper :func:`deterministic_detection` predicate applies (the
+    binomial curve sits below it near the boundary).
+    """
+    _check_shape(n, n_c, supp_x)
+    if not 0.0 <= true_confidence <= 1.0:
+        raise StatsError("true_confidence must be within [0, 1]")
+    k_min = min_detectable_support(n, n_c, supp_x, threshold, buffer)
+    if k_min is None:
+        return 0.0
+    return _binomial_sf(supp_x, true_confidence, k_min, buffer)
+
+
+def deterministic_detection(n: int, n_c: int, supp_x: int,
+                            true_confidence: float, threshold: float,
+                            buffer: Optional[LogFactorialBuffer] = None,
+                            ) -> bool:
+    """Would a rule planted with *exact* support clear the threshold?
+
+    :mod:`repro.data.synthetic` embeds rules deterministically — the
+    planted support is ``round(conf * coverage)``, not a binomial
+    draw — so against that generator the power curve is this step
+    function (softened only by the generator's random filling).
+    :func:`detection_power`'s binomial model is the right choice for
+    effects arising in real data; this predicate is the right one for
+    the library's own synthetic experiments. The
+    ``test_ablation_analytic_power`` bench overlays both against
+    simulation.
+    """
+    _check_shape(n, n_c, supp_x)
+    if not 0.0 <= true_confidence <= 1.0:
+        raise StatsError("true_confidence must be within [0, 1]")
+    k_min = min_detectable_support(n, n_c, supp_x, threshold, buffer)
+    if k_min is None:
+        return False
+    return round(true_confidence * supp_x) >= k_min
+
+
+def power_curve(n: int, n_c: int, supp_x: int,
+                confidences: Sequence[float], threshold: float,
+                buffer: Optional[LogFactorialBuffer] = None,
+                ) -> List[float]:
+    """:func:`detection_power` over a confidence sweep (Figure 8(a)'s
+    analytic counterpart)."""
+    shared = buffer or default_buffer()
+    return [detection_power(n, n_c, supp_x, conf, threshold, shared)
+            for conf in confidences]
+
+
+def _binomial_sf(trials: int, p: float, k_min: int,
+                 buffer: Optional[LogFactorialBuffer] = None) -> float:
+    """P(Binomial(trials, p) >= k_min), exactly, in log space."""
+    if k_min <= 0:
+        return 1.0
+    if k_min > trials:
+        return 0.0
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0
+    logs = buffer or default_buffer()
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    total = 0.0
+    # Sum the upper tail from its far end so small terms add first.
+    for k in range(trials, k_min - 1, -1):
+        log_term = (logs.log_binomial(trials, k)
+                    + k * log_p + (trials - k) * log_q)
+        total += math.exp(log_term)
+    return min(total, 1.0)

@@ -1,0 +1,140 @@
+"""The p-value buffer ``B_supp(X)`` of Section 4.2.3 (Figure 2).
+
+For fixed ``n`` (records), ``n_c`` (class support) and coverage
+``supp(X)``, a rule's two-tailed Fisher p-value depends only on
+``supp(R) = k``. The buffer precomputes the p-value for *every*
+reachable ``k in [L, U]`` so that permutation testing can score a rule
+on each permutation with a single table lookup.
+
+Construction follows the paper exactly: the hypergeometric pmf is
+unimodal, so its smallest values sit at the two ends of ``[L, U]``.
+Starting from both ends and walking inward, pmf values are accumulated
+in ascending order; after processing entry ``k`` the running sum is the
+two-tailed p-value for ``supp(R) = k`` (the total mass of all outcomes
+at most as probable as ``k``). Ties — outcomes on opposite flanks with
+equal probability, inevitable when ``n_c = n/2`` — are grouped: every
+member of a tie group receives the sum *including* the whole group,
+which matches the definition ``E = {j : H(j) <= H(k)}``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import StatsError
+from .hypergeom import pmf_table, support_bounds
+from .logfact import LogFactorialBuffer
+
+__all__ = ["PValueBuffer", "RELATIVE_TIE_TOLERANCE"]
+
+# Two pmf values within this relative factor are treated as equal when
+# deciding which outcomes are "at least as extreme". The same guard
+# factor is used by scipy's two-tailed Fisher test; it absorbs the
+# round-off difference between analytically identical flank values.
+RELATIVE_TIE_TOLERANCE = 1.0 + 1e-7
+
+
+class PValueBuffer:
+    """All possible two-tailed p-values for one coverage value.
+
+    Parameters
+    ----------
+    n, n_c, supp_x:
+        Dataset size, class support and rule coverage; together they fix
+        the hypergeometric null.
+    buffer:
+        Optional shared log-factorial buffer.
+    midp:
+        When true, store Lancaster mid-p values instead: each entry is
+        the two-tailed p-value minus half the observed outcome's pmf.
+        Mid-p is less conservative than the exact test (the discrete
+        statistic makes the exact test over-cover); the buffer layout
+        and lookup protocol are unchanged, so the whole permutation
+        pipeline works with mid-p transparently.
+
+    Attributes
+    ----------
+    low, high:
+        The reachable range ``[L, U]`` of ``supp(R)``.
+    """
+
+    __slots__ = ("n", "n_c", "supp_x", "low", "high", "midp", "_pvalues")
+
+    def __init__(self, n: int, n_c: int, supp_x: int,
+                 buffer: Optional[LogFactorialBuffer] = None,
+                 midp: bool = False) -> None:
+        self.n = n
+        self.n_c = n_c
+        self.supp_x = supp_x
+        self.midp = midp
+        self.low, self.high = support_bounds(n, n_c, supp_x)
+        pmf = pmf_table(n, n_c, supp_x, buffer)
+        self._pvalues = _two_ends_sum_up(pmf)
+        if midp:
+            self._pvalues = [
+                max(0.0, p - 0.5 * mass)
+                for p, mass in zip(self._pvalues, pmf)
+            ]
+
+    def __len__(self) -> int:
+        return len(self._pvalues)
+
+    def p_value(self, supp_r: int) -> float:
+        """Two-tailed p-value of a rule with support ``supp_r``.
+
+        ``supp_r`` must lie in ``[L, U]``; anything else is impossible
+        for this coverage and indicates a caller bug.
+        """
+        if supp_r < self.low or supp_r > self.high:
+            raise StatsError(
+                f"supp(R)={supp_r} outside reachable range "
+                f"[{self.low}, {self.high}] for n={self.n}, "
+                f"n_c={self.n_c}, supp(X)={self.supp_x}")
+        return self._pvalues[supp_r - self.low]
+
+    def p_values(self) -> List[float]:
+        """The full table ``[p(L), ..., p(U)]`` (a defensive copy)."""
+        return list(self._pvalues)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the table (doubles)."""
+        return 8 * len(self._pvalues)
+
+    def __repr__(self) -> str:
+        return (f"PValueBuffer(n={self.n}, n_c={self.n_c}, "
+                f"supp_x={self.supp_x}, range=[{self.low}, {self.high}])")
+
+
+def _two_ends_sum_up(pmf: Sequence[float]) -> List[float]:
+    """Figure 2's two-ends-inward accumulation with tie grouping.
+
+    Walks a left pointer up and a right pointer down, always consuming
+    the smaller pmf next. A *group* is the maximal run of entries (from
+    either flank) whose pmf equals the group minimum within
+    ``RELATIVE_TIE_TOLERANCE``; the running total after the whole group
+    is assigned to every member, so tied outcomes include each other.
+    """
+    m = len(pmf)
+    result = [0.0] * m
+    left, right = 0, m - 1
+    total = 0.0
+    while left <= right:
+        smallest = min(pmf[left], pmf[right])
+        ceiling = smallest * RELATIVE_TIE_TOLERANCE
+        group: List[int] = []
+        while left <= right and pmf[left] <= ceiling:
+            group.append(left)
+            left += 1
+        while left <= right and pmf[right] <= ceiling:
+            group.append(right)
+            right -= 1
+        if not group:
+            # Defensive: cannot happen (one flank always matches its
+            # own minimum), but never loop forever on pathological NaN.
+            raise StatsError("pmf table is not unimodal or contains NaN")
+        total += sum(pmf[i] for i in group)
+        for i in group:
+            result[i] = total
+    # Clamp tiny floating point overshoot so callers can rely on p <= 1.
+    return [p if p < 1.0 else 1.0 for p in result]

@@ -1,0 +1,133 @@
+"""Unit tests for the CBA classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify import CBAClassifier, record_item_sets
+from repro.errors import DataError
+from repro.mining.rules import mine_class_rules
+
+
+@pytest.fixture
+def tiny_ruleset(tiny_dataset):
+    return mine_class_rules(tiny_dataset, min_sup=2)
+
+
+@pytest.fixture
+def fitted(tiny_ruleset):
+    return CBAClassifier().fit(tiny_ruleset)
+
+
+class TestFit:
+    def test_fit_returns_self(self, tiny_ruleset):
+        classifier = CBAClassifier()
+        assert classifier.fit(tiny_ruleset) is classifier
+
+    def test_default_class_is_set(self, fitted):
+        assert fitted.default_class in (0, 1)
+
+    def test_training_errors_recorded(self, fitted, tiny_dataset):
+        assert 0 <= fitted.training_errors <= tiny_dataset.n_records
+
+    def test_rules_are_subset_of_candidates(self, fitted, tiny_ruleset):
+        candidate_keys = {(rule.items, rule.class_index)
+                          for rule in tiny_ruleset.rules}
+        for rule in fitted.rules:
+            assert (rule.items, rule.class_index) in candidate_keys
+
+    def test_perfect_separator_yields_zero_errors(self, tiny_dataset,
+                                                  tiny_ruleset):
+        # Attribute A perfectly separates pos (a) from neg (b).
+        fitted = CBAClassifier().fit(tiny_ruleset)
+        assert fitted.training_errors == 0
+
+    def test_empty_rule_list_degenerates_to_default(self, tiny_ruleset,
+                                                    tiny_dataset):
+        fitted = CBAClassifier().fit(tiny_ruleset, rules=[])
+        assert fitted.n_rules == 0
+        sets = record_item_sets(tiny_dataset)
+        predictions = fitted.predict(sets)
+        assert all(p == fitted.default_class for p in predictions)
+
+    def test_explicit_rule_subset_is_respected(self, tiny_ruleset):
+        subset = tiny_ruleset.rules[:1]
+        fitted = CBAClassifier().fit(tiny_ruleset, rules=subset)
+        assert fitted.n_rules <= 1
+
+
+class TestPredict:
+    def test_training_accuracy_on_separable_data(self, fitted,
+                                                 tiny_dataset):
+        sets = record_item_sets(tiny_dataset)
+        predictions = fitted.predict(sets)
+        correct = sum(1 for p, a in zip(predictions,
+                                        tiny_dataset.class_labels)
+                      if p == a)
+        assert correct == tiny_dataset.n_records
+
+    def test_prediction_carries_fired_rule(self, fitted, tiny_dataset):
+        sets = record_item_sets(tiny_dataset)
+        prediction = fitted.predict_itemset(sets[0])
+        if not prediction.is_default:
+            assert prediction.rule is not None
+            assert prediction.rule.items <= sets[0]
+
+    def test_unseen_itemset_falls_to_default(self, fitted):
+        prediction = fitted.predict_itemset(frozenset({10_000}))
+        assert prediction.is_default
+        assert prediction.rule is None
+        assert prediction.class_index == fitted.default_class
+
+    def test_default_score_is_class_prior(self, fitted):
+        prediction = fitted.predict_itemset(frozenset({10_000}))
+        assert prediction.score == pytest.approx(0.5)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(DataError, match="not fitted"):
+            CBAClassifier().predict_itemset(frozenset())
+
+
+class TestOrderVariants:
+    def test_significance_order_accepted(self, tiny_ruleset):
+        fitted = CBAClassifier(order="significance").fit(tiny_ruleset)
+        assert fitted.default_class is not None
+
+    def test_unknown_order_raises_at_fit(self, tiny_ruleset):
+        with pytest.raises(ValueError, match="unknown rule order"):
+            CBAClassifier(order="bogus").fit(tiny_ruleset)
+
+
+class TestDescribe:
+    def test_unfitted_describe(self, tiny_dataset):
+        assert "not fitted" in CBAClassifier().describe(tiny_dataset)
+
+    def test_fitted_describe_mentions_default(self, fitted,
+                                              tiny_dataset):
+        text = fitted.describe(tiny_dataset)
+        assert "default=" in text
+        assert "training_errors=" in text
+
+    def test_describe_truncates(self, fitted, tiny_dataset):
+        text = fitted.describe(tiny_dataset, limit=0)
+        if fitted.n_rules:
+            assert "more" in text
+
+
+class TestCoveragePruning:
+    def test_pruned_classifier_is_smaller_on_synthetic(self,
+                                                       embedded_data):
+        dataset = embedded_data.dataset
+        ruleset = mine_class_rules(dataset, min_sup=40)
+        fitted = CBAClassifier().fit(ruleset)
+        assert 0 < fitted.n_rules < len(ruleset.rules)
+
+    def test_training_error_never_worse_than_default_only(
+            self, embedded_data):
+        dataset = embedded_data.dataset
+        ruleset = mine_class_rules(dataset, min_sup=40)
+        fitted = CBAClassifier().fit(ruleset)
+        majority = max(dataset.class_support(c)
+                       for c in range(dataset.n_classes))
+        default_only_errors = dataset.n_records - majority
+        assert fitted.training_errors <= default_only_errors

@@ -1,0 +1,136 @@
+"""Unit tests for the CMAR voting classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify import CBAClassifier, CMARClassifier, record_item_sets
+from repro.classify.cmar import max_chi2
+from repro.errors import DataError
+from repro.mining.rules import mine_class_rules
+from repro.stats.chi2 import chi2_statistic
+
+
+@pytest.fixture
+def tiny_ruleset(tiny_dataset):
+    return mine_class_rules(tiny_dataset, min_sup=2)
+
+
+@pytest.fixture
+def fitted(tiny_ruleset):
+    return CMARClassifier().fit(tiny_ruleset)
+
+
+class TestMaxChi2:
+    def test_perfect_association_attains_the_bound(self):
+        # coverage 10, n_c 10, n 20: best table is [[10,0],[0,10]].
+        bound = max_chi2(10, 10, 20)
+        attained = chi2_statistic(10, 0, 0, 10)
+        assert bound == pytest.approx(attained)
+
+    def test_statistic_never_exceeds_bound(self):
+        n, n_c, coverage = 50, 20, 15
+        bound = max_chi2(coverage, n_c, n)
+        for support in range(0, min(coverage, n_c) + 1):
+            a = support
+            b = coverage - support
+            c = n_c - support
+            d = n - n_c - b
+            if d < 0:
+                continue
+            assert chi2_statistic(a, b, c, d) <= bound + 1e-9
+
+    def test_degenerate_margins_score_zero(self):
+        assert max_chi2(0, 10, 20) == 0.0
+        assert max_chi2(20, 10, 20) == 0.0
+        assert max_chi2(10, 0, 20) == 0.0
+        assert max_chi2(10, 20, 20) == 0.0
+
+
+class TestFit:
+    def test_fit_returns_self(self, tiny_ruleset):
+        classifier = CMARClassifier()
+        assert classifier.fit(tiny_ruleset) is classifier
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(DataError, match="delta"):
+            CMARClassifier(delta=0)
+
+    def test_delta_one_keeps_no_more_rules_than_delta_three(
+            self, tiny_ruleset):
+        thin = CMARClassifier(delta=1).fit(tiny_ruleset)
+        thick = CMARClassifier(delta=3).fit(tiny_ruleset)
+        assert thin.n_rules <= thick.n_rules
+
+    def test_weights_are_nonnegative(self, fitted):
+        assert all(w >= 0.0 for w in fitted._weights.values())
+
+    def test_empty_rule_base_degenerates_to_default(self, tiny_ruleset):
+        fitted = CMARClassifier().fit(tiny_ruleset, rules=[])
+        prediction = fitted.predict_itemset(frozenset())
+        assert prediction.is_default
+
+
+class TestPredict:
+    def test_training_accuracy_on_separable_data(self, fitted,
+                                                 tiny_dataset):
+        sets = record_item_sets(tiny_dataset)
+        predictions = fitted.predict(sets)
+        correct = sum(1 for p, a in zip(predictions,
+                                        tiny_dataset.class_labels)
+                      if p == a)
+        assert correct == tiny_dataset.n_records
+
+    def test_unseen_itemset_falls_to_default(self, fitted):
+        prediction = fitted.predict_itemset(frozenset({10_000}))
+        assert prediction.is_default
+        assert prediction.class_index == fitted.default_class
+
+    def test_winning_score_is_normalized(self, fitted, tiny_dataset):
+        sets = record_item_sets(tiny_dataset)
+        for items in sets:
+            prediction = fitted.predict_itemset(items)
+            assert 0.0 <= prediction.score <= 1.0
+
+    def test_prediction_rule_belongs_to_winning_class(self, fitted,
+                                                      tiny_dataset):
+        sets = record_item_sets(tiny_dataset)
+        for items in sets:
+            prediction = fitted.predict_itemset(items)
+            if prediction.rule is not None:
+                assert prediction.rule.class_index == \
+                    prediction.class_index
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(DataError, match="not fitted"):
+            CMARClassifier().predict_itemset(frozenset())
+
+
+class TestAgreementWithCBA:
+    def test_agrees_with_cba_on_separable_data(self, tiny_dataset,
+                                               tiny_ruleset):
+        cba = CBAClassifier().fit(tiny_ruleset)
+        cmar = CMARClassifier().fit(tiny_ruleset)
+        sets = record_item_sets(tiny_dataset)
+        assert cba.predict(sets) == cmar.predict(sets)
+
+    def test_synthetic_accuracy_at_least_default(self, embedded_data):
+        dataset = embedded_data.dataset
+        ruleset = mine_class_rules(dataset, min_sup=40)
+        fitted = CMARClassifier().fit(ruleset)
+        sets = record_item_sets(dataset)
+        predictions = fitted.predict(sets)
+        correct = sum(1 for p, a in zip(predictions,
+                                        dataset.class_labels)
+                      if p == a)
+        majority = max(dataset.class_support(c)
+                       for c in range(dataset.n_classes))
+        assert correct >= majority * 0.9
+
+
+class TestDescribe:
+    def test_unfitted_describe(self, tiny_dataset):
+        assert "not fitted" in CMARClassifier().describe(tiny_dataset)
+
+    def test_fitted_describe_mentions_delta(self, fitted, tiny_dataset):
+        assert "delta" in fitted.describe(tiny_dataset)

@@ -1,0 +1,88 @@
+"""Tests for the statistical filtering of CPAR's induced rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify import CPARClassifier, record_item_sets
+from repro.classify.cpar import InducedRuleSet
+from repro.classify.evaluate import significance_filtered_classifier
+from repro.corrections import bonferroni
+from repro.errors import DataError
+
+
+@pytest.fixture
+def fitted(embedded_data):
+    return CPARClassifier(min_gain=0.5).fit(embedded_data.dataset)
+
+
+class TestInducedRuleSet:
+    def test_duck_type_fields(self, fitted):
+        ruleset = fitted.induced_ruleset()
+        assert ruleset.n_tests == fitted.n_rules
+        assert len(ruleset.p_values()) == fitted.n_rules
+
+    def test_direct_corrections_accept_it(self, fitted):
+        result = bonferroni(fitted.induced_ruleset(), 0.05)
+        assert result.n_tests == fitted.n_rules
+        assert result.n_significant <= fitted.n_rules
+
+    def test_unfitted_raises(self):
+        with pytest.raises(DataError, match="not fitted"):
+            CPARClassifier().induced_ruleset()
+
+    def test_is_a_copy(self, fitted):
+        ruleset = fitted.induced_ruleset()
+        ruleset.rules.clear()
+        assert fitted.n_rules > 0
+
+
+class TestFiltered:
+    def test_filter_shrinks_or_keeps(self, fitted):
+        filtered = fitted.filtered("bonferroni", 0.05)
+        assert filtered.n_rules <= fitted.n_rules
+
+    def test_original_untouched(self, fitted):
+        before = fitted.n_rules
+        fitted.filtered("bonferroni", 0.05)
+        assert fitted.n_rules == before
+
+    def test_bh_no_stricter_than_bonferroni(self, fitted):
+        bh = fitted.filtered("bh", 0.05)
+        bc = fitted.filtered("bonferroni", 0.05)
+        assert bh.n_rules >= bc.n_rules
+
+    def test_filtered_classifier_still_predicts(self, fitted,
+                                                embedded_data):
+        filtered = fitted.filtered("bonferroni", 0.05)
+        sets = record_item_sets(embedded_data.dataset)
+        predictions = filtered.predict(sets)
+        assert len(predictions) == embedded_data.dataset.n_records
+
+    def test_survivors_meet_the_threshold(self, fitted):
+        filtered = fitted.filtered("bonferroni", 0.05)
+        threshold = 0.05 / fitted.n_rules
+        for rule in filtered.rules:
+            assert rule.p_value <= threshold
+
+    def test_unknown_correction_rejected(self, fitted):
+        with pytest.raises(DataError, match="direct adjustment"):
+            fitted.filtered("permutation-fwer", 0.05)
+
+
+class TestEvaluateIntegration:
+    def test_cpar_through_the_harness(self, embedded_data):
+        fitted = significance_filtered_classifier(
+            embedded_data.dataset, min_sup=40, correction="none",
+            classifier="cpar")
+        assert fitted.n_rules >= 0
+        assert fitted.default_class is not None
+
+    def test_cpar_with_bonferroni_filter(self, embedded_data):
+        plain = significance_filtered_classifier(
+            embedded_data.dataset, min_sup=40, correction="none",
+            classifier="cpar")
+        filtered = significance_filtered_classifier(
+            embedded_data.dataset, min_sup=40,
+            correction="bonferroni", classifier="cpar")
+        assert filtered.n_rules <= plain.n_rules

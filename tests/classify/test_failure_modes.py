@@ -1,0 +1,154 @@
+"""Failure-injection tests: classifiers under degenerate inputs.
+
+A production classifier meets skewed classes, single-class folds,
+empty rule pools and mismatched catalogs. These tests pin down what
+each classifier does there — predictable degradation, never a crash
+with a confusing traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify import (
+    CBAClassifier,
+    CMARClassifier,
+    CPARClassifier,
+    cross_validate,
+    record_item_sets,
+    stratified_folds,
+)
+from repro.data import Dataset
+from repro.errors import EvaluationError
+from repro.mining.rules import mine_class_rules
+
+
+@pytest.fixture
+def skewed_dataset():
+    """19 records of one class, 1 of the other."""
+    records = [[f"v{r % 2}"] for r in range(20)]
+    labels = ["big"] * 19 + ["small"]
+    return Dataset.from_records(records, labels, ["A"], name="skewed")
+
+
+@pytest.fixture
+def constant_dataset():
+    """Every record identical: rules carry no information."""
+    records = [["x", "y"]] * 12
+    labels = ["a", "b"] * 6
+    return Dataset.from_records(records, labels, ["A", "B"],
+                                name="constant")
+
+
+class TestSkewedClasses:
+    def test_cba_defaults_to_majority(self, skewed_dataset):
+        ruleset = mine_class_rules(skewed_dataset, min_sup=1)
+        fitted = CBAClassifier().fit(ruleset)
+        prediction = fitted.predict_itemset(frozenset({999}))
+        assert skewed_dataset.class_names[prediction.class_index] == \
+            "big"
+
+    def test_cba_training_errors_at_most_minority(self,
+                                                  skewed_dataset):
+        ruleset = mine_class_rules(skewed_dataset, min_sup=1)
+        fitted = CBAClassifier().fit(ruleset)
+        assert fitted.training_errors <= 1
+
+    def test_cpar_handles_tiny_minority(self, skewed_dataset):
+        fitted = CPARClassifier(min_gain=0.1).fit(skewed_dataset)
+        sets = record_item_sets(skewed_dataset)
+        predictions = fitted.predict(sets)
+        assert len(predictions) == 20
+
+
+class TestConstantData:
+    def test_cba_on_uninformative_rules(self, constant_dataset):
+        ruleset = mine_class_rules(constant_dataset, min_sup=1)
+        fitted = CBAClassifier().fit(ruleset)
+        # Nothing separates the classes; accuracy equals the prior.
+        sets = record_item_sets(constant_dataset)
+        predictions = fitted.predict(sets)
+        correct = sum(
+            1 for p, a in zip(predictions,
+                              constant_dataset.class_labels)
+            if p == a)
+        assert correct == 6
+
+    def test_cmar_on_uninformative_rules(self, constant_dataset):
+        ruleset = mine_class_rules(constant_dataset, min_sup=1)
+        fitted = CMARClassifier().fit(ruleset)
+        prediction = fitted.predict_itemset(frozenset({0, 1}))
+        assert prediction.class_index in (0, 1)
+
+    def test_cpar_induces_nothing_useful(self, constant_dataset):
+        fitted = CPARClassifier().fit(constant_dataset)
+        # No literal can achieve positive gain on constant data at the
+        # default min_gain; prediction falls back to the default.
+        prediction = fitted.predict_itemset(frozenset({0, 1}))
+        if fitted.n_rules == 0:
+            assert prediction.is_default
+
+
+class TestCrossValidationEdges:
+    def test_folds_with_singleton_class(self, skewed_dataset):
+        folds = stratified_folds(skewed_dataset.class_labels, 2)
+        sizes = [len(fold) for fold in folds]
+        assert sum(sizes) == 20
+        # the single minority record lands in exactly one fold
+        minority_fold_count = sum(
+            1 for fold in folds
+            if any(skewed_dataset.class_labels[r] == 1 for r in fold))
+        assert minority_fold_count == 1
+
+    def test_cv_survives_single_class_training_fold(self):
+        """With 2 records of one class and 2 folds, one training half
+        can still see both classes; the harness must not crash even
+        when a fold's minority count is zero."""
+        records = [[f"v{r % 3}"] for r in range(10)]
+        labels = ["a"] * 8 + ["b"] * 2
+        dataset = Dataset.from_records(records, labels, ["A"],
+                                       name="nearly-one-class")
+
+        def factory(train):
+            return CBAClassifier().fit(mine_class_rules(train,
+                                                        min_sup=1))
+
+        result = cross_validate(dataset, factory, k=2, seed=0)
+        assert result.confusion.total == 10
+
+    def test_more_folds_than_minority_records(self):
+        records = [[f"v{r % 2}"] for r in range(9)]
+        labels = ["a"] * 8 + ["b"]
+        dataset = Dataset.from_records(records, labels, ["A"],
+                                       name="minority-one")
+
+        def factory(train):
+            return CBAClassifier().fit(mine_class_rules(train,
+                                                        min_sup=1))
+
+        result = cross_validate(dataset, factory, k=3, seed=1)
+        assert len(result.fold_accuracies) == 3
+
+    def test_invalid_k_rejected(self, skewed_dataset):
+        def factory(train):
+            return CBAClassifier().fit(mine_class_rules(train,
+                                                        min_sup=1))
+
+        with pytest.raises(EvaluationError):
+            cross_validate(skewed_dataset, factory, k=1)
+
+
+class TestForeignItemsets:
+    def test_prediction_with_items_outside_catalog(self, skewed_dataset):
+        ruleset = mine_class_rules(skewed_dataset, min_sup=1)
+        for classifier in (CBAClassifier().fit(ruleset),
+                           CMARClassifier().fit(ruleset)):
+            prediction = classifier.predict_itemset(
+                frozenset({10**6, 10**6 + 1}))
+            assert prediction.is_default
+
+    def test_empty_itemset(self, skewed_dataset):
+        ruleset = mine_class_rules(skewed_dataset, min_sup=1)
+        fitted = CBAClassifier().fit(ruleset)
+        prediction = fitted.predict_itemset(frozenset())
+        assert prediction.class_index in (0, 1)

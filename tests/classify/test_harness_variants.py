@@ -1,0 +1,75 @@
+"""The correction-vs-accuracy harness across all three classifiers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify import compare_filtered_rule_bases, cross_validate
+from repro.classify.evaluate import CrossValidationResult, ConfusionMatrix
+
+
+class TestHarnessWithCMAR:
+    def test_cmar_rows(self, embedded_data):
+        reports = compare_filtered_rule_bases(
+            embedded_data.dataset, min_sup=40,
+            corrections=("none", "bonferroni"), classifier="cmar",
+            k=None)
+        assert len(reports) == 2
+        for report in reports:
+            assert report.n_classifier_rules >= 0
+            assert 0.0 <= report.training_accuracy <= 1.0
+
+    def test_cmar_filtering_monotone(self, embedded_data):
+        reports = compare_filtered_rule_bases(
+            embedded_data.dataset, min_sup=40,
+            corrections=("none", "bonferroni"), classifier="cmar",
+            k=None)
+        by_name = {r.correction: r for r in reports}
+        assert (by_name["none"].n_significant_rules
+                >= by_name["bonferroni"].n_significant_rules)
+
+
+class TestHarnessWithCPAR:
+    def test_cpar_candidates_equal_induced(self, embedded_data):
+        reports = compare_filtered_rule_bases(
+            embedded_data.dataset, min_sup=40,
+            corrections=("none",), classifier="cpar", k=None)
+        report = reports[0]
+        # For the greedy inducer the candidate pool IS the rule base.
+        assert report.n_candidate_rules == report.n_classifier_rules
+
+    def test_cpar_bonferroni_prunes(self, embedded_data):
+        reports = compare_filtered_rule_bases(
+            embedded_data.dataset, min_sup=40,
+            corrections=("none", "bonferroni"), classifier="cpar",
+            k=None)
+        by_name = {r.correction: r for r in reports}
+        assert (by_name["bonferroni"].n_classifier_rules
+                <= by_name["none"].n_classifier_rules)
+
+
+class TestStatisticsHelpers:
+    def test_empty_cv_result(self):
+        result = CrossValidationResult(
+            fold_accuracies=[], confusion=ConfusionMatrix(["a", "b"]),
+            fold_rule_counts=[])
+        assert result.mean_accuracy == 0.0
+        assert result.std_accuracy == 0.0
+        assert result.mean_rule_count == 0.0
+
+    def test_single_fold_std_is_zero(self):
+        result = CrossValidationResult(
+            fold_accuracies=[0.8],
+            confusion=ConfusionMatrix(["a", "b"]),
+            fold_rule_counts=[3])
+        assert result.std_accuracy == 0.0
+        assert result.mean_accuracy == pytest.approx(0.8)
+
+    def test_std_of_spread_folds(self):
+        result = CrossValidationResult(
+            fold_accuracies=[0.5, 0.9],
+            confusion=ConfusionMatrix(["a", "b"]),
+            fold_rule_counts=[2, 4])
+        assert result.mean_accuracy == pytest.approx(0.7)
+        assert result.std_accuracy == pytest.approx(0.2)
+        assert result.mean_rule_count == pytest.approx(3.0)

@@ -1,0 +1,71 @@
+"""InducedRuleSet against the full direct-adjustment catalogue.
+
+The duck-type contract (rules / p_values() / n_tests) is what lets a
+greedy learner's output flow through the same correction procedures as
+mined rule sets; this file pins that contract per procedure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify import CPARClassifier, InducedRuleSet
+from repro.corrections import (
+    benjamini_hochberg,
+    benjamini_yekutieli,
+    bonferroni,
+    hochberg,
+    holm,
+    no_correction,
+    sidak,
+    storey_fdr,
+    two_stage_bh,
+)
+
+PROCEDURES = [
+    no_correction,
+    bonferroni,
+    benjamini_hochberg,
+    holm,
+    hochberg,
+    sidak,
+    benjamini_yekutieli,
+    storey_fdr,
+    two_stage_bh,
+]
+
+
+
+
+@pytest.mark.parametrize("procedure", PROCEDURES,
+                         ids=lambda f: f.__name__)
+def test_every_direct_procedure_accepts_induced_rules(embedded_data,
+                                                      procedure):
+    fitted = CPARClassifier(min_gain=0.5).fit(embedded_data.dataset)
+    ruleset = fitted.induced_ruleset()
+    result = procedure(ruleset, 0.05)
+    assert result.n_tests == ruleset.n_tests
+    assert 0 <= result.n_significant <= ruleset.n_tests
+    for rule in result.significant:
+        assert rule in ruleset.rules
+
+
+def test_rejection_orderings_hold_on_induced_rules(embedded_data):
+    """The theorem-level nestings hold regardless of rule origin."""
+    fitted = CPARClassifier(min_gain=0.5).fit(embedded_data.dataset)
+    ruleset = fitted.induced_ruleset()
+    bc = bonferroni(ruleset, 0.05).n_significant
+    hl = holm(ruleset, 0.05).n_significant
+    hb = hochberg(ruleset, 0.05).n_significant
+    bh = benjamini_hochberg(ruleset, 0.05).n_significant
+    by = benjamini_yekutieli(ruleset, 0.05).n_significant
+    assert bc <= hl <= hb <= bh
+    assert by <= bh
+
+
+def test_empty_induced_ruleset():
+    ruleset = InducedRuleSet([])
+    assert ruleset.n_tests == 0
+    assert ruleset.p_values() == []
+    result = bonferroni(ruleset, 0.05)
+    assert result.n_significant == 0

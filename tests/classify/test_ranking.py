@@ -1,0 +1,82 @@
+"""Unit tests for CBA and significance rule precedence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify.ranking import (
+    cba_sort_key,
+    rank_rules,
+    significance_sort_key,
+)
+from repro.mining.rules import ClassRule
+
+
+def _rule(pattern_id=0, items=(1,), class_index=0, coverage=10,
+          support=8, confidence=0.8, p_value=0.01):
+    return ClassRule(pattern_id=pattern_id, items=frozenset(items),
+                     class_index=class_index, coverage=coverage,
+                     support=support, confidence=confidence,
+                     p_value=p_value)
+
+
+class TestCBAOrder:
+    def test_higher_confidence_first(self):
+        low = _rule(pattern_id=1, confidence=0.6)
+        high = _rule(pattern_id=2, confidence=0.9)
+        assert rank_rules([low, high]) == [high, low]
+
+    def test_support_breaks_confidence_ties(self):
+        light = _rule(pattern_id=1, support=5)
+        heavy = _rule(pattern_id=2, support=9)
+        assert rank_rules([light, heavy]) == [heavy, light]
+
+    def test_shorter_lhs_breaks_support_ties(self):
+        long_rule = _rule(pattern_id=1, items=(1, 2, 3))
+        short_rule = _rule(pattern_id=2, items=(1, 2))
+        assert rank_rules([long_rule, short_rule]) == [short_rule,
+                                                       long_rule]
+
+    def test_pattern_id_makes_order_total(self):
+        first = _rule(pattern_id=1)
+        second = _rule(pattern_id=2)
+        assert rank_rules([second, first]) == [first, second]
+
+    def test_key_is_deterministic(self):
+        rule = _rule()
+        assert cba_sort_key(rule) == cba_sort_key(rule)
+
+
+class TestSignificanceOrder:
+    def test_lower_p_value_first(self):
+        weak = _rule(pattern_id=1, p_value=0.04)
+        strong = _rule(pattern_id=2, p_value=1e-8)
+        ranked = rank_rules([weak, strong], order="significance")
+        assert ranked == [strong, weak]
+
+    def test_confidence_breaks_p_ties(self):
+        low = _rule(pattern_id=1, confidence=0.6)
+        high = _rule(pattern_id=2, confidence=0.9)
+        ranked = rank_rules([low, high], order="significance")
+        assert ranked == [high, low]
+
+    def test_key_orders_by_p_first(self):
+        better_p = _rule(p_value=1e-6, confidence=0.5)
+        better_conf = _rule(p_value=1e-2, confidence=0.99)
+        assert (significance_sort_key(better_p)
+                < significance_sort_key(better_conf))
+
+
+class TestRankRules:
+    def test_does_not_mutate_input(self):
+        rules = [_rule(pattern_id=2), _rule(pattern_id=1)]
+        snapshot = list(rules)
+        rank_rules(rules)
+        assert rules == snapshot
+
+    def test_unknown_order_raises(self):
+        with pytest.raises(ValueError, match="unknown rule order"):
+            rank_rules([], order="chaos")
+
+    def test_empty_input(self):
+        assert rank_rules([]) == []

@@ -1,0 +1,53 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data import Dataset, GeneratorConfig, generate
+
+
+@pytest.fixture
+def rng():
+    """A deterministic Random for tests that need shuffling."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def tiny_dataset() -> Dataset:
+    """8 records, 3 attributes, 2 classes — hand-checkable."""
+    records = [
+        ["a", "x", "m"],
+        ["a", "x", "n"],
+        ["a", "y", "m"],
+        ["a", "y", "n"],
+        ["b", "x", "m"],
+        ["b", "x", "n"],
+        ["b", "y", "m"],
+        ["b", "y", "n"],
+    ]
+    labels = ["pos", "pos", "pos", "pos", "neg", "neg", "neg", "neg"]
+    return Dataset.from_records(records, labels, ["A", "B", "C"],
+                                name="tiny")
+
+
+@pytest.fixture
+def small_random_dataset() -> Dataset:
+    """A 120-record random dataset (no embedded rules)."""
+    config = GeneratorConfig(n_records=120, n_attributes=8,
+                             min_values=2, max_values=3, n_rules=0)
+    return generate(config, seed=7).dataset
+
+
+@pytest.fixture
+def embedded_data():
+    """A 400-record dataset with one strong planted rule."""
+    config = GeneratorConfig(
+        n_records=400, n_attributes=12, min_values=2, max_values=4,
+        n_rules=1, min_length=2, max_length=3,
+        min_coverage=80, max_coverage=80,
+        min_confidence=0.9, max_confidence=0.9,
+    )
+    return generate(config, seed=11)

@@ -1,0 +1,91 @@
+"""Tests for the correction variants of contrast-set mining."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.contrast import find_contrast_sets
+from repro.data import Dataset, GeneratorConfig, generate
+from repro.errors import MiningError
+
+
+@pytest.fixture
+def contrasting_dataset():
+    rng = random.Random(3)
+    records = []
+    labels = []
+    for g, label in ((0, "treated"), (1, "control")):
+        for __ in range(80):
+            a = "a1" if (rng.random() < (0.75 if g == 0 else 0.25)) \
+                else "a0"
+            b = f"b{rng.randrange(3)}"
+            c = f"c{rng.randrange(2)}"
+            records.append([a, b, c])
+            labels.append(label)
+    return Dataset.from_records(records, labels, ["A", "B", "C"],
+                                name="corrections")
+
+
+class TestCorrectionVariants:
+    def test_unknown_correction_rejected(self, contrasting_dataset):
+        with pytest.raises(MiningError, match="correction"):
+            find_contrast_sets(contrasting_dataset, correction="bh")
+
+    def test_none_is_most_permissive(self, contrasting_dataset):
+        naive = find_contrast_sets(contrasting_dataset,
+                                   min_deviation=0.05,
+                                   correction="none")
+        stucco = find_contrast_sets(contrasting_dataset,
+                                    min_deviation=0.05,
+                                    correction="stucco")
+        bonferroni = find_contrast_sets(contrasting_dataset,
+                                        min_deviation=0.05,
+                                        correction="bonferroni")
+        assert naive.n_found >= stucco.n_found
+        assert naive.n_found >= bonferroni.n_found
+
+    def test_none_uses_flat_alpha(self, contrasting_dataset):
+        naive = find_contrast_sets(contrasting_dataset,
+                                   correction="none", alpha=0.05)
+        assert all(level_alpha == 0.05
+                   for level_alpha in naive.alpha_per_level.values())
+
+    def test_bonferroni_uses_total_count(self, contrasting_dataset):
+        result = find_contrast_sets(contrasting_dataset,
+                                    correction="bonferroni",
+                                    alpha=0.05)
+        total = sum(result.candidates_per_level.values())
+        assert all(level_alpha == pytest.approx(0.05 / total)
+                   for level_alpha in result.alpha_per_level.values())
+
+    def test_random_data_naive_vs_stucco(self):
+        """The headline contrast: naive testing floods on random data,
+        the layered correction stays quiet."""
+        config = GeneratorConfig(n_records=400, n_attributes=12,
+                                 n_rules=0)
+        naive_total = 0
+        stucco_total = 0
+        for seed in range(3):
+            data = generate(config, seed=seed + 70)
+            naive_total += find_contrast_sets(
+                data.dataset, min_deviation=0.02,
+                correction="none").n_found
+            stucco_total += find_contrast_sets(
+                data.dataset, min_deviation=0.02,
+                correction="stucco").n_found
+        assert stucco_total <= 3
+        assert naive_total > stucco_total
+
+    def test_strong_contrast_survives_all_corrections(
+            self, contrasting_dataset):
+        for correction in ("none", "stucco", "bonferroni"):
+            result = find_contrast_sets(contrasting_dataset,
+                                        min_deviation=0.3,
+                                        correction=correction)
+            attributes = {
+                contrasting_dataset.catalog.item(item).attribute
+                for contrast in result.contrast_sets
+                for item in contrast.items}
+            assert "A" in attributes

@@ -1,0 +1,78 @@
+"""Reporting and bookkeeping details of ContrastSetResult."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.contrast import ContrastSet, ContrastSetResult, find_contrast_sets
+from repro.data import Dataset
+
+
+@pytest.fixture
+def dataset():
+    rng = random.Random(8)
+    records = []
+    labels = []
+    for g in range(2):
+        for __ in range(40):
+            rate = 0.85 if g == 0 else 0.15
+            a = "t" if rng.random() < rate else "f"
+            records.append([a, f"n{rng.randrange(2)}"])
+            labels.append(f"g{g}")
+    return Dataset.from_records(records, labels, ["A", "B"],
+                                name="reporting")
+
+
+class TestSortedByDeviation:
+    def test_descending_deviation(self, dataset):
+        result = find_contrast_sets(dataset, min_deviation=0.05)
+        ordered = result.sorted_by_deviation()
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert earlier.deviation >= later.deviation
+
+    def test_ties_break_by_p_value(self):
+        a = ContrastSet(frozenset({0}), 10, (5, 5), (0.5, 0.1), 0.4,
+                        8.0, 0.001)
+        b = ContrastSet(frozenset({1}), 10, (5, 5), (0.5, 0.1), 0.4,
+                        9.0, 0.0001)
+        result = ContrastSetResult(
+            dataset=None, min_deviation=0.1, alpha=0.05,
+            contrast_sets=[a, b])
+        assert result.sorted_by_deviation() == [b, a]
+
+
+class TestDescribeTruncation:
+    def test_limit_truncates_with_more_line(self, dataset):
+        result = find_contrast_sets(dataset, min_deviation=0.02,
+                                    correction="none")
+        if result.n_found > 2:
+            text = result.describe(limit=2)
+            assert "more" in text
+
+    def test_no_truncation_when_all_fit(self, dataset):
+        result = find_contrast_sets(dataset, min_deviation=0.6)
+        text = result.describe(limit=100)
+        assert "more" not in text.splitlines()[-1] or \
+            result.n_found <= 100
+
+
+class TestContrastSetLevel:
+    def test_level_is_item_count(self):
+        contrast = ContrastSet(frozenset({3, 7, 9}), 5, (3, 2),
+                               (0.3, 0.2), 0.1, 1.0, 0.5)
+        assert contrast.level == 3
+
+
+class TestAlphaAudit:
+    def test_every_level_has_an_alpha(self, dataset):
+        result = find_contrast_sets(dataset, min_deviation=0.05,
+                                    max_length=3)
+        assert set(result.alpha_per_level) == \
+            set(result.candidates_per_level)
+
+    def test_alphas_are_probabilities(self, dataset):
+        result = find_contrast_sets(dataset, min_deviation=0.05)
+        for value in result.alpha_per_level.values():
+            assert 0.0 < value < 1.0

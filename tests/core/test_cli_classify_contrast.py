@@ -1,0 +1,91 @@
+"""CLI tests for the classify and contrast subcommands."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestClassifyCommand:
+    def test_plain_cba_on_builtin(self):
+        code, text = _run(["classify", "builtin:german",
+                           "--min-sup", "150", "--top", "2"])
+        assert code == 0
+        assert "CBAClassifier" in text
+        assert "default=" in text
+
+    def test_cmar_variant(self):
+        code, text = _run(["classify", "builtin:german",
+                           "--min-sup", "150",
+                           "--classifier", "cmar", "--top", "2"])
+        assert code == 0
+        assert "CMARClassifier" in text
+
+    def test_correction_filter(self):
+        code, text = _run(["classify", "builtin:german",
+                           "--min-sup", "150",
+                           "--correction", "bonferroni", "--top", "2"])
+        assert code == 0
+        assert "CBAClassifier" in text
+
+    def test_cpar_variant_with_filter(self):
+        code, text = _run(["classify", "builtin:german",
+                           "--min-sup", "150",
+                           "--classifier", "cpar",
+                           "--correction", "bonferroni", "--top", "2"])
+        assert code == 0
+        assert "CPARClassifier" in text
+        assert "laplace=" in text
+
+    def test_cross_validation_output(self):
+        code, text = _run(["classify", "builtin:german",
+                           "--min-sup", "200", "--folds", "2",
+                           "--max-length", "2", "--top", "1"])
+        assert code == 0
+        assert "CV accuracy" in text
+        assert "accuracy:" in text
+
+    def test_requires_min_sup(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "builtin:german"])
+
+
+class TestContrastCommand:
+    def test_contrast_on_builtin(self):
+        code, text = _run(["contrast", "builtin:german",
+                           "--min-deviation", "0.15",
+                           "--min-sup", "40",
+                           "--max-length", "2", "--top", "3"])
+        assert code == 0
+        assert "contrast sets" in text
+        assert "layered alpha" in text
+
+    def test_correction_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["contrast", "builtin:german", "--correction", "bh"])
+
+    def test_naive_correction_accepted(self):
+        code, text = _run(["contrast", "builtin:german",
+                           "--min-deviation", "0.2",
+                           "--min-sup", "60",
+                           "--max-length", "1",
+                           "--correction", "none", "--top", "2"])
+        assert code == 0
+        assert "contrast sets" in text
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["contrast", "builtin:german"])
+        assert args.min_deviation == 0.05
+        assert args.correction == "stucco"
+        assert args.max_length == 3

@@ -1,0 +1,99 @@
+"""Unit tests for the public SignificantRuleMiner API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CORRECTIONS,
+    CorrectionError,
+    SignificantRuleMiner,
+    mine_significant_rules,
+)
+from repro.data import GeneratorConfig, generate
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = GeneratorConfig(
+        n_records=300, n_attributes=10, min_values=2, max_values=3,
+        n_rules=1, min_length=2, max_length=2,
+        min_coverage=60, max_coverage=60,
+        min_confidence=0.9, max_confidence=0.9)
+    return generate(config, seed=101).dataset
+
+
+class TestCorrections:
+    @pytest.mark.parametrize("correction", sorted(CORRECTIONS))
+    def test_every_correction_runs(self, dataset, correction):
+        report = mine_significant_rules(
+            dataset, min_sup=25, correction=correction,
+            n_permutations=40, seed=3)
+        assert report.correction == correction
+        assert report.n_tested >= 0
+        assert isinstance(report.significant, list)
+
+    def test_unknown_correction(self):
+        with pytest.raises(CorrectionError):
+            SignificantRuleMiner(min_sup=10, correction="voodoo")
+
+    def test_none_loosest_bonferroni_strictest(self, dataset):
+        loose = mine_significant_rules(dataset, min_sup=25,
+                                       correction="none")
+        strict = mine_significant_rules(dataset, min_sup=25,
+                                        correction="bonferroni")
+        assert len(strict.significant) <= len(loose.significant)
+
+    def test_holdout_report_has_no_ruleset(self, dataset):
+        report = mine_significant_rules(dataset, min_sup=25,
+                                        correction="holdout-fwer", seed=1)
+        assert report.ruleset is None
+
+    def test_direct_report_keeps_ruleset(self, dataset):
+        report = mine_significant_rules(dataset, min_sup=25,
+                                        correction="bh")
+        assert report.ruleset is not None
+        assert report.n_tested == report.ruleset.n_tests
+
+
+class TestReport:
+    def test_summary_and_describe(self, dataset):
+        report = mine_significant_rules(dataset, min_sup=25,
+                                        correction="bonferroni")
+        assert dataset.name in report.summary()
+        text = report.describe(limit=2)
+        assert "=>" in text or "0 significant" in text
+
+    def test_significant_sorted_by_describe(self, dataset):
+        report = mine_significant_rules(dataset, min_sup=25,
+                                        correction="none")
+        assert len(report.significant) > 0
+
+
+class TestMinerReuse:
+    def test_same_miner_multiple_datasets(self, dataset):
+        miner = SignificantRuleMiner(min_sup=25, correction="bh")
+        first = miner.mine(dataset)
+        second = miner.mine(dataset)
+        assert len(first.significant) == len(second.significant)
+
+    def test_options_forwarded(self, dataset):
+        miner = SignificantRuleMiner(min_sup=25, correction="bh",
+                                     max_length=2, min_conf=0.5)
+        report = miner.mine(dataset)
+        assert all(r.length <= 2 for r in report.significant)
+        assert all(r.confidence >= 0.5 for r in report.significant)
+
+    def test_permutation_seeded(self, dataset):
+        a = mine_significant_rules(dataset, min_sup=25,
+                                   correction="permutation-fwer",
+                                   n_permutations=40, seed=7)
+        b = mine_significant_rules(dataset, min_sup=25,
+                                   correction="permutation-fwer",
+                                   n_permutations=40, seed=7)
+        assert a.result.threshold == b.result.threshold
+
+    def test_chi2_scorer_via_api(self, dataset):
+        report = mine_significant_rules(dataset, min_sup=25,
+                                        correction="bh", scorer="chi2")
+        assert report.ruleset.scorer == "chi2"

@@ -1,0 +1,62 @@
+"""Public-API surface checks: exports resolve and stay importable."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.data",
+    "repro.mining",
+    "repro.stats",
+    "repro.corrections",
+    "repro.interest",
+    "repro.evaluation",
+    "repro.classify",
+    "repro.contrast",
+    "repro.frequency",
+    "repro.core",
+]
+
+
+class TestTopLevel:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{module_name} must declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+
+def test_error_hierarchy_exported_at_top_level():
+    from repro import (
+        CorrectionError,
+        DataError,
+        EvaluationError,
+        MiningError,
+        ReproError,
+        StatsError,
+    )
+
+    for error in (DataError, MiningError, StatsError, CorrectionError,
+                  EvaluationError):
+        assert issubclass(error, ReproError)

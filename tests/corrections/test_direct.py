@@ -1,0 +1,137 @@
+"""Unit tests for the direct adjustment approach (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corrections import (
+    benjamini_hochberg,
+    bh_step_up,
+    bonferroni,
+    no_correction,
+)
+from repro.errors import CorrectionError
+from repro.mining import mine_class_rules
+
+
+@pytest.fixture(scope="module")
+def random_ruleset():
+    from repro.data import GeneratorConfig, generate
+    config = GeneratorConfig(n_records=300, n_attributes=10,
+                             min_values=2, max_values=3, n_rules=0)
+    ds = generate(config, seed=55).dataset
+    return mine_class_rules(ds, min_sup=20)
+
+
+class TestNoCorrection:
+    def test_threshold_is_alpha(self, random_ruleset):
+        result = no_correction(random_ruleset, 0.05)
+        assert result.threshold == 0.05
+        assert all(r.p_value <= 0.05 for r in result.significant)
+
+    def test_counts_match_selection(self, random_ruleset):
+        result = no_correction(random_ruleset, 0.05)
+        expected = sum(1 for p in random_ruleset.p_values() if p <= 0.05)
+        assert result.n_significant == expected
+
+    def test_alpha_validation(self, random_ruleset):
+        with pytest.raises(CorrectionError):
+            no_correction(random_ruleset, 0.0)
+        with pytest.raises(CorrectionError):
+            no_correction(random_ruleset, 1.0)
+
+    def test_summary_runs(self, random_ruleset):
+        assert "No correction" in no_correction(random_ruleset).summary()
+
+
+class TestBonferroni:
+    def test_threshold_divides_by_n_tests(self, random_ruleset):
+        result = bonferroni(random_ruleset, 0.05)
+        assert result.threshold == pytest.approx(
+            0.05 / random_ruleset.n_tests)
+
+    def test_stricter_than_no_correction(self, random_ruleset):
+        plain = no_correction(random_ruleset, 0.05)
+        corrected = bonferroni(random_ruleset, 0.05)
+        assert corrected.n_significant <= plain.n_significant
+
+    def test_control_field(self, random_ruleset):
+        assert bonferroni(random_ruleset).control == "fwer"
+
+    def test_monotone_in_alpha(self, random_ruleset):
+        strict = bonferroni(random_ruleset, 0.01)
+        loose = bonferroni(random_ruleset, 0.10)
+        assert strict.n_significant <= loose.n_significant
+
+
+class TestBenjaminiHochberg:
+    def test_between_bonferroni_and_none(self, random_ruleset):
+        bc = bonferroni(random_ruleset, 0.05)
+        bh = benjamini_hochberg(random_ruleset, 0.05)
+        plain = no_correction(random_ruleset, 0.05)
+        assert bc.n_significant <= bh.n_significant <= plain.n_significant
+
+    def test_control_field(self, random_ruleset):
+        assert benjamini_hochberg(random_ruleset).control == "fdr"
+
+    def test_selected_rules_below_threshold(self, random_ruleset):
+        result = benjamini_hochberg(random_ruleset, 0.05)
+        for rule in result.significant:
+            assert rule.p_value <= result.threshold
+
+
+class TestBhStepUp:
+    def test_textbook_example(self):
+        # Classic BH worked example: m=10, alpha=0.05.
+        p = [0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205,
+             0.212, 0.216]
+        threshold = bh_step_up(p, 0.05)
+        # k=2 is the largest i with p_i <= i*0.05/10 (0.041 > 0.015,
+        # 0.039 > 0.015 ... check: i=3 bound 0.015 < 0.039 fails).
+        assert threshold == pytest.approx(0.008)
+
+    def test_accepts_everything_when_uniform_small(self):
+        p = [0.0001] * 5
+        assert bh_step_up(p, 0.05) == pytest.approx(0.0001)
+
+    def test_rejects_everything_when_large(self):
+        assert bh_step_up([0.9, 0.95, 0.99], 0.05) == 0.0
+
+    def test_step_up_not_step_down(self):
+        # p_2 fails its bound but p_3 passes: step-up accepts all three.
+        p = [0.01, 0.04, 0.045]
+        threshold = bh_step_up(p, 0.05)
+        assert threshold == pytest.approx(0.045)
+
+    def test_external_n_tests(self):
+        assert bh_step_up([0.001], 0.05, n_tests=1000) == \
+            pytest.approx(0.001) if 0.001 <= 0.05 / 1000 else True
+        # 0.001 > 0.05/1000 = 5e-5, so nothing is accepted.
+        assert bh_step_up([0.001], 0.05, n_tests=1000) == 0.0
+
+    def test_more_pvalues_than_tests_rejected(self):
+        with pytest.raises(CorrectionError):
+            bh_step_up([0.1, 0.2], 0.05, n_tests=1)
+
+    def test_empty_pvalues(self):
+        assert bh_step_up([], 0.05) == 0.0
+
+    def test_bad_alpha(self):
+        with pytest.raises(CorrectionError):
+            bh_step_up([0.1], -0.5)
+
+
+class TestFdrIsControlledEmpirically:
+    def test_bh_on_uniform_nulls(self):
+        """On pure-null p-values BH should rarely reject anything."""
+        import random
+        rng = random.Random(0)
+        rejections = 0
+        trials = 200
+        for _ in range(trials):
+            p = sorted(rng.random() for _ in range(50))
+            if bh_step_up(p, 0.05) > 0.0:
+                rejections += 1
+        # Under independence the rejection (= any FP) probability is
+        # about alpha; allow generous slack for dependence-free noise.
+        assert rejections / trials < 0.15

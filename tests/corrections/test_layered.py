@@ -1,0 +1,102 @@
+"""Unit tests for layered critical values (Webb 2008 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corrections import bonferroni, layered_critical_values
+from repro.data import GeneratorConfig, generate
+from repro.errors import CorrectionError
+from repro.mining import mine_class_rules
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    config = GeneratorConfig(n_records=300, n_attributes=10,
+                             min_values=2, max_values=3, n_rules=0)
+    ds = generate(config, seed=81).dataset
+    return mine_class_rules(ds, min_sup=20)
+
+
+class TestBudgets:
+    def test_uniform_budget_sums_to_alpha(self, ruleset):
+        result = layered_critical_values(ruleset, 0.05, budget="uniform")
+        critical = result.details["critical_values"]
+        by_length = {}
+        for rule in ruleset.rules:
+            by_length[rule.length] = by_length.get(rule.length, 0) + 1
+        total = sum(critical[length] * count
+                    for length, count in by_length.items())
+        assert total == pytest.approx(0.05)
+
+    def test_geometric_budget_sums_to_alpha(self, ruleset):
+        result = layered_critical_values(ruleset, 0.05,
+                                         budget="geometric")
+        critical = result.details["critical_values"]
+        by_length = {}
+        for rule in ruleset.rules:
+            by_length[rule.length] = by_length.get(rule.length, 0) + 1
+        total = sum(critical[length] * count
+                    for length, count in by_length.items())
+        assert total == pytest.approx(0.05)
+
+    def test_geometric_favors_short_rules(self, ruleset):
+        result = layered_critical_values(ruleset, 0.05,
+                                         budget="geometric")
+        critical = result.details["critical_values"]
+        lengths = sorted(critical)
+        if len(lengths) >= 2:
+            by_length = {}
+            for rule in ruleset.rules:
+                by_length[rule.length] = by_length.get(rule.length, 0) + 1
+            # Per-layer *total* budget decreases with length.
+            budgets = [critical[length] * by_length[length]
+                       for length in lengths]
+            assert budgets == sorted(budgets, reverse=True)
+
+    def test_unknown_budget(self, ruleset):
+        with pytest.raises(CorrectionError):
+            layered_critical_values(ruleset, 0.05, budget="harmonic")
+
+
+class TestBehaviour:
+    def test_short_rules_easier_than_bonferroni(self, ruleset):
+        """Layered critical values for the shortest layer exceed the
+        flat Bonferroni threshold whenever that layer is small."""
+        layered = layered_critical_values(ruleset, 0.05)
+        flat = bonferroni(ruleset, 0.05)
+        critical = layered.details["critical_values"]
+        shortest = min(critical)
+        count_shortest = sum(1 for r in ruleset.rules
+                             if r.length == shortest)
+        n_layers = len(critical)
+        if count_shortest * n_layers < ruleset.n_tests:
+            assert critical[shortest] > flat.threshold
+
+    def test_selected_rules_respect_their_layer(self, ruleset):
+        result = layered_critical_values(ruleset, 0.05)
+        critical = result.details["critical_values"]
+        for rule in result.significant:
+            assert rule.p_value <= critical[rule.length]
+
+    def test_fwer_still_controlled_on_nulls(self):
+        false_hits = 0
+        trials = 25
+        for seed in range(trials):
+            config = GeneratorConfig(n_records=150, n_attributes=6,
+                                     min_values=2, max_values=2,
+                                     n_rules=0)
+            ds = generate(config, seed=2000 + seed).dataset
+            rs = mine_class_rules(ds, min_sup=15)
+            if layered_critical_values(rs, 0.05).n_significant:
+                false_hits += 1
+        assert false_hits / trials <= 0.16
+
+    def test_empty_ruleset(self):
+        from repro.data import GeneratorConfig, generate
+        config = GeneratorConfig(n_records=50, n_attributes=4,
+                                 min_values=2, max_values=2, n_rules=0)
+        ds = generate(config, seed=3).dataset
+        rs = mine_class_rules(ds, min_sup=50)
+        result = layered_critical_values(rs, 0.05)
+        assert result.n_significant == 0

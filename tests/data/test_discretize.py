@@ -1,0 +1,129 @@
+"""Unit tests for supervised and unsupervised discretization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data import (
+    apply_cuts,
+    discretize_columns,
+    equal_frequency_cuts,
+    equal_width_cuts,
+    mdl_discretize,
+)
+from repro.errors import DataError
+
+
+class TestMdl:
+    def test_perfect_separation_finds_the_cut(self):
+        values = [1.0, 2.0, 3.0, 4.0, 10.0, 11.0, 12.0, 13.0]
+        labels = [0, 0, 0, 0, 1, 1, 1, 1]
+        cuts = mdl_discretize(values, labels)
+        assert len(cuts) == 1
+        assert 4.0 < cuts[0] < 10.0
+
+    def test_pure_noise_yields_no_cut(self):
+        rng = random.Random(3)
+        values = [rng.random() for _ in range(200)]
+        labels = [rng.randint(0, 1) for _ in range(200)]
+        assert mdl_discretize(values, labels) == []
+
+    def test_constant_attribute_yields_no_cut(self):
+        assert mdl_discretize([5.0] * 50, [0, 1] * 25) == []
+
+    def test_three_way_separation(self):
+        # Large enough that both splits clear the MDL acceptance bound.
+        values = list(range(60))
+        labels = [0] * 20 + [1] * 20 + [0] * 20
+        cuts = mdl_discretize(values, labels)
+        assert len(cuts) == 2
+        assert 19 < cuts[0] < 21
+        assert 39 < cuts[1] < 41
+
+    def test_empty_input(self):
+        assert mdl_discretize([], []) == []
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            mdl_discretize([1.0], [0, 1])
+
+    def test_cuts_are_sorted(self):
+        values = list(range(40))
+        labels = ([0] * 10 + [1] * 10) * 2
+        cuts = mdl_discretize(values, labels)
+        assert cuts == sorted(cuts)
+
+
+class TestUnsupervised:
+    def test_equal_width(self):
+        cuts = equal_width_cuts([0.0, 10.0], 5)
+        assert cuts == pytest.approx([2.0, 4.0, 6.0, 8.0])
+
+    def test_equal_width_single_bin(self):
+        assert equal_width_cuts([1.0, 2.0], 1) == []
+
+    def test_equal_width_constant(self):
+        assert equal_width_cuts([3.0, 3.0], 4) == []
+
+    def test_equal_width_invalid_bins(self):
+        with pytest.raises(DataError):
+            equal_width_cuts([1.0], 0)
+
+    def test_equal_frequency_balanced(self):
+        values = list(range(100))
+        cuts = equal_frequency_cuts(values, 4)
+        assert len(cuts) == 3
+        bins = apply_cuts(values, cuts)
+        from collections import Counter
+        counts = Counter(bins)
+        assert all(c == 25 for c in counts.values())
+
+    def test_equal_frequency_with_ties(self):
+        values = [1.0] * 50 + [2.0] * 50
+        cuts = equal_frequency_cuts(values, 4)
+        assert len(cuts) == 1  # only one distinct boundary exists
+
+    def test_equal_frequency_empty(self):
+        assert equal_frequency_cuts([], 3) == []
+
+
+class TestApplyCuts:
+    def test_no_cuts_single_label(self):
+        labels = apply_cuts([1.0, 2.0], [])
+        assert set(labels) == {"(-inf,inf)"}
+
+    def test_interval_assignment(self):
+        labels = apply_cuts([0.5, 1.5, 2.5], [1.0, 2.0])
+        assert labels == ["(-inf,1]", "(1,2]", "(2,inf)"]
+
+    def test_boundary_goes_left(self):
+        assert apply_cuts([1.0], [1.0]) == ["(-inf,1]"]
+
+    def test_labels_stable_across_calls(self):
+        cuts = [3.0, 7.0]
+        assert apply_cuts([5.0], cuts) == apply_cuts([5.0], cuts)
+
+
+class TestColumns:
+    def test_mdl_columns(self):
+        col = [1.0, 2.0, 3.0, 10.0, 11.0, 12.0]
+        labels = [0, 0, 0, 1, 1, 1]
+        result = discretize_columns([col, col], labels, method="mdl")
+        assert len(result) == 2
+        assert len(set(result[0])) == 2
+
+    def test_width_columns(self):
+        result = discretize_columns([[0.0, 10.0]], [0, 1],
+                                    method="width", n_bins=2)
+        assert result[0] == ["(-inf,5]", "(5,inf)"]
+
+    def test_frequency_columns(self):
+        result = discretize_columns([list(range(8))], [0, 1] * 4,
+                                    method="frequency", n_bins=2)
+        assert len(set(result[0])) == 2
+
+    def test_unknown_method(self):
+        with pytest.raises(DataError):
+            discretize_columns([[1.0]], [0], method="magic")

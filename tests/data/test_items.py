@@ -1,0 +1,96 @@
+"""Unit tests for Item and ItemCatalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Item, ItemCatalog
+from repro.errors import DataError
+
+
+class TestItem:
+    def test_str(self):
+        assert str(Item("color", "red")) == "color=red"
+
+    def test_equality_and_hash(self):
+        assert Item("a", "1") == Item("a", "1")
+        assert Item("a", "1") != Item("a", "2")
+        assert len({Item("a", "1"), Item("a", "1")}) == 1
+
+    def test_ordering(self):
+        assert Item("a", "1") < Item("a", "2") < Item("b", "0")
+
+
+class TestItemCatalog:
+    def test_add_assigns_dense_ids(self):
+        catalog = ItemCatalog()
+        assert catalog.add_pair("A", "x") == 0
+        assert catalog.add_pair("A", "y") == 1
+        assert catalog.add_pair("B", "x") == 2
+
+    def test_add_is_idempotent(self):
+        catalog = ItemCatalog()
+        first = catalog.add_pair("A", "x")
+        second = catalog.add_pair("A", "x")
+        assert first == second
+        assert len(catalog) == 1
+
+    def test_values_are_stringified(self):
+        catalog = ItemCatalog()
+        item_id = catalog.add_pair("A", 3)
+        assert catalog.item(item_id).value == "3"
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(DataError):
+            ItemCatalog().id_of(Item("A", "x"))
+
+    def test_item_unknown_id_raises(self):
+        catalog = ItemCatalog()
+        catalog.add_pair("A", "x")
+        with pytest.raises(DataError):
+            catalog.item(5)
+
+    def test_items_of_attribute(self):
+        catalog = ItemCatalog()
+        a_x = catalog.add_pair("A", "x")
+        b_x = catalog.add_pair("B", "x")
+        a_y = catalog.add_pair("A", "y")
+        assert catalog.items_of_attribute("A") == [a_x, a_y]
+        assert catalog.items_of_attribute("B") == [b_x]
+        assert catalog.items_of_attribute("missing") == []
+
+    def test_attributes_in_first_seen_order(self):
+        catalog = ItemCatalog()
+        catalog.add_pair("B", "1")
+        catalog.add_pair("A", "1")
+        catalog.add_pair("B", "2")
+        assert catalog.attributes == ["B", "A"]
+
+    def test_describe_pattern_sorted(self):
+        catalog = ItemCatalog()
+        x = catalog.add_pair("B", "2")
+        y = catalog.add_pair("A", "1")
+        assert catalog.describe_pattern([x, y]) == "{A=1, B=2}"
+
+    def test_pattern_attributes(self):
+        catalog = ItemCatalog()
+        ids = [catalog.add_pair("C", "1"), catalog.add_pair("A", "9")]
+        assert catalog.pattern_attributes(ids) == ["A", "C"]
+
+    def test_ids_for_pairs(self):
+        catalog = ItemCatalog()
+        a = catalog.add_pair("A", "1")
+        b = catalog.add_pair("B", "2")
+        assert catalog.ids_for_pairs([("B", "2"), ("A", "1")]) == [b, a]
+
+    def test_iteration_yields_items(self):
+        catalog = ItemCatalog()
+        catalog.add_pair("A", "1")
+        catalog.add_pair("B", "2")
+        assert [str(i) for i in catalog] == ["A=1", "B=2"]
+
+    def test_contains(self):
+        catalog = ItemCatalog()
+        catalog.add_pair("A", "1")
+        assert Item("A", "1") in catalog
+        assert Item("A", "2") not in catalog

@@ -1,0 +1,210 @@
+"""Unit tests for the CSV / FIMI / ARFF loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    load_arff,
+    load_csv,
+    load_fimi,
+    save_csv,
+    save_fimi,
+)
+from repro.errors import LoaderError
+
+CSV_TEXT = """age,workclass,class
+young,private,no
+young,gov,no
+old,private,yes
+old,gov,yes
+"""
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(CSV_TEXT)
+    return path
+
+
+class TestCsv:
+    def test_basic_load(self, csv_file):
+        ds = load_csv(csv_file)
+        assert ds.n_records == 4
+        assert ds.n_attributes == 2
+        assert ds.class_names == ["no", "yes"]
+        assert ds.catalog.attributes == ["age", "workclass"]
+
+    def test_class_column_by_name(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("class,x\nyes,a\nno,b\n")
+        ds = load_csv(path, class_column="class")
+        assert ds.class_names == ["yes", "no"]
+        assert ds.catalog.attributes == ["x"]
+
+    def test_class_column_by_index(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("lab,x\nyes,a\nno,b\n")
+        ds = load_csv(path, class_column=0)
+        assert ds.catalog.attributes == ["x"]
+
+    def test_missing_values(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a,b,class\n?,x,c0\nv,?,c1\n")
+        ds = load_csv(path)
+        assert ds.n_items == 2  # only a=v and b=x
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a,x,c0\nb,y,c1\n")
+        ds = load_csv(path, has_header=False)
+        assert ds.catalog.attributes == ["A0", "A1"]
+
+    def test_unknown_class_column_raises(self, csv_file):
+        with pytest.raises(LoaderError):
+            load_csv(csv_file, class_column="nope")
+
+    def test_ragged_rows_raise(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a,b,class\n1,2,c0\n1,c1\n")
+        with pytest.raises(LoaderError):
+            load_csv(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("")
+        with pytest.raises(LoaderError):
+            load_csv(path)
+
+    def test_header_only_raises(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a,b,class\n")
+        with pytest.raises(LoaderError):
+            load_csv(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(LoaderError):
+            load_csv(tmp_path / "absent.csv")
+
+    def test_roundtrip(self, csv_file, tmp_path):
+        ds = load_csv(csv_file)
+        out = tmp_path / "out.csv"
+        save_csv(ds, out)
+        again = load_csv(out, class_column="class")
+        assert again.n_records == ds.n_records
+        assert again.n_items == ds.n_items
+        assert again.class_names == ds.class_names
+
+
+class TestFimi:
+    def test_labels_from_last_item(self, tmp_path):
+        path = tmp_path / "t.fimi"
+        path.write_text("1 2 3 pos\n2 3 neg\n1 pos\n")
+        ds = load_fimi(path)
+        assert ds.n_records == 3
+        assert ds.class_names == ["pos", "neg"]
+        assert ds.n_items == 3
+
+    def test_explicit_labels(self, tmp_path):
+        path = tmp_path / "t.fimi"
+        path.write_text("1 2\n2 3\n")
+        ds = load_fimi(path, class_labels=["a", "b"])
+        assert ds.n_items == 3
+
+    def test_label_file(self, tmp_path):
+        data = tmp_path / "t.fimi"
+        labels = tmp_path / "t.labels"
+        data.write_text("1 2\n3\n")
+        labels.write_text("x\ny\n")
+        ds = load_fimi(data, label_path=labels)
+        assert ds.class_names == ["x", "y"]
+
+    def test_both_label_sources_rejected(self, tmp_path):
+        path = tmp_path / "t.fimi"
+        path.write_text("1 2\n")
+        with pytest.raises(LoaderError):
+            load_fimi(path, class_labels=["a"], label_path=path)
+
+    def test_label_count_mismatch(self, tmp_path):
+        path = tmp_path / "t.fimi"
+        path.write_text("1 2\n2 3\n")
+        with pytest.raises(LoaderError):
+            load_fimi(path, class_labels=["a"])
+
+    def test_empty_raises(self, tmp_path):
+        path = tmp_path / "t.fimi"
+        path.write_text("\n\n")
+        with pytest.raises(LoaderError):
+            load_fimi(path)
+
+    def test_single_item_line_without_labels_raises(self, tmp_path):
+        path = tmp_path / "t.fimi"
+        path.write_text("7\n")
+        with pytest.raises(LoaderError):
+            load_fimi(path)
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.fimi"
+        path.write_text("1 2 3 pos\n2 3 neg\n1 4 pos\n")
+        ds = load_fimi(path)
+        out = tmp_path / "o.fimi"
+        out_labels = tmp_path / "o.labels"
+        save_fimi(ds, out, label_path=out_labels)
+        again = load_fimi(out, label_path=out_labels)
+        assert again.n_records == ds.n_records
+        assert again.n_items == ds.n_items
+        assert sorted(again.class_names) == sorted(ds.class_names)
+
+
+class TestArff:
+    ARFF = """% comment
+@relation credit
+@attribute age {young,old}
+@attribute income {low,high}
+@attribute class {good,bad}
+@data
+young,low,good
+old,high,bad
+young,?,good
+"""
+
+    def test_basic(self, tmp_path):
+        path = tmp_path / "d.arff"
+        path.write_text(self.ARFF)
+        ds = load_arff(path)
+        assert ds.name == "credit"
+        assert ds.n_records == 3
+        assert ds.catalog.attributes == ["age", "income"]
+        assert ds.class_names == ["good", "bad"]
+
+    def test_explicit_class_attribute(self, tmp_path):
+        path = tmp_path / "d.arff"
+        path.write_text(self.ARFF)
+        ds = load_arff(path, class_attribute="age")
+        assert ds.class_names == ["young", "old"]
+
+    def test_unknown_class_attribute(self, tmp_path):
+        path = tmp_path / "d.arff"
+        path.write_text(self.ARFF)
+        with pytest.raises(LoaderError):
+            load_arff(path, class_attribute="nope")
+
+    def test_no_attributes_raises(self, tmp_path):
+        path = tmp_path / "d.arff"
+        path.write_text("@relation x\n@data\n1,2\n")
+        with pytest.raises(LoaderError):
+            load_arff(path)
+
+    def test_no_data_raises(self, tmp_path):
+        path = tmp_path / "d.arff"
+        path.write_text("@relation x\n@attribute a {1,2}\n@data\n")
+        with pytest.raises(LoaderError):
+            load_arff(path)
+
+    def test_cell_count_mismatch_raises(self, tmp_path):
+        path = tmp_path / "d.arff"
+        path.write_text("@relation x\n@attribute a {1}\n"
+                        "@attribute class {c}\n@data\n1,c,extra\n")
+        with pytest.raises(LoaderError):
+            load_arff(path)

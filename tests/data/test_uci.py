@@ -1,0 +1,108 @@
+"""Unit tests for the simulated UCI stand-ins (paper Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    REAL_DATASETS,
+    load_real_dataset,
+    make_adult,
+    make_german,
+    make_hypo,
+    make_mushroom,
+)
+from repro.errors import DataError
+
+
+class TestTable2Shapes:
+    """Record/attribute/class counts must match the paper's Table 2."""
+
+    @pytest.mark.parametrize("name,records,attributes", [
+        ("adult", 32561, 14),
+        ("german", 1000, 20),
+        ("hypo", 3163, 25),
+        ("mushroom", 8124, 22),
+    ])
+    def test_shapes(self, name, records, attributes):
+        spec = REAL_DATASETS[name]
+        assert spec.n_records == records
+        assert spec.n_attributes == attributes
+
+    def test_german_full_shape(self):
+        ds = make_german()
+        assert ds.n_records == 1000
+        assert ds.n_attributes == 20
+        assert ds.n_classes == 2
+
+    def test_truncated_load(self):
+        ds = load_real_dataset("adult", n_records=500)
+        assert ds.n_records == 500
+        assert ds.n_attributes == 14
+
+
+class TestClassPriors:
+    def test_german_prior(self):
+        ds = make_german()
+        assert ds.class_support(0) == 700  # 70% good
+
+    def test_hypo_prior_skewed(self):
+        ds = load_real_dataset("hypo", n_records=1000)
+        assert ds.class_support(0) == pytest.approx(952, abs=1)
+
+    def test_mushroom_prior_near_even(self):
+        ds = load_real_dataset("mushroom", n_records=2000)
+        fraction = ds.class_support(0) / 2000
+        assert fraction == pytest.approx(0.518, abs=0.01)
+
+    def test_class_names(self):
+        assert make_german().class_names == ["good", "bad"]
+
+
+class TestSignalStructure:
+    def test_german_has_moderate_rules(self):
+        """German must populate the gray zone between 1e-6 and 1e-2."""
+        from repro.mining import mine_class_rules
+        ds = make_german()
+        ruleset = mine_class_rules(ds, min_sup=60)
+        p_values = ruleset.p_values()
+        gray = sum(1 for p in p_values if 1e-6 < p <= 1e-2)
+        assert gray / len(p_values) > 0.15
+
+    def test_mushroom_mostly_extreme(self):
+        """Mushroom rules are overwhelmingly extreme (Figure 15)."""
+        from repro.mining import mine_class_rules
+        ds = load_real_dataset("mushroom", n_records=2000)
+        ruleset = mine_class_rules(ds, min_sup=150, max_length=4)
+        p_values = ruleset.p_values()
+        extreme = sum(1 for p in p_values if p <= 1e-12)
+        assert extreme / len(p_values) > 0.5
+
+    def test_determinism(self):
+        a = make_german()
+        b = make_german()
+        assert a.item_tidsets == b.item_tidsets
+
+    def test_seed_override_changes_data(self):
+        a = make_german()
+        b = make_german(seed=12345)
+        assert a.item_tidsets != b.item_tidsets
+
+
+class TestErrors:
+    def test_unknown_name(self):
+        with pytest.raises(DataError):
+            load_real_dataset("iris")
+
+    def test_oversized_request(self):
+        with pytest.raises(DataError):
+            load_real_dataset("german", n_records=99999)
+
+    def test_undersized_request(self):
+        with pytest.raises(DataError):
+            load_real_dataset("german", n_records=1)
+
+    def test_all_registry_entries_loadable(self):
+        for name in REAL_DATASETS:
+            ds = load_real_dataset(name, n_records=200)
+            assert ds.n_records == 200

@@ -1,0 +1,115 @@
+"""Unit tests for power/FWER/FDR metrics (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corrections import bonferroni, no_correction
+from repro.data import GeneratorConfig, generate
+from repro.errors import EvaluationError
+from repro.evaluation import (
+    AggregateMetrics,
+    DatasetOutcome,
+    aggregate,
+    evaluate_result,
+)
+from repro.mining import mine_class_rules
+
+
+def _outcome(method="X", significant=0, tp=0, fp=0, by=0, embedded=1,
+             detected=0):
+    return DatasetOutcome(
+        method=method, n_significant=significant, n_true_positives=tp,
+        n_false_positives=fp, n_byproducts=by, n_embedded=embedded,
+        n_detected=detected, threshold=0.01)
+
+
+class TestDatasetOutcome:
+    def test_fwer_indicator(self):
+        assert _outcome(fp=0).fwer_indicator == 0
+        assert _outcome(fp=3).fwer_indicator == 1
+
+    def test_fdr_proportion(self):
+        assert _outcome(significant=10, fp=2).fdr == pytest.approx(0.2)
+
+    def test_fdr_zero_when_nothing_reported(self):
+        assert _outcome(significant=0, fp=0).fdr == 0.0
+
+    def test_power_single_rule(self):
+        assert _outcome(embedded=1, detected=1).power == 1.0
+        assert _outcome(embedded=1, detected=0).power == 0.0
+
+    def test_power_multiple_rules(self):
+        assert _outcome(embedded=4, detected=3).power == pytest.approx(0.75)
+
+    def test_power_no_embedded(self):
+        assert _outcome(embedded=0).power == 0.0
+
+
+class TestAggregate:
+    def test_averages(self):
+        outcomes = [
+            _outcome(significant=10, fp=1, detected=1),
+            _outcome(significant=0, fp=0, detected=0),
+            _outcome(significant=5, fp=5, detected=1),
+        ]
+        agg = aggregate(outcomes)
+        assert agg.n_datasets == 3
+        assert agg.fwer == pytest.approx(2 / 3)
+        assert agg.power == pytest.approx(2 / 3)
+        assert agg.fdr == pytest.approx((0.1 + 0.0 + 1.0) / 3)
+        assert agg.avg_false_positives == pytest.approx(2.0)
+        assert agg.avg_significant == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            aggregate([])
+
+    def test_mixed_methods_rejected(self):
+        with pytest.raises(EvaluationError):
+            aggregate([_outcome(method="A"), _outcome(method="B")])
+
+    def test_row_shape(self):
+        agg = aggregate([_outcome(significant=2, fp=1)])
+        row = agg.row()
+        assert row[0] == "X"
+        assert len(row) == 7
+
+
+class TestEvaluateResult:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        config = GeneratorConfig(
+            n_records=400, n_attributes=12, min_values=2, max_values=3,
+            n_rules=1, min_length=2, max_length=2,
+            min_coverage=80, max_coverage=80,
+            min_confidence=0.95, max_confidence=0.95)
+        data = generate(config, seed=95)
+        ruleset = mine_class_rules(data.dataset, min_sup=30)
+        return data, ruleset
+
+    def test_strong_rule_detected_by_bonferroni(self, planted):
+        data, ruleset = planted
+        result = bonferroni(ruleset, 0.05)
+        outcome = evaluate_result(result, data.embedded_rules,
+                                  data.dataset)
+        assert outcome.power == 1.0
+        assert outcome.method == "BC"
+
+    def test_counts_partition_significant(self, planted):
+        data, ruleset = planted
+        result = no_correction(ruleset, 0.05)
+        outcome = evaluate_result(result, data.embedded_rules,
+                                  data.dataset)
+        assert (outcome.n_true_positives + outcome.n_false_positives
+                + outcome.n_byproducts) == outcome.n_significant
+
+    def test_random_data_everything_fp(self):
+        config = GeneratorConfig(n_records=200, n_attributes=8,
+                                 min_values=2, max_values=2, n_rules=0)
+        data = generate(config, seed=96)
+        ruleset = mine_class_rules(data.dataset, min_sup=20)
+        result = no_correction(ruleset, 0.05)
+        outcome = evaluate_result(result, [], data.dataset)
+        assert outcome.n_false_positives == outcome.n_significant
+        assert outcome.power == 0.0

@@ -1,0 +1,148 @@
+"""Unit tests for report formatting (Tables 3, 4; Figures 3, 15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    ABBREVIATIONS,
+    confidence_pvalue_bins,
+    default_pvalue_grid,
+    format_binned_table,
+    format_series,
+    format_table,
+    pvalue_cdf,
+)
+from repro.mining import ClassRule
+
+
+def _rule(confidence, p_value):
+    return ClassRule(pattern_id=0, items=frozenset({0}), class_index=0,
+                     coverage=100, support=int(confidence * 100),
+                     confidence=confidence, p_value=p_value)
+
+
+class TestAbbreviations:
+    def test_table3_entries_present(self):
+        for key in ("BC", "BH", "Perm_FWER", "Perm_FDR", "HD_BC",
+                    "HD_BH", "RH_BC", "RH_BH", "HD", "RH"):
+            assert key in ABBREVIATIONS
+
+    def test_descriptions_non_empty(self):
+        assert all(ABBREVIATIONS.values())
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"],
+                            [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        # The second column starts at the same offset in every line.
+        offset = lines[0].index("long_header")
+        assert lines[3].startswith("333")
+        assert lines[2][offset] == "2"
+        assert lines[3][offset] == "4"
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000012345], [0.5], [0.0]])
+        assert "1.23e-05" in text
+        assert "0.5" in text
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        text = format_series("min_sup", [100, 200],
+                             {"BC": [0.1, 0.2], "BH": [0.3, 0.4]})
+        lines = text.splitlines()
+        assert "min_sup" in lines[0]
+        assert "BC" in lines[0]
+        assert "0.3" in text
+
+    def test_short_series_padded(self):
+        text = format_series("x", [1, 2], {"s": [9.0]})
+        assert text  # must not raise
+
+
+class TestPvalueCdf:
+    def test_counts_monotone(self):
+        p = [1e-10, 1e-5, 0.003, 0.2, 0.9]
+        cdf = pvalue_cdf(p)
+        counts = [c for _, c in cdf]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5.0
+
+    def test_normalized(self):
+        cdf = pvalue_cdf([0.5, 0.9], normalized=True)
+        assert cdf[-1][1] == pytest.approx(1.0)
+
+    def test_custom_grid(self):
+        cdf = pvalue_cdf([0.04, 0.5], grid=[0.05, 1.0])
+        assert cdf == [(0.05, 1.0), (1.0, 2.0)]
+
+    def test_default_grid_span(self):
+        grid = default_pvalue_grid()
+        assert grid[0] == pytest.approx(1e-12)
+        assert grid[-1] == pytest.approx(1.0)
+
+
+class TestTable4Binning:
+    def test_bin_placement(self):
+        rules = [
+            _rule(0.80, 0.2),     # conf bin 0, p bin (0.05, 1]
+            _rule(0.80, 0.03),    # conf bin 0, p bin (0.01, 0.05]
+            _rule(0.87, 0.005),   # conf bin 1, p bin (0.001, 0.01]
+            _rule(0.92, 5e-5),    # conf bin 2, p bin (1e-5, 1e-4]
+            _rule(0.99, 1e-9),    # conf bin 3, p bin (0, 1e-8]
+        ]
+        matrix = confidence_pvalue_bins(rules)
+        assert matrix[0][0] == 1
+        assert matrix[1][0] == 1
+        assert matrix[2][1] == 1
+        assert matrix[4][2] == 1
+        assert matrix[8][3] == 1
+        assert sum(sum(row) for row in matrix) == 5
+
+    def test_low_confidence_excluded(self):
+        matrix = confidence_pvalue_bins([_rule(0.5, 0.01)])
+        assert sum(sum(row) for row in matrix) == 0
+
+    def test_confidence_one_included(self):
+        matrix = confidence_pvalue_bins([_rule(1.0, 1e-9)])
+        assert matrix[8][3] == 1
+
+    def test_zero_pvalue_lands_in_bottom_bin(self):
+        matrix = confidence_pvalue_bins([_rule(0.8, 0.0)])
+        assert matrix[8][0] == 1
+
+    def test_format_binned_table(self):
+        matrix = confidence_pvalue_bins([_rule(0.8, 0.2)])
+        text = format_binned_table(matrix, title="Table 4")
+        assert "p-value / conf" in text
+        assert "[0.75, 0.85)" in text
+        assert "(0.05, 1]" in text
+        assert "10^-8" in text
+
+
+class TestExtensionAbbreviations:
+    def test_every_runner_method_key_has_a_description(self):
+        from repro.evaluation import (
+            ABBREVIATIONS,
+            EXTENSION_ABBREVIATIONS,
+        )
+        from repro.evaluation.runner import METHOD_KEYS
+        described = (set(ABBREVIATIONS) | set(EXTENSION_ABBREVIATIONS)
+                     | {"No correction"})
+        for key in METHOD_KEYS:
+            assert key in described, key
+
+    def test_no_overlap_with_table3(self):
+        from repro.evaluation import (
+            ABBREVIATIONS,
+            EXTENSION_ABBREVIATIONS,
+        )
+        assert not set(ABBREVIATIONS) & set(EXTENSION_ABBREVIATIONS)

@@ -1,0 +1,99 @@
+"""Unit tests for the replicated experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import GeneratorConfig
+from repro.errors import EvaluationError
+from repro.evaluation import (
+    FDR_METHODS,
+    FWER_METHODS,
+    METHOD_KEYS,
+    ExperimentRunner,
+)
+
+CONFIG = GeneratorConfig(
+    n_records=300, n_attributes=10, min_values=2, max_values=3,
+    n_rules=1, min_length=2, max_length=2,
+    min_coverage=60, max_coverage=60,
+    min_confidence=0.9, max_confidence=0.9)
+
+
+class TestConstruction:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(EvaluationError):
+            ExperimentRunner(methods=["BC", "Unknown"])
+
+    def test_method_panels_are_subsets(self):
+        assert set(FWER_METHODS) <= set(METHOD_KEYS)
+        assert set(FDR_METHODS) <= set(METHOD_KEYS)
+
+
+class TestSmallRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        runner = ExperimentRunner(
+            methods=("No correction", "BC", "Perm_FWER", "HD_BC",
+                     "RH_BC"),
+            n_permutations=60)
+        return runner.run(CONFIG, min_sup=25, n_replicates=3, seed=1)
+
+    def test_all_methods_aggregated(self, result):
+        assert set(result.aggregates) == {
+            "No correction", "BC", "Perm_FWER", "HD_BC", "RH_BC"}
+
+    def test_replicate_count(self, result):
+        assert result.n_replicates == 3
+        assert len(result.replicates) == 3
+
+    def test_tested_counts_present(self, result):
+        assert "whole dataset" in result.mean_tested
+        assert "HD_exploratory" in result.mean_tested
+        assert "HD_evaluation" in result.mean_tested
+        assert "RH_exploratory" in result.mean_tested
+
+    def test_candidates_fewer_than_exploratory(self, result):
+        assert result.mean_tested["HD_evaluation"] <= \
+            result.mean_tested["HD_exploratory"]
+
+    def test_no_correction_upper_bounds_bc(self, result):
+        assert result.aggregates["BC"].avg_significant <= \
+            result.aggregates["No correction"].avg_significant
+
+    def test_strong_rule_detected_by_everything(self, result):
+        # conf=0.9 with coverage 60 in n=300 is overwhelming evidence.
+        for method in ("No correction", "BC", "Perm_FWER"):
+            assert result.aggregates[method].power == 1.0
+
+    def test_series_extraction(self, result):
+        series = result.series("power", ("BC", "Perm_FWER"))
+        assert set(series) == {"BC", "Perm_FWER"}
+
+    def test_series_skips_missing(self, result):
+        series = result.series("power", ("BC", "BH"))
+        assert "BH" not in series
+
+    def test_determinism(self):
+        runner = ExperimentRunner(methods=("BC",), n_permutations=10)
+        a = runner.run(CONFIG, min_sup=25, n_replicates=2, seed=5)
+        b = runner.run(CONFIG, min_sup=25, n_replicates=2, seed=5)
+        assert a.aggregates["BC"].avg_significant == \
+            b.aggregates["BC"].avg_significant
+
+    def test_invalid_replicates(self):
+        runner = ExperimentRunner(methods=("BC",))
+        with pytest.raises(EvaluationError):
+            runner.run(CONFIG, min_sup=25, n_replicates=0)
+
+
+class TestRandomData:
+    def test_corrections_control_fwer(self):
+        """On null data BC should essentially never report anything."""
+        config = GeneratorConfig(n_records=200, n_attributes=8,
+                                 min_values=2, max_values=2, n_rules=0)
+        runner = ExperimentRunner(methods=("No correction", "BC"),
+                                  n_permutations=10)
+        result = runner.run(config, min_sup=20, n_replicates=5, seed=9)
+        assert result.aggregates["BC"].fwer <= 0.2
+        assert result.aggregates["No correction"].fwer >= 0.8

@@ -1,0 +1,59 @@
+"""Tests for the extension method keys in the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import GeneratorConfig
+from repro.errors import EvaluationError
+from repro.evaluation import ExperimentRunner
+from repro.evaluation.runner import METHOD_KEYS
+
+EXTENSION_KEYS = ("Holm", "Hochberg", "Sidak", "Storey", "BKY",
+                  "Perm_FWER_SD")
+
+CONFIG = GeneratorConfig(
+    n_records=240, n_attributes=8, min_values=2, max_values=3,
+    n_rules=1, min_length=2, max_length=2,
+    min_coverage=48, max_coverage=48,
+    min_confidence=0.9, max_confidence=0.9)
+
+
+class TestExtensionMethodKeys:
+    def test_all_registered(self):
+        for key in EXTENSION_KEYS:
+            assert key in METHOD_KEYS
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(EvaluationError):
+            ExperimentRunner(methods=("BC", "NotAMethod"))
+
+    def test_extension_methods_produce_outcomes(self):
+        runner = ExperimentRunner(methods=("BC",) + EXTENSION_KEYS,
+                                  n_permutations=30)
+        result = runner.run(CONFIG, min_sup=20, n_replicates=3, seed=8)
+        for key in ("BC",) + EXTENSION_KEYS:
+            aggregate = result.aggregates[key]
+            assert 0.0 <= aggregate.power <= 1.0
+            assert 0.0 <= aggregate.fwer <= 1.0
+
+    def test_orderings_hold_through_runner(self):
+        runner = ExperimentRunner(
+            methods=("BC", "Holm", "Hochberg", "BH", "Storey"),
+            n_permutations=30)
+        result = runner.run(CONFIG, min_sup=20, n_replicates=3, seed=8)
+        sig = {key: result.aggregates[key].avg_significant
+               for key in ("BC", "Holm", "Hochberg", "BH", "Storey")}
+        assert sig["BC"] <= sig["Holm"] <= sig["Hochberg"]
+        assert sig["BH"] <= sig["Storey"]
+
+    def test_permutation_engine_shared_with_stepdown(self):
+        """Perm_FWER and Perm_FWER_SD must reuse one permutation pass
+        (the runner's shared-engine optimization)."""
+        runner = ExperimentRunner(
+            methods=("Perm_FWER", "Perm_FWER_SD"), n_permutations=30)
+        record = runner.run_replicate(CONFIG, min_sup=20, seed=77)
+        single = record.outcomes["Perm_FWER"]
+        stepdown = record.outcomes["Perm_FWER_SD"]
+        # Step-down rejects a superset, so its counts dominate.
+        assert stepdown.n_significant >= single.n_significant

@@ -1,0 +1,80 @@
+"""Integration tests pinning the paper's *exact* printed numbers.
+
+Unlike the qualitative claims (shapes, orderings), these values are
+pure arithmetic of the Fisher machinery and must reproduce to the
+digit:
+
+* Section 2.3: n=1000, supp(c)=500, supp(X)=5, conf=1 -> p = 0.062.
+* Section 2.3: n=1000, supp(c)=500, supp(X)=200, conf=0.55
+  -> p = 0.133.
+* Figure 2: the full H(k; 20, 11, 6) pmf table and the two-ends
+  buffer p-values, all seven published digits of each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats import (
+    PValueBuffer,
+    fisher_two_tailed,
+    min_attainable_p_value,
+    min_detectable_confidence,
+    min_testable_coverage,
+    pmf_table,
+)
+
+# Figure 2's published tables (n=20, n_c=11, supp_x=6).
+FIGURE2_PMF = [0.0021672, 0.035759, 0.17879, 0.35759, 0.30650,
+               0.10728, 0.011920]
+FIGURE2_PVALUES = [0.0021672, 0.049845, 0.33591, 1.0000, 0.64241,
+                   0.15712, 0.014087]
+
+
+class TestSection23:
+    def test_low_coverage_ceiling_is_0_062(self):
+        """"even if conf(R)=1, the p-value of R : X => c is as high
+        as 0.062" — n=1000, supp(c)=500, supp(X)=5."""
+        assert fisher_two_tailed(5, 1000, 500, 5) \
+            == pytest.approx(0.062, abs=5e-4)
+        assert min_attainable_p_value(1000, 500, 5) \
+            == pytest.approx(0.062, abs=5e-4)
+
+    def test_low_confidence_ceiling_is_0_133(self):
+        """"When ... conf(R)=0.55, even if supp(X)=200, the p-value of
+        R is as high as 0.133"."""
+        assert fisher_two_tailed(110, 1000, 500, 200) \
+            == pytest.approx(0.133, abs=5e-4)
+
+    def test_calculator_agrees_with_both_examples(self):
+        # Coverage 5 is untestable at 0.05; the boundary coverage is 6.
+        assert min_testable_coverage(1000, 500, 0.05) == 6
+        # Confidence 0.55 at coverage 200 is not detectable at 0.05;
+        # the boundary confidence is higher.
+        boundary = min_detectable_confidence(1000, 500, 200, 0.05)
+        assert boundary is not None
+        assert boundary > 0.55
+
+
+class TestFigure2:
+    def test_pmf_table_to_published_digits(self):
+        table = pmf_table(20, 11, 6)
+        assert len(table) == len(FIGURE2_PMF)
+        for ours, published in zip(table, FIGURE2_PMF):
+            assert ours == pytest.approx(published, rel=2e-4)
+
+    def test_buffer_pvalues_to_published_digits(self):
+        buffer = PValueBuffer(20, 11, 6)
+        for k, published in enumerate(FIGURE2_PVALUES):
+            assert buffer.p_value(k) == pytest.approx(published,
+                                                      rel=2e-4)
+
+    def test_sum_up_order_matches_figure(self):
+        """Figure 2's arrows: the accumulation order is 0, 6, 5, 1, 2,
+        4, 3 (ties broken toward the left flank) — equivalently the
+        buffer values sort in that order."""
+        buffer = PValueBuffer(20, 11, 6)
+        values = [buffer.p_value(k) for k in range(7)]
+        order = sorted(range(7), key=lambda k: values[k])
+        assert set(order[:2]) == {0, 6}
+        assert order[-1] == 3

@@ -1,0 +1,125 @@
+"""Integration tests asserting the paper's *qualitative* claims.
+
+These are the headline findings of Section 7, verified at reduced scale:
+
+1. Without correction, numerous spurious rules are generated.
+2. All three correction approaches control false positives.
+3. Power ordering: permutation > direct adjustment > holdout.
+4. Cost ordering: permutation > holdout > direct adjustment.
+5. Perm_FDR is close to BH (so BH is preferred for FDR control).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.data import GeneratorConfig
+from repro.evaluation import ExperimentRunner
+
+# One embedded rule in the borderline-detectable regime: confidence low
+# enough that corrections genuinely disagree.
+BORDERLINE = GeneratorConfig(
+    n_records=800, n_attributes=16, min_values=2, max_values=3,
+    n_rules=1, min_length=2, max_length=4,
+    min_coverage=160, max_coverage=160,
+    min_confidence=0.68, max_confidence=0.68)
+
+RANDOM = GeneratorConfig(n_records=500, n_attributes=12,
+                         min_values=2, max_values=3, n_rules=0)
+
+
+@pytest.fixture(scope="module")
+def borderline_result():
+    runner = ExperimentRunner(
+        methods=("No correction", "BC", "BH", "Perm_FWER", "Perm_FDR",
+                 "HD_BC", "HD_BH"),
+        n_permutations=150)
+    return runner.run(BORDERLINE, min_sup=60, n_replicates=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def random_result():
+    runner = ExperimentRunner(
+        methods=("No correction", "BC", "BH", "Perm_FWER", "HD_BC"),
+        n_permutations=150)
+    return runner.run(RANDOM, min_sup=50, n_replicates=8, seed=4)
+
+
+class TestClaim1NoCorrection:
+    def test_numerous_spurious_rules_on_random_data(self, random_result):
+        none = random_result.aggregates["No correction"]
+        assert none.fwer >= 0.9
+        assert none.avg_false_positives >= 5
+
+    def test_fwer_one_with_embedded_rule(self, borderline_result):
+        assert borderline_result.aggregates["No correction"].fwer >= 0.9
+
+
+class TestClaim2CorrectionsControl:
+    def test_fwer_controlled_on_random_data(self, random_result):
+        for method in ("BC", "Perm_FWER", "HD_BC"):
+            assert random_result.aggregates[method].fwer <= 0.25, method
+
+    def test_bh_controls_fdr_on_random_data(self, random_result):
+        assert random_result.aggregates["BH"].fdr <= 0.15
+
+    def test_holdout_fewest_false_positives(self, random_result):
+        hd = random_result.aggregates["HD_BC"].avg_false_positives
+        none = random_result.aggregates[
+            "No correction"].avg_false_positives
+        assert hd <= none
+
+
+class TestClaim3PowerOrdering:
+    def test_permutation_at_least_direct(self, borderline_result):
+        perm = borderline_result.aggregates["Perm_FWER"].power
+        direct = borderline_result.aggregates["BC"].power
+        assert perm >= direct
+
+    def test_direct_at_least_holdout(self, borderline_result):
+        direct = borderline_result.aggregates["BC"].power
+        hd = borderline_result.aggregates["HD_BC"].power
+        assert direct >= hd
+
+    def test_perm_fdr_close_to_bh(self, borderline_result):
+        perm = borderline_result.aggregates["Perm_FDR"].power
+        bh = borderline_result.aggregates["BH"].power
+        assert abs(perm - bh) <= 0.25
+
+
+class TestClaim4CostOrdering:
+    def test_permutation_slowest_direct_fastest(self):
+        from repro.corrections import (
+            PermutationEngine,
+            bonferroni,
+            holdout,
+        )
+        from repro.data import generate_paired
+        from repro.mining import mine_class_rules
+        data = generate_paired(BORDERLINE, seed=9)
+        ruleset = mine_class_rules(data.dataset, min_sup=60)
+
+        start = time.perf_counter()
+        bonferroni(ruleset)
+        direct_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        holdout(data.dataset, 60, control="fwer",
+                boundary=data.half_boundary)
+        holdout_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        PermutationEngine(ruleset, 300, seed=1).fwer()
+        perm_time = time.perf_counter() - start
+
+        assert direct_time < holdout_time
+        assert direct_time < perm_time
+
+
+class TestNumberOfRulesTested:
+    def test_holdout_candidates_orders_smaller(self, borderline_result):
+        tested = borderline_result.mean_tested
+        assert tested["HD_evaluation"] < tested["whole dataset"]
+        assert tested["HD_exploratory"] > tested["HD_evaluation"]

@@ -1,0 +1,123 @@
+"""Integration tests: full pipelines across module boundaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mine_significant_rules
+from repro.corrections import (
+    PermutationEngine,
+    benjamini_hochberg,
+    bonferroni,
+    holdout,
+    no_correction,
+)
+from repro.data import (
+    GeneratorConfig,
+    generate_paired,
+    load_csv,
+    make_german,
+    save_csv,
+)
+from repro.evaluation import evaluate_result, restrict_embedded
+from repro.mining import mine_class_rules
+
+
+@pytest.fixture(scope="module")
+def paired():
+    config = GeneratorConfig(
+        n_records=600, n_attributes=14, min_values=2, max_values=3,
+        n_rules=1, min_length=2, max_length=3,
+        min_coverage=120, max_coverage=140,
+        min_confidence=0.85, max_confidence=0.9)
+    return generate_paired(config, seed=201)
+
+
+class TestEndToEnd:
+    def test_all_methods_on_one_dataset(self, paired):
+        ds = paired.dataset
+        ruleset = mine_class_rules(ds, min_sup=45)
+        engine = PermutationEngine(ruleset, 80, seed=1)
+        results = [
+            no_correction(ruleset),
+            bonferroni(ruleset),
+            benjamini_hochberg(ruleset),
+            engine.fwer(),
+            engine.fdr(),
+            holdout(ds, 45, control="fwer",
+                    boundary=paired.half_boundary),
+            holdout(ds, 45, control="fdr",
+                    boundary=paired.half_boundary),
+        ]
+        sizes = {r.method: r.n_significant for r in results}
+        # Structural sanity of the paper's ordering on a strong rule:
+        assert sizes["BC"] <= sizes["BH"] <= sizes["No correction"]
+        assert sizes["HD_BC"] <= sizes["HD_BH"]
+
+    def test_evaluation_consistency(self, paired):
+        ds = paired.dataset
+        ruleset = mine_class_rules(ds, min_sup=45)
+        result = bonferroni(ruleset)
+        outcome = evaluate_result(result, paired.embedded_rules, ds)
+        assert outcome.n_significant == result.n_significant
+        assert outcome.power == 1.0  # conf 0.85+ is easily detectable
+
+    def test_holdout_evaluation_on_half(self, paired):
+        ds = paired.dataset
+        result = holdout(ds, 45, control="fwer",
+                         boundary=paired.half_boundary)
+        from repro.corrections import HoldoutRun
+        run = HoldoutRun(ds, 45, boundary=paired.half_boundary)
+        embedded_half = restrict_embedded(paired.embedded_rules,
+                                          run.evaluation)
+        outcome = evaluate_result(run.bonferroni(), embedded_half,
+                                  run.evaluation)
+        assert outcome.n_embedded == 1
+
+
+class TestFileRoundTripPipeline:
+    def test_csv_to_significant_rules(self, tmp_path, paired):
+        path = tmp_path / "exported.csv"
+        save_csv(paired.dataset, path)
+        loaded = load_csv(path, class_column="class")
+        report = mine_significant_rules(loaded, min_sup=45,
+                                        correction="bonferroni")
+        original = mine_significant_rules(paired.dataset, min_sup=45,
+                                          correction="bonferroni")
+        assert len(report.significant) == len(original.significant)
+
+
+class TestRealDatasetPipeline:
+    def test_german_pipeline(self):
+        ds = make_german()
+        report = mine_significant_rules(ds, min_sup=60,
+                                        correction="permutation-fwer",
+                                        n_permutations=60, seed=2)
+        # Permutation FWER must be no more conservative than Bonferroni
+        # (its threshold accounts for the dependence structure).
+        bc = mine_significant_rules(ds, min_sup=60,
+                                    correction="bonferroni")
+        assert len(report.significant) >= len(bc.significant)
+
+    def test_german_table4_shape(self):
+        from repro.evaluation import confidence_pvalue_bins
+        ds = make_german()
+        ruleset = mine_class_rules(ds, min_sup=60, rhs_class=0)
+        matrix = confidence_pvalue_bins(ruleset.rules)
+        assert len(matrix) == 9
+        assert len(matrix[0]) == 4
+        assert sum(sum(row) for row in matrix) > 0
+
+
+class TestCrossScorerConsistency:
+    def test_fisher_and_chi2_agree_on_extremes(self, paired):
+        ds = paired.dataset
+        fisher = mine_class_rules(ds, min_sup=45)
+        chi2 = mine_class_rules(ds, min_sup=45, scorer="chi2")
+        chi2_p = {r.items: r.p_value for r in chi2.rules}
+        # Every rule Fisher finds overwhelming, chi-square must at
+        # least find strongly significant (the asymptotic test drifts
+        # in the far tail but cannot disagree by the bulk).
+        for rule in fisher.rules:
+            if rule.p_value < 1e-8:
+                assert chi2_p[rule.items] < 1e-4

@@ -1,0 +1,234 @@
+"""Unit tests for the interestingness measure catalogue."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import StatsError
+from repro.interest import (
+    ALL_MEASURES,
+    ContingencyTable,
+    added_value,
+    certainty_factor,
+    confidence,
+    conviction,
+    cosine,
+    gini_gain,
+    jaccard,
+    kappa,
+    laplace_accuracy,
+    leverage,
+    lift,
+    mutual_information,
+    odds_ratio,
+    piatetsky_shapiro,
+    support_fraction,
+    yules_q,
+    yules_y,
+)
+
+
+@pytest.fixture
+def positive_table():
+    """A strongly positive rule: 80/100 covered records in a 50% class
+    on n=1000."""
+    return ContingencyTable(support=80, coverage=100,
+                            class_support=500, n=1000)
+
+
+@pytest.fixture
+def independent_table():
+    """Exact independence: confidence equals the class prior."""
+    return ContingencyTable(support=50, coverage=100,
+                            class_support=500, n=1000)
+
+
+@pytest.fixture
+def negative_table():
+    """A strongly negative rule."""
+    return ContingencyTable(support=10, coverage=100,
+                            class_support=500, n=1000)
+
+
+class TestContingencyTable:
+    def test_cells(self, positive_table):
+        assert positive_table.cells == (80, 20, 420, 480)
+
+    def test_cells_sum_to_n(self, positive_table):
+        assert sum(positive_table.cells) == positive_table.n
+
+    def test_rejects_inconsistent_counts(self):
+        with pytest.raises(StatsError):
+            ContingencyTable(support=90, coverage=80,
+                             class_support=500, n=1000)
+        with pytest.raises(StatsError):
+            ContingencyTable(support=10, coverage=980,
+                             class_support=500, n=1000)
+
+    def test_rejects_degenerate_margins(self):
+        with pytest.raises(StatsError):
+            ContingencyTable(support=0, coverage=0,
+                             class_support=500, n=1000)
+        with pytest.raises(StatsError):
+            ContingencyTable(support=0, coverage=10,
+                             class_support=0, n=1000)
+        with pytest.raises(StatsError):
+            ContingencyTable(support=10, coverage=10,
+                             class_support=1000, n=1000)
+
+    def test_from_rule(self, tiny_dataset):
+        from repro.mining import mine_class_rules
+        ruleset = mine_class_rules(tiny_dataset, 2)
+        rule = ruleset.rules[0]
+        table = ContingencyTable.from_rule(rule, tiny_dataset)
+        assert table.support == rule.support
+        assert table.coverage == rule.coverage
+        assert table.n == tiny_dataset.n_records
+
+
+class TestBasicMeasures:
+    def test_support_fraction(self, positive_table):
+        assert support_fraction(positive_table) == pytest.approx(0.08)
+
+    def test_confidence(self, positive_table):
+        assert confidence(positive_table) == pytest.approx(0.8)
+
+    def test_lift_values(self, positive_table, independent_table,
+                         negative_table):
+        assert lift(positive_table) == pytest.approx(1.6)
+        assert lift(independent_table) == pytest.approx(1.0)
+        assert lift(negative_table) == pytest.approx(0.2)
+
+    def test_leverage_values(self, positive_table, independent_table):
+        assert leverage(positive_table) == pytest.approx(0.03)
+        assert leverage(independent_table) == pytest.approx(0.0)
+
+    def test_piatetsky_shapiro_is_leverage(self):
+        assert piatetsky_shapiro is leverage
+
+    def test_added_value(self, positive_table, independent_table):
+        assert added_value(positive_table) == pytest.approx(0.3)
+        assert added_value(independent_table) == pytest.approx(0.0)
+
+
+class TestIndependenceFixedPoints:
+    """Every association measure must sit at its null value under
+    exact independence."""
+
+    def test_null_values(self, independent_table):
+        assert lift(independent_table) == pytest.approx(1.0)
+        assert leverage(independent_table) == pytest.approx(0.0)
+        assert conviction(independent_table) == pytest.approx(1.0)
+        assert kappa(independent_table) == pytest.approx(0.0)
+        assert odds_ratio(independent_table) == pytest.approx(1.0)
+        assert yules_q(independent_table) == pytest.approx(0.0)
+        assert yules_y(independent_table) == pytest.approx(0.0)
+        assert certainty_factor(independent_table) == pytest.approx(0.0)
+        assert mutual_information(independent_table) \
+            == pytest.approx(0.0, abs=1e-12)
+        assert gini_gain(independent_table) \
+            == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSignsAndBounds:
+    def test_positive_rule_signs(self, positive_table):
+        assert lift(positive_table) > 1.0
+        assert leverage(positive_table) > 0.0
+        assert conviction(positive_table) > 1.0
+        assert kappa(positive_table) > 0.0
+        assert odds_ratio(positive_table) > 1.0
+        assert yules_q(positive_table) > 0.0
+        assert certainty_factor(positive_table) > 0.0
+
+    def test_negative_rule_signs(self, negative_table):
+        assert lift(negative_table) < 1.0
+        assert leverage(negative_table) < 0.0
+        assert conviction(negative_table) < 1.0
+        assert kappa(negative_table) < 0.0
+        assert yules_q(negative_table) < 0.0
+        assert certainty_factor(negative_table) < 0.0
+
+    def test_bounded_measures(self, positive_table, negative_table):
+        for table in (positive_table, negative_table):
+            assert 0.0 < cosine(table) <= 1.0
+            assert 0.0 <= jaccard(table) <= 1.0
+            assert -1.0 <= yules_q(table) <= 1.0
+            assert -1.0 <= yules_y(table) <= 1.0
+            assert -1.0 <= kappa(table) <= 1.0
+            assert -1.0 <= certainty_factor(table) <= 1.0
+            assert mutual_information(table) >= 0.0
+            assert gini_gain(table) >= 0.0
+
+    def test_lift_positive_iff_leverage_positive(self):
+        for support in range(1, 100):
+            table = ContingencyTable(support=support, coverage=100,
+                                     class_support=500, n=1000)
+            assert (lift(table) > 1.0) == (leverage(table) > 0.0)
+
+
+class TestSingularities:
+    def test_conviction_infinite_at_confidence_one(self):
+        table = ContingencyTable(support=50, coverage=50,
+                                 class_support=500, n=1000)
+        assert conviction(table) == math.inf
+
+    def test_odds_ratio_infinite_when_off_diagonal_empty(self):
+        table = ContingencyTable(support=50, coverage=50,
+                                 class_support=500, n=1000)
+        assert odds_ratio(table) == math.inf
+        assert yules_q(table) == pytest.approx(1.0)
+        assert yules_y(table) == pytest.approx(1.0)
+
+
+class TestHandComputedValues:
+    def test_cosine(self, positive_table):
+        expected = 0.08 / math.sqrt(0.1 * 0.5)
+        assert cosine(positive_table) == pytest.approx(expected)
+
+    def test_jaccard(self, positive_table):
+        assert jaccard(positive_table) == pytest.approx(80 / 520)
+
+    def test_odds_ratio(self, positive_table):
+        assert odds_ratio(positive_table) \
+            == pytest.approx(80 * 480 / (20 * 420))
+
+    def test_yules_q_matches_odds_ratio(self, positive_table):
+        theta = odds_ratio(positive_table)
+        assert yules_q(positive_table) \
+            == pytest.approx((theta - 1) / (theta + 1))
+
+    def test_certainty_factor(self, positive_table):
+        assert certainty_factor(positive_table) \
+            == pytest.approx((0.8 - 0.5) / 0.5)
+
+    def test_laplace(self, positive_table):
+        assert laplace_accuracy(positive_table) \
+            == pytest.approx(81 / 102)
+        assert laplace_accuracy(positive_table, k=10) \
+            == pytest.approx(81 / 110)
+        with pytest.raises(StatsError):
+            laplace_accuracy(positive_table, k=0)
+
+    def test_mutual_information_symmetric_example(self):
+        # Perfectly aligned binary split: MI = H = log 2.
+        table = ContingencyTable(support=500, coverage=500,
+                                 class_support=500, n=1000)
+        assert mutual_information(table) == pytest.approx(math.log(2))
+
+
+class TestRegistry:
+    def test_all_measures_callable_on_generic_table(self, positive_table):
+        for name, measure in ALL_MEASURES.items():
+            value = measure(positive_table)
+            assert isinstance(value, float), name
+            assert not math.isnan(value), name
+
+    def test_registry_names_are_stable(self):
+        expected = {"support", "confidence", "lift", "leverage",
+                    "conviction", "cosine", "jaccard", "kappa",
+                    "odds_ratio", "yules_q", "yules_y",
+                    "certainty_factor", "added_value",
+                    "mutual_information", "gini_gain", "laplace"}
+        assert set(ALL_MEASURES) == expected

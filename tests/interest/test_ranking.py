@@ -1,0 +1,122 @@
+"""Unit tests for interestingness ranking and agreement utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import StatsError
+from repro.interest import (
+    agreement_matrix,
+    measure_agreement,
+    rank_rules,
+    score_rules,
+    top_k,
+)
+from repro.interest.measures import ContingencyTable, confidence
+from repro.mining import mine_class_rules
+
+
+@pytest.fixture(scope="module")
+def german_ruleset():
+    from repro.data import make_german
+    return mine_class_rules(make_german(), min_sup=200)
+
+
+class TestScoreRules:
+    def test_scores_align_with_rules(self, german_ruleset):
+        scores = score_rules(german_ruleset, "confidence")
+        assert len(scores) == german_ruleset.n_tests
+        for rule, score in zip(german_ruleset.rules, scores):
+            assert score == pytest.approx(rule.confidence)
+
+    def test_accepts_callable(self, german_ruleset):
+        by_name = score_rules(german_ruleset, "confidence")
+        by_callable = score_rules(german_ruleset, confidence)
+        assert by_name == by_callable
+
+    def test_unknown_measure_raises(self, german_ruleset):
+        with pytest.raises(StatsError):
+            score_rules(german_ruleset, "not-a-measure")
+
+    def test_every_registered_measure_scores(self, german_ruleset):
+        from repro.interest import ALL_MEASURES
+        for name in ALL_MEASURES:
+            scores = score_rules(german_ruleset, name)
+            assert len(scores) == german_ruleset.n_tests
+
+
+class TestRankRules:
+    def test_descending_order(self, german_ruleset):
+        ranked = rank_rules(german_ruleset, "lift")
+        scores = [score for _rule, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ascending_order(self, german_ruleset):
+        ranked = rank_rules(german_ruleset, "lift", descending=False)
+        scores = [score for _rule, score in ranked]
+        assert scores == sorted(scores)
+
+    def test_top_k(self, german_ruleset):
+        best = top_k(german_ruleset, "leverage", 5)
+        assert len(best) == 5
+        full = rank_rules(german_ruleset, "leverage")
+        assert best == full[:5]
+
+    def test_top_k_beyond_size(self, german_ruleset):
+        assert len(top_k(german_ruleset, "lift",
+                         german_ruleset.n_tests + 10)) \
+            == german_ruleset.n_tests
+
+    def test_top_k_negative_raises(self, german_ruleset):
+        with pytest.raises(StatsError):
+            top_k(german_ruleset, "lift", -1)
+
+
+class TestAgreement:
+    def test_self_agreement_is_one(self, german_ruleset):
+        tau = measure_agreement(german_ruleset, "lift", "lift")
+        assert tau == pytest.approx(1.0)
+
+    def test_symmetry(self, german_ruleset):
+        ab = measure_agreement(german_ruleset, "lift", "jaccard")
+        ba = measure_agreement(german_ruleset, "jaccard", "lift")
+        assert ab == pytest.approx(ba)
+
+    def test_related_measures_agree_strongly(self, german_ruleset):
+        """Yule's Q is a monotone transform of the odds ratio, so the
+        two must correlate almost perfectly (ties break the exact 1)."""
+        tau = measure_agreement(german_ruleset, "odds_ratio", "yules_q")
+        assert tau > 0.99
+
+    def test_significance_vs_confidence_not_identical(self,
+                                                      german_ruleset):
+        """The paper's Table 4 point: confidence ranks differently from
+        statistical significance."""
+        neg_log_p = [-(math.log(r.p_value) if r.p_value > 0 else 700.0)
+                     for r in german_ruleset.rules]
+
+        def neg_log_p_measure(table: ContingencyTable) -> float:
+            raise AssertionError("unused")
+
+        # Correlate confidence scores against p-value derived ranking
+        # via Kendall tau directly.
+        from scipy import stats as scipy_stats
+        conf_scores = score_rules(german_ruleset, "confidence")
+        tau, _p = scipy_stats.kendalltau(conf_scores, neg_log_p)
+        assert tau < 0.95
+
+    def test_matrix_shape_and_diagonal(self, german_ruleset):
+        matrix = agreement_matrix(german_ruleset,
+                                  measures=("lift", "jaccard", "cosine"))
+        assert matrix[("lift", "lift")] == 1.0
+        assert ("lift", "jaccard") in matrix
+        assert ("jaccard", "lift") not in matrix  # upper triangle only
+        assert len(matrix) == 6
+
+    def test_degenerate_ruleset_gives_nan(self, tiny_dataset):
+        ruleset = mine_class_rules(tiny_dataset, 8)  # at most one rule
+        if ruleset.n_tests < 2:
+            tau = measure_agreement(ruleset, "lift", "jaccard")
+            assert math.isnan(tau)

@@ -1,0 +1,153 @@
+"""Unit tests for class association rule generation (Sections 2.1, 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Dataset
+from repro.errors import MiningError
+from repro.mining import mine_class_rules
+from repro.stats import fisher_two_tailed
+
+
+class TestBinaryClassRules:
+    def test_one_rule_per_pattern(self, small_random_dataset):
+        ruleset = mine_class_rules(small_random_dataset, min_sup=10)
+        non_root = [p for p in ruleset.patterns if p.items]
+        assert len(ruleset.rules) == len(non_root)
+
+    def test_statistics_consistent(self, small_random_dataset):
+        ds = small_random_dataset
+        ruleset = mine_class_rules(ds, min_sup=10)
+        for rule in ruleset.rules:
+            assert rule.coverage == ds.pattern_support(rule.items)
+            assert rule.support == ds.rule_support(rule.items,
+                                                   rule.class_index)
+            assert rule.confidence == pytest.approx(
+                rule.support / rule.coverage)
+
+    def test_pvalues_match_fisher(self, small_random_dataset):
+        ds = small_random_dataset
+        ruleset = mine_class_rules(ds, min_sup=10)
+        for rule in ruleset.rules[:30]:
+            n_c = ds.class_support(rule.class_index)
+            expected = fisher_two_tailed(rule.support, ds.n_records, n_c,
+                                         rule.coverage)
+            assert rule.p_value == pytest.approx(expected, rel=1e-9)
+
+    def test_positively_associated_class_chosen(self, embedded_data):
+        ds = embedded_data.dataset
+        planted = embedded_data.embedded_rules[0]
+        ruleset = mine_class_rules(ds, min_sup=40)
+        target_tidset = ds.pattern_tidset(planted.item_ids)
+        matching = [r for r in ruleset.rules
+                    if ds.pattern_tidset(r.items) == target_tidset]
+        assert matching
+        assert all(r.class_index == planted.class_index for r in matching)
+
+    def test_rhs_class_forced(self, small_random_dataset):
+        ruleset = mine_class_rules(small_random_dataset, min_sup=10,
+                                   rhs_class=1)
+        assert all(r.class_index == 1 for r in ruleset.rules)
+
+    def test_rhs_class_out_of_range(self, small_random_dataset):
+        with pytest.raises(MiningError):
+            mine_class_rules(small_random_dataset, min_sup=10, rhs_class=5)
+
+    def test_binary_pvalue_class_symmetric(self, small_random_dataset):
+        """Testing X=>c equals testing X=>not-c (Section 3)."""
+        ds = small_random_dataset
+        for_c0 = mine_class_rules(ds, min_sup=10, rhs_class=0)
+        for_c1 = mine_class_rules(ds, min_sup=10, rhs_class=1)
+        p0 = {r.items: r.p_value for r in for_c0.rules}
+        p1 = {r.items: r.p_value for r in for_c1.rules}
+        assert set(p0) == set(p1)
+        for items in p0:
+            assert p0[items] == pytest.approx(p1[items], rel=1e-9)
+
+
+class TestMultiClassRules:
+    @pytest.fixture
+    def three_class_dataset(self):
+        records = []
+        labels = []
+        for i in range(60):
+            group = i % 3
+            records.append([f"g{group}", f"x{i % 2}"])
+            labels.append(f"c{group}")
+        return Dataset.from_records(records, labels, ["G", "X"])
+
+    def test_m_rules_per_pattern(self, three_class_dataset):
+        ruleset = mine_class_rules(three_class_dataset, min_sup=5)
+        non_root = [p for p in ruleset.patterns if p.items]
+        assert len(ruleset.rules) == 3 * len(non_root)
+
+    def test_n_tests_counts_all_hypotheses(self, three_class_dataset):
+        ruleset = mine_class_rules(three_class_dataset, min_sup=5)
+        assert ruleset.n_tests == len(ruleset.rules)
+
+    def test_perfect_association_detected(self, three_class_dataset):
+        ruleset = mine_class_rules(three_class_dataset, min_sup=5)
+        strong = [r for r in ruleset.rules if r.p_value < 1e-6]
+        assert strong
+        for rule in strong:
+            described = three_class_dataset.catalog.describe_pattern(
+                rule.items)
+            assert "G=" in described
+
+
+class TestFiltersAndOptions:
+    def test_min_conf_filters(self, small_random_dataset):
+        unfiltered = mine_class_rules(small_random_dataset, min_sup=10)
+        filtered = mine_class_rules(small_random_dataset, min_sup=10,
+                                    min_conf=0.6)
+        assert len(filtered.rules) <= len(unfiltered.rules)
+        assert all(r.confidence >= 0.6 for r in filtered.rules)
+
+    def test_invalid_min_conf(self, small_random_dataset):
+        with pytest.raises(MiningError):
+            mine_class_rules(small_random_dataset, min_sup=10, min_conf=1.5)
+
+    def test_invalid_min_sup(self, small_random_dataset):
+        with pytest.raises(MiningError):
+            mine_class_rules(small_random_dataset, min_sup=0)
+        with pytest.raises(MiningError):
+            mine_class_rules(small_random_dataset, min_sup=10_000)
+
+    def test_chi2_scorer(self, small_random_dataset):
+        fisher = mine_class_rules(small_random_dataset, min_sup=10)
+        chi2 = mine_class_rules(small_random_dataset, min_sup=10,
+                                scorer="chi2")
+        assert len(fisher.rules) == len(chi2.rules)
+        # Same ordering of extreme rules, different exact values.
+        assert any(f.p_value != c.p_value
+                   for f, c in zip(fisher.rules, chi2.rules))
+
+    def test_unknown_scorer(self, small_random_dataset):
+        with pytest.raises(MiningError):
+            mine_class_rules(small_random_dataset, min_sup=10,
+                             scorer="bayes")
+
+    def test_max_length(self, small_random_dataset):
+        ruleset = mine_class_rules(small_random_dataset, min_sup=10,
+                                   max_length=2)
+        assert all(r.length <= 2 for r in ruleset.rules)
+
+
+class TestRuleSetHelpers:
+    def test_sorted_by_p(self, small_random_dataset):
+        ruleset = mine_class_rules(small_random_dataset, min_sup=10)
+        ordered = ruleset.sorted_by_p()
+        assert [r.p_value for r in ordered] == sorted(ruleset.p_values())
+
+    def test_describe_runs(self, small_random_dataset):
+        ruleset = mine_class_rules(small_random_dataset, min_sup=10)
+        text = ruleset.describe(limit=3)
+        assert "rules" in text
+
+    def test_rule_describe_and_lift(self, small_random_dataset):
+        ds = small_random_dataset
+        rule = mine_class_rules(ds, min_sup=10).rules[0]
+        assert "=>" in rule.describe(ds)
+        lift = rule.lift(ds.n_records, ds.class_support(rule.class_index))
+        assert lift > 0

@@ -1,0 +1,117 @@
+"""Property-based tests for contrast-set mining."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contrast import find_contrast_sets, stucco_alpha_levels
+from repro.contrast.stucco import _chi2_2xg
+from repro.data.dataset import Dataset
+from repro.stats.chi2 import chi2_statistic
+
+alphas = st.floats(min_value=1e-6, max_value=0.5, allow_nan=False)
+level_counts = st.dictionaries(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+    min_size=1, max_size=6)
+
+
+@given(alphas, level_counts)
+def test_alpha_levels_never_loosen(alpha, counts):
+    levels = stucco_alpha_levels(alpha, counts)
+    ordered = [levels[k] for k in sorted(levels)]
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later <= earlier
+
+
+@given(alphas, level_counts)
+def test_alpha_levels_bounded_by_layer_budget(alpha, counts):
+    levels = stucco_alpha_levels(alpha, counts)
+    for level, value in levels.items():
+        count = max(1, counts[level])
+        assert value <= alpha / (2 ** level * count) + 1e-18
+
+
+@given(alphas, level_counts)
+def test_total_error_budget_never_exceeds_alpha(alpha, counts):
+    """Union bound over all levels: sum of per-level Bonferroni
+    budgets is at most ``alpha * sum(2^-l) < alpha``."""
+    levels = stucco_alpha_levels(alpha, counts)
+    total = sum(levels[level] * max(1, counts[level])
+                for level in levels)
+    assert total <= alpha + 1e-15
+
+
+@given(st.integers(min_value=0, max_value=40),
+       st.integers(min_value=0, max_value=40),
+       st.integers(min_value=0, max_value=40),
+       st.integers(min_value=0, max_value=40))
+def test_chi2_2xg_matches_2x2_for_two_groups(a, b, c, d):
+    statistic, dof = _chi2_2xg([a, c], [b, d])
+    if (a + b) > 0 and (c + d) > 0 and (a + c) > 0 and (b + d) > 0:
+        assert dof == 1
+        assert statistic == chi2_statistic(a, c, b, d) or \
+            abs(statistic - chi2_statistic(a, c, b, d)) < 1e-9
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30),
+                min_size=2, max_size=5),
+       st.lists(st.integers(min_value=0, max_value=30),
+                min_size=2, max_size=5))
+def test_chi2_2xg_nonnegative(containing, missing):
+    size = min(len(containing), len(missing))
+    statistic, dof = _chi2_2xg(containing[:size], missing[:size])
+    assert statistic >= 0.0
+    assert dof >= 1
+
+
+@st.composite
+def grouped_datasets(draw):
+    n_records = draw(st.integers(min_value=8, max_value=40))
+    n_attributes = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(seed)
+    records = [
+        [f"v{rng.randrange(2)}" for __ in range(n_attributes)]
+        for __ in range(n_records)
+    ]
+    labels = [rng.randrange(2) for __ in range(n_records)]
+    labels[0], labels[1] = 0, 1
+    return Dataset.from_records(records, labels, name=f"c{seed}")
+
+
+@settings(max_examples=25, deadline=None)
+@given(grouped_datasets(),
+       st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+def test_bookkeeping_identity(dataset, min_deviation):
+    result = find_contrast_sets(dataset, min_deviation=min_deviation,
+                                max_length=2)
+    total = sum(result.candidates_per_level.values())
+    assert (result.n_found + result.rejected_large
+            + result.rejected_significant) == total
+
+
+@settings(max_examples=25, deadline=None)
+@given(grouped_datasets())
+def test_corrections_are_nested(dataset):
+    naive = find_contrast_sets(dataset, min_deviation=0.01,
+                               correction="none", max_length=2)
+    stucco = find_contrast_sets(dataset, min_deviation=0.01,
+                                correction="stucco", max_length=2)
+    naive_keys = {c.items for c in naive.contrast_sets}
+    stucco_keys = {c.items for c in stucco.contrast_sets}
+    assert stucco_keys <= naive_keys
+
+
+@settings(max_examples=25, deadline=None)
+@given(grouped_datasets())
+def test_survivors_meet_their_level_alpha(dataset):
+    result = find_contrast_sets(dataset, min_deviation=0.05,
+                                max_length=2)
+    for contrast in result.contrast_sets:
+        assert contrast.p_value <= \
+            result.alpha_per_level[contrast.level]
+        assert contrast.deviation >= 0.05

@@ -1,0 +1,69 @@
+"""Property-based tests for correction procedures.
+
+These check the decision-theoretic invariants: Bonferroni is never more
+liberal than BH; every selected rule clears its threshold; BH's
+step-up cut-off is one of the observed p-values or zero.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corrections import bh_step_up
+
+p_lists = st.lists(
+    st.floats(min_value=1e-12, max_value=1.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=80)
+alphas = st.floats(min_value=0.001, max_value=0.5)
+
+
+@given(p_lists, alphas)
+def test_bh_threshold_is_observed_or_zero(p_values, alpha):
+    threshold = bh_step_up(p_values, alpha)
+    assert threshold == 0.0 or threshold in p_values
+
+
+@given(p_lists, alphas)
+def test_bh_no_more_conservative_than_bonferroni(p_values, alpha):
+    if not p_values:
+        return
+    n = len(p_values)
+    bonferroni_cut = alpha / n
+    bh_cut = bh_step_up(p_values, alpha)
+    accepted_bc = sum(1 for p in p_values if p <= bonferroni_cut)
+    accepted_bh = sum(1 for p in p_values if p <= bh_cut)
+    assert accepted_bh >= accepted_bc
+
+
+@given(p_lists, alphas)
+def test_bh_selected_satisfy_bound(p_values, alpha):
+    """Every accepted p-value satisfies p_(i) <= i*alpha/n for its rank."""
+    threshold = bh_step_up(p_values, alpha)
+    if threshold == 0.0:
+        return
+    ordered = sorted(p_values)
+    n = len(p_values)
+    k = sum(1 for p in ordered if p <= threshold)
+    assert ordered[k - 1] <= k * alpha / n
+
+
+@given(p_lists, alphas, alphas)
+def test_bh_monotone_in_alpha(p_values, a1, a2):
+    lo, hi = sorted((a1, a2))
+    assert bh_step_up(p_values, lo) <= bh_step_up(p_values, hi)
+
+
+@given(p_lists, alphas)
+def test_bh_invariant_under_permutation(p_values, alpha):
+    forward = bh_step_up(p_values, alpha)
+    backward = bh_step_up(list(reversed(p_values)), alpha)
+    assert forward == backward
+
+
+@given(st.integers(min_value=0, max_value=30),
+       st.integers(min_value=1, max_value=60), alphas)
+def test_bonferroni_threshold_scales(n_extra, n_tests, alpha):
+    """Adding hypotheses can only lower the Bonferroni threshold."""
+    assert alpha / (n_tests + n_extra) <= alpha / n_tests

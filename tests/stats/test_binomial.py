@@ -1,0 +1,107 @@
+"""Unit tests for the exact binomial distribution."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import StatsError
+from repro.stats.binomial import (
+    binomial_cdf,
+    binomial_log_pmf,
+    binomial_pmf,
+    binomial_sf,
+    binomial_test_upper,
+)
+
+
+class TestPmf:
+    def test_matches_closed_form_small(self):
+        # Binomial(3, 0.5): pmf = (1/8, 3/8, 3/8, 1/8)
+        expected = [1 / 8, 3 / 8, 3 / 8, 1 / 8]
+        for k, want in enumerate(expected):
+            assert binomial_pmf(k, 3, 0.5) == pytest.approx(want)
+
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(k, 20, 0.3) for k in range(21))
+        assert total == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        for n, p in ((10, 0.1), (50, 0.5), (100, 0.93)):
+            for k in range(0, n + 1, max(1, n // 7)):
+                want = scipy_stats.binom.pmf(k, n, p)
+                assert binomial_pmf(k, n, p) == pytest.approx(
+                    want, rel=1e-9, abs=1e-300)
+
+    def test_degenerate_p_zero(self):
+        assert binomial_pmf(0, 5, 0.0) == 1.0
+        assert binomial_pmf(1, 5, 0.0) == 0.0
+        assert binomial_log_pmf(3, 5, 0.0) == float("-inf")
+
+    def test_degenerate_p_one(self):
+        assert binomial_pmf(5, 5, 1.0) == 1.0
+        assert binomial_pmf(4, 5, 1.0) == 0.0
+
+    def test_log_pmf_is_stable_for_large_n(self):
+        # scipy underflows around pmf ~ 1e-308; log-space does not.
+        log_p = binomial_log_pmf(0, 5000, 0.5)
+        assert log_p == pytest.approx(5000 * math.log(0.5))
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(StatsError):
+            binomial_pmf(-1, 5, 0.5)
+        with pytest.raises(StatsError):
+            binomial_pmf(6, 5, 0.5)
+        with pytest.raises(StatsError):
+            binomial_pmf(1, 5, 1.5)
+        with pytest.raises(StatsError):
+            binomial_pmf(1, -2, 0.5)
+
+
+class TestTails:
+    def test_cdf_plus_sf_is_one(self):
+        for k in range(0, 21, 4):
+            total = binomial_cdf(k, 20, 0.4) + binomial_sf(k, 20, 0.4)
+            assert total == pytest.approx(1.0)
+
+    def test_cdf_matches_scipy(self):
+        for n, p in ((12, 0.25), (60, 0.7)):
+            for k in range(0, n + 1, max(1, n // 5)):
+                want = scipy_stats.binom.cdf(k, n, p)
+                assert binomial_cdf(k, n, p) == pytest.approx(
+                    want, rel=1e-9)
+
+    def test_sf_matches_scipy_in_the_deep_tail(self):
+        want = scipy_stats.binom.sf(95, 100, 0.5)
+        assert binomial_sf(95, 100, 0.5) == pytest.approx(want,
+                                                          rel=1e-9)
+
+    def test_cdf_monotone_in_k(self):
+        values = [binomial_cdf(k, 30, 0.6) for k in range(31)]
+        assert values == sorted(values)
+
+    def test_boundaries(self):
+        assert binomial_cdf(20, 20, 0.3) == 1.0
+        assert binomial_sf(20, 20, 0.3) == 0.0
+
+
+class TestUpperTest:
+    def test_k_zero_is_always_one(self):
+        assert binomial_test_upper(0, 10, 0.2) == 1.0
+
+    def test_matches_scipy_binomtest(self):
+        for k, n, p in ((8, 10, 0.5), (3, 50, 0.01), (40, 60, 0.5)):
+            want = scipy_stats.binomtest(
+                k, n, p, alternative="greater").pvalue
+            assert binomial_test_upper(k, n, p) == pytest.approx(
+                want, rel=1e-9)
+
+    def test_antitone_in_k(self):
+        values = [binomial_test_upper(k, 25, 0.3) for k in range(26)]
+        for a, b in zip(values, values[1:]):
+            assert a >= b
+
+    def test_observing_the_mean_is_not_significant(self):
+        assert binomial_test_upper(10, 100, 0.1) > 0.4

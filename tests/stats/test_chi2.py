@@ -1,0 +1,88 @@
+"""Unit tests for the chi-square scorer (alternative to Fisher)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.errors import StatsError
+from repro.stats import chi2_rule_p_value, chi2_sf, chi2_statistic, chi2_test
+
+
+class TestSurvivalFunction:
+    def test_matches_scipy_dof1(self):
+        for x in (0.1, 0.5, 1.0, 3.84, 10.0, 30.0):
+            assert chi2_sf(x, 1) == pytest.approx(
+                scipy_stats.chi2.sf(x, 1), rel=1e-10)
+
+    def test_matches_scipy_various_dof(self):
+        rng = random.Random(8)
+        for _ in range(50):
+            dof = rng.randint(1, 30)
+            x = rng.uniform(0.0, 80.0)
+            assert chi2_sf(x, dof) == pytest.approx(
+                scipy_stats.chi2.sf(x, dof), rel=1e-8, abs=1e-14)
+
+    def test_at_zero(self):
+        assert chi2_sf(0.0, 1) == 1.0
+        assert chi2_sf(0.0, 5) == 1.0
+
+    def test_critical_value_395(self):
+        # The classic 3.84 critical value for alpha=0.05 at 1 dof.
+        assert chi2_sf(3.841459, 1) == pytest.approx(0.05, abs=1e-6)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(StatsError):
+            chi2_sf(-1.0, 1)
+        with pytest.raises(StatsError):
+            chi2_sf(1.0, 0)
+
+
+class TestStatistic:
+    def test_matches_scipy_contingency(self):
+        rng = random.Random(77)
+        for _ in range(60):
+            a, b, c, d = (rng.randint(1, 60) for _ in range(4))
+            ours = chi2_statistic(a, b, c, d)
+            theirs = scipy_stats.chi2_contingency(
+                [[a, b], [c, d]], correction=False)[0]
+            assert ours == pytest.approx(theirs, rel=1e-10)
+
+    def test_yates_matches_scipy(self):
+        ours = chi2_statistic(12, 5, 7, 14, yates=True)
+        theirs = scipy_stats.chi2_contingency(
+            [[12, 5], [7, 14]], correction=True)[0]
+        assert ours == pytest.approx(theirs, rel=1e-10)
+
+    def test_zero_marginal_scores_zero(self):
+        assert chi2_statistic(0, 0, 5, 5) == 0.0
+        assert chi2_statistic(5, 0, 5, 0) == 0.0
+
+    def test_independent_table_scores_zero(self):
+        assert chi2_statistic(10, 10, 10, 10) == 0.0
+
+    def test_negative_cell_rejected(self):
+        with pytest.raises(StatsError):
+            chi2_statistic(-1, 1, 1, 1)
+
+
+class TestRuleParametrization:
+    def test_agrees_with_contingency_form(self):
+        # supp_r=30, n=200, n_c=90, supp_x=50.
+        a, b, c, d = 30, 20, 60, 90
+        assert chi2_rule_p_value(30, 200, 90, 50) == pytest.approx(
+            chi2_test(a, b, c, d))
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(StatsError):
+            chi2_rule_p_value(40, 100, 30, 50)  # supp_r > n_c
+
+    def test_roughly_tracks_fisher_for_large_cells(self):
+        from repro.stats import fisher_two_tailed
+        p_chi = chi2_rule_p_value(130, 1000, 500, 200)
+        p_fis = fisher_two_tailed(130, 1000, 500, 200)
+        # Same order of magnitude in the well-populated regime.
+        assert 0.1 < p_chi / p_fis < 10

@@ -1,0 +1,63 @@
+"""Type-I-error validity of the exact tests.
+
+A valid p-value satisfies ``P(p <= alpha) <= alpha`` under the null.
+For discrete exact tests this is checkable by enumeration: sum the
+null pmf over every outcome whose p-value clears ``alpha``. These
+tests pin that guarantee for the binomial and Poisson upper-tail
+tests, which the frequency-significance methods lean on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.binomial import binomial_pmf, binomial_test_upper
+from repro.stats.poisson import poisson_pmf, poisson_test_upper
+
+ALPHAS = (0.001, 0.01, 0.05, 0.25)
+
+
+class TestBinomialValidity:
+    @pytest.mark.parametrize("n,p", [(10, 0.5), (30, 0.1), (50, 0.7),
+                                     (100, 0.03)])
+    def test_rejection_mass_at_most_alpha(self, n, p):
+        for alpha in ALPHAS:
+            mass = sum(
+                binomial_pmf(k, n, p)
+                for k in range(n + 1)
+                if binomial_test_upper(k, n, p) <= alpha)
+            assert mass <= alpha + 1e-12
+
+    @pytest.mark.parametrize("n,p", [(20, 0.5), (60, 0.2)])
+    def test_p_value_equals_achieved_level(self, n, p):
+        """The exact test's p-value IS the probability of an outcome
+        at least as extreme, so rejecting at exactly p(k) has type-I
+        error exactly p(k)."""
+        for k in range(n + 1):
+            level = binomial_test_upper(k, n, p)
+            mass = sum(binomial_pmf(i, n, p) for i in range(k, n + 1))
+            assert level == pytest.approx(min(1.0, mass), abs=1e-12)
+
+
+class TestPoissonValidity:
+    @pytest.mark.parametrize("mean", [0.5, 2.0, 10.0, 40.0])
+    def test_rejection_mass_at_most_alpha(self, mean):
+        # enumerate far enough into the tail that residual mass is
+        # negligible
+        horizon = int(mean + 40 + 10 * mean ** 0.5)
+        for alpha in ALPHAS:
+            mass = sum(
+                poisson_pmf(k, mean)
+                for k in range(horizon)
+                if poisson_test_upper(k, mean) <= alpha)
+            assert mass <= alpha + 1e-9
+
+    @pytest.mark.parametrize("mean", [1.0, 7.0])
+    def test_p_value_equals_achieved_level(self, mean):
+        horizon = int(mean + 50)
+        for k in range(horizon):
+            level = poisson_test_upper(k, mean)
+            mass = sum(poisson_pmf(i, mean)
+                       for i in range(k, horizon + 200))
+            assert level == pytest.approx(min(1.0, mass), rel=1e-9,
+                                          abs=1e-12)

@@ -1,0 +1,95 @@
+"""Unit tests for the hypergeometric distribution (paper Section 2.2)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.errors import StatsError
+from repro.stats import log_pmf, mean, mode, pmf, pmf_table, support_bounds
+
+
+class TestSupportBounds:
+    def test_paper_example(self):
+        # n=20, n_c=11, supp(X)=6 -> k ranges over [0, 6] (Figure 2).
+        assert support_bounds(20, 11, 6) == (0, 6)
+
+    def test_lower_bound_active(self):
+        # n=10, n_c=8, supp_x=7: at least 8+7-10=5 overlaps are forced.
+        assert support_bounds(10, 8, 7) == (5, 7)
+
+    def test_degenerate_full_coverage(self):
+        assert support_bounds(10, 4, 10) == (4, 4)
+
+    def test_zero_coverage(self):
+        assert support_bounds(10, 4, 0) == (0, 0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(StatsError):
+            support_bounds(10, 11, 3)
+        with pytest.raises(StatsError):
+            support_bounds(10, 3, 11)
+        with pytest.raises(StatsError):
+            support_bounds(-1, 0, 0)
+
+
+class TestPmf:
+    def test_sums_to_one(self):
+        total = sum(pmf_table(30, 12, 9))
+        assert total == pytest.approx(1.0, rel=1e-12)
+
+    def test_matches_scipy(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            n = rng.randint(2, 400)
+            n_c = rng.randint(0, n)
+            sx = rng.randint(0, n)
+            low, high = support_bounds(n, n_c, sx)
+            k = rng.randint(low, high)
+            ours = pmf(k, n, n_c, sx)
+            theirs = scipy_stats.hypergeom.pmf(k, n, n_c, sx)
+            assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-300)
+
+    def test_out_of_support_is_zero(self):
+        assert pmf(7, 20, 11, 6) == 0.0
+        assert log_pmf(-1, 20, 11, 6) == float("-inf")
+
+    def test_paper_figure2_values(self):
+        # H(k; 20, 11, 6) from Figure 2 of the paper.
+        expected = [0.0021672, 0.035759, 0.17879, 0.35759,
+                    0.30650, 0.10728, 0.011920]
+        table = pmf_table(20, 11, 6)
+        assert table == pytest.approx(expected, rel=1e-4)
+
+    def test_table_matches_pointwise(self):
+        n, n_c, sx = 100, 37, 22
+        low, high = support_bounds(n, n_c, sx)
+        table = pmf_table(n, n_c, sx)
+        for k in range(low, high + 1):
+            assert table[k - low] == pytest.approx(pmf(k, n, n_c, sx),
+                                                   rel=1e-9)
+
+    def test_large_population_recurrence_stable(self):
+        n, n_c, sx = 32561, 7841, 900
+        table = pmf_table(n, n_c, sx)
+        assert sum(table) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert mean(1000, 500, 100) == pytest.approx(50.0)
+
+    def test_mode_is_argmax(self):
+        for (n, n_c, sx) in [(20, 11, 6), (100, 37, 22), (50, 25, 25)]:
+            low, high = support_bounds(n, n_c, sx)
+            table = pmf_table(n, n_c, sx)
+            argmax = max(range(low, high + 1),
+                         key=lambda k: table[k - low])
+            assert abs(mode(n, n_c, sx) - argmax) <= 1
+
+    def test_mean_empty_population(self):
+        assert mean(0, 0, 0) == 0.0

@@ -1,0 +1,84 @@
+"""Unit tests for the log-factorial buffer (paper Section 4.2.3, Bf)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import LogFactorialBuffer, default_buffer, log_binomial
+
+
+class TestLogFactorial:
+    def test_base_cases(self):
+        buf = LogFactorialBuffer(0)
+        assert buf.log_factorial(0) == 0.0
+        assert buf.log_factorial(1) == pytest.approx(0.0)
+
+    def test_small_values_exact(self):
+        buf = LogFactorialBuffer()
+        for k, expected in [(2, 2), (3, 6), (4, 24), (5, 120), (10, 3628800)]:
+            assert buf.log_factorial(k) == pytest.approx(math.log(expected))
+
+    def test_matches_lgamma(self):
+        buf = LogFactorialBuffer()
+        for k in (17, 100, 1000, 5000):
+            assert buf.log_factorial(k) == pytest.approx(
+                math.lgamma(k + 1), rel=1e-12)
+
+    def test_grows_on_demand(self):
+        buf = LogFactorialBuffer(2)
+        assert buf.capacity == 2
+        buf.log_factorial(50)
+        assert buf.capacity >= 50
+
+    def test_negative_rejected(self):
+        with pytest.raises(StatsError):
+            LogFactorialBuffer().log_factorial(-1)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StatsError):
+            LogFactorialBuffer(-3)
+
+    def test_large_value_does_not_overflow(self):
+        # 40000! overflows double; its log must not.
+        value = LogFactorialBuffer().log_factorial(40000)
+        assert math.isfinite(value)
+        assert value == pytest.approx(math.lgamma(40001), rel=1e-12)
+
+
+class TestLogBinomial:
+    def test_known_coefficients(self):
+        buf = LogFactorialBuffer()
+        assert math.exp(buf.log_binomial(5, 2)) == pytest.approx(10)
+        assert math.exp(buf.log_binomial(10, 5)) == pytest.approx(252)
+        assert math.exp(buf.log_binomial(52, 5)) == pytest.approx(2598960)
+
+    def test_edges(self):
+        buf = LogFactorialBuffer()
+        assert buf.log_binomial(7, 0) == pytest.approx(0.0)
+        assert buf.log_binomial(7, 7) == pytest.approx(0.0)
+
+    def test_out_of_range_is_zero_probability(self):
+        buf = LogFactorialBuffer()
+        assert buf.log_binomial(5, 6) == float("-inf")
+        assert buf.log_binomial(5, -1) == float("-inf")
+
+    def test_symmetry(self):
+        buf = LogFactorialBuffer()
+        for a, b in [(30, 4), (100, 17), (9, 3)]:
+            assert buf.log_binomial(a, b) == pytest.approx(
+                buf.log_binomial(a, a - b))
+
+    def test_module_level_helper(self):
+        assert math.exp(log_binomial(6, 3)) == pytest.approx(20)
+
+
+class TestDefaultBuffer:
+    def test_shared_instance(self):
+        assert default_buffer() is default_buffer()
+
+    def test_len_tracks_capacity(self):
+        buf = LogFactorialBuffer(10)
+        assert len(buf) == buf.capacity + 1

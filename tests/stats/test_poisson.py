@@ -1,0 +1,91 @@
+"""Unit tests for the Poisson distribution."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import StatsError
+from repro.stats.poisson import (
+    poisson_cdf,
+    poisson_log_pmf,
+    poisson_pmf,
+    poisson_sf,
+    poisson_test_upper,
+)
+
+
+class TestPmf:
+    def test_closed_form_small_mean(self):
+        # P(X=0) = e^-mean
+        assert poisson_pmf(0, 2.0) == pytest.approx(math.exp(-2.0))
+        assert poisson_pmf(1, 2.0) == pytest.approx(2 * math.exp(-2.0))
+
+    def test_matches_scipy(self):
+        for mean in (0.1, 1.0, 7.5, 40.0):
+            for k in range(0, 60, 7):
+                want = scipy_stats.poisson.pmf(k, mean)
+                assert poisson_pmf(k, mean) == pytest.approx(
+                    want, rel=1e-9, abs=1e-300)
+
+    def test_zero_mean_is_point_mass(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(1, 0.0) == 0.0
+        assert poisson_log_pmf(3, 0.0) == float("-inf")
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(StatsError):
+            poisson_pmf(-1, 1.0)
+        with pytest.raises(StatsError):
+            poisson_pmf(1, -0.5)
+        with pytest.raises(StatsError):
+            poisson_pmf(1, float("nan"))
+
+
+class TestTails:
+    def test_cdf_plus_sf_is_one(self):
+        for mean in (0.5, 3.0, 25.0):
+            for k in range(0, 40, 5):
+                total = poisson_cdf(k, mean) + poisson_sf(k, mean)
+                assert total == pytest.approx(1.0)
+
+    def test_sf_matches_scipy_deep_tail(self):
+        want = scipy_stats.poisson.sf(50, 5.0)
+        assert poisson_sf(50, 5.0) == pytest.approx(want, rel=1e-8)
+
+    def test_sf_matches_scipy_heavy_side(self):
+        want = scipy_stats.poisson.sf(2, 30.0)
+        assert poisson_sf(2, 30.0) == pytest.approx(want, rel=1e-9)
+
+    def test_cdf_monotone(self):
+        values = [poisson_cdf(k, 6.0) for k in range(30)]
+        assert values == sorted(values)
+
+    def test_zero_mean_tails(self):
+        assert poisson_sf(0, 0.0) == 0.0
+        assert poisson_cdf(0, 0.0) == 1.0
+
+
+class TestUpperTest:
+    def test_k_zero_is_one(self):
+        assert poisson_test_upper(0, 3.0) == 1.0
+
+    def test_matches_scipy(self):
+        for k, mean in ((5, 1.0), (12, 8.0), (3, 10.0)):
+            want = scipy_stats.poisson.sf(k - 1, mean)
+            assert poisson_test_upper(k, mean) == pytest.approx(
+                want, rel=1e-9)
+
+    def test_antitone_in_k(self):
+        values = [poisson_test_upper(k, 4.0) for k in range(20)]
+        for a, b in zip(values, values[1:]):
+            assert a >= b
+
+    def test_surprising_count_is_significant(self):
+        # 30 events at mean 5 is a ~1e-15 tail.
+        assert poisson_test_upper(30, 5.0) < 1e-12
+
+    def test_zero_mean_with_positive_count(self):
+        assert poisson_test_upper(3, 0.0) == 0.0

@@ -1,0 +1,159 @@
+"""Unit tests for the analytic detectability/power calculator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import (
+    detection_power,
+    fisher_two_tailed,
+    min_attainable_p_value,
+    min_detectable_confidence,
+    min_detectable_support,
+    min_testable_coverage,
+    power_curve,
+)
+
+
+class TestMinDetectableSupport:
+    def test_boundary_is_tight(self):
+        """k_min clears the threshold; k_min - 1 does not."""
+        n, n_c, supp_x, threshold = 1000, 500, 100, 1e-4
+        k_min = min_detectable_support(n, n_c, supp_x, threshold)
+        assert k_min is not None
+        assert fisher_two_tailed(k_min, n, n_c, supp_x) <= threshold
+        assert fisher_two_tailed(k_min - 1, n, n_c, supp_x) > threshold
+
+    def test_untestable_coverage_returns_none(self):
+        # Section 2.3: coverage 5 cannot beat 0.062 at n=1000, n_c=500.
+        assert min_detectable_support(1000, 500, 5, 0.05) is None
+
+    def test_coverage_6_is_just_testable(self):
+        k_min = min_detectable_support(1000, 500, 6, 0.05)
+        assert k_min == 6  # only the perfect split qualifies
+
+    def test_monotone_in_threshold(self):
+        loose = min_detectable_support(1000, 500, 100, 1e-2)
+        tight = min_detectable_support(1000, 500, 100, 1e-6)
+        assert loose is not None and tight is not None
+        assert tight >= loose
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            min_detectable_support(0, 0, 5, 0.05)
+        with pytest.raises(StatsError):
+            min_detectable_support(100, 50, 10, 0.0)
+        with pytest.raises(StatsError):
+            min_detectable_support(100, 100, 10, 0.05)
+
+
+class TestMinDetectableConfidence:
+    def test_decreases_with_coverage(self):
+        """Figure 1's message: larger coverage detects weaker rules."""
+        threshold = 1e-5
+        confidences = [
+            min_detectable_confidence(1000, 500, cvg, threshold)
+            for cvg in (20, 40, 70, 100)
+        ]
+        assert all(c is not None for c in confidences)
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_halving_raises_the_bar(self):
+        """Figure 9's message: holdout halving makes rules harder to
+        detect — the same threshold needs higher confidence at half
+        the coverage and records."""
+        threshold = 1e-5
+        whole = min_detectable_confidence(2000, 1000, 400, threshold)
+        half = min_detectable_confidence(1000, 500, 200, threshold)
+        assert whole is not None and half is not None
+        assert half > whole
+
+
+class TestMinTestableCoverage:
+    def test_paper_example(self):
+        # Coverage 5 tops out at p=0.062 > 0.05; coverage 6 reaches it.
+        assert min_testable_coverage(1000, 500, 0.05) == 6
+
+    def test_agrees_with_min_attainable(self):
+        threshold = 1e-3
+        sigma = min_testable_coverage(1000, 500, threshold)
+        assert sigma is not None
+        assert min_attainable_p_value(1000, 500, sigma) <= threshold
+        assert min_attainable_p_value(1000, 500, sigma - 1) > threshold
+
+    def test_stricter_threshold_needs_more_coverage(self):
+        loose = min_testable_coverage(1000, 500, 0.05)
+        tight = min_testable_coverage(1000, 500, 1e-8)
+        assert loose is not None and tight is not None
+        assert tight > loose
+
+
+class TestDetectionPower:
+    def test_bounds(self):
+        power = detection_power(2000, 1000, 400, 0.6, 1e-5)
+        assert 0.0 <= power <= 1.0
+
+    def test_monotone_in_confidence(self):
+        threshold = 0.05 / 3500  # a Bonferroni-like cut-off
+        curve = power_curve(2000, 1000, 400,
+                            (0.55, 0.60, 0.65, 0.70), threshold)
+        assert curve == sorted(curve)
+
+    def test_figure8_regimes(self):
+        """The analytic model reproduces the paper's Section 5.5.1
+        qualitative findings at the Bonferroni cut-off: undetectable
+        at conf .55, coin-flip-ish at .60, near-certain at .70."""
+        threshold = 0.05 / 3500
+        low = detection_power(2000, 1000, 400, 0.55, threshold)
+        mid = detection_power(2000, 1000, 400, 0.60, threshold)
+        high = detection_power(2000, 1000, 400, 0.70, threshold)
+        assert low < 0.10
+        assert 0.25 < mid < 0.85
+        assert high > 0.99
+
+    def test_untestable_gives_zero(self):
+        assert detection_power(1000, 500, 5, 1.0, 0.05) == 0.0
+
+    def test_perfect_confidence_on_testable_coverage(self):
+        assert detection_power(1000, 500, 50, 1.0, 1e-6) \
+            == pytest.approx(1.0)
+
+    def test_zero_confidence(self):
+        assert detection_power(1000, 500, 50, 0.0, 1e-6) == 0.0
+
+    def test_looser_threshold_more_power(self):
+        tight = detection_power(2000, 1000, 400, 0.6, 1e-7)
+        loose = detection_power(2000, 1000, 400, 0.6, 1e-3)
+        assert loose >= tight
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            detection_power(1000, 500, 50, 1.5, 0.05)
+
+
+class TestDeterministicDetection:
+    def test_step_at_the_boundary(self):
+        from repro.stats import deterministic_detection
+        n, n_c, coverage = 2000, 1000, 400
+        threshold = 1.43e-5
+        # min detectable support is 240 = 0.6 * 400.
+        assert deterministic_detection(n, n_c, coverage, 0.60, threshold)
+        assert not deterministic_detection(n, n_c, coverage, 0.59,
+                                           threshold)
+
+    def test_untestable_is_never_detected(self):
+        from repro.stats import deterministic_detection
+        assert not deterministic_detection(1000, 500, 5, 1.0, 0.05)
+
+    def test_dominates_binomial_model_above_boundary(self):
+        from repro.stats import detection_power, deterministic_detection
+        n, n_c, coverage, threshold = 2000, 1000, 400, 1e-5
+        for conf in (0.55, 0.60, 0.65, 0.70):
+            step = deterministic_detection(n, n_c, coverage, conf,
+                                           threshold)
+            smooth = detection_power(n, n_c, coverage, conf, threshold)
+            if step:
+                assert smooth >= 0.4
+            else:
+                assert smooth <= 0.6

@@ -1,0 +1,63 @@
+"""Unit tests for the exception hierarchy and package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    CorrectionError,
+    DataError,
+    EvaluationError,
+    LoaderError,
+    MiningError,
+    ReproError,
+    StatsError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        DataError, LoaderError, MiningError, StatsError,
+        CorrectionError, EvaluationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_loader_error_is_data_error(self):
+        assert issubclass(LoaderError, DataError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise MiningError("boom")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_exports(self):
+        import repro.corrections
+        import repro.data
+        import repro.evaluation
+        import repro.mining
+        import repro.stats
+        for module in (repro.data, repro.mining, repro.stats,
+                       repro.corrections, repro.evaluation):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_corrections_registry_complete(self):
+        from repro import CORRECTIONS
+        assert set(CORRECTIONS) == {
+            "none", "bonferroni", "holm", "hochberg", "sidak",
+            "weighted-bonferroni", "weighted-bh",
+            "bh", "by", "storey", "bky", "lamp",
+            "permutation-fwer", "permutation-fwer-stepdown",
+            "permutation-fdr",
+            "holdout-fwer", "holdout-fdr", "layered",
+        }
