@@ -1,0 +1,72 @@
+"""Registry/pipeline indirection overhead vs. direct dispatch.
+
+The PR that introduced the correction registry and the composable
+Pipeline replaced a hard-coded if/elif dispatch with registry
+resolution plus stage objects. This bench pins the cost of that
+indirection: a BH run through :class:`repro.core.Pipeline` must stay
+within 5% wall-clock of the same mine+score+correct work called
+directly (the seed's dispatch was a handful of string comparisons, so
+anything beyond noise would be a regression in the stage plumbing, not
+the dispatch itself).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _scale import banner
+from repro.core.pipeline import Pipeline
+from repro.corrections import benjamini_hochberg
+from repro.data import GeneratorConfig, generate
+from repro.mining import mine_class_rules
+
+MIN_SUP = 40
+REPEATS = 5
+
+
+def _dataset():
+    config = GeneratorConfig(
+        n_records=800, n_attributes=20, n_rules=2,
+        min_coverage=150, max_coverage=250,
+        min_confidence=0.7, max_confidence=0.9)
+    return generate(config, seed=406).dataset
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_pipeline_overhead_under_5_percent():
+    dataset = _dataset()
+
+    def direct():
+        ruleset = mine_class_rules(dataset, MIN_SUP)
+        return benjamini_hochberg(ruleset, 0.05)
+
+    pipeline = Pipeline(min_sup=MIN_SUP, corrections=("bh",))
+
+    def through_pipeline():
+        return pipeline.run(dataset)["bh"]
+
+    # Warm both paths (caches, imports) before timing.
+    expected = direct()
+    actual = through_pipeline()
+    assert actual.threshold == expected.threshold
+    assert actual.n_significant == expected.n_significant
+
+    direct_time = _best_of(REPEATS, direct)
+    pipeline_time = _best_of(REPEATS, through_pipeline)
+    overhead = pipeline_time / direct_time - 1.0
+
+    print(banner("pipeline overhead",
+                 f"direct {direct_time * 1e3:.1f} ms, "
+                 f"pipeline {pipeline_time * 1e3:.1f} ms, "
+                 f"overhead {overhead:+.2%}"))
+    assert overhead < 0.05, (
+        f"registry/pipeline indirection costs {overhead:.2%} "
+        f"(direct {direct_time:.4f}s vs pipeline {pipeline_time:.4f}s)")

@@ -7,13 +7,44 @@ testing correction (direct adjustment, permutation-based, holdout).
 
 Quickstart
 ----------
+One correction, one call — any registered spelling works (canonical
+name, Table 3 abbreviation, or alias):
+
 >>> from repro import mine_significant_rules
 >>> from repro.data import make_german
 >>> report = mine_significant_rules(make_german(), min_sup=60,
-...                                 correction="permutation-fdr",
-...                                 n_permutations=200, seed=0)
+...                                 correction="BH", alpha=0.05)
 >>> len(report.significant) <= report.n_tested
 True
+
+Several corrections against one mining pass — the composable
+:class:`Pipeline` shares the mined ruleset, the permutation pass and
+the holdout split across methods:
+
+>>> from repro import Pipeline
+>>> pipe = Pipeline(min_sup=60,
+...                 corrections=("bonferroni", "BH", "holdout-fdr"),
+...                 seed=0)
+>>> result = pipe.run(make_german())
+>>> sorted(result.results)
+['BH', 'bonferroni', 'holdout-fdr']
+>>> result["BH"].n_significant >= result["bonferroni"].n_significant
+True
+
+Corrections are pluggable: registering a :class:`Correction` makes it
+usable everywhere — the miner, the pipeline, the experiment runner and
+the CLI (via ``--plugin`` / ``REPRO_PLUGINS``):
+
+>>> from repro import Correction, register_correction
+>>> from repro.corrections import bonferroni
+>>> spec = register_correction(Correction(
+...     name="half-bonferroni", abbreviation="BC/2", family="fwer",
+...     apply_fn=lambda rs, alpha, ctx: bonferroni(rs, alpha / 2)))
+>>> mine_significant_rules(make_german(), min_sup=60,
+...     correction="half-bonferroni").result.method
+'BC'
+>>> from repro.corrections import unregister_correction
+>>> unregister_correction("half-bonferroni")
 
 Subpackages
 -----------
@@ -50,8 +81,17 @@ Subpackages
 from .core import (
     CORRECTIONS,
     MiningReport,
+    Pipeline,
+    PipelineContext,
+    PipelineResult,
     SignificantRuleMiner,
     mine_significant_rules,
+)
+from .corrections.registry import (
+    Correction,
+    available_corrections,
+    register_correction,
+    resolve_correction,
 )
 from .errors import (
     CorrectionError,
@@ -67,9 +107,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CORRECTIONS",
+    "Correction",
     "MiningReport",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineResult",
     "SignificantRuleMiner",
+    "available_corrections",
     "mine_significant_rules",
+    "register_correction",
+    "resolve_correction",
     "CorrectionError",
     "DataError",
     "EvaluationError",

@@ -44,37 +44,33 @@ __all__ = ["CPARClassifier", "InducedRuleSet", "foil_gain"]
 
 
 def _direct_correction(name: str):
-    """Resolve a direct-adjustment correction by identifier.
+    """Resolve a direct-adjustment correction through the registry.
 
     Imported lazily: repro.corrections imports repro.mining, which this
     module's ClassRule import already pulls in — a module-scope import
     back into corrections would be cyclic through repro.classify.
-    """
-    from ..corrections.by import benjamini_yekutieli
-    from ..corrections.direct import (
-        benjamini_hochberg,
-        bonferroni,
-        no_correction,
-    )
-    from ..corrections.stepwise import hochberg, holm, sidak
-    from ..corrections.storey import storey_fdr, two_stage_bh
 
-    table = {
-        "none": no_correction,
-        "bonferroni": bonferroni,
-        "bh": benjamini_hochberg,
-        "holm": holm,
-        "hochberg": hochberg,
-        "sidak": sidak,
-        "by": benjamini_yekutieli,
-        "storey": storey_fdr,
-        "bky": two_stage_bh,
-    }
-    if name not in table:
+    Only corrections flagged ``direct`` apply here: induced rules are
+    a bare scored collection, so procedures needing the dataset, a
+    permutation pass or a holdout split are rejected.
+    """
+    from ..corrections.registry import (
+        available_corrections,
+        resolve_correction,
+    )
+    from ..errors import CorrectionError
+
+    try:
+        resolved = resolve_correction(name)
+    except CorrectionError as exc:
+        raise DataError(str(exc)) from exc
+    if not resolved.spec.direct:
+        direct = sorted(spec.name for spec in available_corrections()
+                        if spec.direct)
         raise DataError(
-            f"correction {name!r} is not a direct adjustment; "
-            f"choose from {sorted(table)}")
-    return table[name]
+            f"correction {resolved.name!r} is not a direct adjustment; "
+            f"choose from {direct}")
+    return lambda ruleset, alpha: resolved.apply(ruleset, alpha)
 
 
 def foil_gain(p0: float, n0: float, p1: float, n1: float) -> float:

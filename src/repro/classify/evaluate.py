@@ -263,9 +263,16 @@ def _mine_correct_fit(dataset: Dataset, min_sup: int, correction: str,
     # importing it at module scope would cycle through repro.classify
     # once the public API re-exports this factory.
     from ..core.miner import SignificantRuleMiner
+    from ..corrections.registry import resolve_correction
 
     if classifier not in ("cba", "cmar", "cpar"):
         raise EvaluationError(f"unknown classifier {classifier!r}")
+    # Canonicalise up front so aliases ("BH", "raw", ...) behave
+    # exactly like their canonical names in the comparisons below —
+    # but keep variant spellings ("HD_BC") intact: they bind context
+    # overrides that the canonical name alone would lose.
+    resolved = resolve_correction(correction)
+    correction = correction if resolved.overrides else resolved.name
     if classifier == "cpar":
         # CPAR induces its own rules; the statistical filter applies
         # post hoc over the induced rules' Fisher p-values.

@@ -26,6 +26,16 @@ Commands
 ``contrast``
     Mine STUCCO contrast sets between the dataset's class groups.
 
+Correction names (``--correction``, ``experiment --methods``) are
+resolved through the correction registry: canonical identifiers
+(``bh``), Table 3 abbreviations (``BH``) and aliases all work, and
+unknown names get a did-you-mean suggestion. Out-of-tree corrections
+registered via :func:`repro.corrections.register_correction` are
+usable without editing this package: load the registering module with
+``--plugin my_module`` (repeatable, resolved before anything else) or
+the ``REPRO_PLUGINS`` environment variable (comma-separated module
+names).
+
 Examples
 --------
 ::
@@ -33,6 +43,8 @@ Examples
     python -m repro mine data.csv --min-sup 60 --correction bh
     python -m repro mine builtin:german --min-sup 60 \\
         --correction permutation-fwer --permutations 1000 --seed 0
+    python -m repro --plugin my_corrections mine data.csv \\
+        --min-sup 60 --correction my-method
     python -m repro classify builtin:german --min-sup 80 \\
         --correction bonferroni --folds 3
     python -m repro contrast builtin:adult --min-deviation 0.1
@@ -42,26 +54,99 @@ Examples
 from __future__ import annotations
 
 import argparse
+import importlib
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .core.miner import CORRECTIONS, mine_significant_rules
+from .core.miner import mine_significant_rules
+from .corrections.registry import (
+    available_corrections,
+    correction_names,
+    resolve_correction,
+)
 from .interest.measures import ALL_MEASURES, ContingencyTable
 from .data.dataset import Dataset
 from .data.loaders import load_arff, load_csv, load_fimi
 from .data.uci import REAL_DATASETS, load_real_dataset
-from .errors import ReproError
+from .errors import CorrectionError, ReproError
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "load_plugins"]
+
+
+def load_plugins(modules: Sequence[str]) -> List[str]:
+    """Import plugin modules so they can register corrections.
+
+    Modules named in ``REPRO_PLUGINS`` (comma-separated) are loaded
+    first, then the given ones; each module is expected to call
+    :func:`repro.corrections.register_correction` at import time.
+    Returns the list of modules imported.
+    """
+    names = [name.strip()
+             for name in os.environ.get("REPRO_PLUGINS", "").split(",")
+             if name.strip()]
+    names.extend(modules)
+    loaded = []
+    for name in names:
+        try:
+            importlib.import_module(name)
+        except ImportError as exc:
+            raise ReproError(
+                f"cannot import plugin module {name!r}: {exc}") from exc
+        loaded.append(name)
+    return loaded
+
+
+class _PluginAction(argparse.Action):
+    """Import a plugin module the moment its flag is parsed.
+
+    Importing eagerly (instead of after ``parse_args``) lets a
+    ``--correction`` later on the same command line resolve names the
+    plugin registers — argparse converts options left to right.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        try:
+            load_plugins([values])
+        except ReproError as exc:
+            parser.error(str(exc))
+        items = list(getattr(namespace, self.dest) or [])
+        items.append(values)
+        setattr(namespace, self.dest, items)
+
+
+def _correction_name(value: str) -> str:
+    """argparse type: resolve any registered spelling, canonicalised.
+
+    Unknown names abort parsing with the registry's message (valid
+    names plus a did-you-mean suggestion). Variant spellings that bind
+    context overrides (``"HD_BC"`` → structured split) are kept as
+    given — canonicalising them would silently drop the binding.
+    """
+    try:
+        resolved = resolve_correction(value)
+    except CorrectionError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value if resolved.overrides else resolved.name
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for testing)."""
+    """Construct the argument parser (exposed for testing).
+
+    Correction choices are enumerated from the live registry, so
+    corrections registered before this call — e.g. by ``--plugin``
+    modules — appear automatically.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Statistically sound class association rule mining "
                     "(VLDB 2011 reproduction).")
+    parser.add_argument("--plugin", action=_PluginAction, default=[],
+                        metavar="MODULE",
+                        help="import this module before running so it "
+                             "can register custom corrections "
+                             "(repeatable; see also REPRO_PLUGINS)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     mine = commands.add_parser(
@@ -72,8 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--min-sup", type=int, required=True,
                       help="minimum rule coverage")
     mine.add_argument("--correction", default="bh",
-                      choices=sorted(CORRECTIONS),
-                      help="multiple testing correction (default: bh)")
+                      type=_correction_name,
+                      help="multiple testing correction, any registered "
+                           f"spelling (default: bh; see 'corrections'): "
+                           f"{', '.join(correction_names())}")
     mine.add_argument("--alpha", type=float, default=0.05,
                       help="error level to control (default: 0.05)")
     mine.add_argument("--min-conf", type=float, default=0.0,
@@ -172,10 +259,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="rule-list (cba), weighted vote (cmar) "
                                "or greedy FOIL induction (cpar)")
     classify.add_argument("--correction", default="none",
-                          choices=sorted(CORRECTIONS),
+                          type=_correction_name,
                           help="filter the rule base to this "
-                               "correction's significant rules "
-                               "(default: none = plain CBA/CMAR)")
+                               "correction's significant rules, any "
+                               "registered spelling (default: none = "
+                               "plain CBA/CMAR)")
     classify.add_argument("--alpha", type=float, default=0.05,
                           help="error level for the filter")
     classify.add_argument("--max-length", type=int, default=None,
@@ -278,9 +366,17 @@ def _run_datasets(out) -> int:
 
 
 def _run_corrections(out) -> int:
-    print("correction identifiers (paper abbreviation):", file=out)
-    for key, abbreviation in sorted(CORRECTIONS.items()):
-        print(f"  {key:18s} {abbreviation}", file=out)
+    print("correction identifiers (paper abbreviation, family, "
+          "aliases):", file=out)
+    for spec in sorted(available_corrections(), key=lambda s: s.name):
+        aliases = ", ".join(spec.aliases)
+        line = (f"  {spec.name:25s} {spec.abbreviation:14s} "
+                f"{spec.family:5s}")
+        if aliases:
+            line += f" aliases: {aliases}"
+        print(line, file=out)
+        if spec.description:
+            print(f"  {'':25s} {spec.description}", file=out)
     return 0
 
 
@@ -411,6 +507,11 @@ def _run_measures(out) -> int:
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
+    try:
+        load_plugins([])  # REPRO_PLUGINS modules, before enumeration
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import bitset as bs
 from ..data.dataset import Dataset
-from ..errors import MiningError, StatsError
+from ..errors import CorrectionError, MiningError, StatsError
 from ..mining.apriori import mine_apriori
 from ..stats.chi2 import chi2_sf
 
@@ -204,8 +204,24 @@ def find_contrast_sets(
         raise MiningError(f"min_sup must be >= 1, got {min_sup}")
     if dataset.n_classes < 2:
         raise MiningError("contrast mining needs at least two groups")
-    if correction not in ("stucco", "bonferroni", "none"):
-        raise MiningError(f"unknown correction {correction!r}")
+    if correction != "stucco":
+        # Flat regimes resolve through the correction registry so any
+        # registered spelling ("BC", "raw", ...) works here too — but
+        # the error always names the three values valid *here*, since
+        # the registry's full listing is mostly unsupported by
+        # contrast mining (and omits "stucco").
+        from ..corrections.registry import resolve_correction
+        supported = ("contrast mining supports the corrections "
+                     "'stucco', 'bonferroni' and 'none' (registry "
+                     "aliases of the latter two accepted)")
+        try:
+            correction = resolve_correction(correction).name
+        except CorrectionError as exc:
+            raise MiningError(
+                f"unknown correction {correction!r}; {supported}"
+            ) from exc
+        if correction not in ("bonferroni", "none"):
+            raise MiningError(f"{supported}; got {correction!r}")
 
     patterns = mine_apriori(dataset.item_tidsets, dataset.n_records,
                             min_sup, max_length=max_length)

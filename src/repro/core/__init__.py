@@ -1,9 +1,11 @@
 """Core public API: mine, score, and statistically filter class rules.
 
-:class:`SignificantRuleMiner` configures the full Section 3 + 4
-pipeline behind one object; :func:`mine_significant_rules` is its
-one-call wrapper and :data:`CORRECTIONS` enumerates every correction
-identifier the pipeline accepts.
+:class:`Pipeline` is the composable Mine → Reduce → Score → Correct
+pipeline (several corrections per mining pass, shared permutation and
+holdout state); :class:`SignificantRuleMiner` configures a
+single-correction run behind one object; :func:`mine_significant_rules`
+is its one-call wrapper and :data:`CORRECTIONS` is a live view of the
+correction registry (canonical name → Table 3 abbreviation).
 """
 
 from .miner import (
@@ -12,10 +14,28 @@ from .miner import (
     SignificantRuleMiner,
     mine_significant_rules,
 )
+from .pipeline import (
+    CorrectStage,
+    MineStage,
+    Pipeline,
+    PipelineContext,
+    PipelineResult,
+    PipelineState,
+    ReduceStage,
+    ScoreStage,
+)
 
 __all__ = [
     "CORRECTIONS",
+    "CorrectStage",
+    "MineStage",
     "MiningReport",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineResult",
+    "PipelineState",
+    "ReduceStage",
+    "ScoreStage",
     "SignificantRuleMiner",
     "mine_significant_rules",
 ]

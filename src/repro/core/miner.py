@@ -4,7 +4,11 @@
 closed frequent patterns, score one hypothesis per rule with Fisher's
 exact test, and control false positives with the multiple-testing
 correction of your choice. :func:`mine_significant_rules` is the
-one-call convenience wrapper.
+one-call convenience wrapper. Both are thin layers over
+:class:`~repro.core.pipeline.Pipeline` and the correction registry
+(:mod:`repro.corrections.registry`) — use those directly to run
+several corrections against one mining pass or to plug in your own
+correction.
 
 Example
 -------
@@ -17,54 +21,24 @@ Example
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Mapping, Optional
 
 from ..corrections.base import CorrectionResult
-from ..corrections.direct import (
-    benjamini_hochberg,
-    bonferroni,
-    no_correction,
-)
-from ..corrections.by import benjamini_yekutieli
-from ..corrections.holdout import holdout
-from ..corrections.lamp import lamp_bonferroni
-from ..corrections.layered import layered_critical_values
-from ..corrections.permutation import PermutationEngine
-from ..corrections.stepwise import hochberg, holm, sidak
-from ..corrections.storey import storey_fdr, two_stage_bh
-from ..corrections.weighted import weighted_bh, weighted_bonferroni
+from ..corrections.registry import CorrectionsView, resolve_correction
 from ..data.dataset import Dataset
 from ..errors import CorrectionError
-from ..mining.representative import mine_representative_rules
-from ..mining.rules import ClassRule, RuleSet, mine_class_rules
+from ..mining.rules import ClassRule, RuleSet
+from .pipeline import Pipeline
 
 __all__ = ["SignificantRuleMiner", "MiningReport",
            "mine_significant_rules", "CORRECTIONS"]
 
-#: Correction identifiers accepted by the public API, with the Table 3
-#: abbreviation each maps to.
-CORRECTIONS: Dict[str, str] = {
-    "none": "No correction",
-    "bonferroni": "BC",
-    "holm": "Holm",
-    "hochberg": "Hochberg",
-    "sidak": "Sidak",
-    "weighted-bonferroni": "wBC",
-    "bh": "BH",
-    "by": "BY",
-    "storey": "Storey",
-    "bky": "BKY",
-    "weighted-bh": "wBH",
-    "lamp": "LAMP",
-    "permutation-fwer": "Perm_FWER",
-    "permutation-fwer-stepdown": "Perm_FWER_SD",
-    "permutation-fdr": "Perm_FDR",
-    "holdout-fwer": "HD_BC / RH_BC",
-    "holdout-fdr": "HD_BH / RH_BH",
-    "layered": "Layered",
-}
+#: Live registry view: canonical correction name -> Table 3
+#: abbreviation. Kept for backwards compatibility; the source of truth
+#: is :func:`repro.corrections.available_corrections`, and corrections
+#: registered by downstream code appear here automatically.
+CORRECTIONS: Mapping[str, str] = CorrectionsView()
 
 
 @dataclass
@@ -119,10 +93,13 @@ class SignificantRuleMiner:
         Domain-significance filter (Section 2.3 recommends choosing it
         from domain knowledge, independent of the statistics).
     correction:
-        One of :data:`CORRECTIONS`. The two permutation corrections
-        accept ``n_permutations``; the holdout corrections accept
-        ``holdout_split`` (``"structured"`` or ``"random"``) and use
-        the paper's convention of halving ``min_sup`` on the
+        Any registered correction, in any accepted spelling — the
+        canonical name (``"bh"``), the Table 3 abbreviation (``"BH"``)
+        or an alias; see :data:`CORRECTIONS` and
+        ``python -m repro corrections``. The two permutation
+        corrections accept ``n_permutations``; the holdout corrections
+        accept ``holdout_split`` (``"structured"`` or ``"random"``)
+        and use the paper's convention of halving ``min_sup`` on the
         exploratory half.
     alpha:
         Error budget: FWER or FDR level depending on the correction.
@@ -145,18 +122,19 @@ class SignificantRuleMiner:
                  scorer: str = "fisher",
                  seed: Optional[int] = None,
                  redundancy_delta: Optional[float] = None) -> None:
-        if correction not in CORRECTIONS:
-            raise CorrectionError(
-                f"unknown correction {correction!r}; "
-                f"choose from {sorted(CORRECTIONS)}")
+        resolved = resolve_correction(correction)
         if (redundancy_delta is not None
-                and correction in ("holdout-fwer", "holdout-fdr")):
+                and not resolved.spec.supports_redundancy):
             raise CorrectionError(
-                "redundancy_delta is not supported with holdout "
-                "corrections")
+                f"redundancy_delta is not supported with the "
+                f"{resolved.name!r} correction (holdout corrections "
+                f"mine their own halves)")
         self.min_sup = min_sup
         self.min_conf = min_conf
-        self.correction = correction
+        # Variant spellings ("HD_BC") bind context overrides; storing
+        # the canonical name would silently drop that binding.
+        self.correction = (correction if resolved.overrides
+                           else resolved.name)
         self.alpha = alpha
         self.n_permutations = n_permutations
         self.holdout_split = holdout_split
@@ -165,66 +143,20 @@ class SignificantRuleMiner:
         self.seed = seed
         self.redundancy_delta = redundancy_delta
 
+    def pipeline(self) -> Pipeline:
+        """The single-correction :class:`Pipeline` for the *current*
+        attribute values (attributes may be mutated between runs)."""
+        return Pipeline(
+            min_sup=self.min_sup, corrections=(self.correction,),
+            alpha=self.alpha, min_conf=self.min_conf,
+            max_length=self.max_length, scorer=self.scorer,
+            seed=self.seed, n_permutations=self.n_permutations,
+            holdout_split=self.holdout_split,
+            redundancy_delta=self.redundancy_delta)
+
     def mine(self, dataset: Dataset) -> MiningReport:
         """Run the configured pipeline on one dataset."""
-        if self.correction in ("holdout-fwer", "holdout-fdr"):
-            control = ("fwer" if self.correction == "holdout-fwer"
-                       else "fdr")
-            result = holdout(
-                dataset, self.min_sup, alpha=self.alpha, control=control,
-                split=self.holdout_split, seed=self.seed,
-                min_conf=self.min_conf, max_length=self.max_length,
-                scorer=self.scorer)
-            return MiningReport(dataset=dataset,
-                                correction=self.correction,
-                                result=result, ruleset=None)
-        if self.redundancy_delta is not None:
-            ruleset = mine_representative_rules(
-                dataset, self.min_sup, delta=self.redundancy_delta,
-                min_conf=self.min_conf, max_length=self.max_length,
-                scorer=self.scorer)
-        else:
-            ruleset = mine_class_rules(
-                dataset, self.min_sup, min_conf=self.min_conf,
-                max_length=self.max_length, scorer=self.scorer)
-        result = self._correct(ruleset)
-        return MiningReport(dataset=dataset, correction=self.correction,
-                            result=result, ruleset=ruleset)
-
-    def _correct(self, ruleset: RuleSet) -> CorrectionResult:
-        if self.correction == "none":
-            return no_correction(ruleset, self.alpha)
-        if self.correction == "bonferroni":
-            return bonferroni(ruleset, self.alpha)
-        if self.correction == "holm":
-            return holm(ruleset, self.alpha)
-        if self.correction == "hochberg":
-            return hochberg(ruleset, self.alpha)
-        if self.correction == "sidak":
-            return sidak(ruleset, self.alpha)
-        if self.correction == "weighted-bonferroni":
-            return weighted_bonferroni(ruleset, self.alpha)
-        if self.correction == "weighted-bh":
-            return weighted_bh(ruleset, self.alpha)
-        if self.correction == "bh":
-            return benjamini_hochberg(ruleset, self.alpha)
-        if self.correction == "by":
-            return benjamini_yekutieli(ruleset, self.alpha)
-        if self.correction == "storey":
-            return storey_fdr(ruleset, self.alpha)
-        if self.correction == "bky":
-            return two_stage_bh(ruleset, self.alpha)
-        if self.correction == "lamp":
-            return lamp_bonferroni(ruleset, self.alpha)
-        if self.correction == "layered":
-            return layered_critical_values(ruleset, self.alpha)
-        engine = PermutationEngine(
-            ruleset, n_permutations=self.n_permutations, seed=self.seed)
-        if self.correction == "permutation-fwer":
-            return engine.fwer(self.alpha)
-        if self.correction == "permutation-fwer-stepdown":
-            return engine.fwer_stepdown(self.alpha)
-        return engine.fdr(self.alpha)
+        return self.pipeline().run(dataset).report()
 
 
 def mine_significant_rules(dataset: Dataset, min_sup: int,

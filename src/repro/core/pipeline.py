@@ -1,0 +1,318 @@
+"""Composable mining pipeline: Mine → Reduce → Score → Correct.
+
+The paper's method is a pipeline: enumerate closed frequent patterns,
+optionally collapse near-duplicate sub/super-pattern chains (Section
+7), score one hypothesis per rule, and control false positives with a
+multiple-testing correction. This module makes those stages explicit
+objects so they can be inspected, re-ordered, or swapped, while the
+registry (:mod:`repro.corrections.registry`) supplies the correction
+procedures.
+
+Example
+-------
+>>> from repro.core.pipeline import Pipeline
+>>> from repro.data import make_german
+>>> pipe = Pipeline(min_sup=60, corrections=("bonferroni", "BH"))
+>>> result = pipe.run(make_german())            # doctest: +SKIP
+>>> result.report("bh").summary()               # doctest: +SKIP
+
+All corrections in one :class:`Pipeline` share a single mined ruleset,
+a single permutation pass and a single holdout split per dataset —
+the reuse the Section 5 experiment loop depends on. Out-of-tree
+corrections registered with
+:func:`repro.corrections.register_correction` work like built-ins:
+
+>>> pipe = Pipeline(min_sup=60, corrections=("my-correction",))
+... # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..corrections.base import CorrectionResult
+from ..corrections.registry import (
+    PipelineContext,
+    ResolvedCorrection,
+    resolve_correction,
+)
+from ..data.dataset import Dataset
+from ..errors import CorrectionError, MiningError
+from ..mining.closed import mine_closed
+from ..mining.representative import reduce_patterns
+from ..mining.rules import RuleSet, generate_rules
+
+__all__ = [
+    "CorrectStage",
+    "MineStage",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineResult",
+    "PipelineState",
+    "ReduceStage",
+    "ScoreStage",
+]
+
+
+@dataclass
+class PipelineState:
+    """What flows between stages for one dataset.
+
+    Stages fill the fields they own: ``patterns`` (Mine), a possibly
+    reduced ``patterns`` plus ``n_patterns_mined`` (Reduce),
+    ``ruleset`` (Score), ``results`` keyed by the *requested* method
+    name (Correct).
+    """
+
+    patterns: Optional[list] = None
+    n_patterns_mined: Optional[int] = None
+    ruleset: Optional[RuleSet] = None
+    results: Dict[str, CorrectionResult] = field(default_factory=dict)
+
+
+class MineStage:
+    """Closed frequent pattern enumeration (Section 3)."""
+
+    name = "mine"
+
+    def run(self, ctx: PipelineContext, state: PipelineState,
+            ) -> PipelineState:
+        if ctx.min_sup < 1:
+            raise MiningError(
+                f"min_sup must be >= 1, got {ctx.min_sup}")
+        if ctx.min_sup > ctx.dataset.n_records:
+            raise MiningError(
+                f"min_sup={ctx.min_sup} exceeds dataset size "
+                f"{ctx.dataset.n_records}")
+        state.patterns = mine_closed(
+            ctx.dataset.item_tidsets, ctx.dataset.n_records,
+            ctx.min_sup, max_length=ctx.max_length)
+        state.n_patterns_mined = len(state.patterns)
+        return state
+
+
+class ReduceStage:
+    """Section 7 representative-pattern reduction (no-op unless
+    ``ctx.redundancy_delta`` is set)."""
+
+    name = "reduce"
+
+    def run(self, ctx: PipelineContext, state: PipelineState,
+            ) -> PipelineState:
+        if ctx.redundancy_delta is None or state.patterns is None:
+            return state
+        state.patterns = reduce_patterns(state.patterns,
+                                         delta=ctx.redundancy_delta)
+        return state
+
+
+class ScoreStage:
+    """One scored hypothesis per rule (Fisher / mid-p / chi-square)."""
+
+    name = "score"
+
+    def run(self, ctx: PipelineContext, state: PipelineState,
+            ) -> PipelineState:
+        if state.patterns is None:
+            return state
+        state.ruleset = generate_rules(
+            ctx.dataset, state.patterns, ctx.min_sup,
+            min_conf=ctx.min_conf, scorer=ctx.scorer)
+        return state
+
+
+class CorrectStage:
+    """Apply every requested correction through the registry."""
+
+    name = "correct"
+
+    def __init__(self, corrections: Sequence[ResolvedCorrection]) -> None:
+        self.corrections = tuple(corrections)
+
+    def run(self, ctx: PipelineContext, state: PipelineState,
+            ) -> PipelineState:
+        for resolved in self.corrections:
+            state.results[resolved.requested] = resolved.apply(
+                state.ruleset, ctx.alpha, ctx)
+        return state
+
+
+@dataclass
+class PipelineResult:
+    """Everything one :meth:`Pipeline.run` produced for one dataset.
+
+    ``results`` is keyed by the method names as requested (``"BH"``
+    stays ``"BH"``); :meth:`report` wraps one of them in the classic
+    :class:`~repro.core.miner.MiningReport`.
+    """
+
+    dataset: Dataset
+    context: PipelineContext
+    state: PipelineState
+    results: Dict[str, CorrectionResult]
+    resolved: Dict[str, ResolvedCorrection] = field(default_factory=dict)
+
+    @property
+    def ruleset(self) -> Optional[RuleSet]:
+        """The shared whole-dataset ruleset (``None`` when only
+        holdout corrections ran)."""
+        return self.state.ruleset
+
+    def __getitem__(self, method: str) -> CorrectionResult:
+        return self.results[method]
+
+    def report(self, method: Optional[str] = None):
+        """A :class:`MiningReport` for ``method`` (sole method when
+        omitted)."""
+        from .miner import MiningReport
+
+        if method is None:
+            if len(self.results) != 1:
+                raise CorrectionError(
+                    "report() needs an explicit method name when the "
+                    f"pipeline ran {sorted(self.results)}")
+            method = next(iter(self.results))
+        if method not in self.results:
+            raise CorrectionError(
+                f"method {method!r} was not run; available: "
+                f"{sorted(self.results)}")
+        # The run's own resolution, not the live registry: results for
+        # a correction unregistered since the run stay readable.
+        resolved = self.resolved.get(method) or resolve_correction(method)
+        ruleset = (None if resolved.spec.needs_holdout
+                   else self.state.ruleset)
+        return MiningReport(dataset=self.dataset,
+                            correction=resolved.name,
+                            result=self.results[method],
+                            ruleset=ruleset)
+
+
+class Pipeline:
+    """The composable public pipeline.
+
+    Parameters mirror :class:`~repro.core.miner.SignificantRuleMiner`
+    but accept *several* corrections at once; all of them share one
+    mining pass, one permutation pass, and one holdout split per
+    dataset.
+
+    Parameters
+    ----------
+    min_sup:
+        Minimum coverage of a rule's left-hand side.
+    corrections:
+        Method names in any registered spelling (canonical name,
+        Table 3 abbreviation, or alias).
+    alpha:
+        Error budget: FWER or FDR level depending on the correction.
+    stages:
+        Advanced: replace the default
+        ``[MineStage, ReduceStage, ScoreStage]`` prefix with custom
+        stage objects (each exposing ``run(ctx, state)``). The
+        correction stage is always appended last.
+    """
+
+    def __init__(self, min_sup: int,
+                 corrections: Sequence[str] = ("bh",),
+                 alpha: float = 0.05,
+                 min_conf: float = 0.0,
+                 max_length: Optional[int] = None,
+                 scorer: str = "fisher",
+                 seed: Optional[int] = None,
+                 n_permutations: int = 1000,
+                 holdout_split: str = "random",
+                 redundancy_delta: Optional[float] = None,
+                 stages: Optional[Sequence[object]] = None) -> None:
+        if isinstance(corrections, str):
+            corrections = (corrections,)
+        self.resolved = tuple(resolve_correction(name)
+                              for name in corrections)
+        if not self.resolved:
+            raise CorrectionError("at least one correction is required")
+        if redundancy_delta is not None:
+            unsupported = [r.requested for r in self.resolved
+                           if not r.spec.supports_redundancy]
+            if unsupported:
+                raise CorrectionError(
+                    f"redundancy_delta is not supported with "
+                    f"{sorted(unsupported)} (holdout corrections mine "
+                    f"their own halves)")
+        self.min_sup = min_sup
+        self.alpha = alpha
+        self.min_conf = min_conf
+        self.max_length = max_length
+        self.scorer = scorer
+        self.seed = seed
+        self.n_permutations = n_permutations
+        self.holdout_split = holdout_split
+        self.redundancy_delta = redundancy_delta
+        self._default_stages = stages is None
+        self._stages = (tuple(stages) if stages is not None
+                        else (MineStage(), ReduceStage(), ScoreStage()))
+
+    @property
+    def methods(self) -> Tuple[str, ...]:
+        """The method names as requested at construction."""
+        return tuple(r.requested for r in self.resolved)
+
+    def context(self, dataset: Dataset, **overrides: object,
+                ) -> PipelineContext:
+        """A fresh :class:`PipelineContext` for one dataset."""
+        ctx = PipelineContext(
+            dataset=dataset, min_sup=self.min_sup, alpha=self.alpha,
+            min_conf=self.min_conf, max_length=self.max_length,
+            scorer=self.scorer, seed=self.seed,
+            n_permutations=self.n_permutations,
+            holdout_split=self.holdout_split,
+            redundancy_delta=self.redundancy_delta)
+        if overrides:
+            ctx = ctx.override(**overrides)
+        return ctx
+
+    def stages(self) -> Tuple[object, ...]:
+        """The stage sequence one :meth:`run` executes, in order."""
+        return self._stages + (CorrectStage(self.resolved),)
+
+    def run(self, dataset: Dataset,
+            ctx: Optional[PipelineContext] = None) -> PipelineResult:
+        """Execute every stage on one dataset."""
+        if ctx is None:
+            ctx = self.context(dataset)
+        state = PipelineState()
+        # Holdout-only runs mine their own halves, so the default
+        # mine/reduce/score prefix is pure waste and is skipped. A
+        # caller-supplied stage list is always executed in full — a
+        # custom stage may carry side effects the caller asked for.
+        skip_prefix = (self._default_stages
+                       and all(r.spec.needs_holdout
+                               for r in self.resolved))
+        for stage in self.stages():
+            if skip_prefix and not isinstance(stage, CorrectStage):
+                continue
+            state = stage.run(ctx, state)
+        return PipelineResult(dataset=dataset, context=ctx, state=state,
+                              results=state.results,
+                              resolved={r.requested: r
+                                        for r in self.resolved})
+
+    def run_many(self, datasets: Iterable[Dataset],
+                 methods: Optional[Sequence[str]] = None,
+                 ) -> List[PipelineResult]:
+        """Run on several datasets, optionally overriding the methods.
+
+        Each dataset gets its own context (and thus its own shared
+        permutation pass and holdout split); the stage configuration is
+        reused across datasets.
+        """
+        pipeline = self
+        if methods is not None:
+            pipeline = Pipeline(
+                min_sup=self.min_sup, corrections=methods,
+                alpha=self.alpha, min_conf=self.min_conf,
+                max_length=self.max_length, scorer=self.scorer,
+                seed=self.seed, n_permutations=self.n_permutations,
+                holdout_split=self.holdout_split,
+                redundancy_delta=self.redundancy_delta,
+                stages=(None if self._default_stages
+                        else self._stages))
+        return [pipeline.run(dataset) for dataset in datasets]

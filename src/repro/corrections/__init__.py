@@ -1,6 +1,25 @@
-"""Multiple testing correction approaches (Section 4 of the paper)."""
+"""Multiple testing correction approaches (Section 4 of the paper).
+
+Every procedure is registered with the pluggable registry
+(:mod:`repro.corrections.registry`) at import time; enumerate them with
+:func:`available_corrections`, resolve any accepted spelling (canonical
+name, Table 3 abbreviation, alias — case-insensitive) with
+:func:`resolve_correction`, and plug in new procedures with
+:func:`register_correction`.
+"""
 
 from .base import FDR, FWER, NONE, CorrectionResult, bh_step_up
+from .registry import (
+    Correction,
+    PipelineContext,
+    ResolvedCorrection,
+    available_corrections,
+    correction_names,
+    get_correction,
+    register_correction,
+    resolve_correction,
+    unregister_correction,
+)
 from .by import benjamini_yekutieli, harmonic_number
 from .direct import benjamini_hochberg, bonferroni, no_correction
 from .holdout import HoldoutRun, holdout
@@ -21,6 +40,15 @@ __all__ = [
     "FWER",
     "NONE",
     "CorrectionResult",
+    "Correction",
+    "PipelineContext",
+    "ResolvedCorrection",
+    "available_corrections",
+    "correction_names",
+    "get_correction",
+    "register_correction",
+    "resolve_correction",
+    "unregister_correction",
     "bh_step_up",
     "benjamini_yekutieli",
     "harmonic_number",

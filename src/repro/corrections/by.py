@@ -59,3 +59,13 @@ def benjamini_yekutieli(ruleset: RuleSet, alpha: float = 0.05,
         significant=significant, n_tests=n,
         details={"harmonic_factor": c_m},
     )
+
+
+from .registry import Correction, register_correction  # noqa: E402
+
+register_correction(Correction(
+    name="by", abbreviation="BY", family=FDR,
+    apply_fn=lambda ruleset, alpha, ctx: benjamini_yekutieli(ruleset,
+                                                             alpha),
+    aliases=("benjamini-yekutieli",), direct=True,
+    description="BY step-up: FDR under arbitrary dependence"))

@@ -25,6 +25,7 @@ from .base import (
     select_by_threshold,
     validate_alpha,
 )
+from .registry import Correction, register_correction
 from ..mining.rules import RuleSet
 
 __all__ = ["no_correction", "bonferroni", "benjamini_hochberg"]
@@ -63,3 +64,23 @@ def benjamini_hochberg(ruleset: RuleSet, alpha: float = 0.05,
         method="BH", control=FDR, alpha=alpha, threshold=threshold,
         significant=significant, n_tests=ruleset.n_tests,
     )
+
+
+register_correction(Correction(
+    name="none", abbreviation="No correction", family=NONE,
+    apply_fn=lambda ruleset, alpha, ctx: no_correction(ruleset, alpha),
+    aliases=("raw", "uncorrected"), direct=True,
+    description="raw p <= alpha; the paper's no-adjustment arm"))
+
+register_correction(Correction(
+    name="bonferroni", abbreviation="BC", family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx: bonferroni(ruleset, alpha),
+    aliases=("bonf",), direct=True,
+    description="single-step Bonferroni: p <= alpha / Nt"))
+
+register_correction(Correction(
+    name="bh", abbreviation="BH", family=FDR,
+    apply_fn=lambda ruleset, alpha, ctx: benjamini_hochberg(ruleset,
+                                                            alpha),
+    aliases=("benjamini-hochberg",), direct=True,
+    description="Benjamini-Hochberg step-up FDR control"))

@@ -194,3 +194,28 @@ def holdout(dataset: Dataset, min_sup: int, alpha: float = 0.05,
     if control == FDR:
         return run.benjamini_hochberg()
     raise CorrectionError(f"unknown control {control!r}")
+
+
+from .registry import Correction, register_correction  # noqa: E402
+
+register_correction(Correction(
+    name="holdout-fwer", abbreviation="HD_BC / RH_BC", family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx:
+        ctx.holdout_run(alpha=alpha).bonferroni(alpha),
+    aliases=("holdout-bonferroni",),
+    needs_holdout=True, supports_redundancy=False,
+    variants={"HD_BC": {"holdout_split": "structured"},
+              "RH_BC": {"holdout_split": "random"}},
+    description="holdout: mine half, Bonferroni over candidates on "
+                "the other half"))
+
+register_correction(Correction(
+    name="holdout-fdr", abbreviation="HD_BH / RH_BH", family=FDR,
+    apply_fn=lambda ruleset, alpha, ctx:
+        ctx.holdout_run(alpha=alpha).benjamini_hochberg(alpha),
+    aliases=("holdout-bh",),
+    needs_holdout=True, supports_redundancy=False,
+    variants={"HD_BH": {"holdout_split": "structured"},
+              "RH_BH": {"holdout_split": "random"}},
+    description="holdout: mine half, BH over candidates on the "
+                "other half"))

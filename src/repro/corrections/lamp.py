@@ -89,3 +89,11 @@ def lamp_bonferroni(ruleset: RuleSet, alpha: float = 0.05,
         details={"sigma": sigma, "n_testable": n_testable,
                  "n_total": len(rules)},
     )
+
+
+from .registry import Correction, register_correction  # noqa: E402
+
+register_correction(Correction(
+    name="lamp", abbreviation="LAMP", family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx: lamp_bonferroni(ruleset, alpha),
+    description="Bonferroni over only the testable rules (LAMP)"))

@@ -88,3 +88,14 @@ def _layer_shares(lengths: List[int], alpha: float,
     total = sum(weights.values())
     return {length: alpha * weight / total
             for length, weight in weights.items()}
+
+
+from .registry import Correction, register_correction  # noqa: E402
+
+register_correction(Correction(
+    name="layered", abbreviation="Layered", family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx: layered_critical_values(ruleset,
+                                                                 alpha),
+    aliases=("webb-layered",),
+    description="Webb's layered critical values: alpha split by "
+                "rule length"))

@@ -414,3 +414,31 @@ def permutation_fdr(ruleset: RuleSet, alpha: float = 0.05,
     engine = PermutationEngine(ruleset, n_permutations=n_permutations,
                                seed=seed, **kwargs)
     return engine.fdr(alpha)
+
+
+from .registry import Correction, register_correction  # noqa: E402
+
+register_correction(Correction(
+    name="permutation-fwer", abbreviation="Perm_FWER", family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx:
+        ctx.permutation_engine(ruleset).fwer(alpha),
+    aliases=("perm-fwer", "westfall-young"),
+    needs_permutations=True,
+    description="Westfall-Young min-p permutation FWER control"))
+
+register_correction(Correction(
+    name="permutation-fwer-stepdown", abbreviation="Perm_FWER_SD",
+    family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx:
+        ctx.permutation_engine(ruleset).fwer_stepdown(alpha),
+    aliases=("perm-fwer-sd", "westfall-young-stepdown"),
+    needs_permutations=True,
+    description="Westfall-Young step-down min-p permutation FWER"))
+
+register_correction(Correction(
+    name="permutation-fdr", abbreviation="Perm_FDR", family=FDR,
+    apply_fn=lambda ruleset, alpha, ctx:
+        ctx.permutation_engine(ruleset).fdr(alpha),
+    aliases=("perm-fdr",),
+    needs_permutations=True,
+    description="BH over permutation-calibrated empirical p-values"))

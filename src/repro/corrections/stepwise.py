@@ -123,3 +123,24 @@ def sidak_threshold(alpha: float, n_tests: int) -> float:
         # expm1/log1p round-trip can lose the last ulp; the exact value is alpha.
         return alpha
     return -math.expm1(math.log1p(-alpha) / n_tests)
+
+
+from .registry import Correction, register_correction  # noqa: E402
+
+register_correction(Correction(
+    name="holm", abbreviation="Holm", family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx: holm(ruleset, alpha),
+    direct=True,
+    description="Holm step-down FWER; Bonferroni's free upgrade"))
+
+register_correction(Correction(
+    name="hochberg", abbreviation="Hochberg", family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx: hochberg(ruleset, alpha),
+    direct=True,
+    description="Hochberg step-up FWER under non-negative dependence"))
+
+register_correction(Correction(
+    name="sidak", abbreviation="Sidak", family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx: sidak(ruleset, alpha),
+    direct=True,
+    description="Sidak single-step: p <= 1 - (1-alpha)^(1/Nt)"))

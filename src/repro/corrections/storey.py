@@ -147,3 +147,18 @@ def two_stage_bh(ruleset: RuleSet, alpha: float = 0.05) -> CorrectionResult:
         details={"stage1_rejections": r1,
                  "stage1_threshold": stage1_cut},
     )
+
+
+from .registry import Correction, register_correction  # noqa: E402
+
+register_correction(Correction(
+    name="storey", abbreviation="Storey", family=FDR,
+    apply_fn=lambda ruleset, alpha, ctx: storey_fdr(ruleset, alpha),
+    aliases=("q-value", "qvalue"), direct=True,
+    description="Storey q-values: adaptive FDR via pi0 estimation"))
+
+register_correction(Correction(
+    name="bky", abbreviation="BKY", family=FDR,
+    apply_fn=lambda ruleset, alpha, ctx: two_stage_bh(ruleset, alpha),
+    aliases=("two-stage-bh",), direct=True,
+    description="Benjamini-Krieger-Yekutieli two-stage adaptive BH"))

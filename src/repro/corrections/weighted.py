@@ -144,3 +144,17 @@ def weighted_bh(ruleset: RuleSet, alpha: float = 0.05,
         details={"weights": "testability" if default_weights
                  else "caller", "reweighted_cut": cut},
     )
+
+
+from .registry import Correction, register_correction  # noqa: E402
+
+register_correction(Correction(
+    name="weighted-bonferroni", abbreviation="wBC", family=FWER,
+    apply_fn=lambda ruleset, alpha, ctx: weighted_bonferroni(ruleset,
+                                                             alpha),
+    description="coverage-weighted Bonferroni (Genovese et al.)"))
+
+register_correction(Correction(
+    name="weighted-bh", abbreviation="wBH", family=FDR,
+    apply_fn=lambda ruleset, alpha, ctx: weighted_bh(ruleset, alpha),
+    description="coverage-weighted Benjamini-Hochberg"))

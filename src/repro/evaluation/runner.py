@@ -9,11 +9,16 @@ every requested method — sharing the permutation pass between
 ``*_BH`` — classify each method's output against the planted ground
 truth, and aggregate.
 
-Method keys follow Table 3: ``"No correction"``, ``"BC"``, ``"BH"``,
+Methods are resolved through the correction registry
+(:mod:`repro.corrections.registry`), so any accepted spelling works:
+the Table 3 abbreviations (``"No correction"``, ``"BC"``, ``"BH"``,
 ``"Perm_FWER"``, ``"Perm_FDR"``, ``"HD_BC"``, ``"HD_BH"``, ``"RH_BC"``,
-``"RH_BH"`` — plus the extension procedures ``"Layered"``, ``"BY"``,
+``"RH_BH"``, plus the extension procedures ``"Layered"``, ``"BY"``,
 ``"LAMP"``, ``"Holm"``, ``"Hochberg"``, ``"Sidak"``, ``"Storey"``,
-``"BKY"`` and ``"Perm_FWER_SD"``.
+``"BKY"`` and ``"Perm_FWER_SD"``), the canonical identifiers
+(``"bh"``), and registered aliases — including corrections plugged in
+by downstream code via
+:func:`repro.corrections.register_correction`.
 """
 
 from __future__ import annotations
@@ -23,14 +28,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..corrections.base import CorrectionResult
-from ..corrections.direct import (
-    benjamini_hochberg,
-    bonferroni,
-    no_correction,
-)
 from ..corrections.holdout import HoldoutRun
-from ..corrections.layered import layered_critical_values
-from ..corrections.permutation import PermutationEngine
+from ..corrections.registry import (
+    PipelineContext,
+    ResolvedCorrection,
+    resolve_correction,
+)
 from ..data.dataset import Dataset
 from ..data.synthetic import (
     EmbeddedRule,
@@ -39,7 +42,7 @@ from ..data.synthetic import (
     generate,
     generate_paired,
 )
-from ..errors import EvaluationError
+from ..errors import CorrectionError, EvaluationError
 from ..mining.rules import RuleSet, mine_class_rules
 from .ground_truth import restrict_embedded
 from .metrics import AggregateMetrics, DatasetOutcome, aggregate, \
@@ -48,6 +51,8 @@ from .metrics import AggregateMetrics, DatasetOutcome, aggregate, \
 __all__ = ["ExperimentRunner", "ExperimentResult", "ReplicateRecord",
            "METHOD_KEYS", "FWER_METHODS", "FDR_METHODS"]
 
+#: The Table 3 method spellings, kept as the documented default
+#: vocabulary; the runner accepts any spelling the registry resolves.
 METHOD_KEYS = (
     "No correction",
     "BC",
@@ -124,7 +129,10 @@ class ExperimentRunner:
     Parameters
     ----------
     methods:
-        Method keys to run (defaults to the paper's nine).
+        Method names to run (defaults to the paper's nine), resolved
+        through the correction registry — Table 3 abbreviations,
+        canonical names and aliases are all accepted. Results are
+        keyed by the names exactly as given.
     alpha:
         Error level; the paper controls FWER and FDR at 5%.
     n_permutations:
@@ -143,11 +151,14 @@ class ExperimentRunner:
                  paired: bool = True,
                  max_length: Optional[int] = None,
                  min_conf: float = 0.0) -> None:
-        unknown = [m for m in methods if m not in METHOD_KEYS]
-        if unknown:
-            raise EvaluationError(f"unknown methods {unknown}; "
-                                  f"valid keys: {METHOD_KEYS}")
+        resolved: Dict[str, ResolvedCorrection] = {}
+        for method in methods:
+            try:
+                resolved[method] = resolve_correction(method)
+            except CorrectionError as exc:
+                raise EvaluationError(str(exc)) from exc
         self.methods = tuple(methods)
+        self._resolved = resolved
         self.alpha = alpha
         self.n_permutations = n_permutations
         self.paired = paired
@@ -189,13 +200,19 @@ class ExperimentRunner:
         ruleset = mine_class_rules(dataset, min_sup,
                                    min_conf=self.min_conf,
                                    max_length=self.max_length)
-        shared: Dict[str, object] = {}
+        ctx = PipelineContext(
+            dataset=dataset, min_sup=min_sup, alpha=self.alpha,
+            min_conf=self.min_conf, max_length=self.max_length,
+            n_permutations=self.n_permutations,
+            permutation_seed=seed ^ 0x5EED,
+            holdout_seed=seed ^ 0xA5A5,
+            holdout_boundary=data.half_boundary)
         outcomes: Dict[str, DatasetOutcome] = {}
         tested_counts: Dict[str, int] = {"whole dataset": ruleset.n_tests}
         classification_caches: Dict[int, object] = {}
         for method in self.methods:
-            result, decision_dataset, embedded = self._apply(
-                method, data, ruleset, min_sup, seed, shared,
+            result, decision_dataset, embedded = self._apply_resolved(
+                self._resolved[method], data, ruleset, ctx,
                 tested_counts)
             caches = (classification_caches
                       if decision_dataset is dataset else None)
@@ -207,87 +224,41 @@ class ExperimentRunner:
                                tested_counts=tested_counts)
 
     # ------------------------------------------------------------------
-    # method dispatch
+    # registry-driven application
     # ------------------------------------------------------------------
 
-    def _apply(
+    def _apply_resolved(
         self,
-        method: str,
+        resolved: ResolvedCorrection,
         data: SyntheticData,
         ruleset: RuleSet,
-        min_sup: int,
-        seed: int,
-        shared: Dict[str, object],
+        ctx: PipelineContext,
         tested_counts: Dict[str, int],
     ) -> Tuple[CorrectionResult, Dataset, List[EmbeddedRule]]:
-        dataset = data.dataset
-        embedded = data.embedded_rules
-        if method == "No correction":
-            return no_correction(ruleset, self.alpha), dataset, embedded
-        if method == "BC":
-            return bonferroni(ruleset, self.alpha), dataset, embedded
-        if method == "BH":
-            return benjamini_hochberg(ruleset, self.alpha), dataset, \
-                embedded
-        if method == "Layered":
-            return layered_critical_values(ruleset, self.alpha), dataset, \
-                embedded
-        if method == "BY":
-            from ..corrections.by import benjamini_yekutieli
-            return benjamini_yekutieli(ruleset, self.alpha), dataset, \
-                embedded
-        if method == "LAMP":
-            from ..corrections.lamp import lamp_bonferroni
-            return lamp_bonferroni(ruleset, self.alpha), dataset, embedded
-        if method in ("Holm", "Hochberg", "Sidak"):
-            from ..corrections.stepwise import hochberg, holm, sidak
-            procedure = {"Holm": holm, "Hochberg": hochberg,
-                         "Sidak": sidak}[method]
-            return procedure(ruleset, self.alpha), dataset, embedded
-        if method == "Storey":
-            from ..corrections.storey import storey_fdr
-            return storey_fdr(ruleset, self.alpha), dataset, embedded
-        if method == "BKY":
-            from ..corrections.storey import two_stage_bh
-            return two_stage_bh(ruleset, self.alpha), dataset, embedded
-        if method in ("Perm_FWER", "Perm_FDR", "Perm_FWER_SD"):
-            engine = shared.get("engine")
-            if engine is None:
-                engine = PermutationEngine(
-                    ruleset, n_permutations=self.n_permutations,
-                    seed=seed ^ 0x5EED)
-                shared["engine"] = engine
-            assert isinstance(engine, PermutationEngine)
-            if method == "Perm_FWER":
-                result = engine.fwer(self.alpha)
-            elif method == "Perm_FWER_SD":
-                result = engine.fwer_stepdown(self.alpha)
-            else:
-                result = engine.fdr(self.alpha)
-            return result, dataset, embedded
-        if method in ("HD_BC", "HD_BH", "RH_BC", "RH_BH"):
-            split = "structured" if method.startswith("HD") else "random"
-            run = shared.get(split)
-            if run is None:
-                run = HoldoutRun(
-                    dataset, min_sup, alpha=self.alpha, split=split,
-                    boundary=(data.half_boundary
-                              if split == "structured" else None),
-                    seed=seed ^ 0xA5A5,
-                    min_conf=self.min_conf,
-                    max_length=self.max_length)
-                shared[split] = run
-                prefix = "HD" if split == "structured" else "RH"
-                tested_counts[f"{prefix}_exploratory"] = \
-                    run.exploratory_rules.n_tests
-                tested_counts[f"{prefix}_evaluation"] = \
-                    len(run.candidates)
-            assert isinstance(run, HoldoutRun)
-            result = (run.bonferroni() if method.endswith("BC")
-                      else run.benjamini_hochberg())
-            eval_embedded = restrict_embedded(embedded, run.evaluation)
-            return result, run.evaluation, eval_embedded
-        raise EvaluationError(f"unhandled method {method!r}")
+        """Apply one registry-resolved method, sharing ctx state.
+
+        Holdout methods decide on the evaluation half, so the ground
+        truth is restricted to the rules embedded there; everything
+        else decides on the whole dataset.
+        """
+        result = resolved.apply(ruleset, self.alpha, ctx)
+        if not resolved.spec.needs_holdout:
+            return result, data.dataset, data.embedded_rules
+        split = resolved.context(ctx).holdout_split
+        run = ctx.shared.get(f"holdout:{split}:{self.alpha:g}")
+        if not isinstance(run, HoldoutRun):
+            # An out-of-tree holdout correction that manages its own
+            # split (never calls ctx.holdout_run) leaves no shared run
+            # behind; evaluate it against the whole dataset's truth.
+            return result, data.dataset, data.embedded_rules
+        prefix = "HD" if split == "structured" else "RH"
+        tested_counts.setdefault(f"{prefix}_exploratory",
+                                 run.exploratory_rules.n_tests)
+        tested_counts.setdefault(f"{prefix}_evaluation",
+                                 len(run.candidates))
+        eval_embedded = restrict_embedded(data.embedded_rules,
+                                          run.evaluation)
+        return result, run.evaluation, eval_embedded
 
 
 def _mean_tested(records: List[ReplicateRecord]) -> Dict[str, float]:

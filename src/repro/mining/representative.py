@@ -49,7 +49,7 @@ from .closed import ClosedPattern, mine_closed
 from .rules import RuleSet, generate_rules
 
 __all__ = ["RepresentativeSelection", "select_representatives",
-           "mine_representative_rules"]
+           "reduce_patterns", "mine_representative_rules"]
 
 
 @dataclass
@@ -180,12 +180,20 @@ def mine_representative_rules(
         raise MiningError(f"min_sup must be >= 1, got {min_sup}")
     patterns = mine_closed(dataset.item_tidsets, dataset.n_records,
                            min_sup, max_length=max_length)
-    selection = select_representatives(patterns, delta=delta)
-    # Rule generation indexes patterns by node_id through the forest,
-    # so re-densify ids for the reduced pattern list.
-    reduced = _reindex(selection)
+    reduced = reduce_patterns(patterns, delta=delta)
     return generate_rules(dataset, reduced, min_sup, min_conf=min_conf,
                           rhs_class=rhs_class, scorer=scorer, **kwargs)
+
+
+def reduce_patterns(patterns: Sequence[ClosedPattern],
+                    delta: float = 0.1) -> List[ClosedPattern]:
+    """Representative patterns with densified ids, ready for scoring.
+
+    Rule generation indexes patterns by node_id through the forest,
+    so the reduced pattern list is re-densified before use.
+    """
+    selection = select_representatives(patterns, delta=delta)
+    return _reindex(selection)
 
 
 def _reindex(selection: RepresentativeSelection) -> List[ClosedPattern]:

@@ -1,0 +1,135 @@
+"""CLI integration with the correction registry: alias resolution,
+registry-driven listings, and out-of-tree plugin corrections."""
+
+from __future__ import annotations
+
+import io
+import sys
+import textwrap
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.corrections import resolve_correction, unregister_correction
+from repro.data import GeneratorConfig, generate, save_csv
+from repro.errors import CorrectionError
+
+
+@pytest.fixture(scope="module")
+def csv_path(tmp_path_factory):
+    config = GeneratorConfig(
+        n_records=300, n_attributes=8, min_values=2, max_values=3,
+        n_rules=1, min_length=2, max_length=2,
+        min_coverage=60, max_coverage=60,
+        min_confidence=0.9, max_confidence=0.9)
+    dataset = generate(config, seed=55).dataset
+    path = tmp_path_factory.mktemp("cli-registry") / "data.csv"
+    save_csv(dataset, path)
+    return str(path)
+
+
+class TestAliasResolution:
+    def test_abbreviation_accepted(self, csv_path):
+        out = io.StringIO()
+        code = main(["mine", csv_path, "--min-sup", "25",
+                     "--correction", "BH"], out=out)
+        assert code == 0
+        assert "BH" in out.getvalue()
+
+    def test_table3_spelling_canonicalised(self):
+        args = build_parser().parse_args(
+            ["mine", "x.csv", "--min-sup", "10",
+             "--correction", "Perm_FWER"])
+        assert args.correction == "permutation-fwer"
+
+    def test_variant_spelling_preserved(self):
+        # "HD_BH" binds the structured split; canonicalising it to
+        # "holdout-fdr" would silently drop that binding.
+        args = build_parser().parse_args(
+            ["mine", "x.csv", "--min-sup", "10",
+             "--correction", "HD_BH"])
+        assert args.correction == "HD_BH"
+
+    def test_variant_spelling_picks_structured_split(self, csv_path):
+        structured = io.StringIO()
+        random_split = io.StringIO()
+        assert main(["mine", csv_path, "--min-sup", "25",
+                     "--correction", "HD_BH", "--seed", "1"],
+                    out=structured) == 0
+        assert main(["mine", csv_path, "--min-sup", "25",
+                     "--correction", "RH_BH", "--seed", "1"],
+                    out=random_split) == 0
+        assert "HD_BH:" in structured.getvalue()
+        assert "RH_BH:" in random_split.getvalue()
+
+    def test_unknown_correction_suggests(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "x.csv", "--min-sup", "10",
+                 "--correction", "bonferonni"])
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_corrections_listing_shows_aliases(self):
+        out = io.StringIO()
+        assert main(["corrections"], out=out) == 0
+        text = out.getvalue()
+        assert "bonferroni" in text
+        assert "BC" in text
+        assert "aliases" in text
+
+    def test_experiment_accepts_canonical_names(self):
+        out = io.StringIO()
+        code = main(["experiment", "--records", "200",
+                     "--attributes", "8", "--coverage", "40",
+                     "--min-sup", "25", "--replicates", "2",
+                     "--methods", "none,bonferroni"], out=out)
+        assert code == 0
+        # The table reports the Table 3 abbreviations.
+        assert "BC" in out.getvalue()
+        assert "No correction" in out.getvalue()
+
+
+class TestPlugins:
+    @pytest.fixture
+    def plugin_on_path(self, tmp_path, monkeypatch):
+        module = tmp_path / "my_corrections.py"
+        module.write_text(textwrap.dedent("""\
+            from repro.corrections import (Correction, bonferroni,
+                                           register_correction)
+
+            register_correction(Correction(
+                name="plugin-strict", abbreviation="PS", family="fwer",
+                apply_fn=lambda rs, alpha, ctx: bonferroni(rs,
+                                                           alpha / 10),
+                aliases=("ps",)))
+        """))
+        monkeypatch.syspath_prepend(str(tmp_path))
+        yield "my_corrections"
+        # Drop the import cache too: registration happens at module
+        # import, so a cached module would not re-register next time.
+        sys.modules.pop("my_corrections", None)
+        try:
+            unregister_correction("plugin-strict")
+        except CorrectionError:
+            pass
+
+    def test_plugin_correction_usable_from_cli(self, plugin_on_path,
+                                               csv_path):
+        out = io.StringIO()
+        code = main(["--plugin", plugin_on_path, "mine", csv_path,
+                     "--min-sup", "25", "--correction", "plugin-strict"],
+                    out=out)
+        assert code == 0
+        resolve_correction("plugin-strict")  # stays registered
+
+    def test_plugin_env_var(self, plugin_on_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PLUGINS", plugin_on_path)
+        out = io.StringIO()
+        assert main(["corrections"], out=out) == 0
+        assert "plugin-strict" in out.getvalue()
+
+    def test_missing_plugin_module_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--plugin", "no_such_module_xyz", "corrections"])
+        assert "cannot import" in capsys.readouterr().err

@@ -1,0 +1,248 @@
+"""The composable Pipeline API and its equivalence to the classic
+single-correction miner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CORRECTIONS,
+    CorrectionError,
+    Pipeline,
+    SignificantRuleMiner,
+)
+from repro.core.pipeline import (
+    CorrectStage,
+    MineStage,
+    PipelineState,
+    ReduceStage,
+    ScoreStage,
+)
+from repro.data import make_german
+
+N_PERMUTATIONS = 30
+SEED = 5
+MIN_SUP = 40
+
+
+@pytest.fixture(scope="module")
+def german():
+    """A fixed-seed German-credit stand-in, shrunk for speed."""
+    return make_german(seed=4, n_records=400)
+
+
+def rule_keys(rules):
+    return sorted((tuple(sorted(rule.items)), rule.class_index,
+                   rule.p_value) for rule in rules)
+
+
+class TestMinerEquivalence:
+    """Pipeline output matches SignificantRuleMiner rule-for-rule."""
+
+    @pytest.mark.parametrize("correction", sorted(CORRECTIONS))
+    def test_matches_miner(self, german, correction):
+        miner = SignificantRuleMiner(
+            min_sup=MIN_SUP, correction=correction,
+            n_permutations=N_PERMUTATIONS, seed=SEED)
+        expected = miner.mine(german)
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=(correction,),
+                        n_permutations=N_PERMUTATIONS, seed=SEED)
+        result = pipe.run(german)
+        actual = result.report()
+        assert actual.correction == expected.correction
+        assert actual.result.method == expected.result.method
+        assert actual.result.threshold == expected.result.threshold
+        assert actual.n_tested == expected.n_tested
+        assert rule_keys(actual.significant) == \
+            rule_keys(expected.significant)
+
+    def test_redundancy_path_matches(self, german):
+        miner = SignificantRuleMiner(min_sup=MIN_SUP, correction="bh",
+                                     redundancy_delta=0.05)
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=("bh",),
+                        redundancy_delta=0.05)
+        expected = miner.mine(german)
+        actual = pipe.run(german).report()
+        assert actual.n_tested == expected.n_tested
+        assert rule_keys(actual.significant) == \
+            rule_keys(expected.significant)
+
+
+class TestSharing:
+    def test_one_mining_pass_for_many_corrections(self, german):
+        pipe = Pipeline(min_sup=MIN_SUP,
+                        corrections=("none", "bonferroni", "BH"))
+        result = pipe.run(german)
+        assert set(result.results) == {"none", "bonferroni", "BH"}
+        for correction_result in result.results.values():
+            assert correction_result.n_tests == result.ruleset.n_tests
+
+    def test_permutation_pass_shared(self, german):
+        pipe = Pipeline(
+            min_sup=MIN_SUP,
+            corrections=("permutation-fwer", "permutation-fdr"),
+            n_permutations=N_PERMUTATIONS, seed=SEED)
+        result = pipe.run(german)
+        assert "permutation-engine" in result.context.shared
+        # Shared engine means identical results to two separate runs
+        # with the same seed.
+        solo = Pipeline(min_sup=MIN_SUP,
+                        corrections=("permutation-fdr",),
+                        n_permutations=N_PERMUTATIONS, seed=SEED)
+        assert result["permutation-fdr"].threshold == \
+            solo.run(german)["permutation-fdr"].threshold
+
+    def test_holdout_split_shared(self, german):
+        pipe = Pipeline(min_sup=MIN_SUP,
+                        corrections=("holdout-fwer", "holdout-fdr"),
+                        seed=SEED)
+        result = pipe.run(german)
+        holdout_keys = [key for key in result.context.shared
+                        if key.startswith("holdout:")]
+        assert holdout_keys == ["holdout:random:0.05"]
+
+    def test_holdout_only_run_skips_whole_dataset_mining(self, german):
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=("holdout-fwer",),
+                        seed=SEED)
+        result = pipe.run(german)
+        assert result.ruleset is None
+        assert result.report().ruleset is None
+
+    def test_variant_spellings_pick_their_split(self, german):
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=("HD_BC", "RH_BC"),
+                        seed=SEED)
+        result = pipe.run(german)
+        assert result["HD_BC"].method == "HD_BC"
+        assert result["RH_BC"].method == "RH_BC"
+        assert sorted(key for key in result.context.shared
+                      if key.startswith("holdout:")) == \
+            ["holdout:random:0.05", "holdout:structured:0.05"]
+
+
+class TestRunMany:
+    def test_run_many_returns_one_result_per_dataset(self, german):
+        other = make_german(seed=9, n_records=300)
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=("bonferroni",))
+        results = pipe.run_many([german, other])
+        assert [r.dataset for r in results] == [german, other]
+
+    def test_run_many_methods_override(self, german):
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=("bonferroni",))
+        results = pipe.run_many([german], methods=("BH", "Storey"))
+        assert set(results[0].results) == {"BH", "Storey"}
+
+
+class TestComposition:
+    def test_default_stage_order(self):
+        pipe = Pipeline(min_sup=10)
+        names = [stage.name for stage in pipe.stages()]
+        assert names == ["mine", "reduce", "score", "correct"]
+
+    def test_custom_stage_runs(self, german):
+        class CapLength:
+            name = "cap-length"
+
+            def run(self, ctx, state):
+                state.patterns = [p for p in state.patterns
+                                  if len(p.items) <= 1]
+                return state
+
+        pipe = Pipeline(
+            min_sup=MIN_SUP, corrections=("none",),
+            stages=(MineStage(), CapLength(), ReduceStage(),
+                    ScoreStage()))
+        result = pipe.run(german)
+        assert result.ruleset.rules
+        assert all(rule.length <= 1 for rule in result.ruleset.rules)
+
+    def test_custom_stages_run_even_for_holdout_only(self, german):
+        seen = []
+
+        class Recorder:
+            name = "recorder"
+
+            def run(self, ctx, state):
+                seen.append(ctx.dataset.name)
+                return state
+
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=("holdout-fwer",),
+                        seed=SEED, stages=(Recorder(),))
+        pipe.run(german)
+        assert seen == [german.name]
+
+    def test_holdout_cache_keyed_by_alpha(self, german):
+        from repro.corrections import resolve_correction
+
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=("holdout-fwer",),
+                        seed=SEED)
+        ctx = pipe.context(german)
+        resolved = resolve_correction("holdout-fwer")
+        first = resolved.apply(None, 0.05, ctx)
+        second = resolved.apply(None, 0.01, ctx)
+        # A stricter alpha must re-screen candidates, not reuse the
+        # pool screened at 0.05.
+        assert second.n_tests <= first.n_tests
+        assert len([key for key in ctx.shared
+                    if key.startswith("holdout:")]) == 2
+
+    def test_stage_objects_reusable(self, german):
+        state = PipelineState()
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=("none",))
+        ctx = pipe.context(german)
+        for stage in (MineStage(), ReduceStage(), ScoreStage(),
+                      CorrectStage(pipe.resolved)):
+            state = stage.run(ctx, state)
+        assert state.results["none"].n_tests == state.ruleset.n_tests
+
+
+class TestErrors:
+    def test_empty_corrections_rejected(self):
+        with pytest.raises(CorrectionError, match="at least one"):
+            Pipeline(min_sup=10, corrections=())
+
+    def test_redundancy_with_holdout_rejected(self):
+        with pytest.raises(CorrectionError, match="redundancy_delta"):
+            Pipeline(min_sup=10, corrections=("bh", "holdout-fwer"),
+                     redundancy_delta=0.1)
+
+    def test_report_needs_method_when_ambiguous(self, german):
+        pipe = Pipeline(min_sup=MIN_SUP,
+                        corrections=("none", "bonferroni"))
+        result = pipe.run(german)
+        with pytest.raises(CorrectionError, match="explicit method"):
+            result.report()
+
+    def test_report_unknown_method(self, german):
+        pipe = Pipeline(min_sup=MIN_SUP, corrections=("none",))
+        result = pipe.run(german)
+        with pytest.raises(CorrectionError, match="was not run"):
+            result.report("bh")
+
+
+class TestLifetimes:
+    def test_report_survives_unregistration(self, german):
+        from repro.corrections import (
+            Correction,
+            bonferroni,
+            register_correction,
+            unregister_correction,
+        )
+
+        register_correction(Correction(
+            name="test-ephemeral", abbreviation="TE", family="fwer",
+            apply_fn=lambda rs, alpha, ctx: bonferroni(rs, alpha)))
+        try:
+            result = Pipeline(min_sup=MIN_SUP,
+                              corrections=("test-ephemeral",)
+                              ).run(german)
+        finally:
+            unregister_correction("test-ephemeral")
+        report = result.report()  # must not consult the live registry
+        assert report.correction == "test-ephemeral"
+
+    def test_miner_attributes_live_until_mine(self, german):
+        miner = SignificantRuleMiner(min_sup=MIN_SUP, correction="none")
+        miner.alpha = 0.001
+        report = miner.mine(german)
+        assert report.result.alpha == 0.001
+        assert report.result.threshold == 0.001

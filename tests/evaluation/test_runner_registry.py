@@ -1,0 +1,45 @@
+"""ExperimentRunner method keys resolve through the correction
+registry: canonical names, Table 3 abbreviations and aliases are
+interchangeable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import GeneratorConfig
+from repro.errors import EvaluationError
+from repro.evaluation import ExperimentRunner
+
+CONFIG = GeneratorConfig(
+    n_records=200, n_attributes=8, min_values=2, max_values=3,
+    n_rules=1, min_length=2, max_length=2,
+    min_coverage=40, max_coverage=40,
+    min_confidence=0.9, max_confidence=0.9)
+
+
+def test_canonical_and_abbreviation_agree():
+    by_abbrev = ExperimentRunner(methods=("BC", "BH")).run(
+        CONFIG, min_sup=20, n_replicates=2, seed=7)
+    by_name = ExperimentRunner(methods=("bonferroni", "bh")).run(
+        CONFIG, min_sup=20, n_replicates=2, seed=7)
+    assert by_abbrev.aggregates["BC"].row() == \
+        by_name.aggregates["bonferroni"].row()
+    assert by_abbrev.aggregates["BH"].row() == \
+        by_name.aggregates["bh"].row()
+
+
+def test_results_keyed_by_requested_spelling():
+    result = ExperimentRunner(methods=("no correction",)).run(
+        CONFIG, min_sup=20, n_replicates=1, seed=1)
+    assert set(result.aggregates) == {"no correction"}
+
+
+def test_unknown_method_error_lists_registry_names():
+    with pytest.raises(EvaluationError) as excinfo:
+        ExperimentRunner(methods=("BC", "Unknown"))
+    assert "valid names" in str(excinfo.value)
+
+
+def test_near_miss_method_gets_suggestion():
+    with pytest.raises(EvaluationError, match="did you mean"):
+        ExperimentRunner(methods=("Perm_FWRE",))
