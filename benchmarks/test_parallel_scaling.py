@@ -1,0 +1,121 @@
+"""Parallel speedup of the permutation pass (``n_jobs`` scaling).
+
+Times ``permutation_fwer`` at 1, 2 and 4 workers on the ``threads``
+and ``processes`` backends against the serial baseline, checks the
+rule-level output is identical at every worker count (the hard
+assertion — parallelism must never change results), and records the
+speedup curve as JSON (``REPRO_BENCH_JSON``, default
+``parallel_scaling.json``) so CI can archive the perf trajectory
+per-commit.
+
+The ≥2× speedup target at 4 process workers is asserted only on
+hardware that can deliver it (≥4 cores) and outside smoke scale;
+elsewhere — shared CI runners, small containers — the curve is
+reported informationally.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+from _scale import banner, current_scale
+from repro.corrections import permutation_fwer
+from repro.data import GeneratorConfig, generate
+from repro.mining import mine_class_rules
+
+MIN_SUP_FRACTION = 5  # min_sup = records / 5
+SEED = 777
+JOB_COUNTS = (1, 2, 4)
+BACKENDS = ("threads", "processes")
+
+
+def _ruleset(scale):
+    config = GeneratorConfig(
+        n_records=scale.synth_records, n_attributes=24, n_rules=2,
+        min_coverage=scale.synth_records // 5,
+        max_coverage=scale.synth_records // 4,
+        min_confidence=0.7, max_confidence=0.9)
+    dataset = generate(config, seed=SEED).dataset
+    return mine_class_rules(dataset,
+                            scale.synth_records // MIN_SUP_FRACTION)
+
+
+def _fingerprint(result):
+    return (result.threshold, result.n_significant,
+            tuple((r.items, r.class_index, r.p_value)
+                  for r in result.significant))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_parallel_scaling():
+    scale = current_scale()
+    n_perm = scale.runtime_permutations
+    ruleset = _ruleset(scale)
+
+    serial_time, serial_result = _timed(
+        lambda: permutation_fwer(ruleset, 0.05, n_permutations=n_perm,
+                                 seed=SEED))
+    reference = _fingerprint(serial_result)
+
+    curves = {}
+    for backend in BACKENDS:
+        curve = {}
+        for n_jobs in JOB_COUNTS:
+            elapsed, result = _timed(
+                lambda n_jobs=n_jobs, backend=backend: permutation_fwer(
+                    ruleset, 0.05, n_permutations=n_perm, seed=SEED,
+                    n_jobs=n_jobs, backend=backend))
+            # The hard guarantee: identical rules at every worker
+            # count, on every backend, rule for rule.
+            assert _fingerprint(result) == reference, (
+                f"{backend} n_jobs={n_jobs} changed the output")
+            curve[n_jobs] = {
+                "seconds": elapsed,
+                "speedup": serial_time / elapsed if elapsed else 0.0,
+            }
+        curves[backend] = curve
+
+    cores = multiprocessing.cpu_count()
+    record = {
+        "benchmark": "parallel_scaling",
+        "scale": scale.name,
+        "cpu_count": cores,
+        "n_permutations": n_perm,
+        "n_rules": ruleset.n_tests,
+        "serial_seconds": serial_time,
+        "curves": curves,
+    }
+    out_path = os.environ.get("REPRO_BENCH_JSON",
+                              "parallel_scaling.json")
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+
+    lines = [f"serial: {serial_time * 1e3:.0f} ms "
+             f"({n_perm} permutations, {ruleset.n_tests} rules, "
+             f"{cores} cores)"]
+    for backend, curve in curves.items():
+        for n_jobs, cell in curve.items():
+            lines.append(f"{backend:>9} x{n_jobs}: "
+                         f"{cell['seconds'] * 1e3:7.0f} ms  "
+                         f"speedup {cell['speedup']:.2f}x")
+    print(banner("parallel scaling", "\n".join(lines)))
+    print(f"wrote {out_path}")
+
+    process_speedup = curves["processes"][4]["speedup"]
+    if scale.name != "smoke" and cores >= 4:
+        assert process_speedup >= 2.0, (
+            f"expected >= 2x speedup at 4 process workers on "
+            f"{cores} cores, got {process_speedup:.2f}x "
+            f"(serial {serial_time:.3f}s)")
+    else:
+        print(f"informational only (scale={scale.name}, "
+              f"cores={cores}): 4-worker process speedup "
+              f"{process_speedup:.2f}x")

@@ -76,6 +76,11 @@ Subpackages
 ``repro.frequency``
     Frequency-significance of patterns: Megiddo-Srikant resampling
     calibration and Kirsch et al.'s support threshold ``s*``.
+``repro.parallel``
+    Shared parallel execution: pluggable serial/threads/processes
+    backends behind one ``Executor.map_shards`` interface, with
+    deterministic shard seeding (bit-identical results at any worker
+    count).
 """
 
 from .core import (
@@ -102,13 +107,17 @@ from .errors import (
     ReproError,
     StatsError,
 )
+from .parallel import Executor, WorkerError, get_executor
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CORRECTIONS",
     "Correction",
+    "Executor",
     "MiningReport",
+    "WorkerError",
+    "get_executor",
     "Pipeline",
     "PipelineContext",
     "PipelineResult",

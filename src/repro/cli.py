@@ -186,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "measure instead of p-value")
     mine.add_argument("--seed", type=int, default=None,
                       help="seed for permutation/holdout randomness")
+    mine.add_argument("--jobs", type=int, default=1,
+                      help="parallel workers for the permutation pass "
+                           "(-1 = all cores; results are identical "
+                           "for any worker count; default: 1)")
+    mine.add_argument("--backend", default="serial",
+                      choices=("serial", "threads", "processes"),
+                      help="parallel execution backend (default: "
+                           "serial; see docs/parallel.md)")
     mine.add_argument("--class-column", default="-1",
                       help="CSV class column name or index "
                            "(default: last)")
@@ -246,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
                                  "'No correction,BC,BH')")
     experiment.add_argument("--seed", type=int, default=0,
                             help="master seed (default: 0)")
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="parallel workers for the replicate "
+                                 "grid (-1 = all cores; default: 1)")
+    experiment.add_argument("--backend", default="serial",
+                            choices=("serial", "threads", "processes"),
+                            help="parallel execution backend "
+                                 "(default: serial)")
 
     classify = commands.add_parser(
         "classify",
@@ -331,7 +346,8 @@ def _run_mine(args: argparse.Namespace, out) -> int:
         alpha=args.alpha, min_conf=args.min_conf,
         max_length=args.max_length, n_permutations=args.permutations,
         holdout_split=args.holdout_split, scorer=args.scorer,
-        seed=args.seed, redundancy_delta=args.redundancy_delta)
+        seed=args.seed, redundancy_delta=args.redundancy_delta,
+        n_jobs=args.jobs, backend=args.backend)
     print(report.summary(), file=out)
     if args.rank_by is not None:
         measure = ALL_MEASURES[args.rank_by]
@@ -423,7 +439,8 @@ def _run_experiment(args, out) -> int:
         min_coverage=args.coverage, max_coverage=args.coverage,
         min_confidence=args.confidence, max_confidence=args.confidence)
     runner = ExperimentRunner(methods=methods, alpha=args.alpha,
-                              n_permutations=args.permutations)
+                              n_permutations=args.permutations,
+                              n_jobs=args.jobs, backend=args.backend)
     result = runner.run(config, min_sup=args.min_sup,
                         n_replicates=args.replicates, seed=args.seed)
     print(f"{args.replicates} replicates, N={args.records}, "

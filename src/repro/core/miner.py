@@ -112,6 +112,11 @@ class SignificantRuleMiner:
         one representative, shrinking the hypothesis count ``Nt``. Not
         available with the holdout corrections (they mine their own
         halves).
+    n_jobs / backend:
+        Parallel execution of the permutation pass (``-1`` = all
+        cores; backends ``"serial"``, ``"threads"``, ``"processes"``).
+        Bit-identical results at any worker count; see
+        ``docs/parallel.md``.
     """
 
     def __init__(self, min_sup: int, min_conf: float = 0.0,
@@ -121,7 +126,9 @@ class SignificantRuleMiner:
                  max_length: Optional[int] = None,
                  scorer: str = "fisher",
                  seed: Optional[int] = None,
-                 redundancy_delta: Optional[float] = None) -> None:
+                 redundancy_delta: Optional[float] = None,
+                 n_jobs: int = 1,
+                 backend: str = "serial") -> None:
         resolved = resolve_correction(correction)
         if (redundancy_delta is not None
                 and not resolved.spec.supports_redundancy):
@@ -142,6 +149,8 @@ class SignificantRuleMiner:
         self.scorer = scorer
         self.seed = seed
         self.redundancy_delta = redundancy_delta
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def pipeline(self) -> Pipeline:
         """The single-correction :class:`Pipeline` for the *current*
@@ -152,7 +161,8 @@ class SignificantRuleMiner:
             max_length=self.max_length, scorer=self.scorer,
             seed=self.seed, n_permutations=self.n_permutations,
             holdout_split=self.holdout_split,
-            redundancy_delta=self.redundancy_delta)
+            redundancy_delta=self.redundancy_delta,
+            n_jobs=self.n_jobs, backend=self.backend)
 
     def mine(self, dataset: Dataset) -> MiningReport:
         """Run the configured pipeline on one dataset."""

@@ -42,6 +42,7 @@ from ..errors import CorrectionError, MiningError
 from ..mining.closed import mine_closed
 from ..mining.representative import reduce_patterns
 from ..mining.rules import RuleSet, generate_rules
+from ..parallel import get_executor
 
 __all__ = [
     "CorrectStage",
@@ -123,7 +124,15 @@ class ScoreStage:
 
 
 class CorrectStage:
-    """Apply every requested correction through the registry."""
+    """Apply every requested correction through the registry.
+
+    With ``ctx.n_jobs > 1`` the *independent* corrections (those that
+    never touch the context's shared permutation/holdout caches) fan
+    out across the context's intra-run executor; corrections that
+    build or reuse shared state run serially first, in requested
+    order, so the caches are populated race-free. Results land in
+    ``state.results`` in requested order either way.
+    """
 
     name = "correct"
 
@@ -132,9 +141,31 @@ class CorrectStage:
 
     def run(self, ctx: PipelineContext, state: PipelineState,
             ) -> PipelineState:
-        for resolved in self.corrections:
-            state.results[resolved.requested] = resolved.apply(
+        stateful = [r for r in self.corrections
+                    if r.spec.needs_permutations or r.spec.needs_holdout]
+        stateless = [r for r in self.corrections
+                     if not (r.spec.needs_permutations
+                             or r.spec.needs_holdout)]
+        executor = ctx.executor(intra_run=True)
+        if executor.backend == "serial" or executor.n_jobs == 1 \
+                or len(stateless) < 2:
+            for resolved in self.corrections:
+                state.results[resolved.requested] = resolved.apply(
+                    state.ruleset, ctx.alpha, ctx)
+            return state
+        produced: Dict[str, CorrectionResult] = {}
+        for resolved in stateful:
+            produced[resolved.requested] = resolved.apply(
                 state.ruleset, ctx.alpha, ctx)
+        fanned = executor.map_shards(
+            lambda resolved: resolved.apply(state.ruleset, ctx.alpha,
+                                            ctx),
+            stateless)
+        for resolved, result in zip(stateless, fanned):
+            produced[resolved.requested] = result
+        for resolved in self.corrections:
+            state.results[resolved.requested] = \
+                produced[resolved.requested]
         return state
 
 
@@ -205,6 +236,14 @@ class Pipeline:
         Table 3 abbreviation, or alias).
     alpha:
         Error budget: FWER or FDR level depending on the correction.
+    n_jobs:
+        Worker count for the parallel machinery (``-1`` = all cores):
+        the permutation pass shards across workers, independent
+        corrections fan out within :meth:`run`, and :meth:`run_many`
+        fans datasets out. Results are bit-identical for every value.
+    backend:
+        ``"serial"`` (default), ``"threads"`` or ``"processes"`` —
+        see :mod:`repro.parallel` and ``docs/parallel.md``.
     stages:
         Advanced: replace the default
         ``[MineStage, ReduceStage, ScoreStage]`` prefix with custom
@@ -222,6 +261,8 @@ class Pipeline:
                  n_permutations: int = 1000,
                  holdout_split: str = "random",
                  redundancy_delta: Optional[float] = None,
+                 n_jobs: int = 1,
+                 backend: str = "serial",
                  stages: Optional[Sequence[object]] = None) -> None:
         if isinstance(corrections, str):
             corrections = (corrections,)
@@ -246,6 +287,9 @@ class Pipeline:
         self.n_permutations = n_permutations
         self.holdout_split = holdout_split
         self.redundancy_delta = redundancy_delta
+        executor = get_executor(backend, n_jobs)  # validates both
+        self.n_jobs = executor.n_jobs
+        self.backend = executor.backend
         self._default_stages = stages is None
         self._stages = (tuple(stages) if stages is not None
                         else (MineStage(), ReduceStage(), ScoreStage()))
@@ -264,7 +308,8 @@ class Pipeline:
             scorer=self.scorer, seed=self.seed,
             n_permutations=self.n_permutations,
             holdout_split=self.holdout_split,
-            redundancy_delta=self.redundancy_delta)
+            redundancy_delta=self.redundancy_delta,
+            n_jobs=self.n_jobs, backend=self.backend)
         if overrides:
             ctx = ctx.override(**overrides)
         return ctx
@@ -295,6 +340,20 @@ class Pipeline:
                               resolved={r.requested: r
                                         for r in self.resolved})
 
+    def _config(self, **overrides: object) -> Dict[str, object]:
+        """Constructor kwargs reproducing this pipeline (default
+        stages only) — what a process worker rebuilds from."""
+        config: Dict[str, object] = dict(
+            min_sup=self.min_sup, corrections=self.methods,
+            alpha=self.alpha, min_conf=self.min_conf,
+            max_length=self.max_length, scorer=self.scorer,
+            seed=self.seed, n_permutations=self.n_permutations,
+            holdout_split=self.holdout_split,
+            redundancy_delta=self.redundancy_delta,
+            n_jobs=self.n_jobs, backend=self.backend)
+        config.update(overrides)
+        return config
+
     def run_many(self, datasets: Iterable[Dataset],
                  methods: Optional[Sequence[str]] = None,
                  ) -> List[PipelineResult]:
@@ -302,17 +361,71 @@ class Pipeline:
 
         Each dataset gets its own context (and thus its own shared
         permutation pass and holdout split); the stage configuration is
-        reused across datasets.
+        reused across datasets. With ``n_jobs > 1`` the datasets fan
+        out across the configured backend; under ``"processes"`` each
+        worker rebuilds the pipeline from its plain configuration
+        (custom stage objects therefore require ``"threads"`` or
+        ``"serial"``) and runs its dataset with intra-run parallelism
+        disabled — one pool, never nested pools.
         """
         pipeline = self
         if methods is not None:
             pipeline = Pipeline(
-                min_sup=self.min_sup, corrections=methods,
-                alpha=self.alpha, min_conf=self.min_conf,
-                max_length=self.max_length, scorer=self.scorer,
-                seed=self.seed, n_permutations=self.n_permutations,
-                holdout_split=self.holdout_split,
-                redundancy_delta=self.redundancy_delta,
+                **self._config(corrections=methods),
                 stages=(None if self._default_stages
                         else self._stages))
-        return [pipeline.run(dataset) for dataset in datasets]
+        dataset_list = list(datasets)
+        executor = get_executor(self.backend, self.n_jobs)
+        if (executor.backend == "serial" or executor.n_jobs == 1
+                or len(dataset_list) < 2):
+            return [pipeline.run(dataset) for dataset in dataset_list]
+        if executor.backend == "threads":
+            # One pool, never nested pools: the dataset fan-out is the
+            # pool, so each worker runs its dataset with intra-run
+            # parallelism disabled (otherwise every permutation pass
+            # and correct stage would open its own n_jobs-wide pool).
+            def _run_intra_serial(dataset):
+                return pipeline.run(
+                    dataset, ctx=pipeline.context(
+                        dataset, n_jobs=1, backend="serial"))
+
+            results = executor.map_shards(_run_intra_serial,
+                                          dataset_list)
+            for result in results:
+                # Report the configuration the caller asked for, not
+                # the intra-run-serial override the worker ran under.
+                result.context = result.context.override(
+                    n_jobs=pipeline.n_jobs, backend=pipeline.backend)
+            return results
+        if not pipeline._default_stages:
+            raise CorrectionError(
+                "backend='processes' cannot ship custom stage objects "
+                "to worker processes; use backend='threads' or "
+                "'serial' for pipelines with custom stages")
+        config = pipeline._config(n_jobs=1, backend="serial")
+        shards = [(config, dataset) for dataset in dataset_list]
+        slim = executor.map_shards(_run_one_worker, shards)
+        resolved = {r.requested: r for r in pipeline.resolved}
+        return [PipelineResult(dataset=dataset,
+                               # As above: surface the caller's
+                               # configuration, not the worker's
+                               # intra-run-serial override.
+                               context=ctx.override(
+                                   n_jobs=pipeline.n_jobs,
+                                   backend=pipeline.backend),
+                               state=state, results=state.results,
+                               resolved=dict(resolved))
+                for dataset, (ctx, state) in zip(dataset_list, slim)]
+
+
+def _run_one_worker(payload):
+    """Run one dataset in a worker process.
+
+    Rebuilds the pipeline from its plain configuration (the resolved
+    correction specs hold lambdas, which do not pickle) and returns
+    only the context and state; the parent re-attaches its own
+    resolved specs to reassemble the :class:`PipelineResult`.
+    """
+    config, dataset = payload
+    result = Pipeline(**config).run(dataset)
+    return result.context, result.state

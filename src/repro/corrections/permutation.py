@@ -41,6 +41,18 @@ over only the rules ranked ``i`` and worse. The adjusted p-values are
 monotonised and thresholded at ``alpha``. Step-down rejects a superset
 of the single-step rejections at the same FWER guarantee — the natural
 "more power for free" upgrade to Section 4.2.
+
+Parallel execution (``n_jobs`` / ``backend``): the ``N`` permutations
+are embarrassingly parallel — each is an independent class-support
+pass over the shared pattern forest — so :meth:`PermutationEngine.run`
+shards the permutation index range across a
+:class:`~repro.parallel.Executor`. Determinism is anchored to
+permutation *indices*, not to shards: permutation ``t`` always draws
+its labelling from the ``t``-th child of one
+``numpy.random.SeedSequence``, and the shard merge (concatenating
+per-index min-p entries, summing integer rank counts) is
+order-independent, so results are bit-identical for any worker count.
+See ``docs/parallel.md``.
 """
 
 from __future__ import annotations
@@ -54,6 +66,14 @@ import numpy as np
 from ..errors import CorrectionError
 from ..mining.diffsets import POLICIES, PatternForest
 from ..mining.rules import RuleSet
+from ..parallel import (
+    get_executor,
+    root_sequence,
+    sequence_from_legacy_rng,
+    shard_slices,
+    slice_sequences,
+    spawn_sequences,
+)
 from ..stats.fisher import fisher_two_tailed
 from .base import FDR, FWER, CorrectionResult, bh_step_up, validate_alpha
 
@@ -76,7 +96,22 @@ class PermutationEngine:
     n_permutations:
         The paper's ``N``; its experiments use 1000.
     seed / rng:
-        Determinism controls (give at most one).
+        Determinism controls (give at most one). ``seed`` feeds a
+        ``numpy.random.SeedSequence`` whose spawned children drive the
+        label shuffles, one independent child per permutation. ``rng``
+        is a compatibility shim for pre-migration callers holding a
+        ``random.Random``: its next 128 bits become the sequence
+        entropy (deterministic for a seeded rng, but a *different*
+        stream than the legacy in-place shuffles produced).
+    n_jobs:
+        Worker count for the permutation pass (``-1`` = all cores).
+        Results are bit-identical for every value.
+    backend:
+        ``"serial"``, ``"threads"`` or ``"processes"`` — see
+        :mod:`repro.parallel`. The ``threads`` backend fans out only
+        under the default ``"vectorized"`` p-value mode; the
+        ``"cache"``/``"direct"`` modes score through shared mutable
+        caches and fall back to serial there (use ``processes``).
     policy:
         Record-id storage policy for the pattern forest; one of
         ``"bitset"`` (default), ``"diffsets"``, ``"full"``.
@@ -89,7 +124,9 @@ class PermutationEngine:
                  seed: Optional[int] = None,
                  rng: Optional[random.Random] = None,
                  policy: str = "bitset",
-                 pvalue_mode: str = "vectorized") -> None:
+                 pvalue_mode: str = "vectorized",
+                 n_jobs: int = 1,
+                 backend: str = "serial") -> None:
         if n_permutations < 1:
             raise CorrectionError("n_permutations must be >= 1")
         if policy not in POLICIES:
@@ -102,7 +139,9 @@ class PermutationEngine:
         self.n_permutations = n_permutations
         self.policy = policy
         self.pvalue_mode = pvalue_mode
-        self._rng = rng or random.Random(seed)
+        self._executor = get_executor(backend, n_jobs)
+        self._seed_seq = (sequence_from_legacy_rng(rng)
+                          if rng is not None else root_sequence(seed))
         self._ran = False
         self._min_p: Optional[np.ndarray] = None
         self._pooled_counts: Optional[np.ndarray] = None
@@ -132,21 +171,71 @@ class PermutationEngine:
     # the shared permutation pass
     # ------------------------------------------------------------------
 
+    @property
+    def n_jobs(self) -> int:
+        """Worker count of the configured executor."""
+        return self._executor.n_jobs
+
+    @property
+    def backend(self) -> str:
+        """Backend name of the configured executor."""
+        return self._executor.backend
+
     def run(self) -> None:
-        """Score all rules on all permutations (idempotent)."""
+        """Score all rules on all permutations (idempotent).
+
+        Sharded across the configured executor. Permutation ``t``
+        always shuffles with the ``t``-th spawned seed and the merge
+        is order-independent (per-index concatenation + integer
+        sums), so the result is identical at any worker count.
+        """
         if self._ran:
             return
         n_perm = self.n_permutations
-        min_p = np.empty(n_perm)
         order = np.argsort(self._observed_p, kind="stable")
         observed_sorted = self._observed_p[order]
+        children = spawn_sequences(self._seed_seq, n_perm)
+        slices = shard_slices(n_perm, self._executor.n_jobs)
+        # The "cache" and "direct" modes score through shared mutable
+        # caches (BufferCache's dynamic tier, log-factorial growth)
+        # that are not thread-safe; under threads they run serially
+        # rather than risk silent p-value corruption. Processes are
+        # fine (each worker owns a copy), and the default vectorized
+        # mode reads frozen arrays only.
+        thread_unsafe = (self._executor.backend == "threads"
+                         and self.pvalue_mode != "vectorized")
+        if (len(slices) <= 1 or self._executor.backend == "serial"
+                or thread_unsafe):
+            parts = [self._score_shard(children, order, observed_sorted)]
+        else:
+            shards = [(self, seeds, order, observed_sorted)
+                      for seeds in slice_sequences(children, slices)]
+            parts = self._executor.map_shards(_score_shard_worker, shards)
+        self._min_p = np.sort(np.concatenate([p[0] for p in parts]))
+        self._pooled_counts = sum(p[1] for p in parts)
+        self._stepdown_counts = sum(p[2] for p in parts)
+        self._order = order
+        self._observed_sorted = observed_sorted
+        self._ran = True
+
+    def _score_shard(self, seeds, order: np.ndarray,
+                     observed_sorted: np.ndarray,
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Score the permutations whose seed sequences are given.
+
+        Each permutation draws a fresh labelling from its own spawned
+        generator (``Generator.permutation`` of the *original* labels,
+        never a cumulative in-place shuffle), so its stream is
+        independent of every other permutation's placement.
+        """
+        min_p = np.empty(len(seeds))
         pooled = np.zeros(len(observed_sorted), dtype=np.int64)
         stepdown = np.zeros(len(observed_sorted), dtype=np.int64)
-        labels = self._labels.copy()
-        for t in range(n_perm):
-            _shuffle_inplace(labels, self._rng)
+        for j, seq in enumerate(seeds):
+            generator = np.random.default_rng(seq)
+            labels = generator.permutation(self._labels)
             perm_p = self._score_permutation(labels)
-            min_p[t] = perm_p.min() if len(perm_p) else 1.0
+            min_p[j] = perm_p.min() if len(perm_p) else 1.0
             pooled += np.searchsorted(np.sort(perm_p), observed_sorted,
                                       side="right")
             if len(perm_p):
@@ -156,12 +245,7 @@ class PermutationEngine:
                 suffix_min = np.minimum.accumulate(
                     perm_p[order][::-1])[::-1]
                 stepdown += suffix_min <= observed_sorted
-        self._min_p = np.sort(min_p)
-        self._pooled_counts = pooled
-        self._stepdown_counts = stepdown
-        self._order = order
-        self._observed_sorted = observed_sorted
-        self._ran = True
+        return min_p, pooled, stepdown
 
     def _score_permutation(self, labels: np.ndarray) -> np.ndarray:
         """P-values of every rule under one shuffled labelling."""
@@ -369,10 +453,10 @@ class _VectorizedLookup:
         return self._flat[self._offsets + supports]
 
 
-def _shuffle_inplace(labels: np.ndarray, rng: random.Random) -> None:
-    """Fisher–Yates via numpy, seeded from the engine's Random."""
-    generator = np.random.default_rng(rng.getrandbits(64))
-    generator.shuffle(labels)
+def _score_shard_worker(payload):
+    """Module-level shard entry point (picklable for ``processes``)."""
+    engine, seeds, order, observed_sorted = payload
+    return engine._score_shard(seeds, order, observed_sorted)
 
 
 def _quantiles(sorted_values: np.ndarray) -> Dict[str, float]:

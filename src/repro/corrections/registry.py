@@ -90,6 +90,8 @@ class PipelineContext:
     holdout_boundary: Optional[int] = None
     holdout_seed: Optional[int] = None
     redundancy_delta: Optional[float] = None
+    n_jobs: int = 1
+    backend: str = "serial"
     shared: Dict[str, object] = field(default_factory=dict)
 
     def override(self, **changes: object) -> "PipelineContext":
@@ -109,16 +111,36 @@ class PipelineContext:
 
         seed = (self.permutation_seed
                 if self.permutation_seed is not None else self.seed)
+        # n_jobs/backend stay out of the cache key on purpose: they
+        # change the schedule, never the result, so an engine built
+        # under one executor configuration is reusable under another.
         params = (self.n_permutations, seed)
         engine = self.shared.get("permutation-engine")
         if (not isinstance(engine, PermutationEngine)
                 or engine.ruleset is not ruleset
                 or self.shared.get("permutation-engine-params") != params):
             engine = PermutationEngine(
-                ruleset, n_permutations=self.n_permutations, seed=seed)
+                ruleset, n_permutations=self.n_permutations, seed=seed,
+                n_jobs=self.n_jobs, backend=self.backend)
             self.shared["permutation-engine"] = engine
             self.shared["permutation-engine-params"] = params
         return engine
+
+    def executor(self, intra_run: bool = False):
+        """The :class:`~repro.parallel.Executor` for this context.
+
+        ``intra_run=True`` asks for an executor suitable for fanning
+        out *within* one run, where tasks share this context's mutable
+        caches and closures are not picklable: the ``processes``
+        backend is downgraded to ``threads`` there (documented in
+        ``docs/parallel.md``).
+        """
+        from ..parallel import get_executor
+
+        backend = self.backend
+        if intra_run and backend == "processes":
+            backend = "threads"
+        return get_executor(backend, self.n_jobs)
 
     def holdout_run(self, split: Optional[str] = None,
                     alpha: Optional[float] = None):

@@ -44,6 +44,7 @@ from ..data.synthetic import (
 )
 from ..errors import CorrectionError, EvaluationError
 from ..mining.rules import RuleSet, mine_class_rules
+from ..parallel import get_executor
 from .ground_truth import restrict_embedded
 from .metrics import AggregateMetrics, DatasetOutcome, aggregate, \
     evaluate_result
@@ -144,13 +145,24 @@ class ExperimentRunner:
         halves (the paper's construction).
     max_length:
         Optional pattern-length cap passed to the miner.
+    n_jobs / backend:
+        Fan the replicate grid (dataset × correction cells) out across
+        workers (``-1`` = all cores; ``"serial"``, ``"threads"`` or
+        ``"processes"``). Replicate seeds are drawn from the master
+        seed *before* dispatch, and records are assembled in replicate
+        order, so aggregates are identical at any worker count. Under
+        ``"processes"`` each worker resolves the methods against its
+        own registry — out-of-tree corrections must be registered at
+        import time (e.g. via ``REPRO_PLUGINS``) to be visible there.
     """
 
     def __init__(self, methods: Sequence[str] = PAPER_METHODS,
                  alpha: float = 0.05, n_permutations: int = 1000,
                  paired: bool = True,
                  max_length: Optional[int] = None,
-                 min_conf: float = 0.0) -> None:
+                 min_conf: float = 0.0,
+                 n_jobs: int = 1,
+                 backend: str = "serial") -> None:
         resolved: Dict[str, ResolvedCorrection] = {}
         for method in methods:
             try:
@@ -164,6 +176,9 @@ class ExperimentRunner:
         self.paired = paired
         self.max_length = max_length
         self.min_conf = min_conf
+        executor = get_executor(backend, n_jobs)  # validates both
+        self.n_jobs = executor.n_jobs
+        self.backend = executor.backend
 
     # ------------------------------------------------------------------
     # public API
@@ -174,12 +189,24 @@ class ExperimentRunner:
         """Run every method on ``n_replicates`` generated datasets."""
         if n_replicates < 1:
             raise EvaluationError("n_replicates must be >= 1")
+        # Replicate seeds are drawn serially up front, so the grid is
+        # fixed before any fan-out and results cannot depend on the
+        # worker count or completion order.
         master = random.Random(seed)
-        records: List[ReplicateRecord] = []
-        for _ in range(n_replicates):
-            replicate_seed = master.getrandbits(48)
-            records.append(self.run_replicate(config, min_sup,
-                                              replicate_seed))
+        seeds = [master.getrandbits(48) for _ in range(n_replicates)]
+        executor = get_executor(self.backend, self.n_jobs)
+        if executor.backend == "processes":
+            # ResolvedCorrection specs hold lambdas (unpicklable);
+            # ship the plain configuration and let each worker
+            # re-resolve the methods against its own registry.
+            state = (self.methods, self.alpha, self.n_permutations,
+                     self.paired, self.max_length, self.min_conf)
+            records = executor.map_shards(
+                _replicate_worker,
+                [(state, config, min_sup, s) for s in seeds])
+        else:
+            records = executor.map_shards(
+                lambda s: self.run_replicate(config, min_sup, s), seeds)
         aggregates = {
             method: aggregate([r.outcomes[method] for r in records])
             for method in self.methods
@@ -259,6 +286,21 @@ class ExperimentRunner:
         eval_embedded = restrict_embedded(data.embedded_rules,
                                           run.evaluation)
         return result, run.evaluation, eval_embedded
+
+
+def _replicate_worker(payload) -> ReplicateRecord:
+    """Evaluate one replicate in a worker process.
+
+    Rebuilds a single-use runner from the plain configuration (the
+    parent's resolved specs hold lambdas, which do not pickle) with
+    parallelism disabled — the grid fan-out is the one and only pool.
+    """
+    (methods, alpha, n_permutations, paired, max_length,
+     min_conf), config, min_sup, seed = payload
+    runner = ExperimentRunner(
+        methods=methods, alpha=alpha, n_permutations=n_permutations,
+        paired=paired, max_length=max_length, min_conf=min_conf)
+    return runner.run_replicate(config, min_sup, seed)
 
 
 def _mean_tested(records: List[ReplicateRecord]) -> Dict[str, float]:

@@ -1,0 +1,38 @@
+"""Shared parallel execution subsystem.
+
+One :class:`Executor` interface (``map_shards``) over three pluggable
+backends (``serial``, ``threads``, ``processes``), plus the
+deterministic shard-seeding helpers that keep results bit-identical at
+any worker count. Used by the permutation engine
+(:mod:`repro.corrections.permutation`), the pipeline
+(:mod:`repro.core.pipeline`) and the experiment runner
+(:mod:`repro.evaluation.runner`); see ``docs/parallel.md``.
+"""
+
+from .executor import (
+    BACKENDS,
+    Executor,
+    WorkerError,
+    get_executor,
+    validate_backend,
+)
+from .seeding import (
+    root_sequence,
+    sequence_from_legacy_rng,
+    shard_slices,
+    slice_sequences,
+    spawn_sequences,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "WorkerError",
+    "get_executor",
+    "root_sequence",
+    "sequence_from_legacy_rng",
+    "shard_slices",
+    "slice_sequences",
+    "spawn_sequences",
+    "validate_backend",
+]

@@ -1,0 +1,178 @@
+"""Pluggable execution backends behind one ``map_shards`` interface.
+
+Three backends, one contract:
+
+* ``"serial"``    — plain in-process loop; the reference semantics
+  every other backend must reproduce bit-for-bit.
+* ``"threads"``   — :class:`concurrent.futures.ThreadPoolExecutor`.
+  Python-level work is GIL-bound, but the permutation hot loop spends
+  most of its time inside numpy (which releases the GIL around array
+  kernels), so threads give real speedups without any pickling cost.
+* ``"processes"`` — :class:`concurrent.futures.ProcessPoolExecutor`.
+  True multi-core parallelism; shard functions and their payloads must
+  be picklable (module-level functions, plain-data arguments).
+
+Determinism is the executor's design constraint, not an afterthought:
+``map_shards`` always returns results **in shard order**, regardless
+of completion order, and never re-partitions the work it is handed —
+the *caller* decides the shard structure (and derives per-shard seeds
+via :mod:`repro.parallel.seeding`), so the same shards produce the
+same results on any backend at any worker count.
+
+Worker failures propagate as the **original exception type**. For the
+in-process backends the original traceback survives unchanged; for the
+``processes`` backend (where tracebacks cannot cross the pickle
+boundary) the re-raised exception is chained to a :class:`WorkerError`
+whose message carries the worker's formatted traceback, so the
+failing frame is never lost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+from ..errors import ReproError
+
+__all__ = ["BACKENDS", "Executor", "WorkerError", "get_executor",
+           "validate_backend"]
+
+BACKENDS = ("serial", "threads", "processes")
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+
+class WorkerError(ReproError):
+    """A shard raised in a worker process.
+
+    Carries the worker-side formatted traceback; ``map_shards``
+    re-raises the original exception *from* this error, so both the
+    original type and the remote frames stay visible::
+
+        ValueError: negative support
+        ...
+        The above exception was the direct cause of ...
+        WorkerError: shard 3 raised in worker:
+        Traceback (most recent call last):
+          File "...", line 42, in _score_shard
+        ...
+    """
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` or raise listing the valid names."""
+    if backend not in BACKENDS:
+        raise ReproError(
+            f"unknown parallel backend {backend!r}; "
+            f"pick from {', '.join(BACKENDS)}")
+    return backend
+
+
+def validate_n_jobs(n_jobs: int) -> int:
+    """Return ``n_jobs`` (``-1`` → CPU count) or raise."""
+    if n_jobs == -1:
+        return multiprocessing.cpu_count()
+    if not isinstance(n_jobs, int) or n_jobs < 1:
+        raise ReproError(
+            f"n_jobs must be a positive integer or -1 (all cores), "
+            f"got {n_jobs!r}")
+    return n_jobs
+
+
+class Executor:
+    """Run shard functions through the configured backend.
+
+    Parameters
+    ----------
+    backend:
+        One of :data:`BACKENDS`.
+    n_jobs:
+        Worker count; ``-1`` means one per CPU core. ``n_jobs=1``
+        always degenerates to the serial loop, whatever the backend.
+    """
+
+    def __init__(self, backend: str = "serial", n_jobs: int = 1) -> None:
+        self.backend = validate_backend(backend)
+        self.n_jobs = validate_n_jobs(n_jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Executor(backend={self.backend!r}, n_jobs={self.n_jobs})"
+
+    # ------------------------------------------------------------------
+
+    def map_shards(self, fn: Callable[[S], R],
+                   shards: Iterable[S]) -> List[R]:
+        """``[fn(shard) for shard in shards]``, possibly in parallel.
+
+        Results come back in shard order on every backend. The shard
+        structure is the caller's: this method never splits or merges
+        shards, which is what makes results independent of the worker
+        count.
+        """
+        items: Sequence[S] = list(shards)
+        if not items:
+            return []
+        workers = min(self.n_jobs, len(items))
+        if self.backend == "serial" or workers == 1:
+            return [fn(shard) for shard in items]
+        if self.backend == "threads":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # Executor.map preserves input order and re-raises the
+                # first failure with its original traceback.
+                return list(pool.map(fn, items))
+        return self._map_processes(fn, items, workers)
+
+    # ------------------------------------------------------------------
+
+    def _map_processes(self, fn: Callable[[S], R], items: Sequence[S],
+                       workers: int) -> List[R]:
+        # fork keeps the parent's modules/sys.path visible without
+        # re-importing, and makes already-registered plugin
+        # corrections available in workers; fall back to the platform
+        # default where fork is unavailable (Windows, macOS spawn).
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx) as pool:
+            futures = [pool.submit(_guarded_call, fn, index, shard)
+                       for index, shard in enumerate(items)]
+            out: List[R] = []
+            for index, future in enumerate(futures):
+                ok, value, formatted = future.result()
+                if ok:
+                    out.append(value)
+                    continue
+                raise value from WorkerError(
+                    f"shard {index} raised in worker:\n{formatted}")
+            return out
+
+
+def _guarded_call(fn, index, shard):
+    """Run one shard in a worker, capturing the traceback on failure.
+
+    Exception objects survive pickling back to the parent; traceback
+    objects do not, so the formatted text rides along. Unpicklable
+    exceptions are downgraded to a :class:`WorkerError` carrying their
+    repr (the traceback text still shows the original type).
+    """
+    try:
+        return True, fn(shard), None
+    except BaseException as exc:
+        formatted = traceback.format_exc()
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            exc = WorkerError(
+                f"unpicklable worker exception {exc!r} on shard {index}")
+        return False, exc, formatted
+
+
+def get_executor(backend: str = "serial", n_jobs: int = 1) -> Executor:
+    """Construct a validated :class:`Executor`."""
+    return Executor(backend=backend, n_jobs=n_jobs)

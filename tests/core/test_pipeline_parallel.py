@@ -1,0 +1,155 @@
+"""Parallel execution through the Pipeline API (``n_jobs=`` /
+``backend=``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Pipeline, PipelineState
+from repro.data import GeneratorConfig, generate
+from repro.errors import CorrectionError, ReproError
+
+CORRECTIONS = ("bonferroni", "BH", "Perm_FWER", "Perm_FDR", "Storey",
+               "Holm", "holdout-fdr")
+
+
+def _datasets(n):
+    config = GeneratorConfig(
+        n_records=300, n_attributes=8, n_rules=1,
+        min_coverage=60, max_coverage=60,
+        min_confidence=0.9, max_confidence=0.9)
+    return [generate(config, seed=100 + i).dataset for i in range(n)]
+
+
+def _fingerprints(results):
+    return [
+        {method: (res.threshold, res.n_significant,
+                  [r.items for r in res.significant])
+         for method, res in result.results.items()}
+        for result in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    pipe = Pipeline(min_sup=25, corrections=CORRECTIONS, seed=0,
+                    n_permutations=30)
+    return pipe.run_many(_datasets(3))
+
+
+class TestRunManyFanOut:
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
+    def test_identical_to_serial(self, serial_results, backend):
+        pipe = Pipeline(min_sup=25, corrections=CORRECTIONS, seed=0,
+                        n_permutations=30, n_jobs=4, backend=backend)
+        parallel = pipe.run_many(_datasets(3))
+        assert _fingerprints(parallel) == _fingerprints(serial_results)
+
+    def test_result_keys_keep_requested_order(self, serial_results):
+        pipe = Pipeline(min_sup=25, corrections=CORRECTIONS, seed=0,
+                        n_permutations=30, n_jobs=4, backend="threads")
+        for result in pipe.run_many(_datasets(2)):
+            assert tuple(result.results) == CORRECTIONS
+
+    def test_process_results_support_report(self):
+        pipe = Pipeline(min_sup=25, corrections=("BH",), seed=0,
+                        n_jobs=2, backend="processes")
+        result = pipe.run_many(_datasets(2))[0]
+        report = result.report("BH")
+        assert report.correction == "bh"
+        assert report.result.n_significant == \
+            result["BH"].n_significant
+
+    def test_methods_override_still_works(self, serial_results):
+        pipe = Pipeline(min_sup=25, corrections=("bonferroni",), seed=0,
+                        n_permutations=30, n_jobs=2, backend="threads")
+        results = pipe.run_many(_datasets(2), methods=("BH", "Storey"))
+        for result in results:
+            assert tuple(result.results) == ("BH", "Storey")
+
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
+    def test_results_report_requested_configuration(self, backend):
+        """Workers run intra-run serial, but the returned contexts
+        surface the configuration the caller asked for."""
+        pipe = Pipeline(min_sup=25, corrections=("BH",), seed=0,
+                        n_jobs=2, backend=backend)
+        for result in pipe.run_many(_datasets(2)):
+            assert result.context.n_jobs == 2
+            assert result.context.backend == backend
+
+    def test_custom_stages_rejected_on_processes(self):
+        class NullStage:
+            name = "null"
+
+            def run(self, ctx, state):
+                return state
+
+        pipe = Pipeline(min_sup=25, corrections=("bh",), n_jobs=2,
+                        backend="processes", stages=(NullStage(),))
+        with pytest.raises(CorrectionError, match="custom stage"):
+            pipe.run_many(_datasets(2))
+
+    def test_custom_stages_fine_on_threads(self):
+        ran = []
+
+        class RecordingState(PipelineState):
+            pass
+
+        class MineLike:
+            name = "minelike"
+
+            def run(self, ctx, state):
+                ran.append(ctx.dataset.name)
+                from repro.mining.closed import mine_closed
+                state.patterns = mine_closed(
+                    ctx.dataset.item_tidsets, ctx.dataset.n_records,
+                    ctx.min_sup)
+                return state
+
+        class ScoreLike:
+            name = "scorelike"
+
+            def run(self, ctx, state):
+                from repro.mining.rules import generate_rules
+                state.ruleset = generate_rules(
+                    ctx.dataset, state.patterns, ctx.min_sup)
+                return state
+
+        pipe = Pipeline(min_sup=25, corrections=("bh",), n_jobs=2,
+                        backend="threads",
+                        stages=(MineLike(), ScoreLike()))
+        results = pipe.run_many(_datasets(2))
+        assert len(results) == 2 and len(ran) == 2
+
+
+class TestSingleRunParallelism:
+    def test_run_identical_across_backends(self):
+        dataset = _datasets(1)[0]
+        serial = Pipeline(min_sup=25, corrections=CORRECTIONS, seed=0,
+                          n_permutations=30).run(dataset)
+        for backend in ("threads", "processes"):
+            parallel = Pipeline(min_sup=25, corrections=CORRECTIONS,
+                                seed=0, n_permutations=30, n_jobs=4,
+                                backend=backend).run(dataset)
+            assert _fingerprints([parallel]) == _fingerprints([serial])
+            assert tuple(parallel.results) == CORRECTIONS
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ReproError):
+            Pipeline(min_sup=10, corrections=("bh",), backend="gpu")
+        with pytest.raises(ReproError):
+            Pipeline(min_sup=10, corrections=("bh",), n_jobs=0)
+
+    def test_context_carries_executor_settings(self):
+        pipe = Pipeline(min_sup=25, corrections=("bh",), n_jobs=3,
+                        backend="threads")
+        ctx = pipe.context(_datasets(1)[0])
+        assert ctx.n_jobs == 3
+        assert ctx.backend == "threads"
+        assert ctx.executor().backend == "threads"
+        # Intra-run fan-out downgrades processes to threads (shared
+        # mutable caches, unpicklable closures).
+        ctx2 = pipe.context(_datasets(1)[0]).override(
+            backend="processes")
+        assert ctx2.executor(intra_run=True).backend == "threads"
+        assert ctx2.executor().backend == "processes"

@@ -1,0 +1,58 @@
+"""Parallel replicate-grid execution in the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import GeneratorConfig
+from repro.errors import ReproError
+from repro.evaluation.runner import ExperimentRunner
+
+METHODS = ("No correction", "BC", "BH", "Perm_FWER", "HD_BC")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return GeneratorConfig(
+        n_records=400, n_attributes=10, n_rules=1,
+        min_coverage=80, max_coverage=80,
+        min_confidence=0.8, max_confidence=0.8)
+
+
+@pytest.fixture(scope="module")
+def serial_result(config):
+    runner = ExperimentRunner(methods=METHODS, n_permutations=30)
+    return runner.run(config, min_sup=40, n_replicates=4, seed=0)
+
+
+class TestGridFanOut:
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
+    def test_aggregates_identical_to_serial(self, config, serial_result,
+                                            backend):
+        runner = ExperimentRunner(methods=METHODS, n_permutations=30,
+                                  n_jobs=4, backend=backend)
+        parallel = runner.run(config, min_sup=40, n_replicates=4,
+                              seed=0)
+        for method in METHODS:
+            assert parallel.aggregates[method].row() == \
+                serial_result.aggregates[method].row()
+        assert parallel.mean_tested == serial_result.mean_tested
+
+    def test_replicates_keep_seed_order(self, config, serial_result):
+        runner = ExperimentRunner(methods=METHODS, n_permutations=30,
+                                  n_jobs=4, backend="processes")
+        parallel = runner.run(config, min_sup=40, n_replicates=4,
+                              seed=0)
+        assert [r.seed for r in parallel.replicates] == \
+            [r.seed for r in serial_result.replicates]
+        for ours, theirs in zip(parallel.replicates,
+                                serial_result.replicates):
+            assert ours.n_rules_tested == theirs.n_rules_tested
+            for method in METHODS:
+                assert ours.outcomes[method] == theirs.outcomes[method]
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentRunner(methods=("BH",), backend="mpi")
+        with pytest.raises(ReproError):
+            ExperimentRunner(methods=("BH",), n_jobs=-3)
