@@ -31,6 +31,17 @@ the holdout split across methods:
 >>> result["BH"].n_significant >= result["bonferroni"].n_significant
 True
 
+The mining side is pluggable too: the pipeline's Mine stage resolves
+``algorithm=`` through the miner registry, so the closed-vs-all
+hypothesis-count ablation (Section 7) is one keyword away:
+
+>>> pipe = Pipeline(min_sup=60, corrections=("bonferroni",),
+...                 algorithm="fpgrowth")
+>>> all_patterns = pipe.run(make_german())
+>>> from repro import available_miners
+>>> "closed" in {m.name for m in available_miners()}
+True
+
 Corrections are pluggable: registering a :class:`Correction` makes it
 usable everywhere — the miner, the pipeline, the experiment runner and
 the CLI (via ``--plugin`` / ``REPRO_PLUGINS``):
@@ -98,6 +109,13 @@ from .corrections.registry import (
     register_correction,
     resolve_correction,
 )
+from .mining.patterns import Pattern, PatternSet
+from .mining.registry import (
+    Miner,
+    available_miners,
+    register_miner,
+    resolve_miner,
+)
 from .errors import (
     CorrectionError,
     DataError,
@@ -115,7 +133,10 @@ __all__ = [
     "CORRECTIONS",
     "Correction",
     "Executor",
+    "Miner",
     "MiningReport",
+    "Pattern",
+    "PatternSet",
     "WorkerError",
     "get_executor",
     "Pipeline",
@@ -123,9 +144,12 @@ __all__ = [
     "PipelineResult",
     "SignificantRuleMiner",
     "available_corrections",
+    "available_miners",
     "mine_significant_rules",
     "register_correction",
+    "register_miner",
     "resolve_correction",
+    "resolve_miner",
     "CorrectionError",
     "DataError",
     "EvaluationError",

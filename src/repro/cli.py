@@ -27,20 +27,25 @@ Commands
     Mine STUCCO contrast sets between the dataset's class groups.
 
 Correction names (``--correction``, ``experiment --methods``) are
-resolved through the correction registry: canonical identifiers
-(``bh``), Table 3 abbreviations (``BH``) and aliases all work, and
-unknown names get a did-you-mean suggestion. Out-of-tree corrections
-registered via :func:`repro.corrections.register_correction` are
-usable without editing this package: load the registering module with
-``--plugin my_module`` (repeatable, resolved before anything else) or
-the ``REPRO_PLUGINS`` environment variable (comma-separated module
-names).
+resolved through the correction registry and mining algorithms
+(``--algorithm``) through the miner registry: canonical identifiers
+(``bh``, ``fpgrowth``), Table 3 abbreviations (``BH``) and aliases
+(``fp-growth``) all work, and unknown names get a did-you-mean
+suggestion. Out-of-tree corrections *and miners* registered via
+:func:`repro.corrections.register_correction` /
+:func:`repro.mining.register_miner` are usable without editing this
+package: load the registering module with ``--plugin my_module``
+(repeatable, resolved before anything else) or the ``REPRO_PLUGINS``
+environment variable (comma-separated module names).
+``--list-algorithms`` prints the registered miners and exits.
 
 Examples
 --------
 ::
 
     python -m repro mine data.csv --min-sup 60 --correction bh
+    python -m repro mine data.csv --min-sup 60 --algorithm fpgrowth
+    python -m repro --list-algorithms
     python -m repro mine builtin:german --min-sup 60 \\
         --correction permutation-fwer --permutations 1000 --seed 0
     python -m repro --plugin my_corrections mine data.csv \\
@@ -70,18 +75,24 @@ from .interest.measures import ALL_MEASURES, ContingencyTable
 from .data.dataset import Dataset
 from .data.loaders import load_arff, load_csv, load_fimi
 from .data.uci import REAL_DATASETS, load_real_dataset
-from .errors import CorrectionError, ReproError
+from .errors import CorrectionError, MiningError, ReproError
+from .mining.registry import (
+    available_miners,
+    miner_names,
+    resolve_miner,
+)
 
 __all__ = ["main", "build_parser", "load_plugins"]
 
 
 def load_plugins(modules: Sequence[str]) -> List[str]:
-    """Import plugin modules so they can register corrections.
+    """Import plugin modules so they can register extensions.
 
     Modules named in ``REPRO_PLUGINS`` (comma-separated) are loaded
     first, then the given ones; each module is expected to call
-    :func:`repro.corrections.register_correction` at import time.
-    Returns the list of modules imported.
+    :func:`repro.corrections.register_correction` and/or
+    :func:`repro.mining.register_miner` at import time. Returns the
+    list of modules imported.
     """
     names = [name.strip()
              for name in os.environ.get("REPRO_PLUGINS", "").split(",")
@@ -116,6 +127,42 @@ class _PluginAction(argparse.Action):
         setattr(namespace, self.dest, items)
 
 
+def _miner_name(value: str) -> str:
+    """argparse type: resolve any registered miner spelling.
+
+    Unknown names abort parsing with the miner registry's message —
+    the valid algorithm list plus a did-you-mean suggestion, covering
+    miners registered by ``--plugin`` modules earlier on the line.
+    """
+    try:
+        return resolve_miner(value).name
+    except MiningError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+class _ListAlgorithmsAction(argparse.Action):
+    """Print the registered miners and exit (like ``--help``)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        _print_miners(sys.stdout)
+        parser.exit(0)
+
+
+def _print_miners(out) -> None:
+    print("mining algorithms (capabilities, aliases):", file=out)
+    for spec in sorted(available_miners(), key=lambda s: s.name):
+        line = (f"  {spec.name:15s} "
+                f"{', '.join(spec.capabilities):25s}")
+        if spec.aliases:
+            line += f" aliases: {', '.join(spec.aliases)}"
+        print(line, file=out)
+        if spec.description:
+            print(f"  {'':15s} {spec.description}", file=out)
+
+
 def _correction_name(value: str) -> str:
     """argparse type: resolve any registered spelling, canonicalised.
 
@@ -145,8 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--plugin", action=_PluginAction, default=[],
                         metavar="MODULE",
                         help="import this module before running so it "
-                             "can register custom corrections "
-                             "(repeatable; see also REPRO_PLUGINS)")
+                             "can register custom corrections or "
+                             "miners (repeatable; see also "
+                             "REPRO_PLUGINS)")
+    parser.add_argument("--list-algorithms",
+                        action=_ListAlgorithmsAction,
+                        help="list the registered mining algorithms "
+                             "and exit; options apply left to right, "
+                             "so put --plugin before this flag to "
+                             "include plugin miners")
     commands = parser.add_subparsers(dest="command", required=True)
 
     mine = commands.add_parser(
@@ -156,6 +210,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "builtin:<name> for a simulated UCI dataset")
     mine.add_argument("--min-sup", type=int, required=True,
                       help="minimum rule coverage")
+    mine.add_argument("--algorithm", default="closed",
+                      type=_miner_name,
+                      help="pattern mining algorithm, any registered "
+                           "spelling (default: closed; see "
+                           f"--list-algorithms): "
+                           f"{', '.join(miner_names())}")
     mine.add_argument("--correction", default="bh",
                       type=_correction_name,
                       help="multiple testing correction, any registered "
@@ -242,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default: 0.65)")
     experiment.add_argument("--min-sup", type=int, default=150,
                             help="minimum support (default: 150)")
+    experiment.add_argument("--algorithm", default="closed",
+                            type=_miner_name,
+                            help="pattern mining algorithm for the "
+                                 "ablation grid (default: closed)")
     experiment.add_argument("--alpha", type=float, default=0.05,
                             help="error level (default: 0.05)")
     experiment.add_argument("--replicates", type=int, default=10,
@@ -343,6 +407,7 @@ def _run_mine(args: argparse.Namespace, out) -> int:
     dataset = _load_input(args.input, args.class_column)
     report = mine_significant_rules(
         dataset, min_sup=args.min_sup, correction=args.correction,
+        algorithm=args.algorithm,
         alpha=args.alpha, min_conf=args.min_conf,
         max_length=args.max_length, n_permutations=args.permutations,
         holdout_split=args.holdout_split, scorer=args.scorer,
@@ -440,6 +505,7 @@ def _run_experiment(args, out) -> int:
         min_confidence=args.confidence, max_confidence=args.confidence)
     runner = ExperimentRunner(methods=methods, alpha=args.alpha,
                               n_permutations=args.permutations,
+                              algorithm=args.algorithm,
                               n_jobs=args.jobs, backend=args.backend)
     result = runner.run(config, min_sup=args.min_sup,
                         n_replicates=args.replicates, seed=args.seed)

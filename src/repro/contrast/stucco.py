@@ -1,11 +1,13 @@
 """STUCCO: Search and Testing for Understandable Consistent Contrasts.
 
-The miner enumerates candidate item conjunctions level-wise (reusing
-the Apriori substrate), counts per-group supports from tidsets, and
-applies Bay & Pazzani's two filters — the deviation ("large") test and
-the depth-layered chi-square ("significant") test. Both the survivors
-and the per-level bookkeeping are returned so benches can show how the
-layered alpha spends the error budget.
+The miner enumerates candidate item conjunctions through the miner
+registry (any ``"all-frequent"``-capable algorithm; Apriori's
+level-wise enumeration by default, matching the original STUCCO),
+counts per-group supports from tidsets, and applies Bay & Pazzani's
+two filters — the deviation ("large") test and the depth-layered
+chi-square ("significant") test. Both the survivors and the per-level
+bookkeeping are returned so benches can show how the layered alpha
+spends the error budget.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import bitset as bs
 from ..data.dataset import Dataset
 from ..errors import CorrectionError, MiningError, StatsError
-from ..mining.apriori import mine_apriori
+from ..mining.registry import resolve_miner
 from ..stats.chi2 import chi2_sf
 
 __all__ = [
@@ -174,6 +176,7 @@ def find_contrast_sets(
     min_sup: int = 1,
     max_length: Optional[int] = 3,
     correction: str = "stucco",
+    algorithm: str = "apriori",
 ) -> ContrastSetResult:
     """Mine the large and significant contrast sets of a dataset.
 
@@ -196,6 +199,12 @@ def find_contrast_sets(
         ``"bonferroni"`` (flat ``alpha / total candidates``) or
         ``"none"`` (raw ``alpha`` per test — the uncontrolled baseline
         the ablation bench measures against).
+    algorithm:
+        The registered miner enumerating candidates; must advertise
+        the ``"all-frequent"`` capability (STUCCO's layered budget
+        charges *every* candidate conjunction, so a closed-only
+        enumeration would under-count the levels). Default
+        ``"apriori"``, the original's level-wise search.
     """
     if not 0.0 <= min_deviation <= 1.0:
         raise MiningError(
@@ -223,8 +232,15 @@ def find_contrast_sets(
         if correction not in ("bonferroni", "none"):
             raise MiningError(f"{supported}; got {correction!r}")
 
-    patterns = mine_apriori(dataset.item_tidsets, dataset.n_records,
-                            min_sup, max_length=max_length)
+    miner = resolve_miner(algorithm)
+    if not miner.has_capability("all-frequent"):
+        raise MiningError(
+            f"contrast mining needs an 'all-frequent' miner (every "
+            f"candidate conjunction is charged a level budget); "
+            f"{miner.name!r} advertises "
+            f"{sorted(miner.capabilities) or 'no capabilities'}")
+    pattern_set = miner.mine(dataset, min_sup, max_length=max_length)
+    patterns = [p for p in pattern_set if p.items]
     group_sizes = [dataset.class_support(g)
                    for g in range(dataset.n_classes)]
 

@@ -92,6 +92,12 @@ class SignificantRuleMiner:
     min_conf:
         Domain-significance filter (Section 2.3 recommends choosing it
         from domain knowledge, independent of the statistics).
+    algorithm:
+        The registered miner enumerating the hypothesis set, in any
+        accepted spelling (default ``"closed"``, the paper's choice);
+        see ``python -m repro --list-algorithms`` and
+        :mod:`repro.mining.registry`. ``miner_options`` passes extra
+        keyword options to it.
     correction:
         Any registered correction, in any accepted spelling — the
         canonical name (``"bh"``), the Table 3 abbreviation (``"BH"``)
@@ -121,6 +127,8 @@ class SignificantRuleMiner:
 
     def __init__(self, min_sup: int, min_conf: float = 0.0,
                  correction: str = "bh", alpha: float = 0.05,
+                 algorithm: str = "closed",
+                 miner_options: Optional[Mapping[str, object]] = None,
                  n_permutations: int = 1000,
                  holdout_split: str = "random",
                  max_length: Optional[int] = None,
@@ -142,6 +150,8 @@ class SignificantRuleMiner:
         # the canonical name would silently drop that binding.
         self.correction = (correction if resolved.overrides
                            else resolved.name)
+        self.algorithm = algorithm
+        self.miner_options = dict(miner_options or {})
         self.alpha = alpha
         self.n_permutations = n_permutations
         self.holdout_split = holdout_split
@@ -157,6 +167,8 @@ class SignificantRuleMiner:
         attribute values (attributes may be mutated between runs)."""
         return Pipeline(
             min_sup=self.min_sup, corrections=(self.correction,),
+            algorithm=self.algorithm,
+            miner_options=dict(self.miner_options),
             alpha=self.alpha, min_conf=self.min_conf,
             max_length=self.max_length, scorer=self.scorer,
             seed=self.seed, n_permutations=self.n_permutations,

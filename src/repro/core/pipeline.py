@@ -4,9 +4,11 @@ The paper's method is a pipeline: enumerate closed frequent patterns,
 optionally collapse near-duplicate sub/super-pattern chains (Section
 7), score one hypothesis per rule, and control false positives with a
 multiple-testing correction. This module makes those stages explicit
-objects so they can be inspected, re-ordered, or swapped, while the
-registry (:mod:`repro.corrections.registry`) supplies the correction
-procedures.
+objects so they can be inspected, re-ordered, or swapped, while two
+registries supply the pluggable ends: the miner registry
+(:mod:`repro.mining.registry`) behind the Mine stage (``algorithm=``,
+default ``"closed"``) and the correction registry
+(:mod:`repro.corrections.registry`) behind the Correct stage.
 
 Example
 -------
@@ -39,7 +41,8 @@ from ..corrections.registry import (
 )
 from ..data.dataset import Dataset
 from ..errors import CorrectionError, MiningError
-from ..mining.closed import mine_closed
+from ..mining.patterns import PatternSet
+from ..mining.registry import resolve_miner
 from ..mining.representative import reduce_patterns
 from ..mining.rules import RuleSet, generate_rules
 from ..parallel import get_executor
@@ -60,22 +63,34 @@ __all__ = [
 class PipelineState:
     """What flows between stages for one dataset.
 
-    Stages fill the fields they own: ``patterns`` (Mine), a possibly
-    reduced ``patterns`` plus ``n_patterns_mined`` (Reduce),
-    ``ruleset`` (Score), ``results`` keyed by the *requested* method
-    name (Correct).
+    Stages fill the fields they own: ``pattern_set`` and ``patterns``
+    (Mine), a possibly reduced ``patterns`` plus ``n_patterns_mined``
+    (Reduce), ``ruleset`` (Score), ``results`` keyed by the
+    *requested* method name (Correct). ``pattern_set`` keeps the
+    miner's provenance-stamped output as mined; ``patterns`` is what
+    later stages consume and is the field Reduce rewrites.
     """
 
     patterns: Optional[list] = None
+    pattern_set: Optional[PatternSet] = None
     n_patterns_mined: Optional[int] = None
     ruleset: Optional[RuleSet] = None
     results: Dict[str, CorrectionResult] = field(default_factory=dict)
 
 
 class MineStage:
-    """Closed frequent pattern enumeration (Section 3)."""
+    """Pattern enumeration (Section 3) through the miner registry.
+
+    The algorithm is resolved at *run* time — from this stage's
+    ``algorithm`` override when given, else the context's — so miners
+    registered after the pipeline was built (e.g. by a CLI
+    ``--plugin``) still resolve.
+    """
 
     name = "mine"
+
+    def __init__(self, algorithm: Optional[str] = None) -> None:
+        self.algorithm = algorithm
 
     def run(self, ctx: PipelineContext, state: PipelineState,
             ) -> PipelineState:
@@ -86,9 +101,11 @@ class MineStage:
             raise MiningError(
                 f"min_sup={ctx.min_sup} exceeds dataset size "
                 f"{ctx.dataset.n_records}")
-        state.patterns = mine_closed(
-            ctx.dataset.item_tidsets, ctx.dataset.n_records,
-            ctx.min_sup, max_length=ctx.max_length)
+        miner = resolve_miner(self.algorithm or ctx.algorithm)
+        state.pattern_set = miner.mine(
+            ctx.dataset, ctx.min_sup, max_length=ctx.max_length,
+            **dict(ctx.miner_options))
+        state.patterns = state.pattern_set.patterns
         state.n_patterns_mined = len(state.patterns)
         return state
 
@@ -234,6 +251,17 @@ class Pipeline:
     corrections:
         Method names in any registered spelling (canonical name,
         Table 3 abbreviation, or alias).
+    algorithm:
+        The registered miner (:mod:`repro.mining.registry`) the Mine
+        stage enumerates hypotheses with, in any accepted spelling.
+        The default ``"closed"`` is the paper's hypothesis set;
+        ``"apriori"``/``"fpgrowth"`` run the same corrections over
+        *all* frequent patterns — the Section 7 hypothesis-count
+        ablation. Stored as given and resolved at Mine-stage time, so
+        miners registered after construction still work.
+    miner_options:
+        Extra keyword options for that miner (e.g. ``delta`` for
+        ``"representative"``).
     alpha:
         Error budget: FWER or FDR level depending on the correction.
     n_jobs:
@@ -253,6 +281,8 @@ class Pipeline:
 
     def __init__(self, min_sup: int,
                  corrections: Sequence[str] = ("bh",),
+                 algorithm: str = "closed",
+                 miner_options: Optional[Dict[str, object]] = None,
                  alpha: float = 0.05,
                  min_conf: float = 0.0,
                  max_length: Optional[int] = None,
@@ -279,6 +309,8 @@ class Pipeline:
                     f"{sorted(unsupported)} (holdout corrections mine "
                     f"their own halves)")
         self.min_sup = min_sup
+        self.algorithm = algorithm
+        self.miner_options = dict(miner_options or {})
         self.alpha = alpha
         self.min_conf = min_conf
         self.max_length = max_length
@@ -305,6 +337,8 @@ class Pipeline:
         ctx = PipelineContext(
             dataset=dataset, min_sup=self.min_sup, alpha=self.alpha,
             min_conf=self.min_conf, max_length=self.max_length,
+            algorithm=self.algorithm,
+            miner_options=dict(self.miner_options),
             scorer=self.scorer, seed=self.seed,
             n_permutations=self.n_permutations,
             holdout_split=self.holdout_split,
@@ -345,6 +379,8 @@ class Pipeline:
         stages only) — what a process worker rebuilds from."""
         config: Dict[str, object] = dict(
             min_sup=self.min_sup, corrections=self.methods,
+            algorithm=self.algorithm,
+            miner_options=dict(self.miner_options),
             alpha=self.alpha, min_conf=self.min_conf,
             max_length=self.max_length, scorer=self.scorer,
             seed=self.seed, n_permutations=self.n_permutations,

@@ -26,7 +26,8 @@ from typing import Dict, List, Optional, Tuple
 from .. import bitset as bs
 from ..data.dataset import Dataset
 from ..errors import CorrectionError
-from ..mining.rules import ClassRule, RuleSet, mine_class_rules
+from ..mining.registry import resolve_miner
+from ..mining.rules import ClassRule, RuleSet, generate_rules
 from ..stats.buffer_cache import BufferCache
 from .base import (
     FDR,
@@ -54,7 +55,10 @@ class HoldoutRun:
                  rng: Optional[random.Random] = None,
                  min_conf: float = 0.0,
                  max_length: Optional[int] = None,
-                 scorer: str = "fisher") -> None:
+                 scorer: str = "fisher",
+                 algorithm: str = "closed",
+                 miner_options: Optional[Dict[str, object]] = None,
+                 ) -> None:
         validate_alpha(alpha)
         if split not in ("structured", "random"):
             raise CorrectionError(f"unknown split {split!r}")
@@ -72,11 +76,22 @@ class HoldoutRun:
         self.exploratory, self.evaluation = dataset.split_half(
             rng=split_rng if split == "random" else None,
             boundary=boundary)
-        # The paper halves min_sup on the exploratory dataset.
+        # The paper halves min_sup on the exploratory dataset. The
+        # hypothesis set comes from the registered miner, so a
+        # non-default ``algorithm`` carries into the split too.
         exploratory_min_sup = max(1, min_sup // 2)
-        self.exploratory_rules: RuleSet = mine_class_rules(
-            self.exploratory, exploratory_min_sup, min_conf=min_conf,
-            max_length=max_length, scorer=scorer)
+        if exploratory_min_sup > self.exploratory.n_records:
+            raise CorrectionError(
+                f"min_sup={min_sup} leaves an exploratory min_sup of "
+                f"{exploratory_min_sup}, exceeding the exploratory "
+                f"half's {self.exploratory.n_records} records")
+        self.algorithm = algorithm
+        patterns = resolve_miner(algorithm).mine(
+            self.exploratory, exploratory_min_sup,
+            max_length=max_length, **dict(miner_options or {}))
+        self.exploratory_rules: RuleSet = generate_rules(
+            self.exploratory, patterns, exploratory_min_sup,
+            min_conf=min_conf, scorer=scorer)
         self.candidates: List[ClassRule] = [
             rule for rule in self.exploratory_rules.rules
             if rule.p_value <= alpha

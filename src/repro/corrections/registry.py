@@ -75,6 +75,12 @@ class PipelineContext:
     ``permutation_seed`` / ``holdout_seed`` default to ``seed`` when
     unset; the experiment runner sets them to derived per-replicate
     seeds.
+
+    ``algorithm`` names the registered miner
+    (:mod:`repro.mining.registry`) the run enumerates hypotheses
+    with; corrections that re-mine — the holdout split — honor it, so
+    a non-default miner composes with the whole correction catalogue.
+    ``miner_options`` are extra keyword options for that miner.
     """
 
     dataset: object = None
@@ -82,6 +88,8 @@ class PipelineContext:
     alpha: float = 0.05
     min_conf: float = 0.0
     max_length: Optional[int] = None
+    algorithm: str = "closed"
+    miner_options: Dict[str, object] = field(default_factory=dict)
     scorer: str = "fisher"
     seed: Optional[int] = None
     n_permutations: int = 1000
@@ -165,7 +173,9 @@ class PipelineContext:
                 boundary=(self.holdout_boundary
                           if split == "structured" else None),
                 seed=seed, min_conf=self.min_conf,
-                max_length=self.max_length, scorer=self.scorer)
+                max_length=self.max_length, scorer=self.scorer,
+                algorithm=self.algorithm,
+                miner_options=self.miner_options)
             self.shared[key] = run
         return run
 

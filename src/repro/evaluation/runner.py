@@ -42,8 +42,9 @@ from ..data.synthetic import (
     generate,
     generate_paired,
 )
-from ..errors import CorrectionError, EvaluationError
-from ..mining.rules import RuleSet, mine_class_rules
+from ..errors import CorrectionError, EvaluationError, MiningError
+from ..mining.registry import resolve_miner
+from ..mining.rules import RuleSet, generate_rules
 from ..parallel import get_executor
 from .ground_truth import restrict_embedded
 from .metrics import AggregateMetrics, DatasetOutcome, aggregate, \
@@ -145,6 +146,13 @@ class ExperimentRunner:
         halves (the paper's construction).
     max_length:
         Optional pattern-length cap passed to the miner.
+    algorithm:
+        The registered miner (:mod:`repro.mining.registry`)
+        enumerating each replicate's hypothesis set, in any accepted
+        spelling (default ``"closed"``). Holdout methods mine their
+        exploratory halves with the same algorithm, so the ablation
+        grid (e.g. closed vs ``"fpgrowth"`` hypothesis counts) spans
+        the whole method panel.
     n_jobs / backend:
         Fan the replicate grid (dataset × correction cells) out across
         workers (``-1`` = all cores; ``"serial"``, ``"threads"`` or
@@ -161,6 +169,7 @@ class ExperimentRunner:
                  paired: bool = True,
                  max_length: Optional[int] = None,
                  min_conf: float = 0.0,
+                 algorithm: str = "closed",
                  n_jobs: int = 1,
                  backend: str = "serial") -> None:
         resolved: Dict[str, ResolvedCorrection] = {}
@@ -169,6 +178,10 @@ class ExperimentRunner:
                 resolved[method] = resolve_correction(method)
             except CorrectionError as exc:
                 raise EvaluationError(str(exc)) from exc
+        try:
+            resolve_miner(algorithm)  # fail fast on typos
+        except MiningError as exc:
+            raise EvaluationError(str(exc)) from exc
         self.methods = tuple(methods)
         self._resolved = resolved
         self.alpha = alpha
@@ -176,6 +189,7 @@ class ExperimentRunner:
         self.paired = paired
         self.max_length = max_length
         self.min_conf = min_conf
+        self.algorithm = algorithm
         executor = get_executor(backend, n_jobs)  # validates both
         self.n_jobs = executor.n_jobs
         self.backend = executor.backend
@@ -200,7 +214,8 @@ class ExperimentRunner:
             # ship the plain configuration and let each worker
             # re-resolve the methods against its own registry.
             state = (self.methods, self.alpha, self.n_permutations,
-                     self.paired, self.max_length, self.min_conf)
+                     self.paired, self.max_length, self.min_conf,
+                     self.algorithm)
             records = executor.map_shards(
                 _replicate_worker,
                 [(state, config, min_sup, s) for s in seeds])
@@ -224,12 +239,20 @@ class ExperimentRunner:
         data = (generate_paired(config, seed=seed) if self.paired
                 else generate(config, seed=seed))
         dataset = data.dataset
-        ruleset = mine_class_rules(dataset, min_sup,
-                                   min_conf=self.min_conf,
-                                   max_length=self.max_length)
+        if min_sup > dataset.n_records:
+            raise MiningError(
+                f"min_sup={min_sup} exceeds dataset size "
+                f"{dataset.n_records}")
+        # Resolved per replicate, not stored: process workers rebuild
+        # the runner and must resolve against their own registry.
+        patterns = resolve_miner(self.algorithm).mine(
+            dataset, min_sup, max_length=self.max_length)
+        ruleset = generate_rules(dataset, patterns, min_sup,
+                                 min_conf=self.min_conf)
         ctx = PipelineContext(
             dataset=dataset, min_sup=min_sup, alpha=self.alpha,
             min_conf=self.min_conf, max_length=self.max_length,
+            algorithm=self.algorithm,
             n_permutations=self.n_permutations,
             permutation_seed=seed ^ 0x5EED,
             holdout_seed=seed ^ 0xA5A5,
@@ -296,10 +319,11 @@ def _replicate_worker(payload) -> ReplicateRecord:
     parallelism disabled — the grid fan-out is the one and only pool.
     """
     (methods, alpha, n_permutations, paired, max_length,
-     min_conf), config, min_sup, seed = payload
+     min_conf, algorithm), config, min_sup, seed = payload
     runner = ExperimentRunner(
         methods=methods, alpha=alpha, n_permutations=n_permutations,
-        paired=paired, max_length=max_length, min_conf=min_conf)
+        paired=paired, max_length=max_length, min_conf=min_conf,
+        algorithm=algorithm)
     return runner.run_replicate(config, min_sup, seed)
 
 

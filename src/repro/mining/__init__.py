@@ -1,4 +1,11 @@
-"""Mining substrate: vertical views, closed patterns, diffsets, rules."""
+"""Mining substrate: vertical views, miners, the registry, rules.
+
+Miners are pluggable: every algorithm is described by one
+:class:`~repro.mining.registry.Miner` spec returning the common
+:class:`~repro.mining.patterns.PatternSet` model, and consumers
+resolve algorithms by name through :func:`resolve_miner` — see
+``docs/mining.md``.
+"""
 
 from .apriori import FrequentPattern, mine_apriori
 from .fpgrowth import FPNode, FPTree, mine_fpgrowth
@@ -15,6 +22,22 @@ from .closed import (
     mine_closed_from_view,
 )
 from .diffsets import POLICIES, ForestStats, PatternForest
+from .patterns import (
+    Pattern,
+    PatternSet,
+    patternset_from_frequent,
+    patternset_from_tree,
+)
+from .registry import (
+    Miner,
+    available_miners,
+    get_miner,
+    mine_patterns,
+    miner_names,
+    register_miner,
+    resolve_miner,
+    unregister_miner,
+)
 from .representative import (
     RepresentativeSelection,
     mine_representative_rules,
@@ -29,6 +52,18 @@ __all__ = [
     "FPNode",
     "FPTree",
     "mine_fpgrowth",
+    "Miner",
+    "Pattern",
+    "PatternSet",
+    "available_miners",
+    "get_miner",
+    "mine_patterns",
+    "miner_names",
+    "patternset_from_frequent",
+    "patternset_from_tree",
+    "register_miner",
+    "resolve_miner",
+    "unregister_miner",
     "GeneralRule",
     "GeneralRuleSet",
     "mine_general_rules",

@@ -25,53 +25,26 @@ policy (Section 4.2.2) and the permutation engine rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .. import bitset as bs
 from ..errors import MiningError
+from .patterns import Pattern
 from .tidsets import VerticalView, build_vertical_view
 
 __all__ = ["ClosedPattern", "mine_closed", "mine_closed_from_view",
            "iter_pattern_tree"]
 
 
-@dataclass
-class ClosedPattern:
+class ClosedPattern(Pattern):
     """One node of the closed-pattern enumeration tree.
 
-    Attributes
-    ----------
-    node_id:
-        Dense index in DFS emission order; parents precede children.
-    parent_id:
-        ``node_id`` of the tree parent (``-1`` for the root).
-    items:
-        Original catalog item ids of the pattern (frozen set).
-    tidset:
-        Bitset of records containing the pattern.
-    support:
-        ``popcount(tidset)`` — the coverage of rules built on this
-        pattern.
-    depth:
-        Distance from the root in the enumeration tree.
+    A :class:`~repro.mining.patterns.Pattern` whose ``items`` are
+    additionally *closed*: the unique longest pattern among all
+    patterns with the same tidset. Field semantics are inherited
+    unchanged (dense DFS ``node_id``, ``parent_id`` of the tree
+    parent, ``items``, ``tidset``, ``support``, ``depth``).
     """
-
-    node_id: int
-    parent_id: int
-    items: frozenset
-    tidset: int
-    support: int
-    depth: int
-
-    @property
-    def length(self) -> int:
-        """Number of items in the pattern."""
-        return len(self.items)
-
-    def __repr__(self) -> str:
-        return (f"ClosedPattern(id={self.node_id}, "
-                f"items={sorted(self.items)}, support={self.support})")
 
 
 def mine_closed(

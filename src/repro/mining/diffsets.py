@@ -28,7 +28,7 @@ import numpy as np
 
 from .. import bitset as bs
 from ..errors import MiningError
-from .closed import ClosedPattern
+from .patterns import Pattern
 
 __all__ = ["PatternForest", "ForestStats", "POLICIES"]
 
@@ -60,15 +60,19 @@ class PatternForest:
     Parameters
     ----------
     patterns:
-        DFS-ordered pattern list (parents precede children), as produced
-        by :func:`repro.mining.closed.mine_closed`.
+        DFS-ordered pattern forest (parents precede children, child
+        tidsets subsets of their parent's): a raw
+        :func:`repro.mining.closed.mine_closed` list or a
+        :class:`~repro.mining.patterns.PatternSet` from any registered
+        miner — all-frequent sets arrive as prefix trees that satisfy
+        the same contract.
     n_records:
         Number of records in the mined dataset.
     policy:
         One of :data:`POLICIES`.
     """
 
-    def __init__(self, patterns: Sequence[ClosedPattern], n_records: int,
+    def __init__(self, patterns: Sequence[Pattern], n_records: int,
                  policy: str = "bitset") -> None:
         if policy not in POLICIES:
             raise MiningError(
@@ -104,7 +108,7 @@ class PatternForest:
             full_policy_ids=full_ids,
         )
 
-    def _build_id_lists(self, patterns: Sequence[ClosedPattern],
+    def _build_id_lists(self, patterns: Sequence[Pattern],
                         policy: str):
         id_lists: List[np.ndarray] = []
         is_diff = np.zeros(len(patterns), dtype=bool)

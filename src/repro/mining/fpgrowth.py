@@ -155,11 +155,20 @@ def mine_fpgrowth(
     # Descending frequency, item id as tie-break: the canonical FP order.
     rank = {item: position for position, item in enumerate(
         sorted(frequent, key=lambda i: (-supports[i], i)))}
+    # Build transactions item-by-item from each tidset's set bits
+    # (O(sum of supports)) instead of probing every item's bitset for
+    # every record (O(n_records * n_items), ruinous on sparse data).
+    # Visiting items in rank order leaves each transaction already
+    # sorted by descending global frequency, and iter_indices yields
+    # ascending record ids, so the insertion order — and therefore the
+    # tree — is identical to the per-record construction.
+    universe = bs.universe(n_records)
+    transactions: List[List[int]] = [[] for _ in range(n_records)]
+    for item in sorted(frequent, key=lambda i: rank[i]):
+        for record in bs.iter_indices(item_tidsets[item] & universe):
+            transactions[record].append(item)
     tree = FPTree()
-    for record in range(n_records):
-        transaction = [item for item in frequent
-                       if item_tidsets[item] >> record & 1]
-        transaction.sort(key=lambda i: rank[i])
+    for transaction in transactions:
         if transaction:
             tree.insert(transaction)
     found: List[Tuple[int, ...]] = []

@@ -45,7 +45,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..data.dataset import Dataset
 from ..errors import MiningError
-from .closed import ClosedPattern, mine_closed
+from .closed import mine_closed
+from .patterns import Pattern
 from .rules import RuleSet, generate_rules
 
 __all__ = ["RepresentativeSelection", "select_representatives",
@@ -70,7 +71,7 @@ class RepresentativeSelection:
         Number of patterns before reduction.
     """
 
-    representatives: List[ClosedPattern]
+    representatives: List[Pattern]
     cluster_of: Dict[int, int]
     delta: float
     n_input: int
@@ -94,7 +95,7 @@ class RepresentativeSelection:
         return list(self._members.get(representative_id, []))
 
 
-def select_representatives(patterns: Sequence[ClosedPattern],
+def select_representatives(patterns: Sequence[Pattern],
                            delta: float = 0.1,
                            ) -> RepresentativeSelection:
     """Greedily cluster a closed-pattern forest by support proximity.
@@ -122,10 +123,10 @@ def select_representatives(patterns: Sequence[ClosedPattern],
     """
     if not 0.0 <= delta < 1.0:
         raise MiningError(f"delta must be in [0, 1), got {delta}")
-    representatives: List[ClosedPattern] = []
+    representatives: List[Pattern] = []
     cluster_of: Dict[int, int] = {}
     members: Dict[int, List[int]] = {}
-    by_id: Dict[int, ClosedPattern] = {}
+    by_id: Dict[int, Pattern] = {}
     for pattern in patterns:
         by_id[pattern.node_id] = pattern
         if pattern.parent_id < 0:
@@ -148,8 +149,8 @@ def select_representatives(patterns: Sequence[ClosedPattern],
         delta=delta, n_input=len(by_id), _members=members)
 
 
-def _start_cluster(pattern: ClosedPattern,
-                   representatives: List[ClosedPattern],
+def _start_cluster(pattern: Pattern,
+                   representatives: List[Pattern],
                    cluster_of: Dict[int, int],
                    members: Dict[int, List[int]]) -> None:
     representatives.append(pattern)
@@ -185,8 +186,8 @@ def mine_representative_rules(
                           rhs_class=rhs_class, scorer=scorer, **kwargs)
 
 
-def reduce_patterns(patterns: Sequence[ClosedPattern],
-                    delta: float = 0.1) -> List[ClosedPattern]:
+def reduce_patterns(patterns: Sequence[Pattern],
+                    delta: float = 0.1) -> List[Pattern]:
     """Representative patterns with densified ids, ready for scoring.
 
     Rule generation indexes patterns by node_id through the forest,
@@ -196,7 +197,7 @@ def reduce_patterns(patterns: Sequence[ClosedPattern],
     return _reindex(selection)
 
 
-def _reindex(selection: RepresentativeSelection) -> List[ClosedPattern]:
+def _reindex(selection: RepresentativeSelection) -> List[Pattern]:
     """Densify node ids after filtering, keeping parent links valid.
 
     A removed parent is replaced by its cluster representative — which
@@ -204,7 +205,7 @@ def _reindex(selection: RepresentativeSelection) -> List[ClosedPattern]:
     tree-connected — so the reduced forest stays a forest.
     """
     new_id: Dict[int, int] = {}
-    out: List[ClosedPattern] = []
+    out: List[Pattern] = []
     cluster_of = selection.cluster_of
     for pattern in selection.representatives:
         new_id[pattern.node_id] = len(out)
@@ -212,7 +213,9 @@ def _reindex(selection: RepresentativeSelection) -> List[ClosedPattern]:
             mapped_parent = new_id[cluster_of[pattern.parent_id]]
         else:
             mapped_parent = -1
-        out.append(ClosedPattern(
+        # Preserve the node class (ClosedPattern stays closed;
+        # a prefix-tree Pattern stays a plain Pattern).
+        out.append(pattern.__class__(
             node_id=len(out), parent_id=mapped_parent,
             items=pattern.items, tidset=pattern.tidset,
             support=pattern.support, depth=pattern.depth))

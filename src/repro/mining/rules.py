@@ -27,7 +27,8 @@ from ..data.dataset import Dataset
 from ..errors import MiningError
 from ..stats.buffer_cache import BufferCache
 from ..stats.chi2 import chi2_rule_p_value
-from .closed import ClosedPattern, mine_closed
+from .closed import mine_closed
+from .patterns import Pattern
 
 __all__ = ["ClassRule", "RuleSet", "generate_rules", "mine_class_rules"]
 
@@ -79,7 +80,7 @@ class RuleSet:
     """
 
     dataset: Dataset
-    patterns: List[ClosedPattern]
+    patterns: List[Pattern]
     rules: List[ClassRule]
     min_sup: int
     scorer: str = "fisher"
@@ -111,7 +112,7 @@ class RuleSet:
 
 def generate_rules(
     dataset: Dataset,
-    patterns: Sequence[ClosedPattern],
+    patterns: Sequence[Pattern],
     min_sup: int,
     min_conf: float = 0.0,
     rhs_class: Optional[int] = None,
@@ -125,6 +126,12 @@ def generate_rules(
 
     Parameters
     ----------
+    patterns:
+        Any forest-ordered pattern sequence — a raw
+        :func:`~repro.mining.closed.mine_closed` list or a
+        :class:`~repro.mining.patterns.PatternSet` from any registered
+        miner. Patterns with empty ``items`` (forest roots) bear no
+        rule and are skipped.
     min_conf:
         The domain-significance filter; the paper's experiments set it
         to 0 so statistical control is exercised alone.

@@ -12,6 +12,7 @@ incrementally and is shared process-wide through
 from __future__ import annotations
 
 import math
+import threading
 from typing import List
 
 from ..errors import StatsError
@@ -30,10 +31,22 @@ class LogFactorialBuffer:
         if initial_capacity < 0:
             raise StatsError("initial capacity must be non-negative")
         self._table: List[float] = [0.0]
+        self._grow_lock = threading.Lock()
         self.ensure(initial_capacity)
 
     def __len__(self) -> int:
         return len(self._table)
+
+    # Buffers travel to process workers inside pickled rulesets and
+    # caches; the growth lock is process-local state, not data.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_grow_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._grow_lock = threading.Lock()
 
     @property
     def capacity(self) -> int:
@@ -41,10 +54,21 @@ class LogFactorialBuffer:
         return len(self._table) - 1
 
     def ensure(self, n: int) -> None:
-        """Grow the table so that ``log_factorial(n)`` is O(1)."""
+        """Grow the table so that ``log_factorial(n)`` is O(1).
+
+        Growth is serialized: the process-wide default buffer is hit
+        concurrently by the thread fan-outs (``Pipeline.run_many``,
+        the correct-stage fan-out, the experiment grid), and an
+        unlocked read-of-``table[-1]``-then-append loop interleaves
+        into silently wrong entries. Reads stay lock-free — the table
+        is append-only, so any index below ``len`` is immutable.
+        """
         table = self._table
-        for k in range(len(table), n + 1):
-            table.append(table[-1] + math.log(k))
+        if n < len(table):
+            return
+        with self._grow_lock:
+            for k in range(len(table), n + 1):
+                table.append(table[-1] + math.log(k))
 
     def log_factorial(self, k: int) -> float:
         """Return ``ln(k!)``, growing the table if needed."""

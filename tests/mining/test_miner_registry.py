@@ -1,0 +1,313 @@
+"""The miner registry: resolution semantics, the PatternSet contract,
+and registration round-trips mirroring the correction registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import bitset as bs
+from repro.data import make_german
+from repro.errors import MiningError
+from repro.mining import (
+    Miner,
+    Pattern,
+    PatternForest,
+    PatternSet,
+    available_miners,
+    generate_rules,
+    get_miner,
+    mine_apriori,
+    mine_closed,
+    mine_patterns,
+    miner_names,
+    patternset_from_frequent,
+    patternset_from_tree,
+    register_miner,
+    resolve_miner,
+    unregister_miner,
+)
+from repro.mining.closed import ClosedPattern
+
+BUILTINS = ("closed", "apriori", "fpgrowth", "representative",
+            "general-rules")
+
+
+@pytest.fixture(scope="module")
+def german():
+    return make_german(seed=7, n_records=300)
+
+
+class TestResolution:
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_builtin_canonical_names(self, name):
+        assert resolve_miner(name).name == name
+
+    @pytest.mark.parametrize("spelling,expected", [
+        ("lcm", "closed"),
+        ("fp-growth", "fpgrowth"),
+        ("fp", "fpgrowth"),
+        ("all", "apriori"),
+        ("levelwise", "apriori"),
+        ("reduced", "representative"),
+        ("general", "general-rules"),
+        ("market-basket", "general-rules"),
+    ])
+    def test_aliases(self, spelling, expected):
+        assert resolve_miner(spelling).name == expected
+
+    @pytest.mark.parametrize("spelling", ["CLOSED", "FpGrowth", "LCM"])
+    def test_case_insensitive(self, spelling):
+        assert resolve_miner(spelling) is resolve_miner(spelling.lower())
+
+    def test_unknown_name_lists_valid_and_suggests(self):
+        with pytest.raises(MiningError) as excinfo:
+            resolve_miner("fpgorwth")
+        message = str(excinfo.value)
+        assert "valid algorithms" in message
+        assert "did you mean 'fpgrowth'" in message
+
+    def test_non_string_rejected(self):
+        with pytest.raises(MiningError, match="must be a string"):
+            resolve_miner(42)
+
+    def test_get_miner_is_resolve(self):
+        assert get_miner("closed") is resolve_miner("closed")
+
+    def test_miner_names_sorted_canonical(self):
+        names = miner_names()
+        assert names == sorted(names)
+        assert set(BUILTINS) <= set(names)
+
+    def test_capabilities(self):
+        assert resolve_miner("closed").has_capability("closed")
+        assert resolve_miner("apriori").has_capability("all-frequent")
+        assert resolve_miner("general-rules").has_capability(
+            "emits-rules")
+        assert not resolve_miner("closed").has_capability("all-frequent")
+
+
+class TestRegistration:
+    def _spec(self, name="test-miner", aliases=("tm",)):
+        def mine_fn(item_tidsets, n_records, min_sup, max_length,
+                    **opts):
+            return patternset_from_frequent(
+                mine_apriori(item_tidsets, n_records, min_sup,
+                             max_length=max_length),
+                n_records, min_sup)
+        return Miner(name=name, mine_fn=mine_fn, aliases=aliases,
+                     capabilities=("all-frequent",))
+
+    def test_register_resolve_unregister_roundtrip(self):
+        spec = register_miner(self._spec())
+        try:
+            assert resolve_miner("test-miner") is spec
+            assert resolve_miner("TM") is spec
+        finally:
+            unregister_miner("tm")  # any spelling removes it
+        with pytest.raises(MiningError):
+            resolve_miner("test-miner")
+
+    def test_collision_rejected(self):
+        with pytest.raises(MiningError, match="already registered"):
+            register_miner(self._spec(name="closed"))
+        with pytest.raises(MiningError, match="already registered"):
+            register_miner(self._spec(name="mine2", aliases=("lcm",)))
+        assert resolve_miner("closed").name == "closed"
+
+    def test_alias_collision_is_not_a_replacement_target(self):
+        # overwrite=True replaces only a canonical-name match; a hit
+        # through another spec's alias must still be rejected.
+        with pytest.raises(MiningError, match="already registered"):
+            register_miner(self._spec(name="lcm", aliases=()),
+                           overwrite=True)
+        assert resolve_miner("closed").name == "closed"
+
+    def test_overwrite_replaces_wholesale(self):
+        first = register_miner(self._spec(aliases=("tm", "tm-old")))
+        try:
+            second = register_miner(
+                self._spec(aliases=("tm",)), overwrite=True)
+            assert resolve_miner("test-miner") is second
+            with pytest.raises(MiningError):
+                resolve_miner("tm-old")  # old alias gone with its spec
+        finally:
+            unregister_miner("test-miner")
+        assert first is not second
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(MiningError, match="non-empty"):
+            register_miner(Miner(name="", mine_fn=lambda *a: None))
+        with pytest.raises(MiningError, match="callable"):
+            register_miner(Miner(name="nope", mine_fn=None))
+
+
+class TestMinerMine:
+    def test_mine_stamps_provenance(self, german):
+        pattern_set = resolve_miner("closed").mine(german, 40,
+                                                   max_length=3)
+        assert isinstance(pattern_set, PatternSet)
+        assert pattern_set.algorithm == "closed"
+        assert pattern_set.provenance["capabilities"] == ("closed",)
+        assert pattern_set.provenance["max_length"] == 3
+        assert pattern_set.min_sup == 40
+        assert pattern_set.n_records == german.n_records
+
+    def test_mine_patterns_convenience(self, german):
+        direct = resolve_miner("fpgrowth").mine(german, 60)
+        convenience = mine_patterns(german, 60, algorithm="fp-growth")
+        assert [(p.items, p.support) for p in direct] == \
+            [(p.items, p.support) for p in convenience]
+
+    def test_closed_miner_matches_mine_closed(self, german):
+        pattern_set = mine_patterns(german, 40, algorithm="closed")
+        raw = mine_closed(german.item_tidsets, german.n_records, 40)
+        assert pattern_set.patterns == raw
+
+    def test_options_forwarded(self, german):
+        loose = mine_patterns(german, 40, algorithm="representative",
+                              delta=0.0)
+        tight = mine_patterns(german, 40, algorithm="representative",
+                              delta=0.5)
+        assert tight.n_patterns <= loose.n_patterns
+        assert tight.provenance["options"] == {"delta": 0.5}
+        # delta=0 keeps every closed pattern.
+        assert loose.n_patterns == \
+            mine_patterns(german, 40).n_patterns
+
+    def test_general_rules_in_provenance(self, german):
+        pattern_set = mine_patterns(german, 80,
+                                    algorithm="general-rules")
+        rules = pattern_set.provenance["general_rules"]
+        assert rules.n_tests == len(rules.rules) > 0
+
+    def test_view_without_tidsets_rejected(self):
+        with pytest.raises(MiningError, match="dataset view"):
+            resolve_miner("closed").mine(object(), 5)
+
+    def test_contract_violating_plugin_output_rejected(self, german):
+        # validate_output defaults on for out-of-tree miners: a forest
+        # whose parent links break the subset invariant must error at
+        # mine time, not corrupt the Diffsets recursion downstream.
+        def bad_mine(item_tidsets, n_records, min_sup, max_length,
+                     **opts):
+            nodes = [
+                Pattern(node_id=0, parent_id=-1, items=frozenset({0}),
+                        tidset=0b01, support=1, depth=1),
+                Pattern(node_id=1, parent_id=0, items=frozenset({1}),
+                        tidset=0b10, support=1, depth=1),
+            ]
+            return PatternSet(patterns=nodes, n_records=n_records,
+                              min_sup=min_sup)
+
+        spec = register_miner(Miner(name="broken-miner",
+                                    mine_fn=bad_mine))
+        try:
+            assert spec.validate_output
+            with pytest.raises(MiningError, match="subset"):
+                spec.mine(german, 5)
+        finally:
+            unregister_miner("broken-miner")
+        # Built-ins skip the check (their adapters are property-tested).
+        assert not resolve_miner("closed").validate_output
+
+
+class TestPatternSetContract:
+    def test_sequence_protocol(self, german):
+        pattern_set = mine_patterns(german, 60)
+        assert len(pattern_set) == pattern_set.n_patterns
+        assert pattern_set[0].parent_id == -1
+        assert list(iter(pattern_set)) == pattern_set.patterns
+        assert pattern_set.supports() == \
+            [p.support for p in pattern_set]
+
+    def test_closed_patterns_are_patterns(self, german):
+        pattern_set = mine_patterns(german, 60)
+        assert all(isinstance(p, Pattern) for p in pattern_set)
+        assert all(isinstance(p, ClosedPattern) for p in pattern_set)
+
+    @pytest.mark.parametrize("algorithm", BUILTINS)
+    def test_every_builtin_satisfies_the_forest_contract(
+            self, german, algorithm):
+        pattern_set = mine_patterns(german, 60, algorithm=algorithm)
+        assert pattern_set.validate() is pattern_set
+        assert pattern_set.n_hypotheses == \
+            sum(1 for p in pattern_set if p.items)
+
+    def test_validate_rejects_broken_forests(self):
+        node = Pattern(node_id=1, parent_id=-1, items=frozenset({0}),
+                       tidset=1, support=1, depth=1)
+        broken = PatternSet(patterns=[node], n_records=2, min_sup=1)
+        with pytest.raises(MiningError, match="dense"):
+            broken.validate()
+        parent = Pattern(node_id=0, parent_id=-1, items=frozenset({0}),
+                         tidset=0b01, support=1, depth=1)
+        child = Pattern(node_id=1, parent_id=0, items=frozenset({0, 1}),
+                        tidset=0b10, support=1, depth=2)
+        with pytest.raises(MiningError, match="subset"):
+            PatternSet(patterns=[parent, child], n_records=2,
+                       min_sup=1).validate()
+
+    def test_from_frequent_builds_a_prefix_tree(self, german):
+        frequent = mine_apriori(german.item_tidsets, german.n_records,
+                                60)
+        pattern_set = patternset_from_frequent(
+            frequent, german.n_records, 60).validate()
+        assert pattern_set[0].items == frozenset()
+        assert pattern_set[0].support == german.n_records
+        by_items = {p.items: p for p in pattern_set}
+        for pattern in pattern_set:
+            if pattern.length <= 1:
+                continue
+            parent = pattern_set[pattern.parent_id]
+            assert parent.items == \
+                pattern.items - {max(pattern.items)}
+            assert by_items[parent.items] is parent
+
+    def test_from_frequent_tolerates_missing_prefixes(self):
+        # A pruned input (no length-1 patterns) must still form a
+        # valid forest by falling back to the root as parent.
+        frequent = mine_apriori([0b111, 0b110, 0b011], 3, 2)
+        pairs = [p for p in frequent if p.length == 2]
+        pattern_set = patternset_from_frequent(pairs, 3, 2).validate()
+        assert all(p.parent_id == 0 for p in pattern_set[1:])
+
+    def test_generate_rules_accepts_patternsets(self, german):
+        closed_rules = generate_rules(
+            german, mine_patterns(german, 60), 60)
+        frequent_rules = generate_rules(
+            german, mine_patterns(german, 60, algorithm="apriori"), 60)
+        # One hypothesis per rule-bearing pattern; all-frequent sets
+        # carry at least the closed hypothesis count.
+        assert closed_rules.n_tests <= frequent_rules.n_tests
+
+    def test_pattern_forest_consumes_patternsets(self, german):
+        pattern_set = mine_patterns(german, 60, algorithm="fpgrowth")
+        indicator = np.array(
+            [label == 0 for label in german.class_labels], dtype=bool)
+        reference = PatternForest(pattern_set, german.n_records,
+                                  "bitset").class_supports(indicator)
+        for policy in ("full", "diffsets"):
+            forest = PatternForest(pattern_set, german.n_records,
+                                   policy)
+            assert np.array_equal(forest.class_supports(indicator),
+                                  reference)
+
+    def test_from_tree_preserves_provenance(self, german):
+        raw = mine_closed(german.item_tidsets, german.n_records, 60)
+        pattern_set = patternset_from_tree(
+            raw, german.n_records, 60, algorithm="custom",
+            provenance={"note": "hand-built"})
+        assert pattern_set.algorithm == "custom"
+        assert pattern_set.provenance == {"note": "hand-built"}
+        assert pattern_set.patterns == raw
+
+
+class TestRegistryListing:
+    def test_available_in_registration_order(self):
+        names = [m.name for m in available_miners()]
+        assert names[:5] == list(BUILTINS)
+
+    def test_descriptions_present(self):
+        for miner in available_miners():
+            assert miner.description

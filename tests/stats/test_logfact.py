@@ -82,3 +82,42 @@ class TestDefaultBuffer:
     def test_len_tracks_capacity(self):
         buf = LogFactorialBuffer(10)
         assert len(buf) == buf.capacity + 1
+
+
+class TestThreadSafety:
+    def test_concurrent_growth_stays_consistent(self):
+        """Concurrent ensure() calls must serialize: an unlocked
+        read-of-table[-1]-then-append loop interleaves into a table
+        with wrong length and wrong entries."""
+        import math
+        import threading
+
+        buf = LogFactorialBuffer(0)
+        targets = [20_000 + 1_000 * i for i in range(8)]
+        barrier = threading.Barrier(len(targets))
+
+        def grow(n):
+            barrier.wait()
+            buf.ensure(n)
+
+        threads = [threading.Thread(target=grow, args=(n,))
+                   for n in targets]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert buf.capacity == max(targets)
+        assert len(buf) == max(targets) + 1
+        for k in (1, 170, 20_000, max(targets)):
+            assert buf.log_factorial(k) == pytest.approx(
+                math.lgamma(k + 1), rel=1e-12)
+
+    def test_buffer_pickles_without_its_lock(self):
+        import pickle
+
+        buf = LogFactorialBuffer(100)
+        clone = pickle.loads(pickle.dumps(buf))
+        assert clone.capacity == buf.capacity
+        clone.ensure(200)  # the restored lock works
+        assert clone.log_factorial(200) == pytest.approx(
+            default_buffer().log_factorial(200))
