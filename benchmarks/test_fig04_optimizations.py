@@ -36,7 +36,8 @@ ARMS = (
      dict(use_static=False, use_dynamic=True)),
     ("16M static+Diffsets+dynamic", "diffsets", "cache",
      dict(use_static=True, use_dynamic=True)),
-    ("bitset+vectorized (ours)", "bitset", "vectorized", dict()),
+    ("bitset+vectorized", "bitset", "vectorized", dict()),
+    ("packed batch (ours)", "packed", "vectorized", dict()),
 )
 
 
@@ -84,6 +85,10 @@ def _time_per_permutation(dataset, patterns, min_sup, arm,
 
 
 def run_ablation():
+    # Warm the lazy native kernel so its one-time compile never lands
+    # inside a timed region (it would be charged to the packed arm).
+    from repro._native import load_kernel
+    load_kernel()
     scale = current_scale()
     rows = []
     for name, dataset, min_sup in _datasets():
@@ -116,11 +121,15 @@ def test_fig04_optimizations(benchmark):
 
     for row in rows:
         name = row[0]
-        no_opt, dynamic, diff_dyn, static_all, ours = row[2:]
+        no_opt, dynamic, diff_dyn, static_all, bitset, packed = row[2:]
         # The dynamic buffer must beat no-optimization decisively.
         assert dynamic < no_opt / 2, name
         # The static buffer adds little on top of the dynamic buffer
         # (within noise: allow up to 2x either way).
         assert static_all < dynamic * 2, name
-        # Our vectorized path is the fastest arm.
-        assert ours <= min(dynamic, diff_dyn, static_all) * 1.5, name
+        # The vectorized lookups are the fastest family of arms.
+        assert bitset <= min(dynamic, diff_dyn, static_all) * 1.5, name
+        # The packed uint64 kernel never loses to the bigint loop by
+        # more than noise (on big forests it wins by an order of
+        # magnitude; tiny smoke forests are timer-bound).
+        assert packed <= bitset * 1.5, name

@@ -109,6 +109,8 @@ from .corrections.registry import (
     register_correction,
     resolve_correction,
 )
+from .bitmat import BitMatrix
+from .mining.diffsets import DEFAULT_POLICY, POLICIES, PatternForest
 from .mining.patterns import Pattern, PatternSet
 from .mining.registry import (
     Miner,
@@ -130,12 +132,16 @@ from .parallel import Executor, WorkerError, get_executor
 __version__ = "1.0.0"
 
 __all__ = [
+    "BitMatrix",
     "CORRECTIONS",
     "Correction",
+    "DEFAULT_POLICY",
     "Executor",
     "Miner",
     "MiningReport",
+    "POLICIES",
     "Pattern",
+    "PatternForest",
     "PatternSet",
     "WorkerError",
     "get_executor",

@@ -1,0 +1,227 @@
+"""Optional fused C kernel behind :class:`repro.bitmat.BitMatrix`.
+
+NumPy cannot fuse ``bitwise_and`` → ``bitwise_count`` → row-sum into
+one pass, so the pure-numpy batch kernel materialises a
+``words``-sized intermediate per labelling and pays three memory
+sweeps where one would do. This module compiles (once, lazily, with
+the system C compiler) a ~20-line fused loop::
+
+    out[b][j] = sum_w popcount(words[j][w] & rows[b][w])
+
+and loads it through :mod:`ctypes`. The kernel reads the packed
+forest once per labelling and keeps the accumulator in a register —
+on AVX-512 hardware gcc auto-vectorises the popcount — which is
+what clears the ``BENCH_permutation.json`` speedup gate on one core.
+
+Everything here is best-effort: no compiler, a sandboxed filesystem, a
+failed compile, or ``REPRO_NATIVE=0`` all degrade silently to the
+numpy path (:meth:`BitMatrix.class_supports_batch` checks
+:func:`load_kernel` for ``None``). Results are bit-identical either
+way — both paths count exact integers.
+
+The shared object is cached under ``$REPRO_NATIVE_CACHE`` (default: a
+per-user directory beneath the system temp dir), keyed by a hash of
+the source and compiler flags, and published with an atomic rename so
+concurrent workers never load a half-written library.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import stat
+import subprocess
+import sys
+import tempfile
+from typing import Optional
+
+__all__ = ["load_kernel", "native_status"]
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Fused AND -> popcount -> accumulate over one row of packed words.
+   The three-array numpy pipeline is memory bound; this single pass
+   reads each word once and keeps the running count in a register. */
+
+#if defined(__GNUC__) || defined(__clang__)
+#define POPCOUNT64 __builtin_popcountll
+#else
+static int POPCOUNT64(uint64_t x) {
+    int count = 0;
+    while (x) { x &= x - 1; ++count; }
+    return count;
+}
+#endif
+
+void repro_class_supports_batch(
+    const uint64_t *words,   /* (n_rows, n_words), row-major */
+    const uint64_t *rows,    /* (n_batch, n_words), row-major */
+    int64_t *out,            /* (n_batch, n_rows), row-major */
+    int64_t n_rows,
+    int64_t n_words,
+    int64_t n_batch)
+{
+    for (int64_t b = 0; b < n_batch; ++b) {
+        const uint64_t *row = rows + b * n_words;
+        int64_t *dst = out + b * n_rows;
+        for (int64_t j = 0; j < n_rows; ++j) {
+            const uint64_t *node = words + j * n_words;
+            int64_t acc = 0;
+            for (int64_t w = 0; w < n_words; ++w)
+                acc += POPCOUNT64(node[w] & row[w]);
+            dst[j] = acc;
+        }
+    }
+}
+"""
+
+#: Flag sets tried in order; the first successful compile wins. The
+#: -march=native build unlocks vectorised popcount (AVX-512 VPOPCNTQ
+#: where available); the plain build is the portable fallback.
+_FLAG_SETS = (
+    ("-O3", "-march=native", "-funroll-loops"),
+    ("-O3",),
+)
+
+_CACHE_ENV = "REPRO_NATIVE_CACHE"
+_DISABLE_ENV = "REPRO_NATIVE"
+
+# Memoised load result: "unset" -> not tried yet; None -> unavailable.
+_kernel: object = "unset"
+_status = "not loaded"
+
+
+def _cache_dir() -> Optional[str]:
+    """A private, owned cache directory — or ``None`` to not cache.
+
+    Loading a shared object executes its code, so the cache must not
+    be hijackable: the directory is created ``0o700`` and rejected
+    unless it is a directory owned by the current user and writable
+    by nobody else (the default lives under the world-writable system
+    temp dir, where any local user could otherwise pre-create the
+    path and plant a library).
+    """
+    configured = os.environ.get(_CACHE_ENV)
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    directory = configured or os.path.join(tempfile.gettempdir(),
+                                           f"repro-native-{uid}")
+    try:
+        os.makedirs(directory, mode=0o700, exist_ok=True)
+        # lstat + explicit symlink rejection: a pre-planted symlink at
+        # the expected path would otherwise redirect the ownership
+        # check, the chmod, and the compiler artifacts to its target.
+        info = os.lstat(directory)
+    except OSError:
+        return None
+    if stat.S_ISLNK(info.st_mode) or not stat.S_ISDIR(info.st_mode):
+        return None
+    if hasattr(os, "getuid") and info.st_uid != uid:
+        return None
+    if info.st_mode & (stat.S_IWGRP | stat.S_IWOTH):
+        # Our own directory from an earlier version (or a permissive
+        # umask): tighten it rather than losing the cache. Anything
+        # still loose afterwards is rejected.
+        try:
+            os.chmod(directory, 0o700)
+            info = os.stat(directory)
+        except OSError:
+            return None
+        if info.st_mode & (stat.S_IWGRP | stat.S_IWOTH):
+            return None
+    return directory
+
+
+def _compile(flags) -> Optional[str]:
+    """Compile the kernel with ``flags``; return the .so path or None.
+
+    The object is written to a unique temp name and published with
+    ``os.replace`` so a concurrent worker either sees the finished
+    library or none at all — never a partial write. The cache tag
+    hashes the host identity alongside source and flags because
+    ``-march=native`` output is CPU-specific: a library built on one
+    machine must never be picked up on another through a shared
+    cache directory (SIGILL at call time is uncatchable).
+    """
+    tag = hashlib.sha256(
+        (_SOURCE + " ".join(flags) + sys.version
+         + platform.machine() + platform.node()).encode()
+    ).hexdigest()[:16]
+    directory = _cache_dir()
+    if directory is None:
+        return None
+    library = os.path.join(directory, f"bitmat_{tag}.so")
+    if os.path.exists(library):
+        return library
+    # Every attempt compiles from its own unique source and scratch
+    # files (mkstemp): concurrent first-use compiles — thread workers,
+    # process workers — must never write through each other's paths,
+    # or a half-written .so could be published into the cache.
+    source_fd, source_path = tempfile.mkstemp(
+        dir=directory, prefix=f"bitmat_{tag}_", suffix=".c")
+    scratch_fd, scratch = tempfile.mkstemp(
+        dir=directory, prefix=f"bitmat_{tag}_", suffix=".so.tmp")
+    os.close(scratch_fd)
+    try:
+        with os.fdopen(source_fd, "w") as handle:
+            handle.write(_SOURCE)
+        subprocess.run(
+            ["cc", "-shared", "-fPIC", *flags, source_path,
+             "-o", scratch],
+            check=True, capture_output=True, timeout=120)
+        os.replace(scratch, library)
+        return library
+    except Exception:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        return None
+    finally:
+        try:
+            os.unlink(source_path)
+        except OSError:
+            pass
+
+
+def load_kernel():
+    """The ctypes kernel function, or ``None`` when unavailable.
+
+    Lazy and memoised; safe to call from any thread or worker
+    process (each process compiles at most once, against the shared
+    on-disk cache).
+    """
+    global _kernel, _status
+    if _kernel != "unset":
+        return _kernel
+    if os.environ.get(_DISABLE_ENV, "").strip() == "0":
+        _kernel, _status = None, "disabled via REPRO_NATIVE=0"
+        return None
+    for flags in _FLAG_SETS:
+        library = _compile(flags)
+        if library is None:
+            continue
+        try:
+            handle = ctypes.CDLL(library)
+            fn = handle.repro_class_supports_batch
+        except (OSError, AttributeError):
+            continue
+        fn.restype = None
+        fn.argtypes = [
+            ctypes.POINTER(ctypes.c_uint64),
+            ctypes.POINTER(ctypes.c_uint64),
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        ]
+        _kernel = fn
+        _status = f"loaded ({' '.join(flags)})"
+        return fn
+    _kernel, _status = None, "compile failed (numpy fallback)"
+    return None
+
+
+def native_status() -> str:
+    """Human-readable state of the native kernel (for diagnostics)."""
+    return _status

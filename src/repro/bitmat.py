@@ -1,0 +1,264 @@
+"""Packed uint64 bitmap kernel: the permutation pass's counting engine.
+
+The mining substrate stores tidsets as arbitrary-precision Python ints
+(:mod:`repro.bitset`), which makes *one* intersection a single C call —
+but the permutation approach (Section 4.2) needs ``N × n_nodes`` of
+them, and a Python loop over bigint ``popcount(t & class_bits)`` pays
+interpreter and allocation overhead on every node of every
+permutation. :class:`BitMatrix` removes that overhead wholesale: the
+``n_nodes`` tidsets become one ``(n_nodes, ceil(n_records / 64))``
+``uint64`` array, a class labelling becomes one packed ``uint64`` row,
+and a full class-support pass is three C-level array operations —
+``bitwise_and`` broadcast, ``bitwise_count`` (the POPCNT instruction on
+x86), and a row sum.
+
+Two kernels are exposed:
+
+* :meth:`BitMatrix.class_supports` — supports of every node under one
+  boolean record indicator (one permutation);
+* :meth:`BitMatrix.class_supports_batch` — a ``(B, n_nodes)`` support
+  matrix for ``B`` indicators in one shot, the kernel behind the
+  batched permutation pass. The broadcast intermediate is
+  ``B × n_nodes × n_words`` bytes of popcounts, so the batch is
+  processed in row blocks bounded by ``block_bytes`` (see
+  ``docs/performance.md``).
+
+Both kernels count *exact integers* — results are bit-identical to the
+bigint ``popcount`` path for any input.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import List, Sequence
+
+import numpy as np
+
+from . import _native
+
+__all__ = [
+    "BitMatrix",
+    "pack_indicator",
+    "pack_indicators",
+    "words_per_row",
+]
+
+#: Default memory budget for one batch block's broadcast intermediates.
+DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024
+
+
+def words_per_row(n_records: int) -> int:
+    """Number of uint64 words needed to hold ``n_records`` bits."""
+    if n_records < 0:
+        raise ValueError("n_records must be non-negative")
+    return (n_records + 63) // 64
+
+
+def pack_indicator(indicator: np.ndarray) -> np.ndarray:
+    """Pack one boolean record indicator into a ``(n_words,)`` uint64 row.
+
+    Bit ``i`` of the packed row is set iff ``indicator[i]`` — the same
+    little-endian layout :func:`repro.bitset.from_numpy_bool` uses for
+    bigints, so packed words and bigint bitsets describe identical sets.
+    """
+    flags = np.ascontiguousarray(indicator, dtype=bool)
+    if flags.ndim != 1:
+        raise ValueError("indicator must be one-dimensional")
+    return pack_indicators(flags[None, :])[0]
+
+
+def pack_indicators(indicators: np.ndarray) -> np.ndarray:
+    """Pack a ``(B, n_records)`` bool matrix into ``(B, n_words)`` uint64.
+
+    Each row is packed independently (little-endian bit order within a
+    word, words in ascending record order); rows are padded with zero
+    bits up to the word boundary.
+    """
+    flags = np.ascontiguousarray(indicators, dtype=bool)
+    if flags.ndim != 2:
+        raise ValueError("indicators must be two-dimensional")
+    n_rows, n_records = flags.shape
+    n_words = words_per_row(n_records)
+    packed_bytes = np.packbits(flags, axis=1, bitorder="little")
+    padded = np.zeros((n_rows, n_words * 8), dtype=np.uint8)
+    padded[:, :packed_bytes.shape[1]] = packed_bytes
+    return (padded.view(np.dtype("<u8"))
+            .astype(np.uint64, copy=False))
+
+
+class BitMatrix:
+    """A dense stack of tidsets as a ``(n_rows, n_words)`` uint64 array.
+
+    Rows usually correspond to pattern-forest nodes; columns are 64-bit
+    windows of record ids (record ``i`` lives in bit ``i % 64`` of word
+    ``i // 64``, little-endian — the same layout as the bigint bitsets
+    in :mod:`repro.bitset`, so conversion is byte-exact both ways).
+    """
+
+    __slots__ = ("_words", "n_rows", "n_records", "n_words")
+
+    def __init__(self, words: np.ndarray, n_records: int) -> None:
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 2:
+            raise ValueError("words must be a 2-D uint64 array")
+        if words.shape[1] != words_per_row(n_records):
+            raise ValueError(
+                f"{words.shape[1]} words per row cannot hold exactly "
+                f"{n_records} records (need {words_per_row(n_records)})")
+        self._words = words
+        self.n_rows = words.shape[0]
+        self.n_records = n_records
+        self.n_words = words.shape[1]
+
+    # ------------------------------------------------------------------
+    # converters
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tidsets(cls, tidsets: Sequence[int],
+                     n_records: int) -> "BitMatrix":
+        """Pack bigint tidsets (one per row) into a :class:`BitMatrix`.
+
+        Every tidset must only reference records in ``[0, n_records)``.
+        """
+        n_words = words_per_row(n_records)
+        stride = n_words * 8
+        buffer = bytearray(len(tidsets) * stride)
+        for row, tidset in enumerate(tidsets):
+            tidset = int(tidset)
+            if tidset < 0:
+                raise ValueError(f"tidset of row {row} is negative")
+            if tidset >> n_records:
+                # The same range rule as bitset.to_uint64_words: any
+                # bit at or above n_records is out of range, including
+                # the tail of a partially-filled last word.
+                raise ValueError(
+                    f"tidset of row {row} references records >= "
+                    f"{n_records}")
+            buffer[row * stride:(row + 1) * stride] = \
+                tidset.to_bytes(stride, "little")
+        words = (np.frombuffer(buffer, dtype=np.dtype("<u8"))
+                 .reshape(len(tidsets), n_words)
+                 .astype(np.uint64, copy=False))
+        return cls(words, n_records)
+
+    @classmethod
+    def from_bool_matrix(cls, indicators: np.ndarray) -> "BitMatrix":
+        """Pack a ``(B, n_records)`` bool matrix into a matrix of rows."""
+        flags = np.ascontiguousarray(indicators, dtype=bool)
+        if flags.ndim != 2:
+            raise ValueError("indicators must be two-dimensional")
+        return cls(pack_indicators(flags), flags.shape[1])
+
+    def tidset(self, row: int) -> int:
+        """The bigint bitset of one row (inverse of :meth:`from_tidsets`)."""
+        from . import bitset as bs
+
+        return bs.from_uint64_words(self._words[row])
+
+    def to_tidsets(self) -> List[int]:
+        """All rows back as bigint bitsets."""
+        return [self.tidset(row) for row in range(self.n_rows)]
+
+    @property
+    def words(self) -> np.ndarray:
+        """The packed ``(n_rows, n_words)`` uint64 array (read it, don't
+        write it — rows are shared with the forest that built them)."""
+        return self._words
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the packed array."""
+        return self._words.nbytes
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+
+    def row_popcounts(self) -> np.ndarray:
+        """Cardinality of every row (int64) — ``supp(X)`` per node."""
+        return np.bitwise_count(self._words).sum(axis=1, dtype=np.int64)
+
+    def class_supports(self, indicator: np.ndarray) -> np.ndarray:
+        """``|row ∩ indicator|`` for every row, as an int64 array.
+
+        ``indicator`` is a boolean array of length ``n_records``; the
+        result is exactly ``popcount(tidset & class_bits)`` per row.
+        """
+        flags = np.asarray(indicator, dtype=bool)
+        if flags.shape != (self.n_records,):
+            raise ValueError(
+                f"indicator must have shape ({self.n_records},), got "
+                f"{flags.shape}")
+        packed = pack_indicator(flags)
+        kernel = _native.load_kernel()
+        if kernel is not None and self.n_rows:
+            return self._run_native(packed[None, :], kernel)[0]
+        return (np.bitwise_count(self._words & packed[None, :])
+                .sum(axis=1, dtype=np.int64))
+
+    def class_supports_batch(self, indicators: np.ndarray,
+                             block_bytes: int = DEFAULT_BLOCK_BYTES,
+                             ) -> np.ndarray:
+        """``(B, n_rows)`` support matrix for ``B`` indicators at once.
+
+        Row ``b`` equals ``class_supports(indicators[b])``. The heavy
+        lifting goes through the fused C kernel when the host can
+        compile it (:mod:`repro._native`; one pass over the packed
+        forest per labelling, no intermediates); otherwise the numpy
+        path processes the batch in blocks whose
+        ``block × n_rows × n_words`` broadcast intermediates stay
+        within ``block_bytes``. Both paths count exact integers and
+        return bit-identical matrices.
+        """
+        flags = np.asarray(indicators, dtype=bool)
+        if flags.ndim != 2 or flags.shape[1] != self.n_records:
+            raise ValueError(
+                f"indicators must have shape (B, {self.n_records}), "
+                f"got {flags.shape}")
+        n_batch = flags.shape[0]
+        packed = pack_indicators(flags)
+        kernel = _native.load_kernel()
+        if kernel is not None and self.n_rows and n_batch:
+            return self._run_native(packed, kernel)
+        out = np.empty((n_batch, self.n_rows), dtype=np.int64)
+        block = self.batch_block_rows(block_bytes)
+        for start in range(0, n_batch, block):
+            chunk = packed[start:start + block]
+            meet = self._words[None, :, :] & chunk[:, None, :]
+            out[start:start + chunk.shape[0]] = \
+                np.bitwise_count(meet).sum(axis=2, dtype=np.int64)
+        return out
+
+    def _run_native(self, packed: np.ndarray, kernel) -> np.ndarray:
+        """Dispatch ``(B, n_words)`` packed labellings to the C kernel."""
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        n_batch = packed.shape[0]
+        out = np.empty((n_batch, self.n_rows), dtype=np.int64)
+        kernel(self._words.ctypes.data_as(
+                   ctypes.POINTER(ctypes.c_uint64)),
+               packed.ctypes.data_as(
+                   ctypes.POINTER(ctypes.c_uint64)),
+               out.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+               self.n_rows, self.n_words, n_batch)
+        return out
+
+    @property
+    def batch_row_bytes(self) -> int:
+        """Intermediate bytes one batch labelling costs the numpy
+        kernel: ``n_rows × n_words`` uint64 for the AND plus the same
+        shape again in uint8 popcounts (9 bytes per word-cell). The
+        single source of truth for every block-sizing computation
+        (the fused C path allocates none of this, so sizing against
+        it is conservative there)."""
+        return max(1, self.n_rows * self.n_words * 9)
+
+    def batch_block_rows(self, block_bytes: int = DEFAULT_BLOCK_BYTES,
+                         ) -> int:
+        """Batch rows whose broadcast intermediates fit ``block_bytes``
+        (at least one row is always processed)."""
+        return max(1, int(block_bytes) // self.batch_row_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BitMatrix(n_rows={self.n_rows}, "
+                f"n_records={self.n_records}, n_words={self.n_words})")

@@ -23,6 +23,8 @@ __all__ = [
     "universe",
     "complement",
     "is_subset",
+    "to_uint64_words",
+    "from_uint64_words",
 ]
 
 
@@ -122,3 +124,39 @@ def from_numpy_bool(flags) -> int:
 
     packed = np.packbits(np.asarray(flags, dtype=bool), bitorder="little")
     return int.from_bytes(packed.tobytes(), "little")
+
+
+def to_uint64_words(bits: int, n: int):
+    """Pack a bigint bitset into a ``ceil(n / 64)`` uint64 word array.
+
+    Little-endian within and across words: record ``i`` is bit
+    ``i % 64`` of word ``i // 64`` — the layout
+    :class:`repro.bitmat.BitMatrix` counts with, so word-packed and
+    bigint representations describe identical sets byte for byte.
+    """
+    import numpy as np
+
+    n_words = (n + 63) // 64
+    if bits < 0:
+        raise ValueError("bitsets are non-negative")
+    if bits >> n:
+        # Catches records in [n, n_words * 64) too, which the
+        # to_bytes overflow below would let through when n is not a
+        # multiple of 64.
+        raise ValueError(f"bitset references records >= {n}")
+    raw = int(bits).to_bytes(n_words * 8, "little")
+    words = np.frombuffer(raw, dtype=np.dtype("<u8"))
+    return words.astype(np.uint64, copy=False)
+
+
+def from_uint64_words(words) -> int:
+    """Rebuild the bigint bitset from a uint64 word array.
+
+    Inverse of :func:`to_uint64_words` (trailing zero words are
+    harmless — the bigint simply has no bits there).
+    """
+    import numpy as np
+
+    raw = (np.ascontiguousarray(words)
+           .astype(np.dtype("<u8"), copy=False).tobytes())
+    return int.from_bytes(raw, "little")

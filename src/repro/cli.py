@@ -76,6 +76,7 @@ from .data.dataset import Dataset
 from .data.loaders import load_arff, load_csv, load_fimi
 from .data.uci import REAL_DATASETS, load_real_dataset
 from .errors import CorrectionError, MiningError, ReproError
+from .mining.diffsets import DEFAULT_POLICY, POLICIES
 from .mining.registry import (
     available_miners,
     miner_names,
@@ -230,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--permutations", type=int, default=1000,
                       help="permutation count for permutation-* "
                            "corrections (default: 1000)")
+    mine.add_argument("--policy", default=DEFAULT_POLICY,
+                      choices=tuple(sorted(POLICIES)),
+                      help="pattern-forest storage/kernel policy for "
+                           "permutation-* corrections (default: "
+                           "packed, the uint64 bitmap kernel; all "
+                           "policies give bit-identical results — "
+                           "see docs/performance.md)")
     mine.add_argument("--holdout-split", default="random",
                       choices=("random", "structured"),
                       help="split convention for holdout-* corrections")
@@ -410,6 +418,7 @@ def _run_mine(args: argparse.Namespace, out) -> int:
         algorithm=args.algorithm,
         alpha=args.alpha, min_conf=args.min_conf,
         max_length=args.max_length, n_permutations=args.permutations,
+        policy=args.policy,
         holdout_split=args.holdout_split, scorer=args.scorer,
         seed=args.seed, redundancy_delta=args.redundancy_delta,
         n_jobs=args.jobs, backend=args.backend)

@@ -15,7 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .. import bitset as bs
+from ..bitmat import BitMatrix
 from ..data.dataset import Dataset
 from ..errors import CorrectionError, MiningError, StatsError
 from ..mining.registry import resolve_miner
@@ -243,6 +246,17 @@ def find_contrast_sets(
     patterns = [p for p in pattern_set if p.items]
     group_sizes = [dataset.class_support(g)
                    for g in range(dataset.n_classes)]
+    # Per-group supports of every candidate at once: pack the tidsets
+    # into one uint64 BitMatrix and run the hardware-popcount kernel
+    # once per group, instead of walking bigint tidsets per pattern.
+    matrix = BitMatrix.from_tidsets([p.tidset for p in patterns],
+                                    dataset.n_records)
+    labels = np.asarray(dataset.class_labels, dtype=np.int64)
+    group_supports = np.stack(
+        [matrix.class_supports(labels == g)
+         for g in range(dataset.n_classes)],
+        axis=1) if patterns else np.zeros(
+            (0, dataset.n_classes), dtype=np.int64)
 
     candidates_per_level: Dict[int, int] = {}
     for pattern in patterns:
@@ -263,8 +277,10 @@ def find_contrast_sets(
     survivors: List[ContrastSet] = []
     rejected_large = 0
     rejected_significant = 0
-    for pattern in patterns:
-        containing, missing = group_contingency(pattern.tidset, dataset)
+    for row, pattern in enumerate(patterns):
+        containing = [int(v) for v in group_supports[row]]
+        missing = [group_sizes[g] - containing[g]
+                   for g in range(dataset.n_classes)]
         proportions = tuple(
             containing[g] / group_sizes[g] if group_sizes[g] else 0.0
             for g in range(dataset.n_classes))

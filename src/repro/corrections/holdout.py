@@ -23,7 +23,9 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
-from .. import bitset as bs
+import numpy as np
+
+from ..bitmat import BitMatrix
 from ..data.dataset import Dataset
 from ..errors import CorrectionError
 from ..mining.registry import resolve_miner
@@ -96,37 +98,63 @@ class HoldoutRun:
             rule for rule in self.exploratory_rules.rules
             if rule.p_value <= alpha
         ]
-        self.evaluated: List[Tuple[ClassRule, ClassRule]] = [
-            (rule, self._score_on_evaluation(rule))
-            for rule in self.candidates
-        ]
+        self.evaluated: List[Tuple[ClassRule, ClassRule]] = \
+            self._score_candidates()
 
-    def _score_on_evaluation(self, rule: ClassRule) -> ClassRule:
-        """Re-score one candidate on the evaluation half.
+    def _score_candidates(self) -> List[Tuple[ClassRule, ClassRule]]:
+        """Re-score every candidate on the evaluation half at once.
 
-        The pattern need not be frequent (or closed) there; its tidset
-        is re-derived from the evaluation half's item tidsets.
+        A candidate's pattern need not be frequent (or closed) there;
+        its tidset is re-derived from the evaluation half's item
+        tidsets. All candidate tidsets are packed into one
+        :class:`~repro.bitmat.BitMatrix`, so coverages are one
+        hardware-popcount pass and per-class supports one packed
+        kernel call per class actually appearing on a candidate RHS —
+        no per-candidate bigint walks.
         """
+        candidates = self.candidates
+        if not candidates:
+            return []
         evaluation = self.evaluation
-        tids = evaluation.pattern_tidset(rule.items)
-        coverage = bs.popcount(tids)
-        support = bs.popcount(tids
-                              & evaluation.class_tidset(rule.class_index))
-        confidence = support / coverage if coverage else 0.0
-        cache = self._cache_for(rule.class_index)
-        if coverage == 0:
-            p_value = 1.0  # unobservable on this half: never significant
+        matrix = BitMatrix.from_tidsets(
+            [evaluation.pattern_tidset(rule.items)
+             for rule in candidates],
+            evaluation.n_records)
+        coverages = matrix.row_popcounts()
+        labels = np.asarray(evaluation.class_labels, dtype=np.int64)
+        classes = np.array([rule.class_index for rule in candidates],
+                           dtype=np.int64)
+        if evaluation.n_classes == 2:
+            # One kernel pass: class-1 supports derive from coverage.
+            supp0 = matrix.class_supports(labels == 0)
+            supports = np.where(classes == 0, supp0,
+                                coverages - supp0)
         else:
-            p_value = cache.p_value(support, coverage)
-        return ClassRule(
-            pattern_id=rule.pattern_id,
-            items=rule.items,
-            class_index=rule.class_index,
-            coverage=coverage,
-            support=support,
-            confidence=confidence,
-            p_value=p_value,
-        )
+            supports = np.empty(len(candidates), dtype=np.int64)
+            for c in sorted(set(int(c) for c in classes)):
+                mask = classes == c
+                supports[mask] = matrix.class_supports(labels == c)[mask]
+        evaluated: List[Tuple[ClassRule, ClassRule]] = []
+        for i, rule in enumerate(candidates):
+            coverage = int(coverages[i])
+            support = int(supports[i])
+            confidence = support / coverage if coverage else 0.0
+            if coverage == 0:
+                # Unobservable on this half: never significant.
+                p_value = 1.0
+            else:
+                cache = self._cache_for(rule.class_index)
+                p_value = cache.p_value(support, coverage)
+            evaluated.append((rule, ClassRule(
+                pattern_id=rule.pattern_id,
+                items=rule.items,
+                class_index=rule.class_index,
+                coverage=coverage,
+                support=support,
+                confidence=confidence,
+                p_value=p_value,
+            )))
+        return evaluated
 
     def _cache_for(self, class_index: int) -> BufferCache:
         if not hasattr(self, "_caches"):

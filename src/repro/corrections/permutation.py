@@ -12,8 +12,20 @@ Engineering, following the paper:
   the original mining run; a permutation only changes class labels, so
   each permutation costs one class-support pass over the pattern
   forest plus p-value lookups.
-* **Diffsets** (4.2.2): the forest's storage policy; see
-  :class:`~repro.mining.diffsets.PatternForest`.
+* **Diffsets** (4.2.2): one of the forest's storage policies; see
+  :class:`~repro.mining.diffsets.PatternForest`. The default policy is
+  ``"packed"`` — the :class:`~repro.bitmat.BitMatrix` uint64 kernel —
+  which goes beyond the paper's storage optimisation and vectorizes
+  the *counting* itself: a shard's labellings are drawn up front into
+  a ``(B, n_records)`` label matrix, class supports for all B
+  labellings resolve through one batched hardware-popcount kernel per
+  class, and all ``B × n_rules`` p-values come back from the
+  vectorized lookup with a single 2-D fancy index. Min-p, pooled rank
+  counts and step-down suffix minima are then axis-wise numpy
+  reductions. Batches are processed in memory-bounded blocks, and
+  every quantity is an exact integer count or an identical table
+  lookup, so results are bit-identical to per-permutation scoring
+  under any policy, backend, and worker count.
 * **P-value buffering** (4.2.3): every rule's p-value on every
   permutation is a table lookup in the
   :class:`~repro.stats.pvalue_buffer.PValueBuffer` of its coverage.
@@ -63,8 +75,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..bitmat import DEFAULT_BLOCK_BYTES
 from ..errors import CorrectionError
-from ..mining.diffsets import POLICIES, PatternForest
+from ..mining.diffsets import DEFAULT_POLICY, POLICIES, PatternForest
 from ..mining.rules import RuleSet
 from ..parallel import (
     get_executor,
@@ -114,19 +127,31 @@ class PermutationEngine:
         caches and fall back to serial there (use ``processes``).
     policy:
         Record-id storage policy for the pattern forest; one of
-        ``"bitset"`` (default), ``"diffsets"``, ``"full"``.
+        ``"packed"`` (default — the uint64 bitmap kernel),
+        ``"bitset"``, ``"diffsets"``, ``"full"``. All policies return
+        bit-identical results; see ``docs/performance.md``.
     pvalue_mode:
         ``"vectorized"``, ``"cache"`` or ``"direct"`` — see module
         docstring.
+    batch_bytes:
+        Memory budget for one scoring block's intermediates under the
+        default ``"vectorized"`` mode: the shard's labellings are
+        scored in blocks of ``B`` permutations sized so the
+        ``B × n_rules`` p-value matrices and the packed kernel's
+        broadcast stay within this budget. The budget is *per
+        worker* — concurrent shards under ``threads`` each size
+        their own blocks, so peak memory scales with ``n_jobs``.
+        Block sizing never changes results, only peak memory.
     """
 
     def __init__(self, ruleset: RuleSet, n_permutations: int = 1000,
                  seed: Optional[int] = None,
                  rng: Optional[random.Random] = None,
-                 policy: str = "bitset",
+                 policy: str = DEFAULT_POLICY,
                  pvalue_mode: str = "vectorized",
                  n_jobs: int = 1,
-                 backend: str = "serial") -> None:
+                 backend: str = "serial",
+                 batch_bytes: int = DEFAULT_BLOCK_BYTES) -> None:
         if n_permutations < 1:
             raise CorrectionError("n_permutations must be >= 1")
         if policy not in POLICIES:
@@ -135,10 +160,13 @@ class PermutationEngine:
             raise CorrectionError(f"unknown pvalue_mode {pvalue_mode!r}")
         if seed is not None and rng is not None:
             raise CorrectionError("give seed or rng, not both")
+        if batch_bytes < 1:
+            raise CorrectionError("batch_bytes must be >= 1")
         self.ruleset = ruleset
         self.n_permutations = n_permutations
         self.policy = policy
         self.pvalue_mode = pvalue_mode
+        self.batch_bytes = batch_bytes
         self._executor = get_executor(backend, n_jobs)
         self._seed_seq = (sequence_from_legacy_rng(rng)
                           if rng is not None else root_sequence(seed))
@@ -226,8 +254,74 @@ class PermutationEngine:
         Each permutation draws a fresh labelling from its own spawned
         generator (``Generator.permutation`` of the *original* labels,
         never a cumulative in-place shuffle), so its stream is
-        independent of every other permutation's placement.
+        independent of every other permutation's placement. The
+        default ``"vectorized"`` p-value mode scores the shard in
+        memory-bounded batches; the ``"cache"``/``"direct"`` modes
+        score one permutation at a time through their Python-level
+        caches. Both paths produce bit-identical statistics.
         """
+        if self.pvalue_mode == "vectorized":
+            return self._score_shard_batched(seeds, order,
+                                             observed_sorted)
+        return self._score_shard_sequential(seeds, order,
+                                            observed_sorted)
+
+    def _score_shard_batched(self, seeds, order: np.ndarray,
+                             observed_sorted: np.ndarray,
+                             ) -> Tuple[np.ndarray, np.ndarray,
+                                        np.ndarray]:
+        """Batched scoring: all of a block's labellings in one shot.
+
+        The block's labellings form a ``(B, n_records)`` matrix; one
+        batched class-support kernel call per needed class yields the
+        ``(B, n_rules)`` support matrix, one 2-D fancy index resolves
+        all p-values, and the three statistics reduce axis-wise:
+
+        * per-permutation minimum — a row min;
+        * pooled rank counts — ``searchsorted`` of the observed
+          p-values in the block's *flattened* sorted p-values (the sum
+          of per-permutation counts equals the count over the pooled
+          block, both exact integers);
+        * step-down counts — reversed ``minimum.accumulate`` suffix
+          minima per row, compared row-wise and summed down the batch.
+        """
+        n_shard = len(seeds)
+        n_rules = len(observed_sorted)
+        min_p = np.empty(n_shard)
+        pooled = np.zeros(n_rules, dtype=np.int64)
+        stepdown = np.zeros(n_rules, dtype=np.int64)
+        block = self._batch_rows()
+        for start in range(0, n_shard, block):
+            batch = seeds[start:start + block]
+            labels = np.empty((len(batch), self.n),
+                              dtype=self._labels.dtype)
+            for j, seq in enumerate(batch):
+                generator = np.random.default_rng(seq)
+                labels[j] = generator.permutation(self._labels)
+            if n_rules == 0:
+                min_p[start:start + len(batch)] = 1.0
+                continue
+            supports = self._rule_supports_batch(labels)
+            assert self._lookup is not None
+            perm_p = self._lookup.p_values_batch(supports)
+            min_p[start:start + len(batch)] = perm_p.min(axis=1)
+            pooled += np.searchsorted(np.sort(perm_p, axis=None),
+                                      observed_sorted, side="right")
+            # Suffix minima in observed-rank order: entry (b, i) is
+            # the minimum permutation-b p-value over rules ranked
+            # i..m-1, the step-down minP statistic for rank i.
+            ranked = perm_p[:, order]
+            suffix_min = np.minimum.accumulate(
+                ranked[:, ::-1], axis=1)[:, ::-1]
+            stepdown += (suffix_min <= observed_sorted[None, :]).sum(
+                axis=0, dtype=np.int64)
+        return min_p, pooled, stepdown
+
+    def _score_shard_sequential(self, seeds, order: np.ndarray,
+                                observed_sorted: np.ndarray,
+                                ) -> Tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]:
+        """One-permutation-at-a-time scoring (cache/direct modes)."""
         min_p = np.empty(len(seeds))
         pooled = np.zeros(len(observed_sorted), dtype=np.int64)
         stepdown = np.zeros(len(observed_sorted), dtype=np.int64)
@@ -246,6 +340,36 @@ class PermutationEngine:
                     perm_p[order][::-1])[::-1]
                 stepdown += suffix_min <= observed_sorted
         return min_p, pooled, stepdown
+
+    def _batch_rows(self) -> int:
+        """Permutations per scoring block under ``batch_bytes``.
+
+        One batch row (one permutation) costs one label row, one or
+        more ``n_nodes`` class-support rows, several ``n_rules``-wide
+        float intermediates (supports, p-values, the pooled sort, the
+        ranked copy and its suffix minima), and — under the packed
+        policy — the kernel's ``n_nodes × n_words`` broadcast cells at
+        9 bytes each (uint64 AND + uint8 popcount).
+        """
+        n_rules = len(self._node_ids)
+        n_nodes = self._forest.n_nodes
+        # Binary datasets hold two class-support arrays (one computed,
+        # one derived); multiclass runs hold one per class that
+        # actually appears on a rule RHS, all alive at once.
+        if self.ruleset.dataset.n_classes == 2:
+            class_arrays = 2
+        else:
+            class_arrays = max(1, len(set(int(c)
+                                          for c in self._classes)))
+        per_row = 8 * self.n
+        per_row += class_arrays * 8 * n_nodes
+        per_row += 6 * 8 * n_rules
+        matrix = self._forest.matrix
+        if matrix is not None:
+            # The packed kernel's own per-labelling intermediates —
+            # bitmat owns that accounting.
+            per_row += matrix.batch_row_bytes
+        return max(1, self.batch_bytes // max(per_row, 1))
 
     def _score_permutation(self, labels: np.ndarray) -> np.ndarray:
         """P-values of every rule under one shuffled labelling."""
@@ -293,6 +417,33 @@ class PermutationEngine:
         for c, per_node in node_supports.items():
             mask = self._classes == c
             out[mask] = per_node[self._node_ids[mask]]
+        return out
+
+    def _rule_supports_batch(self, labels: np.ndarray) -> np.ndarray:
+        """``supp(R)`` of every rule under every given labelling.
+
+        ``labels`` is a ``(B, n_records)`` matrix of shuffled class
+        labels; the result is the ``(B, n_rules)`` integer support
+        matrix. Binary datasets need one batched forest kernel call
+        (class-1 supports derive from coverage); multi-class datasets
+        one call per class that appears on a rule RHS.
+        """
+        n_classes = self.ruleset.dataset.n_classes
+        node_supports: Dict[int, np.ndarray] = {}
+        if n_classes == 2:
+            supp0 = self._forest.class_supports_batch(labels == 0)
+            node_supports[0] = supp0
+            node_supports[1] = self._forest.supports[None, :] - supp0
+        else:
+            needed = sorted(set(int(c) for c in self._classes))
+            for c in needed:
+                node_supports[c] = self._forest.class_supports_batch(
+                    labels == c)
+        out = np.empty((labels.shape[0], len(self._node_ids)),
+                       dtype=np.int64)
+        for c, per_node in node_supports.items():
+            mask = self._classes == c
+            out[:, mask] = per_node[:, self._node_ids[mask]]
         return out
 
     # ------------------------------------------------------------------
@@ -451,6 +602,15 @@ class _VectorizedLookup:
     def p_values(self, supports: np.ndarray) -> np.ndarray:
         """Look up every rule's p-value for the given supports."""
         return self._flat[self._offsets + supports]
+
+    def p_values_batch(self, supports: np.ndarray) -> np.ndarray:
+        """All ``B × n_rules`` p-values with a single 2-D fancy index.
+
+        ``supports`` is the ``(B, n_rules)`` support matrix of a
+        scoring block; entry ``(b, i)`` of the result is exactly what
+        :meth:`p_values` returns for row ``b``.
+        """
+        return self._flat[self._offsets[None, :] + supports]
 
 
 def _score_shard_worker(payload):

@@ -21,7 +21,7 @@ from .closed import (
     mine_closed,
     mine_closed_from_view,
 )
-from .diffsets import POLICIES, ForestStats, PatternForest
+from .diffsets import DEFAULT_POLICY, POLICIES, ForestStats, PatternForest
 from .patterns import (
     Pattern,
     PatternSet,
@@ -75,6 +75,7 @@ __all__ = [
     "iter_pattern_tree",
     "mine_closed",
     "mine_closed_from_view",
+    "DEFAULT_POLICY",
     "POLICIES",
     "ForestStats",
     "PatternForest",

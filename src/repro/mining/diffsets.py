@@ -1,4 +1,4 @@
-"""Diffsets storage for pattern record-id lists (Section 4.2.2).
+"""Record-id storage for pattern forests (Section 4.2.2 + packed kernel).
 
 The permutation approach re-scores every rule on every permutation,
 which needs ``supp_c(X)`` — the number of class-``c`` records containing
@@ -9,14 +9,23 @@ a child's support is more than half its parent's, storing only the
 *difference* (records in the parent but not the child) is smaller, and
 ``supp_c(child) = supp_c(parent) - |diff ∩ class c|``.
 
-:class:`PatternForest` implements three storage policies so the Figure 4
+:class:`PatternForest` implements four storage policies so the Figure 4
 ablation can compare them:
 
-* ``"full"`` — every node stores its full record-id list;
-* ``"diffsets"`` — the paper's rule: full list when
+* ``"packed"`` (default) — this library's fastest representation: all
+  tidsets packed into one ``(n_nodes, ceil(n_records/64))`` uint64
+  :class:`~repro.bitmat.BitMatrix`, class supports via hardware
+  popcounts over the whole forest at once (and over whole *batches* of
+  labellings at once — see :meth:`class_supports_batch`);
+* ``"bitset"`` — the tidset as an arbitrary-precision integer, class
+  supports via per-node bigint ``popcount``;
+* ``"diffsets"`` — the paper's rule: full record-id list when
   ``supp(X) <= supp(parent)/2``, otherwise the diffset;
-* ``"bitset"`` — this library's native representation: the tidset as an
-  arbitrary-precision integer, with class supports via ``popcount``.
+* ``"full"`` — every node stores its full record-id list.
+
+All four count exact integers, so their results are bit-identical;
+they differ only in storage footprint and wall-clock speed
+(``docs/performance.md`` has measurements and guidance).
 """
 
 from __future__ import annotations
@@ -27,12 +36,16 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .. import bitset as bs
+from ..bitmat import BitMatrix
 from ..errors import MiningError
 from .patterns import Pattern
 
-__all__ = ["PatternForest", "ForestStats", "POLICIES"]
+__all__ = ["PatternForest", "ForestStats", "POLICIES", "DEFAULT_POLICY"]
 
-POLICIES = ("full", "diffsets", "bitset")
+POLICIES = ("full", "diffsets", "bitset", "packed")
+
+#: The policy used when callers do not pick one.
+DEFAULT_POLICY = "packed"
 
 
 @dataclass(frozen=True)
@@ -69,11 +82,11 @@ class PatternForest:
     n_records:
         Number of records in the mined dataset.
     policy:
-        One of :data:`POLICIES`.
+        One of :data:`POLICIES` (default :data:`DEFAULT_POLICY`).
     """
 
     def __init__(self, patterns: Sequence[Pattern], n_records: int,
-                 policy: str = "bitset") -> None:
+                 policy: str = DEFAULT_POLICY) -> None:
         if policy not in POLICIES:
             raise MiningError(
                 f"unknown storage policy {policy!r}; pick from {POLICIES}")
@@ -89,16 +102,26 @@ class PatternForest:
         self._parents = np.array([p.parent_id for p in patterns],
                                  dtype=np.int64)
         self._tidsets: Optional[List[int]] = None
+        self._matrix: Optional[BitMatrix] = None
         self._id_lists: Optional[List[np.ndarray]] = None
         self._is_diff: Optional[np.ndarray] = None
         full_ids = int(self._supports.sum())
-        if policy == "bitset":
+        if policy == "packed":
+            try:
+                self._matrix = BitMatrix.from_tidsets(
+                    [p.tidset for p in patterns], n_records)
+            except ValueError as exc:
+                raise MiningError(str(exc)) from exc
+            stored = full_ids
+            full_nodes, diff_nodes = self.n_nodes, 0
+        elif policy == "bitset":
             self._tidsets = [p.tidset for p in patterns]
             stored = full_ids
             full_nodes, diff_nodes = self.n_nodes, 0
         else:
             self._id_lists, self._is_diff = self._build_id_lists(
                 patterns, policy)
+            self._build_segments()
             stored = sum(len(ids) for ids in self._id_lists)
             diff_nodes = int(self._is_diff.sum())
             full_nodes = self.n_nodes - diff_nodes
@@ -131,6 +154,46 @@ class PatternForest:
                                                     self.n_records))
         return id_lists, is_diff
 
+    def _build_segments(self) -> None:
+        """Concatenate the id lists for one-reduceat class counting.
+
+        ``indicator[concat][starts[v]:starts[v]+lengths[v]].sum()`` is
+        node ``v``'s stored-id count; ``np.add.reduceat`` computes all
+        of them in one C pass instead of a per-node Python loop.
+        """
+        assert self._id_lists is not None and self._is_diff is not None
+        lengths = np.fromiter((len(ids) for ids in self._id_lists),
+                              dtype=np.int64, count=self.n_nodes)
+        starts = (np.concatenate(([0], np.cumsum(lengths)[:-1]))
+                  if self.n_nodes else np.empty(0, dtype=np.int64))
+        # Only non-empty segments reach reduceat: their starts are
+        # strictly increasing and in range, which sidesteps both
+        # reduceat quirks (an empty segment yields the element at its
+        # start instead of zero, and a trailing empty segment's start
+        # falls off the array — clipping it would silently truncate
+        # the previous segment's sum). Empty segments scatter to 0.
+        self._nonempty = lengths > 0
+        self._nonempty_starts = starts[self._nonempty].astype(np.intp)
+        self._concat_ids = (np.concatenate(self._id_lists)
+                            if self.n_nodes and int(lengths.sum())
+                            else np.empty(0, dtype=np.int32))
+        self._diff_order = np.flatnonzero(self._is_diff)
+
+    def _stored_counts(self, indicator: np.ndarray) -> np.ndarray:
+        """Per-node count of stored ids hitting ``indicator`` (int64).
+
+        One fancy index plus one ``np.add.reduceat`` over the
+        concatenated id lists of the non-empty segments, scattered
+        back to node positions (empty segments count zero).
+        """
+        counts = np.zeros(self.n_nodes, dtype=np.int64)
+        if self._concat_ids.size == 0:
+            return counts
+        values = indicator.astype(np.int64)[self._concat_ids]
+        counts[self._nonempty] = np.add.reduceat(
+            values, self._nonempty_starts)
+        return counts
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -139,6 +202,11 @@ class PatternForest:
     def supports(self) -> np.ndarray:
         """Coverage of every node (int64 array, DFS order)."""
         return self._supports
+
+    @property
+    def matrix(self) -> Optional[BitMatrix]:
+        """The packed kernel (``None`` unless ``policy == "packed"``)."""
+        return self._matrix
 
     def class_supports(self, class_indicator: np.ndarray) -> np.ndarray:
         """``supp_c(X)`` for every node under one labelling.
@@ -153,25 +221,55 @@ class PatternForest:
         if indicator.shape != (self.n_records,):
             raise MiningError(
                 f"class indicator must have shape ({self.n_records},)")
+        if self.policy == "packed":
+            assert self._matrix is not None
+            return self._matrix.class_supports(indicator)
         if self.policy == "bitset":
             class_bits = bs.from_numpy_bool(indicator)
             assert self._tidsets is not None
             return np.fromiter(
                 (bs.popcount(t & class_bits) for t in self._tidsets),
                 dtype=np.int64, count=self.n_nodes)
-        assert self._id_lists is not None and self._is_diff is not None
-        out = np.empty(self.n_nodes, dtype=np.int64)
-        for v in range(self.n_nodes):
-            ids = self._id_lists[v]
-            count = int(indicator[ids].sum()) if len(ids) else 0
-            if self._is_diff[v]:
-                out[v] = out[self._parents[v]] - count
-            else:
-                out[v] = count
+        assert self._is_diff is not None
+        out = self._stored_counts(indicator)
+        # Diffset nodes store the complement relative to their parent:
+        # supp_c(v) = supp_c(parent) - |diff ∩ c|. Parents precede
+        # children, so resolving in index order sees final parents;
+        # only the diff nodes need the (short) Python walk.
+        parents = self._parents
+        for v in self._diff_order:
+            out[v] = out[parents[v]] - out[v]
         return out
+
+    def class_supports_batch(self, class_indicators: np.ndarray,
+                             ) -> np.ndarray:
+        """``(B, n_nodes)`` class supports for ``B`` labellings at once.
+
+        Row ``b`` equals ``class_supports(class_indicators[b])``. Under
+        the ``"packed"`` policy the whole batch is a handful of
+        C-level array operations (the batched permutation pass's hot
+        kernel); the other policies answer row by row, so the ablation
+        arms stay comparable through one entry point.
+        """
+        indicators = np.asarray(class_indicators, dtype=bool)
+        if indicators.ndim != 2 \
+                or indicators.shape[1] != self.n_records:
+            raise MiningError(
+                f"class indicators must have shape "
+                f"(B, {self.n_records})")
+        if self.policy == "packed":
+            assert self._matrix is not None
+            return self._matrix.class_supports_batch(indicators)
+        if indicators.shape[0] == 0:
+            return np.zeros((0, self.n_nodes), dtype=np.int64)
+        return np.stack([self.class_supports(row)
+                         for row in indicators])
 
     def tidset(self, node_id: int) -> int:
         """Reconstruct the tidset of one node (any policy)."""
+        if self.policy == "packed":
+            assert self._matrix is not None
+            return self._matrix.tidset(node_id)
         if self.policy == "bitset":
             assert self._tidsets is not None
             return self._tidsets[node_id]

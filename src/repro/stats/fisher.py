@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from ..errors import StatsError
 from .hypergeom import pmf_table, support_bounds
 from .logfact import LogFactorialBuffer
@@ -59,13 +61,14 @@ def fisher_right_tailed(supp_r: int, n: int, n_c: int, supp_x: int,
                         ) -> float:
     """P(supp >= supp_r): over-representation (positive association)."""
     _check_support(supp_r, n, n_c, supp_x)
-    low, high = support_bounds(n, n_c, supp_x)
+    low, _high = support_bounds(n, n_c, supp_x)
     table = pmf_table(n, n_c, supp_x, buffer)
-    total = 0.0
-    # Sum from the far tail inward so small terms accumulate first.
-    for k in range(high, supp_r - 1, -1):
-        total += table[k - low]
-    return min(total, 1.0)
+    # Reversed cumulative sum: entry k accumulates from the far (upper)
+    # tail inward, so small terms add first — the same summation order
+    # (and therefore the exact same float result) as the scalar loop
+    # this replaces.
+    tails = np.cumsum(np.asarray(table, dtype=np.float64)[::-1])[::-1]
+    return min(float(tails[supp_r - low]), 1.0)
 
 
 def fisher_left_tailed(supp_r: int, n: int, n_c: int, supp_x: int,
@@ -74,10 +77,10 @@ def fisher_left_tailed(supp_r: int, n: int, n_c: int, supp_x: int,
     _check_support(supp_r, n, n_c, supp_x)
     low, _high = support_bounds(n, n_c, supp_x)
     table = pmf_table(n, n_c, supp_x, buffer)
-    total = 0.0
-    for k in range(low, supp_r + 1):
-        total += table[k - low]
-    return min(total, 1.0)
+    # Cumulative sum from the lower tail upward: small terms first,
+    # identical order (and float result) to the scalar loop.
+    tails = np.cumsum(np.asarray(table, dtype=np.float64))
+    return min(float(tails[supp_r - low]), 1.0)
 
 
 def fisher_from_contingency(a: int, b: int, c: int, d: int,

@@ -1,0 +1,247 @@
+"""The packed uint64 bitmap kernel agrees exactly with bigint popcount.
+
+:class:`repro.bitmat.BitMatrix` is the counting engine behind the
+default ``"packed"`` forest policy; these tests pin its contract — the
+kernels are *bit-identical* to ``popcount(tidset & class_bits)`` for
+any forest and any labelling, including the awkward shapes: record
+counts not divisible by 64, empty forests, empty batches, all-one and
+all-zero indicators, and arbitrarily small block budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import bitset as bs
+from repro.bitmat import (
+    BitMatrix,
+    pack_indicator,
+    pack_indicators,
+    words_per_row,
+)
+from repro.data import GeneratorConfig, generate
+from repro.errors import MiningError
+from repro.mining import PatternForest, mine_closed
+
+
+@st.composite
+def matrix_instances(draw):
+    # Straddle the word boundary on purpose: 1..130 covers < 1 word,
+    # exactly 1 word, exactly 2 words, and ragged tails.
+    n_records = draw(st.integers(min_value=1, max_value=130))
+    n_rows = draw(st.integers(min_value=0, max_value=8))
+    tidsets = [
+        draw(st.integers(min_value=0, max_value=(1 << n_records) - 1))
+        for _ in range(n_rows)
+    ]
+    indicator = np.array(
+        draw(st.lists(st.booleans(), min_size=n_records,
+                      max_size=n_records)), dtype=bool)
+    return tidsets, n_records, indicator
+
+
+class TestAgainstBigints:
+    @given(matrix_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_class_supports_matches_popcount(self, instance):
+        tidsets, n_records, indicator = instance
+        matrix = BitMatrix.from_tidsets(tidsets, n_records)
+        class_bits = bs.from_numpy_bool(indicator)
+        expected = [bs.popcount(t & class_bits) for t in tidsets]
+        assert matrix.class_supports(indicator).tolist() == expected
+
+    @given(matrix_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_tidset_round_trip(self, instance):
+        tidsets, n_records, _ = instance
+        matrix = BitMatrix.from_tidsets(tidsets, n_records)
+        assert matrix.to_tidsets() == [int(t) for t in tidsets]
+        expected = [bs.popcount(t) for t in tidsets]
+        assert matrix.row_popcounts().tolist() == expected
+
+    @given(matrix_instances(),
+           st.integers(min_value=0, max_value=5),
+           st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_single_rows(self, instance, n_batch,
+                                       block_bytes):
+        tidsets, n_records, indicator = instance
+        matrix = BitMatrix.from_tidsets(tidsets, n_records)
+        rng = np.random.default_rng(n_batch * 7 + n_records)
+        batch = np.stack(
+            [rng.permutation(indicator) for _ in range(n_batch)]
+        ) if n_batch else np.zeros((0, n_records), dtype=bool)
+        got = matrix.class_supports_batch(batch,
+                                          block_bytes=block_bytes)
+        assert got.shape == (n_batch, len(tidsets))
+        for row in range(n_batch):
+            assert (got[row] == matrix.class_supports(batch[row])).all()
+
+    @given(st.integers(min_value=1, max_value=130))
+    @settings(max_examples=30, deadline=None)
+    def test_all_one_and_all_zero_indicators(self, n_records):
+        universe = bs.universe(n_records)
+        tidsets = [universe, 0, universe >> 1, 1 << (n_records - 1)]
+        matrix = BitMatrix.from_tidsets(tidsets, n_records)
+        ones = np.ones(n_records, dtype=bool)
+        zeros = np.zeros(n_records, dtype=bool)
+        assert matrix.class_supports(ones).tolist() == \
+            [bs.popcount(t) for t in tidsets]
+        assert matrix.class_supports(zeros).tolist() == [0] * 4
+
+    def test_word_round_trip_through_bitset_module(self):
+        for n_records in (1, 63, 64, 65, 100, 128, 130):
+            bits = (0x9E3779B97F4A7C15 * 0x10001) % (1 << n_records)
+            words = bs.to_uint64_words(bits, n_records)
+            assert len(words) == words_per_row(n_records)
+            assert bs.from_uint64_words(words) == bits
+
+
+class TestEdgesAndValidation:
+    def test_empty_forest(self):
+        matrix = BitMatrix.from_tidsets([], 77)
+        assert matrix.n_rows == 0
+        assert matrix.class_supports(
+            np.ones(77, dtype=bool)).shape == (0,)
+        batch = np.ones((3, 77), dtype=bool)
+        assert matrix.class_supports_batch(batch).shape == (3, 0)
+
+    def test_out_of_range_tidset_rejected(self):
+        with pytest.raises(ValueError):
+            BitMatrix.from_tidsets([1 << 10], 10)
+        with pytest.raises(ValueError):
+            BitMatrix.from_tidsets([1 << 70], 65)
+        with pytest.raises(ValueError):
+            BitMatrix.from_tidsets([-1], 10)
+
+    def test_indicator_shape_validated(self):
+        matrix = BitMatrix.from_tidsets([0b101], 3)
+        with pytest.raises(ValueError):
+            matrix.class_supports(np.ones(4, dtype=bool))
+        with pytest.raises(ValueError):
+            matrix.class_supports_batch(np.ones((2, 4), dtype=bool))
+
+    def test_pack_layout_matches_bigint_layout(self):
+        indicator = np.zeros(70, dtype=bool)
+        indicator[[0, 63, 64, 69]] = True
+        packed = pack_indicator(indicator)
+        assert bs.from_uint64_words(packed) == \
+            bs.from_numpy_bool(indicator)
+        stacked = pack_indicators(np.stack([indicator, ~indicator]))
+        assert bs.from_uint64_words(stacked[1]) == \
+            bs.complement(bs.from_numpy_bool(indicator), 70)
+
+    def test_block_rows_always_positive(self):
+        matrix = BitMatrix.from_tidsets([0] * 50, 1000)
+        assert matrix.batch_block_rows(1) == 1
+        assert matrix.batch_block_rows() >= 1
+
+
+class TestNativeKernel:
+    """The fused C kernel and the numpy path are interchangeable."""
+
+    def test_native_and_numpy_paths_agree(self, monkeypatch):
+        from repro import _native
+
+        rng = np.random.default_rng(11)
+        n_records = 777
+        tidsets = [bs.from_numpy_bool(rng.random(n_records) < 0.3)
+                   for _ in range(40)]
+        matrix = BitMatrix.from_tidsets(tidsets, n_records)
+        batch = rng.random((9, n_records)) < 0.5
+        with_native = matrix.class_supports_batch(batch)
+        single_native = matrix.class_supports(batch[0])
+        # Force the pure-numpy fallback and recompute.
+        monkeypatch.setattr(_native, "_kernel", None)
+        without = matrix.class_supports_batch(batch)
+        single_numpy = matrix.class_supports(batch[0])
+        assert (with_native == without).all()
+        assert (single_native == single_numpy).all()
+
+    def test_kernel_unavailability_is_silent(self, monkeypatch):
+        """REPRO_NATIVE=0 must disable compilation, not break."""
+        from repro import _native
+
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        monkeypatch.setattr(_native, "_kernel", "unset")
+        assert _native.load_kernel() is None
+        assert "disabled" in _native.native_status()
+        matrix = BitMatrix.from_tidsets([0b1011], 4)
+        assert matrix.class_supports(
+            np.array([1, 0, 1, 1], dtype=bool)).tolist() == [2]
+
+
+class TestForestPackedPolicy:
+    @pytest.fixture(scope="class")
+    def forest_inputs(self):
+        config = GeneratorConfig(n_records=150, n_attributes=10,
+                                 min_values=2, max_values=3, n_rules=0)
+        ds = generate(config, seed=17).dataset
+        patterns = mine_closed(ds.item_tidsets, ds.n_records,
+                               min_sup=10)
+        labels = np.array([label == 0 for label in ds.class_labels])
+        return ds, patterns, labels
+
+    def test_packed_is_default_policy(self, forest_inputs):
+        ds, patterns, _ = forest_inputs
+        forest = PatternForest(patterns, ds.n_records)
+        assert forest.policy == "packed"
+        assert forest.matrix is not None
+
+    def test_packed_agrees_with_every_policy(self, forest_inputs):
+        ds, patterns, labels = forest_inputs
+        packed = PatternForest(patterns, ds.n_records, "packed")
+        reference = packed.class_supports(labels)
+        for policy in ("full", "diffsets", "bitset"):
+            other = PatternForest(patterns, ds.n_records, policy)
+            assert (other.class_supports(labels) == reference).all()
+
+    def test_batch_query_agrees_across_policies(self, forest_inputs):
+        ds, patterns, labels = forest_inputs
+        rng = np.random.default_rng(4)
+        batch = np.stack([rng.permutation(labels) for _ in range(6)])
+        packed = PatternForest(patterns, ds.n_records,
+                               "packed").class_supports_batch(batch)
+        for policy in ("full", "diffsets", "bitset"):
+            forest = PatternForest(patterns, ds.n_records, policy)
+            assert (forest.class_supports_batch(batch) == packed).all()
+
+    def test_packed_tidset_reconstruction(self, forest_inputs):
+        ds, patterns, _ = forest_inputs
+        forest = PatternForest(patterns, ds.n_records, "packed")
+        for pattern in patterns[:20]:
+            assert forest.tidset(pattern.node_id) == pattern.tidset
+
+    def test_trailing_empty_diffsets_do_not_truncate_counts(self):
+        """Regression: diff nodes with *empty* stored lists at the
+        tail of the forest must not clip the reduceat segment of the
+        preceding node (the naive fix — clamping out-of-range segment
+        starts — silently dropped the last id of the previous list).
+        """
+        from repro.mining.patterns import Pattern
+
+        patterns = [
+            Pattern(0, -1, frozenset({0}), 0b11, 2, 0),
+            Pattern(1, 0, frozenset({0, 1}), 0b10, 1, 1),
+            # Children equal to their parent: diffsets store nothing.
+            Pattern(2, 1, frozenset({0, 1, 2}), 0b10, 1, 2),
+            Pattern(3, 2, frozenset({0, 1, 2, 3}), 0b10, 1, 3),
+        ]
+        indicator = np.array([False, True])
+        for policy in ("diffsets", "full", "packed", "bitset"):
+            forest = PatternForest(patterns, 2, policy)
+            assert forest.class_supports(indicator).tolist() == \
+                [1, 1, 1, 1], policy
+
+    def test_batch_shape_validated(self, forest_inputs):
+        ds, patterns, _ = forest_inputs
+        forest = PatternForest(patterns, ds.n_records, "packed")
+        with pytest.raises(MiningError):
+            forest.class_supports_batch(
+                np.ones(ds.n_records, dtype=bool))
+        with pytest.raises(MiningError):
+            forest.class_supports_batch(
+                np.ones((2, ds.n_records + 1), dtype=bool))
