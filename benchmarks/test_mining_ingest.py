@@ -1,0 +1,142 @@
+"""Packed-native ingest and closed mining vs the bigint baseline.
+
+The packed-native PR retired the bigint tidset substrate: ingest
+tokenizes each attribute column once against a plain dict and packs
+every cell into one ``(n_items, ceil(n/64))`` uint64 arena through a
+single vectorized :func:`~repro.tidvector.pack_pairs` call, where the
+old path ran ``catalog.add_pair`` plus a per-cell bigint
+``tids |= 1 << r`` (an Item allocation, a dict probe on it, and an
+O(n)-byte int copy for every cell). This bench times the two ingest
+implementations head-to-head on the synthetic 10k x 1k dataset
+(10 000 records, 125 attributes x 8 values = 1 000 items) — the
+acceptance gate is packed-native >= 3x — plus the closed miner's
+wall-clock on the packed arena, then rewrites the repo-root
+``BENCH_mining.json`` artifact (``REPRO_BENCH_JSON`` overrides the
+path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from _scale import banner, current_scale
+from repro.data import Dataset
+from repro.data.items import ItemCatalog
+from repro.mining import mine_closed
+
+SEED = 7041
+N_ATTRIBUTES = 125
+N_VALUES = 8          # 125 attributes x 8 values = 1000 items
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_mining.json"
+
+
+def _synthetic_records(n_records: int):
+    """Uniform categorical records: 10k x 1k items at full scale."""
+    rng = random.Random(SEED)
+    records = [
+        [f"v{rng.randrange(N_VALUES)}" for _ in range(N_ATTRIBUTES)]
+        for _ in range(n_records)
+    ]
+    labels = ["c0" if rng.random() < 0.5 else "c1"
+              for _ in range(n_records)]
+    return records, labels
+
+
+def _bigint_ingest(records):
+    """The retired ``Dataset.from_records`` hot loop, verbatim.
+
+    One ``catalog.add_pair`` (frozen-dataclass Item + dict probe) and
+    one arbitrary-precision ``|= 1 << r`` per cell — the baseline the
+    packed-native ingest is gated against.
+    """
+    catalog = ItemCatalog()
+    tidsets = []
+    for r, record in enumerate(records):
+        for j, value in enumerate(record):
+            if value is None:
+                continue
+            item_id = catalog.add_pair(f"A{j}", str(value))
+            if item_id == len(tidsets):
+                tidsets.append(0)
+            tidsets[item_id] |= 1 << r
+    return catalog, tidsets
+
+
+def _timed(fn, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_mining_ingest():
+    scale = current_scale()
+    n_records = 2_000 if scale.name == "smoke" else 10_000
+    repeats = 1 if scale.name == "smoke" else 3
+    records, labels = _synthetic_records(n_records)
+
+    bigint_seconds, (old_catalog, old_tidsets) = _timed(
+        lambda: _bigint_ingest(records), repeats)
+    packed_seconds, dataset = _timed(
+        lambda: Dataset.from_records(records, labels), repeats)
+    speedup = bigint_seconds / max(packed_seconds, 1e-12)
+
+    # Identical catalogs and identical sets, bit for bit, before any
+    # timing claim counts.
+    assert [str(i) for i in old_catalog] == \
+        [str(i) for i in dataset.catalog]
+    for row, bits in zip(dataset.item_tidsets, old_tidsets):
+        assert row.to_bigint() == bits
+
+    min_sup = max(2, n_records // 20)
+    mine_seconds, patterns = _timed(
+        lambda: mine_closed(dataset.item_tidsets, dataset.n_records,
+                            min_sup, max_length=3), repeats=1)
+
+    record = {
+        "benchmark": "mining_ingest",
+        "scale": scale.name,
+        "ingest": {
+            "n_records": n_records,
+            "n_items": dataset.n_items,
+            "n_cells": n_records * N_ATTRIBUTES,
+            "bigint_seconds": bigint_seconds,
+            "packed_seconds": packed_seconds,
+            "speedup": speedup,
+        },
+        "closed_mining": {
+            "min_sup": min_sup,
+            "max_length": 3,
+            "n_patterns": len(patterns),
+            "seconds": mine_seconds,
+        },
+    }
+    out_path = os.environ.get("REPRO_BENCH_JSON", str(DEFAULT_OUT))
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+
+    lines = [
+        f"ingest ({n_records} records x {dataset.n_items} items, "
+        f"{n_records * N_ATTRIBUTES} cells):",
+        f"  bigint from_records : {bigint_seconds * 1000:9.1f} ms",
+        f"  packed from_records : {packed_seconds * 1000:9.1f} ms "
+        f"({speedup:.1f}x)",
+        f"closed mining (min_sup={min_sup}, max_length=3): "
+        f"{mine_seconds * 1000:9.1f} ms, {len(patterns)} patterns",
+    ]
+    print()
+    print(banner("packed-native ingest vs bigint baseline",
+                 "\n".join(lines)))
+    print(f"wrote {out_path}")
+
+    # The acceptance gate: columnar tokenization + one vectorized pack
+    # must beat the per-cell Item/bigint loop decisively on 10k x 1k.
+    assert speedup >= 3.0, (
+        f"packed-native ingest only {speedup:.1f}x over the bigint "
+        f"baseline")

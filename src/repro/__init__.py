@@ -110,6 +110,7 @@ from .corrections.registry import (
     resolve_correction,
 )
 from .bitmat import BitMatrix
+from .tidvector import TidVector, as_tidvector
 from .mining.diffsets import DEFAULT_POLICY, POLICIES, PatternForest
 from .mining.patterns import Pattern, PatternSet
 from .mining.registry import (
@@ -134,6 +135,8 @@ __version__ = "1.0.0"
 __all__ = [
     "BitMatrix",
     "CORRECTIONS",
+    "TidVector",
+    "as_tidvector",
     "Correction",
     "DEFAULT_POLICY",
     "Executor",

@@ -115,12 +115,19 @@ class BitMatrix:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_tidsets(cls, tidsets: Sequence[int],
-                     n_records: int) -> "BitMatrix":
-        """Pack bigint tidsets (one per row) into a :class:`BitMatrix`.
+    def from_tidsets(cls, tidsets: Sequence, n_records: int) -> "BitMatrix":
+        """Pack tidsets (one per row) into a :class:`BitMatrix`.
 
-        Every tidset must only reference records in ``[0, n_records)``.
+        Rows may be :class:`~repro.tidvector.TidVector` values (the
+        native representation — adopted by stacking their words, no
+        conversion) or bigint bitsets (plugin/oracle interop). Every
+        tidset must only reference records in ``[0, n_records)``.
         """
+        from .tidvector import TidVector, stack_tidvectors
+
+        tidsets = list(tidsets)
+        if all(isinstance(t, TidVector) for t in tidsets):
+            return cls(stack_tidvectors(tidsets, n_records), n_records)
         n_words = words_per_row(n_records)
         stride = n_words * 8
         buffer = bytearray(len(tidsets) * stride)
@@ -143,6 +150,18 @@ class BitMatrix:
         return cls(words, n_records)
 
     @classmethod
+    def from_tidvectors(cls, vectors: Sequence,
+                        n_records: int) -> "BitMatrix":
+        """Adopt packed :class:`~repro.tidvector.TidVector` rows.
+
+        One contiguous stack of already-packed words — the zero-bigint
+        path from mining output to the counting kernels.
+        """
+        from .tidvector import stack_tidvectors
+
+        return cls(stack_tidvectors(list(vectors), n_records), n_records)
+
+    @classmethod
     def from_bool_matrix(cls, indicators: np.ndarray) -> "BitMatrix":
         """Pack a ``(B, n_records)`` bool matrix into a matrix of rows."""
         flags = np.ascontiguousarray(indicators, dtype=bool)
@@ -155,6 +174,12 @@ class BitMatrix:
         from . import bitset as bs
 
         return bs.from_uint64_words(self._words[row])
+
+    def tidvector(self, row: int):
+        """One row as a packed :class:`~repro.tidvector.TidVector` view."""
+        from .tidvector import TidVector
+
+        return TidVector(self._words[row], self.n_records)
 
     def to_tidsets(self) -> List[int]:
         """All rows back as bigint bitsets."""

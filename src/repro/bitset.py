@@ -1,12 +1,22 @@
-"""Bitset utilities built on arbitrary-precision integers.
+"""Bigint bitset interop shim (DEPRECATED as a storage substrate).
 
-The mining substrate stores the set of record ids containing an item (a
-*tidset*) as a single Python ``int``: record ``i`` is present when bit
-``i`` is set. This gives set intersection, union, difference and
-cardinality as single C-level operations (``&``, ``|``, ``&~`` and
-``bit_count``), which is what makes pure-Python permutation testing
-tractable (Section 4.2 of the paper re-scores every rule on every
-permutation from these tidsets).
+Historically the library stored every tidset as an arbitrary-precision
+Python ``int`` (record ``i`` present when bit ``i`` is set). The native
+representation is now the packed uint64 :class:`repro.tidvector.
+TidVector` end-to-end — ingest, mining, scoring, corrections and
+classification all operate word-wise — and this module remains only
+for two interop purposes:
+
+* **plugin compatibility** — out-of-tree miners and corrections that
+  still build bigint tidsets keep working: every mining entry path
+  coerces through :func:`repro.tidvector.as_tidvector`, and
+  :func:`popcount` / :func:`is_subset` accept either representation;
+* **property-test oracles** — the test suite checks the word-wise
+  kernels against these independent bigint implementations.
+
+Do not introduce new bigint tidset call sites; use
+:class:`~repro.tidvector.TidVector` (``TidVector.from_bigint`` /
+``to_bigint`` convert losslessly, byte for byte).
 
 All functions treat a bitset as immutable; operations return new ints.
 """
@@ -28,15 +38,21 @@ __all__ = [
 ]
 
 
-def popcount(bits: int) -> int:
-    """Return the number of set bits (the cardinality of the set)."""
+def popcount(bits) -> int:
+    """Return the number of set bits (the cardinality of the set).
+
+    Accepts a bigint or a :class:`~repro.tidvector.TidVector` (both
+    expose ``bit_count``), so interop call sites need no dispatch.
+    """
     return bits.bit_count()
 
 
 if not hasattr(int, "bit_count"):  # pragma: no cover - Python < 3.10 fallback
 
-    def popcount(bits: int) -> int:  # noqa: F811
+    def popcount(bits) -> int:  # noqa: F811
         """Return the number of set bits (the cardinality of the set)."""
+        if hasattr(bits, "bit_count"):
+            return bits.bit_count()
         return bin(bits).count("1")
 
 
@@ -58,12 +74,17 @@ def bitset_from_indices(indices: Iterable[int], n: int | None = None) -> int:
     return bits
 
 
-def iter_indices(bits: int) -> Iterator[int]:
+def iter_indices(bits) -> Iterator[int]:
     """Yield the indices of set bits in ascending order.
 
     Uses the lowest-set-bit trick: ``bits & -bits`` isolates the lowest
-    set bit, whose position is recovered via ``bit_length``.
+    set bit, whose position is recovered via ``bit_length``. A
+    :class:`~repro.tidvector.TidVector` argument delegates to its own
+    (vectorized) enumeration.
     """
+    if hasattr(bits, "iter_indices"):
+        yield from bits.iter_indices()
+        return
     while bits:
         low = bits & -bits
         yield low.bit_length() - 1
@@ -87,8 +108,16 @@ def complement(bits: int, n: int) -> int:
     return universe(n) & ~bits
 
 
-def is_subset(a: int, b: int) -> bool:
-    """Return True when every bit of ``a`` is also set in ``b``."""
+def is_subset(a, b) -> bool:
+    """Return True when every bit of ``a`` is also set in ``b``.
+
+    Either argument may be a bigint or a
+    :class:`~repro.tidvector.TidVector`.
+    """
+    if hasattr(a, "is_subset"):
+        return a.is_subset(b)
+    if hasattr(b, "to_bigint"):
+        b = b.to_bigint()
     return a & ~b == 0
 
 

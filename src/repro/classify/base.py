@@ -13,10 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional
 
-from .. import bitset as bs
 from ..data.dataset import Dataset
 from ..errors import DataError
 from ..mining.rules import ClassRule
+from ..tidvector import TidVector, as_tidvector
 
 __all__ = ["Prediction", "record_item_sets", "rule_matches"]
 
@@ -54,7 +54,7 @@ def record_item_sets(dataset: Dataset) -> List[FrozenSet[int]]:
     """
     sets: List[set] = [set() for _ in range(dataset.n_records)]
     for item_id, tids in enumerate(dataset.item_tidsets):
-        for r in bs.iter_indices(tids):
+        for r in tids.indices():
             sets[r].add(item_id)
     return [frozenset(s) for s in sets]
 
@@ -64,21 +64,24 @@ def rule_matches(rule: ClassRule, items: FrozenSet[int]) -> bool:
     return rule.items <= items
 
 
-def majority_class(dataset: Dataset, tidset: Optional[int] = None) -> int:
+def majority_class(dataset: Dataset,
+                   tidset: Optional[TidVector] = None) -> int:
     """Most frequent class among ``tidset`` records (whole data if None).
 
-    Ties break toward the smaller class index so the choice is
-    deterministic.
+    ``tidset`` may be a packed :class:`~repro.tidvector.TidVector` or a
+    bigint bitset (interop). Ties break toward the smaller class index
+    so the choice is deterministic.
     """
     if dataset.n_records == 0:
         raise DataError("cannot take a majority over an empty dataset")
+    if tidset is not None:
+        tidset = as_tidvector(tidset, dataset.n_records)
     best_class = 0
     best_count = -1
     for c in range(dataset.n_classes):
         class_tids = dataset.class_tidset(c)
-        if tidset is not None:
-            class_tids &= tidset
-        count = bs.popcount(class_tids)
+        count = (class_tids.count() if tidset is None
+                 else class_tids.intersection_count(tidset))
         if count > best_count:
             best_count = count
             best_class = c

@@ -24,10 +24,10 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, List, Optional, Sequence
 
-from .. import bitset as bs
 from ..data.dataset import Dataset
 from ..errors import DataError
 from ..mining.rules import ClassRule, RuleSet
+from ..tidvector import TidVector
 from .base import Prediction, majority_class, rule_matches
 from .ranking import rank_rules
 
@@ -90,7 +90,7 @@ class CBAClassifier:
     def _fit_ranked(self, dataset: Dataset,
                     candidates: Iterable[ClassRule]) -> None:
         n = dataset.n_records
-        uncovered = bs.universe(n)
+        uncovered = TidVector.universe(n)
         kept: List[ClassRule] = []
         # errors committed by kept rules on the records they covered
         committed_errors = 0
@@ -103,18 +103,19 @@ class CBAClassifier:
             matched = dataset.pattern_tidset(rule.items) & uncovered
             if not matched:
                 continue
-            correct = bs.popcount(
-                matched & dataset.class_tidset(rule.class_index))
+            correct = matched.intersection_count(
+                dataset.class_tidset(rule.class_index))
             if correct == 0:
                 continue
             kept.append(rule)
-            committed_errors += bs.popcount(matched) - correct
-            uncovered &= ~matched
+            committed_errors += matched.count() - correct
+            uncovered = uncovered.andnot(matched)
             default = majority_class(dataset, uncovered) if uncovered \
                 else majority_class(dataset)
             default_errors = (
-                bs.popcount(uncovered) -
-                bs.popcount(uncovered & dataset.class_tidset(default)))
+                uncovered.count() -
+                uncovered.intersection_count(
+                    dataset.class_tidset(default)))
             defaults.append(default)
             errors.append(committed_errors + default_errors)
         best_stage = min(range(len(errors)), key=lambda i: (errors[i], i))

@@ -24,11 +24,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
-from .. import bitset as bs
 from ..data.dataset import Dataset
 from ..errors import DataError
 from ..mining.rules import ClassRule, RuleSet
 from ..stats.chi2 import chi2_statistic
+from ..tidvector import TidVector
 from .base import Prediction, majority_class, rule_matches
 from .ranking import rank_rules
 
@@ -103,20 +103,23 @@ class CMARClassifier:
             rule_set.rules if rules is None else rules, order=self.order)
         n = dataset.n_records
         cover_counts = [0] * n
-        alive = bs.universe(n)
+        alive = TidVector.universe(n)
         kept: List[ClassRule] = []
         for rule in candidates:
             if not alive:
                 break
             matched = dataset.pattern_tidset(rule.items) & alive
-            correct = matched & dataset.class_tidset(rule.class_index)
-            if not correct:
+            if not matched.intersects(
+                    dataset.class_tidset(rule.class_index)):
                 continue
             kept.append(rule)
-            for r in bs.iter_indices(matched):
+            retired = []
+            for r in matched.indices():
                 cover_counts[r] += 1
                 if cover_counts[r] >= self.delta:
-                    alive &= ~(1 << r)
+                    retired.append(int(r))
+            if retired:
+                alive = alive.without_indices(retired)
         self.rules = kept
         self.default_class = majority_class(dataset)
         self._n = n

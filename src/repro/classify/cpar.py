@@ -32,12 +32,12 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from .. import bitset as bs
 from ..data.dataset import Dataset
 from ..errors import DataError
 from ..mining.rules import ClassRule
 from ..stats.fisher import fisher_two_tailed
 from ..stats.logfact import LogFactorialBuffer
+from ..tidvector import TidVector
 from .base import Prediction, majority_class, rule_matches
 
 __all__ = ["CPARClassifier", "InducedRuleSet", "foil_gain"]
@@ -96,7 +96,7 @@ class _RuleSeed:
     """A partial rule during greedy growth."""
 
     items: FrozenSet[int]
-    covered: int        # bitset of records satisfying the rule
+    covered: TidVector  # packed set of records satisfying the rule
 
 
 @dataclass
@@ -215,8 +215,9 @@ class CPARClassifier:
                     class_index: int,
                     buffer: LogFactorialBuffer) -> ClassRule:
         tidset = dataset.pattern_tidset(items)
-        coverage = bs.popcount(tidset)
-        support = bs.popcount(tidset & dataset.class_tidset(class_index))
+        coverage = tidset.count()
+        support = tidset.intersection_count(
+            dataset.class_tidset(class_index))
         confidence = support / coverage if coverage else 0.0
         p_value = fisher_two_tailed(
             support, dataset.n_records,
@@ -237,9 +238,9 @@ class CPARClassifier:
         """Weighted-covering loop producing antecedents for one class.
         """
         positives = dataset.class_tidset(class_index)
-        universe = bs.universe(dataset.n_records)
+        universe = TidVector.universe(dataset.n_records)
         weights: Dict[int, float] = {
-            r: 1.0 for r in bs.iter_indices(positives)}
+            int(r): 1.0 for r in positives.indices()}
         if not weights:
             return []
         initial_weight = float(len(weights))
@@ -259,7 +260,7 @@ class CPARClassifier:
                 if items in produced:
                     continue
                 produced.append(items)
-                for r in bs.iter_indices(covered & positives):
+                for r in (covered & positives).indices():
                     if r in weights:
                         weights[r] *= self.weight_decay
                         progressed = True
@@ -267,9 +268,9 @@ class CPARClassifier:
                 break
         return produced
 
-    def _grow_rules(self, dataset: Dataset, positives: int,
-                    universe: int, weights: Dict[int, float],
-                    ) -> List[Tuple[FrozenSet[int], int]]:
+    def _grow_rules(self, dataset: Dataset, positives: TidVector,
+                    universe: TidVector, weights: Dict[int, float],
+                    ) -> List[Tuple[FrozenSet[int], TidVector]]:
         """Grow one generation of rules, branching on near-tie gains."""
         finished: List[Tuple[FrozenSet[int], int]] = []
         frontier = [_RuleSeed(frozenset(), universe)]
@@ -284,22 +285,22 @@ class CPARClassifier:
             for item, covered in expansions:
                 items = seed.items | {item}
                 child = _RuleSeed(frozenset(items), covered)
-                pure = (covered & ~positives) == 0
+                pure = covered.is_subset(positives)
                 if len(items) >= self.max_rule_length or pure:
                     finished.append((child.items, child.covered))
                 else:
                     frontier.append(child)
         return finished
 
-    def _best_literals(self, dataset: Dataset, positives: int,
+    def _best_literals(self, dataset: Dataset, positives: TidVector,
                        weights: Dict[int, float], seed: _RuleSeed,
-                       ) -> List[Tuple[int, int]]:
+                       ) -> List[Tuple[int, TidVector]]:
         """Items whose gain is within ``gain_similarity`` of the best.
         """
         p0 = sum(weights[r]
-                 for r in bs.iter_indices(seed.covered & positives))
-        n0 = bs.popcount(seed.covered & ~positives)
-        scored: List[Tuple[float, int, int]] = []
+                 for r in (seed.covered & positives).indices())
+        n0 = seed.covered.andnot_count(positives)
+        scored: List[Tuple[float, int, TidVector]] = []
         for item in range(dataset.n_items):
             if item in seed.items:
                 continue
@@ -307,10 +308,10 @@ class CPARClassifier:
             if covered == seed.covered:
                 continue  # adds no constraint
             p1 = sum(weights[r]
-                     for r in bs.iter_indices(covered & positives))
+                     for r in (covered & positives).indices())
             if p1 == 0.0:
                 continue
-            n1 = bs.popcount(covered & ~positives)
+            n1 = covered.andnot_count(positives)
             gain = foil_gain(p0, n0, p1, n1)
             if gain >= self.min_gain:
                 scored.append((gain, item, covered))

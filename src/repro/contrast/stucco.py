@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import bitset as bs
 from ..bitmat import BitMatrix
 from ..data.dataset import Dataset
 from ..errors import CorrectionError, MiningError, StatsError
@@ -129,20 +128,24 @@ def stucco_alpha_levels(alpha: float,
     return levels
 
 
-def group_contingency(tidset: int, dataset: Dataset,
+def group_contingency(tidset, dataset: Dataset,
                       ) -> Tuple[List[int], List[int]]:
     """Observed 2xG table of one pattern against the dataset's groups.
 
-    Returns ``(containing, missing)``: per group, the number of records
-    with and without the pattern.
+    ``tidset`` is a packed :class:`~repro.tidvector.TidVector` (bigint
+    accepted for interop). Returns ``(containing, missing)``: per
+    group, the number of records with and without the pattern.
     """
+    from ..tidvector import as_tidvector
+
+    tidset = as_tidvector(tidset, dataset.n_records)
     containing = []
     missing = []
     for g in range(dataset.n_classes):
         group_tids = dataset.class_tidset(g)
-        inside = bs.popcount(tidset & group_tids)
+        inside = tidset.intersection_count(group_tids)
         containing.append(inside)
-        missing.append(bs.popcount(group_tids) - inside)
+        missing.append(group_tids.count() - inside)
     return containing, missing
 
 

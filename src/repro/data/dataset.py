@@ -1,22 +1,41 @@
 """Attribute-valued dataset with class labels (Section 2.1 of the paper).
 
 A :class:`Dataset` stores records columnar: for every item (attribute =
-value pair) it keeps the *tidset* — the bitset of record ids containing
-the item — and for every class label the bitset of records carrying that
-label. All mining and statistics downstream consume only these bitsets
-plus a handful of integer counts, which is what enables the paper's
-"mine once, re-score per permutation" optimization (Section 4.2.1):
+value pair) it keeps the *tidset* — the packed record-id set of the
+records containing the item — and for every class label the packed set
+of records carrying that label. Both live in shared uint64 arenas
+(``(n_items, ceil(n/64))`` and ``(n_classes, ceil(n/64))``) built
+vectorized at ingest; the per-item/per-class views are
+:class:`~repro.tidvector.TidVector` rows over those arenas. All mining
+and statistics downstream consume only these packed sets plus a
+handful of integer counts, which is what enables the paper's "mine
+once, re-score per permutation" optimization (Section 4.2.1):
 permuting class labels leaves every item tidset untouched.
+
+For plugin/oracle interop the constructor also accepts bigint bitsets
+(the pre-packed-native representation); they are coerced once at
+construction and never reappear downstream.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .. import bitset as bs
+import numpy as np
+
 from ..errors import DataError
+from ..tidvector import (
+    TidVector,
+    arena_rows,
+    pack_bool_matrix,
+    pack_id_lists,
+    pack_pairs,
+    unpack_arena,
+    words_for,
+)
 from .items import Item, ItemCatalog
 
 __all__ = ["Dataset", "ClassSummary"]
@@ -29,7 +48,7 @@ class ClassSummary:
     index: int
     name: str
     support: int
-    tidset: int = field(repr=False)
+    tidset: TidVector = field(repr=False)
 
 
 class Dataset:
@@ -42,8 +61,9 @@ class Dataset:
     catalog:
         The item catalog; item ids index into ``item_tidsets``.
     item_tidsets:
-        ``item_tidsets[i]`` is the bitset of record ids containing item
-        ``i``.
+        One tidset per item: :class:`~repro.tidvector.TidVector` values,
+        bigint bitsets (interop; coerced), or a ready
+        ``(n_items, ceil(n/64))`` uint64 arena (shared zero-copy).
     class_labels:
         Per-record class index (length ``n_records``).
     class_names:
@@ -56,18 +76,15 @@ class Dataset:
         self,
         n_records: int,
         catalog: ItemCatalog,
-        item_tidsets: Sequence[int],
+        item_tidsets: Sequence,
         class_labels: Sequence[int],
         class_names: Sequence[str],
         name: str = "dataset",
     ) -> None:
+        class_labels = [int(label) for label in class_labels]
         if len(class_labels) != n_records:
             raise DataError(
                 f"{len(class_labels)} class labels for {n_records} records"
-            )
-        if len(item_tidsets) != len(catalog):
-            raise DataError(
-                f"{len(item_tidsets)} tidsets for {len(catalog)} items"
             )
         if n_records == 0:
             raise DataError("dataset must contain at least one record")
@@ -76,18 +93,65 @@ class Dataset:
             raise DataError("dataset must have at least two classes")
         self.n_records = n_records
         self.catalog = catalog
-        self.item_tidsets: List[int] = list(item_tidsets)
-        self.class_labels: List[int] = list(class_labels)
+        self._item_arena = self._adopt_arena(item_tidsets, n_records)
+        if self._item_arena.shape[0] != len(catalog):
+            raise DataError(
+                f"{self._item_arena.shape[0]} tidsets for "
+                f"{len(catalog)} items"
+            )
+        self.item_tidsets: List[TidVector] = arena_rows(
+            self._item_arena, n_records)
+        self.class_labels: List[int] = class_labels
         self.class_names: List[str] = [str(c) for c in class_names]
         self.name = name
-        limit = bs.universe(n_records)
-        for i, tids in enumerate(self.item_tidsets):
-            if tids & ~limit:
-                raise DataError(f"tidset of item {i} references records >= n")
-        for label in self.class_labels:
-            if not 0 <= label < n_classes:
-                raise DataError(f"class label {label} out of range")
-        self._class_tidsets = self._build_class_tidsets()
+        self._labels_array = np.asarray(class_labels, dtype=np.int64)
+        if self._labels_array.size and (
+                self._labels_array.min() < 0
+                or self._labels_array.max() >= n_classes):
+            bad = int(self._labels_array.min()
+                      if self._labels_array.min() < 0
+                      else self._labels_array.max())
+            raise DataError(f"class label {bad} out of range")
+        self._class_arena = pack_bool_matrix(
+            self._labels_array[None, :]
+            == np.arange(n_classes, dtype=np.int64)[:, None])
+        self._class_tidsets = arena_rows(self._class_arena, n_records)
+
+    @staticmethod
+    def _adopt_arena(item_tidsets, n_records: int) -> np.ndarray:
+        """Normalize any accepted tidset input to one packed arena."""
+        n_words = words_for(n_records)
+        if isinstance(item_tidsets, np.ndarray) and item_tidsets.ndim == 2:
+            arena = np.ascontiguousarray(item_tidsets, dtype=np.uint64)
+            if arena.shape[1] != n_words:
+                raise DataError(
+                    f"arena has {arena.shape[1]} words per row, need "
+                    f"{n_words} for {n_records} records")
+            tail = n_records % 64
+            if n_words and tail and np.any(
+                    arena[:, -1] >> np.uint64(tail)):
+                raise DataError(
+                    "arena tidsets reference records >= n")
+            return arena
+        rows = list(item_tidsets)
+        if rows and all(isinstance(t, TidVector) for t in rows):
+            arena = np.empty((len(rows), n_words), dtype=np.uint64)
+            for i, tids in enumerate(rows):
+                if tids.n != n_records:
+                    raise DataError(
+                        f"tidset of item {i} covers {tids.n} records, "
+                        f"expected {n_records}")
+                arena[i] = tids.words
+            return arena
+        arena = np.zeros((len(rows), n_words), dtype=np.uint64)
+        for i, tids in enumerate(rows):
+            try:
+                arena[i] = TidVector.from_bigint(int(tids),
+                                                 n_records).words
+            except ValueError:
+                raise DataError(
+                    f"tidset of item {i} references records >= n")
+        return arena
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -107,6 +171,15 @@ class Dataset:
         ``records[r][a]`` is the value of attribute ``a`` in record
         ``r``; values are stringified. A value of ``None`` means
         "missing" and produces no item for that cell.
+
+        Ingest is columnar and vectorized: each attribute's column is
+        tokenized once against a plain per-column dict (no per-cell
+        catalog object), catalog ids are then assigned in exactly the
+        historical row-major first-seen order (so item ids — and every
+        downstream mining order built on them — are unchanged), and
+        all cells land in the packed uint64 arena through one
+        :func:`~repro.tidvector.pack_pairs` call. No per-cell bigint
+        arithmetic anywhere.
         """
         if not records:
             raise DataError("no records supplied")
@@ -115,22 +188,59 @@ class Dataset:
             attribute_names = [f"A{j}" for j in range(n_attributes)]
         if len(attribute_names) != n_attributes:
             raise DataError("attribute_names length mismatch")
-        catalog = ItemCatalog()
-        tidsets: List[int] = []
+        n = len(records)
         for r, record in enumerate(records):
             if len(record) != n_attributes:
                 raise DataError(f"record {r} has {len(record)} values, "
                                 f"expected {n_attributes}")
-            for j, value in enumerate(record):
+        columns = []      # per attribute: (values, codes, rec_ids)
+        registration = []  # (first_record, attribute, local code)
+        for j in range(n_attributes):
+            seen: Dict[str, int] = {}
+            values: List[str] = []
+            codes: List[int] = []
+            rec_ids: List[int] = []
+            for r in range(n):
+                value = records[r][j]
                 if value is None:
                     continue
-                item_id = catalog.add_pair(attribute_names[j], str(value))
-                if item_id == len(tidsets):
-                    tidsets.append(0)
-                tidsets[item_id] |= 1 << r
+                value = value if type(value) is str else str(value)
+                code = seen.get(value)
+                if code is None:
+                    code = len(values)
+                    seen[value] = code
+                    values.append(value)
+                    registration.append((r, j, code))
+                codes.append(code)
+                rec_ids.append(r)
+            columns.append((values, codes, rec_ids))
+        # Catalog ids in row-major first-seen order: sorting the
+        # (first_record, attribute) pairs replays the historical
+        # cell-by-cell scan exactly.
+        registration.sort()
+        catalog = ItemCatalog()
+        id_of: Dict[Tuple[int, int], int] = {}
+        for first_r, j, code in registration:
+            id_of[(j, code)] = catalog.add_pair(
+                attribute_names[j], columns[j][0][code])
+        total = sum(len(codes) for _, codes, _ in columns)
+        set_ids = np.empty(total, dtype=np.int64)
+        record_ids = np.empty(total, dtype=np.int64)
+        offset = 0
+        for j, (values, codes, rec_ids) in enumerate(columns):
+            if not codes:
+                continue
+            mapping = np.fromiter(
+                (id_of[(j, code)] for code in range(len(values))),
+                dtype=np.int64, count=len(values))
+            k = len(codes)
+            set_ids[offset:offset + k] = mapping[
+                np.asarray(codes, dtype=np.int64)]
+            record_ids[offset:offset + k] = rec_ids
+            offset += k
+        arena = pack_pairs(set_ids, record_ids, len(catalog), n)
         label_indices, names = _encode_labels(class_labels, class_names)
-        return cls(len(records), catalog, tidsets, label_indices, names,
-                   name=name)
+        return cls(n, catalog, arena, label_indices, names, name=name)
 
     @classmethod
     def from_transactions(
@@ -149,16 +259,17 @@ class Dataset:
         if not transactions:
             raise DataError("no transactions supplied")
         catalog = ItemCatalog()
-        tidsets: List[int] = []
+        item_rows: List[List[int]] = []
         for r, transaction in enumerate(transactions):
             for element in transaction:
                 item_id = catalog.add_pair(f"item:{element}", "1")
-                if item_id == len(tidsets):
-                    tidsets.append(0)
-                tidsets[item_id] |= 1 << r
+                if item_id == len(item_rows):
+                    item_rows.append([])
+                item_rows[item_id].append(r)
         label_indices, names = _encode_labels(class_labels, class_names)
-        return cls(len(transactions), catalog, tidsets, label_indices, names,
-                   name=name)
+        return cls(len(transactions), catalog,
+                   pack_id_lists(item_rows, len(transactions)),
+                   label_indices, names, name=name)
 
     # ------------------------------------------------------------------
     # core accessors
@@ -179,41 +290,55 @@ class Dataset:
         """Number of attributes (excluding the class attribute)."""
         return len(self.catalog.attributes)
 
-    def class_tidset(self, class_index: int) -> int:
-        """Bitset of records labelled with class ``class_index``."""
+    @property
+    def item_arena(self) -> np.ndarray:
+        """The shared ``(n_items, n_words)`` packed arena (read-only
+        by convention; item tidset views alias its rows)."""
+        return self._item_arena
+
+    def class_tidset(self, class_index: int) -> TidVector:
+        """Packed set of records labelled with class ``class_index``."""
         return self._class_tidsets[class_index]
 
     def class_support(self, class_index: int) -> int:
         """``n_c``: the number of records labelled with the class."""
-        return bs.popcount(self._class_tidsets[class_index])
+        return self._class_tidsets[class_index].count()
 
     def class_summaries(self) -> List[ClassSummary]:
         """Per-class name/support/tidset summaries."""
         return [
-            ClassSummary(i, self.class_names[i],
-                         bs.popcount(t), t)
+            ClassSummary(i, self.class_names[i], t.count(), t)
             for i, t in enumerate(self._class_tidsets)
         ]
 
     def item_support(self, item_id: int) -> int:
         """Support of a single item."""
-        return bs.popcount(self.item_tidsets[item_id])
+        return self.item_tidsets[item_id].count()
 
-    def pattern_tidset(self, item_ids: Iterable[int]) -> int:
-        """Tidset of a pattern: intersection of its items' tidsets."""
-        tids = bs.universe(self.n_records)
-        for item_id in item_ids:
-            tids &= self.item_tidsets[item_id]
-        return tids
+    def pattern_tidset(self, item_ids: Iterable[int]) -> TidVector:
+        """Tidset of a pattern: intersection of its items' tidsets.
+
+        Chained word-wise intersection with an early exit as soon as
+        the running set empties; the empty pattern covers everything.
+        """
+        ids = [int(i) for i in item_ids]
+        if not ids:
+            return TidVector.universe(self.n_records)
+        words = self._item_arena[ids[0]].copy()
+        for item_id in ids[1:]:
+            np.bitwise_and(words, self._item_arena[item_id], out=words)
+            if not words.any():
+                break
+        return TidVector(words, self.n_records)
 
     def pattern_support(self, item_ids: Iterable[int]) -> int:
         """Support (coverage) of a pattern."""
-        return bs.popcount(self.pattern_tidset(item_ids))
+        return self.pattern_tidset(item_ids).count()
 
     def rule_support(self, item_ids: Iterable[int], class_index: int) -> int:
         """Support of the rule ``pattern => class``."""
-        tids = self.pattern_tidset(item_ids)
-        return bs.popcount(tids & self._class_tidsets[class_index])
+        return self.pattern_tidset(item_ids).intersection_count(
+            self._class_tidsets[class_index])
 
     # ------------------------------------------------------------------
     # transformations
@@ -221,40 +346,67 @@ class Dataset:
 
     def with_class_labels(self, new_labels: Sequence[int],
                           name: Optional[str] = None) -> "Dataset":
-        """Return a copy sharing tidsets but with different labels.
+        """Return a copy sharing the item arena but with new labels.
 
-        Item tidsets are shared (they are immutable ints), so this is
-        cheap; it is the primitive beneath permutation testing.
+        The packed item arena is shared zero-copy (tidsets are
+        immutable), so this is cheap; it is the primitive beneath
+        permutation testing.
         """
         return Dataset(
             self.n_records,
             self.catalog,
-            self.item_tidsets,
+            self._item_arena,
             new_labels,
             self.class_names,
             name=name or self.name,
         )
 
-    def permuted(self, rng: random.Random,
-                 name: Optional[str] = None) -> "Dataset":
-        """Return a copy with class labels randomly shuffled."""
-        labels = list(self.class_labels)
-        rng.shuffle(labels)
+    def permuted(self, rng=None, name: Optional[str] = None) -> "Dataset":
+        """Return a copy with class labels randomly shuffled.
+
+        ``rng`` is a :class:`numpy.random.Generator` (``None`` draws a
+        fresh ``numpy.random.default_rng()``), matching the permutation
+        engine's label-shuffle path. Passing a :class:`random.Random`
+        is deprecated; the legacy Fisher–Yates shuffle is kept as a
+        warning shim for one release.
+        """
+        if isinstance(rng, random.Random):
+            warnings.warn(
+                "Dataset.permuted(random.Random) is deprecated; pass a "
+                "numpy.random.Generator (e.g. numpy.random.default_rng"
+                "(seed)) for the engine-consistent shuffle",
+                DeprecationWarning, stacklevel=2)
+            labels = list(self.class_labels)
+            rng.shuffle(labels)
+        else:
+            generator = rng if rng is not None else np.random.default_rng()
+            labels = generator.permutation(self._labels_array)
         return self.with_class_labels(labels, name=name or
                                       f"{self.name}[permuted]")
 
-    def permuted_class_tidsets(self, rng: random.Random) -> List[int]:
-        """Shuffle labels and return only the per-class bitsets.
+    def permuted_class_tidsets(self, rng=None) -> List[TidVector]:
+        """Shuffle labels and return only the per-class packed sets.
 
-        The permutation engine needs nothing but these bitsets, so this
-        avoids constructing a full Dataset per permutation.
+        The permutation engine needs nothing but these sets, so this
+        avoids constructing a full Dataset per permutation. ``rng``
+        follows :meth:`permuted` (numpy Generator preferred;
+        :class:`random.Random` deprecated).
         """
-        labels = list(self.class_labels)
-        rng.shuffle(labels)
-        tidsets = [0] * self.n_classes
-        for r, label in enumerate(labels):
-            tidsets[label] |= 1 << r
-        return tidsets
+        if isinstance(rng, random.Random):
+            warnings.warn(
+                "Dataset.permuted_class_tidsets(random.Random) is "
+                "deprecated; pass a numpy.random.Generator",
+                DeprecationWarning, stacklevel=2)
+            labels_list = list(self.class_labels)
+            rng.shuffle(labels_list)
+            labels = np.asarray(labels_list, dtype=np.int64)
+        else:
+            generator = rng if rng is not None else np.random.default_rng()
+            labels = generator.permutation(self._labels_array)
+        arena = pack_bool_matrix(
+            labels[None, :]
+            == np.arange(self.n_classes, dtype=np.int64)[:, None])
+        return arena_rows(arena, self.n_records)
 
     def subset(self, record_ids: Sequence[int],
                name: Optional[str] = None) -> "Dataset":
@@ -263,9 +415,11 @@ class Dataset:
         Used by the holdout approach to materialize the exploratory and
         evaluation halves. Items that vanish from the subset keep their
         catalog entry with an empty tidset, so item ids remain
-        comparable across the two halves.
+        comparable across the two halves. Extraction is one vectorized
+        unpack → column-select → repack over the whole arena, not a
+        per-bit probe per item.
         """
-        ordered = list(record_ids)
+        ordered = list(int(r) for r in record_ids)
         seen = set()
         for r in ordered:
             if r < 0 or r >= self.n_records:
@@ -273,17 +427,20 @@ class Dataset:
             if r in seen:
                 raise DataError(f"duplicate record id {r} in subset")
             seen.add(r)
-        position = {r: i for i, r in enumerate(ordered)}
-        new_tidsets = []
-        for tids in self.item_tidsets:
-            new_bits = 0
-            for r in bs.iter_indices(tids):
-                pos = position.get(r)
-                if pos is not None:
-                    new_bits |= 1 << pos
-            new_tidsets.append(new_bits)
-        new_labels = [self.class_labels[r] for r in ordered]
-        return Dataset(len(ordered), self.catalog, new_tidsets, new_labels,
+        columns = np.asarray(ordered, dtype=np.int64)
+        n_items = self._item_arena.shape[0]
+        new_arena = np.empty((n_items, words_for(len(ordered))),
+                             dtype=np.uint64)
+        # Unpack in item-row chunks so the bool intermediate stays
+        # bounded (~64 MB) however large n_items x n_records grows.
+        chunk = max(1, (64 << 20) // max(1, self.n_records))
+        for start in range(0, n_items, chunk):
+            flags = unpack_arena(self._item_arena[start:start + chunk],
+                                 self.n_records)
+            new_arena[start:start + flags.shape[0]] = \
+                pack_bool_matrix(flags[:, columns])
+        new_labels = self._labels_array[columns]
+        return Dataset(len(ordered), self.catalog, new_arena, new_labels,
                        self.class_names,
                        name=name or f"{self.name}[subset]")
 
@@ -323,7 +480,7 @@ class Dataset:
         for item_id, tids in enumerate(self.item_tidsets):
             item = self.catalog.item(item_id)
             j = column_of[item.attribute]
-            for r in bs.iter_indices(tids):
+            for r in tids.indices():
                 rows[r][j] = item.value
         return rows
 
@@ -331,16 +488,6 @@ class Dataset:
         return (f"Dataset(name={self.name!r}, n_records={self.n_records}, "
                 f"n_attributes={self.n_attributes}, n_items={self.n_items}, "
                 f"n_classes={self.n_classes})")
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-
-    def _build_class_tidsets(self) -> List[int]:
-        tidsets = [0] * self.n_classes
-        for r, label in enumerate(self.class_labels):
-            tidsets[label] |= 1 << r
-        return tidsets
 
 
 def _encode_labels(

@@ -174,9 +174,8 @@ def save_fimi(dataset: Dataset, path: PathLike,
     """
     path = Path(path)
     rows: List[List[int]] = [[] for _ in range(dataset.n_records)]
-    from .. import bitset as bs
     for item_id, tids in enumerate(dataset.item_tidsets):
-        for r in bs.iter_indices(tids):
+        for r in tids.indices():
             rows[r].append(item_id)
     with path.open("w") as handle:
         for row in rows:

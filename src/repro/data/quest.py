@@ -73,21 +73,25 @@ class QuestData:
     transactions: List[List[int]]
     patterns: List[frozenset]
     pattern_weights: List[float]
-    item_tidsets: List[int] = field(repr=False, default_factory=list)
+    item_tidsets: List = field(repr=False, default_factory=list)
 
     @property
     def n_transactions(self) -> int:
         """Number of generated transactions."""
         return len(self.transactions)
 
-    def tidsets(self) -> List[int]:
-        """Columnar layout: one record-id bitset per item id."""
+    def tidsets(self) -> List:
+        """Columnar layout: one packed record set per item id."""
         if not self.item_tidsets:
-            tidsets = [0] * self.config.n_items
+            from ..tidvector import arena_rows, pack_id_lists
+
+            id_lists: List[List[int]] = [
+                [] for _ in range(self.config.n_items)]
             for r, transaction in enumerate(self.transactions):
                 for item in transaction:
-                    tidsets[item] |= 1 << r
-            self.item_tidsets = tidsets
+                    id_lists[item].append(r)
+            arena = pack_id_lists(id_lists, self.n_transactions)
+            self.item_tidsets = arena_rows(arena, self.n_transactions)
         return self.item_tidsets
 
 

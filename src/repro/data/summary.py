@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from .. import bitset as bs
 from ..errors import DataError
 from .dataset import Dataset
 
@@ -77,7 +76,7 @@ def summarize(dataset: Dataset, target_items: int = 50) -> DatasetSummary:
     """Profile a dataset for mining-parameter selection."""
     if target_items < 1:
         raise DataError("target_items must be positive")
-    supports = [bs.popcount(t) for t in dataset.item_tidsets]
+    supports = [t.count() for t in dataset.item_tidsets]
     profiles: List[AttributeProfile] = []
     for attribute in dataset.catalog.attributes:
         item_ids = dataset.catalog.items_of_attribute(attribute)

@@ -28,8 +28,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .. import bitset as bs
 from ..errors import DataError
+from ..tidvector import TidVector
 from .dataset import Dataset
 
 __all__ = [
@@ -108,7 +108,9 @@ class EmbeddedRule:
     target_confidence: float
     record_ids: List[int] = field(default_factory=list)
     item_ids: frozenset = frozenset()
-    tidset: int = 0
+    #: Packed record set in the final dataset (``0`` until resolved;
+    #: bigint interop accepted, both expose ``bit_count``).
+    tidset: object = 0
 
     @property
     def length(self) -> int:
@@ -118,7 +120,7 @@ class EmbeddedRule:
     @property
     def coverage(self) -> int:
         """Realized coverage ``supp(X_t)`` in the final dataset."""
-        return bs.popcount(self.tidset)
+        return self.tidset.bit_count()
 
     def describe(self) -> str:
         """Human-readable ``{A=v, ...} => class`` rendering."""

@@ -35,7 +35,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .. import bitset as bs
 from ..data.dataset import Dataset
 from ..data.synthetic import EmbeddedRule
 from ..errors import EvaluationError
@@ -102,17 +101,17 @@ def adjusted_p_value(rule: ClassRule, embedded: EmbeddedRule,
               if rule_tidset is None else rule_tidset)
     tids_t = dataset.pattern_tidset(embedded.item_ids)
     overlap = tids_x & tids_t
-    if overlap == 0:
+    if not overlap:
         return None
     n = dataset.n_records
     n_c = dataset.class_support(rule.class_index)
     class_bits = dataset.class_tidset(rule.class_index)
-    overlap_size = bs.popcount(overlap)
-    observed_overlap_c = bs.popcount(overlap & class_bits)
+    overlap_size = overlap.count()
+    observed_overlap_c = overlap.intersection_count(class_bits)
     expected_overlap_c = overlap_size * n_c / n
     adjusted_support = expected_overlap_c + (rule.support
                                              - observed_overlap_c)
-    supp_x = bs.popcount(tids_x)
+    supp_x = tids_x.count()
     # The adjusted support is fractional; evaluate the exact test at the
     # nearest reachable integer support.
     buffer = cache.buffer_for(supp_x)

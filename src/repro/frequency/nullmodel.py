@@ -15,20 +15,21 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Sequence
 
-from .. import bitset as bs
 from ..errors import StatsError
 from ..stats.binomial import binomial_test_upper
 from ..stats.logfact import LogFactorialBuffer
+from ..tidvector import TidVector, as_tidvector
 
 __all__ = ["NullModel", "item_frequencies", "pattern_null_probability"]
 
 
-def item_frequencies(item_tidsets: Sequence[int],
+def item_frequencies(item_tidsets: Sequence,
                      n_records: int) -> List[float]:
     """Observed marginal frequency of every item."""
     if n_records <= 0:
         raise StatsError(f"n_records must be positive, got {n_records}")
-    return [bs.popcount(tids) / n_records for tids in item_tidsets]
+    return [as_tidvector(tids, n_records).count() / n_records
+            for tids in item_tidsets]
 
 
 def pattern_null_probability(frequencies: Sequence[float],
@@ -81,22 +82,24 @@ class NullModel:
         """Null-mean support ``n * prod_i f_i`` of a pattern."""
         return self.n_records * self.pattern_probability(items)
 
-    def sample_tidsets(self, rng: random.Random) -> List[int]:
+    def sample_tidsets(self, rng: random.Random) -> List[TidVector]:
         """Draw one frequency-preserving independent dataset.
 
         Item ``i`` enters each record independently with probability
-        ``f_i``; the returned tidsets have the observed data's shape
-        and (in expectation) its marginals, but no item interactions.
+        ``f_i``; the returned packed tidsets have the observed data's
+        shape and (in expectation) its marginals, but no item
+        interactions. The RNG draw sequence matches the historical
+        bigint sampler exactly (one uniform per record for fractional
+        frequencies), so seeded runs reproduce.
         """
         n = self.n_records
-        tidsets: List[int] = []
+        tidsets: List[TidVector] = []
         for frequency in self.frequencies:
-            bits = 0
             if frequency >= 1.0:
-                bits = bs.universe(n)
+                tidsets.append(TidVector.universe(n))
             elif frequency > 0.0:
-                for r in range(n):
-                    if rng.random() < frequency:
-                        bits |= 1 << r
-            tidsets.append(bits)
+                flags = [rng.random() < frequency for _ in range(n)]
+                tidsets.append(TidVector.from_bool(flags))
+            else:
+                tidsets.append(TidVector.empty(n))
         return tidsets

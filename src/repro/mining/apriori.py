@@ -12,8 +12,9 @@ pattern. It serves two purposes here:
 
 Candidate generation is the standard join of two (k-1)-patterns that
 share a (k-2)-prefix, followed by the subset-pruning step; support
-counting reuses the vertical bitset representation, so the
-implementation stays compact without being a toy.
+counting runs word-wise on the packed vertical representation
+(:class:`~repro.tidvector.TidVector`), so the implementation stays
+compact without being a toy.
 """
 
 from __future__ import annotations
@@ -22,8 +23,8 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .. import bitset as bs
 from ..errors import MiningError
+from ..tidvector import TidVector, as_tidvector
 
 __all__ = ["FrequentPattern", "mine_apriori"]
 
@@ -33,7 +34,7 @@ class FrequentPattern:
     """A frequent (not necessarily closed) pattern."""
 
     items: frozenset
-    tidset: int
+    tidset: TidVector
     support: int
 
     @property
@@ -43,36 +44,43 @@ class FrequentPattern:
 
 
 def mine_apriori(
-    item_tidsets: Sequence[int],
+    item_tidsets: Sequence,
     n_records: int,
     min_sup: int,
     max_length: Optional[int] = None,
 ) -> List[FrequentPattern]:
     """Mine all frequent patterns level-wise.
 
-    Returns patterns of length >= 1 ordered by (length, sorted items).
-    Exponential in the worst case — intended for modest inputs (tests,
-    ablations), not for the full benchmark datasets.
+    ``item_tidsets`` entries may be packed
+    :class:`~repro.tidvector.TidVector` values or bigint bitsets
+    (interop; coerced once at entry). Returns patterns of length >= 1
+    ordered by (length, sorted items). Exponential in the worst case —
+    intended for modest inputs (tests, ablations), not for the full
+    benchmark datasets.
     """
     if min_sup < 1:
         raise MiningError(f"min_sup must be >= 1, got {min_sup}")
     if max_length is not None and max_length < 1:
         return []
-    frequent_items: List[Tuple[int, int, int]] = []
-    for item_id, tids in enumerate(item_tidsets):
-        support = bs.popcount(tids)
+    try:
+        vectors = [as_tidvector(t, n_records) for t in item_tidsets]
+    except ValueError as exc:
+        raise MiningError(str(exc)) from exc
+    frequent_items: List[Tuple[int, TidVector, int]] = []
+    for item_id, tids in enumerate(vectors):
+        support = tids.count()
         if support >= min_sup:
             frequent_items.append((item_id, tids, support))
     frequent_items.sort(key=lambda t: t[0])
     out: List[FrequentPattern] = []
-    level: Dict[Tuple[int, ...], int] = {}
+    level: Dict[Tuple[int, ...], TidVector] = {}
     for item_id, tids, support in frequent_items:
         key = (item_id,)
         level[key] = tids
         out.append(FrequentPattern(frozenset(key), tids, support))
     k = 1
     while level and (max_length is None or k < max_length):
-        next_level: Dict[Tuple[int, ...], int] = {}
+        next_level: Dict[Tuple[int, ...], TidVector] = {}
         keys = sorted(level)
         current = set(keys)
         for a_index in range(len(keys)):
@@ -87,7 +95,7 @@ def mine_apriori(
                 if not _all_subsets_frequent(candidate, current):
                     continue
                 tids = level[a] & level[b]
-                support = bs.popcount(tids)
+                support = tids.count()
                 if support >= min_sup:
                     next_level[candidate] = tids
                     out.append(FrequentPattern(

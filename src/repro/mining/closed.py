@@ -19,6 +19,12 @@ no global duplicate checking:
   ``P``'s — otherwise ``Q`` is reachable from a lexicographically
   earlier branch and is pruned here.
 
+The enumeration runs directly on the packed vertical view: tidset
+intersections are word-wise uint64 ops and each closure check is one
+vectorized ``tids & ~row`` pass over the whole item matrix
+(:meth:`~repro.mining.tidsets.VerticalView.superset_positions`)
+instead of a per-item Python scan.
+
 Every emitted node records its tree parent, which the Diffsets storage
 policy (Section 4.2.2) and the permutation engine rely on.
 """
@@ -27,8 +33,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from .. import bitset as bs
 from ..errors import MiningError
+from ..tidvector import TidVector
 from .patterns import Pattern
 from .tidsets import VerticalView, build_vertical_view
 
@@ -48,7 +54,7 @@ class ClosedPattern(Pattern):
 
 
 def mine_closed(
-    item_tidsets: Sequence[int],
+    item_tidsets: Sequence,
     n_records: int,
     min_sup: int,
     max_length: Optional[int] = None,
@@ -59,8 +65,10 @@ def mine_closed(
     Parameters
     ----------
     item_tidsets:
-        ``item_tidsets[i]`` is the bitset of records containing item
-        ``i`` (as stored by :class:`repro.data.Dataset`).
+        ``item_tidsets[i]`` is the packed record set
+        (:class:`~repro.tidvector.TidVector`) of records containing
+        item ``i``, as stored by :class:`repro.data.Dataset`; bigint
+        bitsets are accepted for interop and coerced once.
     n_records:
         Number of records ``n``.
     min_sup:
@@ -92,14 +100,13 @@ def mine_closed_from_view(
         raise MiningError("max_length must be non-negative")
     n = view.n_records
     min_sup = view.min_sup
-    tidsets = view.tidsets
-    m = view.n_items
     out: List[ClosedPattern] = []
     if n < min_sup:
         return out
 
-    root_tids = bs.universe(n)
-    root_positions = tuple(_closure_positions(root_tids, tidsets, m))
+    root_tids = TidVector.universe(n)
+    root_positions = tuple(int(p)
+                           for p in view.superset_positions(root_tids))
     if max_length is not None and len(root_positions) > max_length:
         return out
     root_items = frozenset(view.item_ids[p] for p in root_positions)
@@ -112,7 +119,7 @@ def mine_closed_from_view(
     # pattern: (positions, tidset, core position, parent node id,
     # depth). Children are pushed in descending extension order so pops
     # explore ascending item positions, matching the recursive LCM.
-    stack: List[Tuple[Tuple[int, ...], int, int, int, int]] = []
+    stack: List[Tuple[Tuple[int, ...], TidVector, int, int, int]] = []
     _push_children(stack, root_positions, root_tids, -1, 0, 0,
                    view, max_length)
     while stack:
@@ -121,7 +128,7 @@ def mine_closed_from_view(
         items = frozenset(view.item_ids[p] for p in positions)
         out.append(ClosedPattern(
             node_id=node_id, parent_id=parent_id, items=items,
-            tidset=tids, support=bs.popcount(tids), depth=depth,
+            tidset=tids, support=tids.count(), depth=depth,
         ))
         _push_children(stack, positions, tids, _core, node_id, depth,
                        view, max_length)
@@ -129,9 +136,9 @@ def mine_closed_from_view(
 
 
 def _push_children(
-    stack: List[Tuple[Tuple[int, ...], int, int, int, int]],
+    stack: List[Tuple[Tuple[int, ...], TidVector, int, int, int]],
     positions: Tuple[int, ...],
-    tids: int,
+    tids: TidVector,
     core: int,
     node_id: int,
     depth: int,
@@ -146,21 +153,17 @@ def _push_children(
     for j in range(m - 1, core, -1):
         if j in member:
             continue
-        new_tids = tids & tidsets[j]
-        if bs.popcount(new_tids) < min_sup:
+        # Count before materializing: pruned branches never allocate.
+        if tids.intersection_count(tidsets[j]) < min_sup:
             continue
-        closure = tuple(_closure_positions(new_tids, tidsets, m))
+        new_tids = tids & tidsets[j]
+        closure = tuple(int(p)
+                        for p in view.superset_positions(new_tids))
         if not _prefix_preserved(closure, positions, j):
             continue
         if max_length is not None and len(closure) > max_length:
             continue
         stack.append((closure, new_tids, j, node_id, depth + 1))
-
-
-def _closure_positions(tids: int, tidsets: Sequence[int],
-                       m: int) -> List[int]:
-    """Positions of every item whose tidset is a superset of ``tids``."""
-    return [p for p in range(m) if tids & ~tidsets[p] == 0]
 
 
 def _prefix_preserved(closure: Sequence[int], positions: Sequence[int],

@@ -18,7 +18,9 @@ ablation can compare them:
   popcounts over the whole forest at once (and over whole *batches* of
   labellings at once — see :meth:`class_supports_batch`);
 * ``"bitset"`` — the tidset as an arbitrary-precision integer, class
-  supports via per-node bigint ``popcount``;
+  supports via per-node bigint ``popcount`` (the historical substrate,
+  kept as the Fig 4 bigint-baseline ablation arm and as the oracle the
+  packed kernels are diffed against);
 * ``"diffsets"`` — the paper's rule: full record-id list when
   ``supp(X) <= supp(parent)/2``, otherwise the diffset;
 * ``"full"`` — every node stores its full record-id list.
@@ -38,6 +40,7 @@ import numpy as np
 from .. import bitset as bs
 from ..bitmat import BitMatrix
 from ..errors import MiningError
+from ..tidvector import as_tidvector
 from .patterns import Pattern
 
 __all__ = ["PatternForest", "ForestStats", "POLICIES", "DEFAULT_POLICY"]
@@ -107,6 +110,9 @@ class PatternForest:
         self._is_diff: Optional[np.ndarray] = None
         full_ids = int(self._supports.sum())
         if policy == "packed":
+            # Zero-copy adoption of the miners' packed tidsets: one
+            # contiguous stack of already-packed uint64 rows (bigint
+            # rows from plugins are converted, interop only).
             try:
                 self._matrix = BitMatrix.from_tidsets(
                     [p.tidset for p in patterns], n_records)
@@ -115,7 +121,10 @@ class PatternForest:
             stored = full_ids
             full_nodes, diff_nodes = self.n_nodes, 0
         elif policy == "bitset":
-            self._tidsets = [p.tidset for p in patterns]
+            # The bigint ablation arm materializes arbitrary-precision
+            # ints from the packed rows (int() goes through
+            # TidVector.__index__).
+            self._tidsets = [int(p.tidset) for p in patterns]
             stored = full_ids
             full_nodes, diff_nodes = self.n_nodes, 0
         else:
@@ -135,6 +144,7 @@ class PatternForest:
                         policy: str):
         id_lists: List[np.ndarray] = []
         is_diff = np.zeros(len(patterns), dtype=bool)
+        n = self.n_records
         for v, pattern in enumerate(patterns):
             parent_id = pattern.parent_id
             use_diff = False
@@ -145,13 +155,13 @@ class PatternForest:
                 use_diff = pattern.support > parent.support / 2
             if use_diff:
                 parent = patterns[parent_id]
-                diff_bits = parent.tidset & ~pattern.tidset
-                id_lists.append(bs.to_numpy_indices(diff_bits,
-                                                    self.n_records))
+                diff = as_tidvector(parent.tidset, n).andnot(
+                    as_tidvector(pattern.tidset, n))
+                id_lists.append(diff.indices())
                 is_diff[v] = True
             else:
-                id_lists.append(bs.to_numpy_indices(pattern.tidset,
-                                                    self.n_records))
+                id_lists.append(as_tidvector(pattern.tidset,
+                                             n).indices())
         return id_lists, is_diff
 
     def _build_segments(self) -> None:

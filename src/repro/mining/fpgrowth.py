@@ -20,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .. import bitset as bs
 from ..errors import MiningError
+from ..tidvector import TidVector, as_tidvector
 from .apriori import FrequentPattern
 
 __all__ = ["FPTree", "FPNode", "mine_fpgrowth"]
@@ -129,18 +129,19 @@ class FPTree:
 
 
 def mine_fpgrowth(
-    item_tidsets: Sequence[int],
+    item_tidsets: Sequence,
     n_records: int,
     min_sup: int,
     max_length: Optional[int] = None,
 ) -> List[FrequentPattern]:
     """Mine all frequent patterns by recursive pattern growth.
 
-    Parameters mirror :func:`~repro.mining.apriori.mine_apriori`; the
-    result is the identical pattern set ordered by (length, items).
-    Tidsets are attached by intersecting the vertical bitsets at
-    emission, so downstream rule scoring sees no difference between the
-    two miners.
+    Parameters mirror :func:`~repro.mining.apriori.mine_apriori`
+    (packed :class:`~repro.tidvector.TidVector` tidsets, bigints
+    accepted for interop); the result is the identical pattern set
+    ordered by (length, items). Tidsets are attached by intersecting
+    the packed vertical rows at emission, so downstream rule scoring
+    sees no difference between the two miners.
     """
     if min_sup < 1:
         raise MiningError(f"min_sup must be >= 1, got {min_sup}")
@@ -148,8 +149,12 @@ def mine_fpgrowth(
         raise MiningError("n_records must be non-negative")
     if max_length is not None and max_length < 1:
         return []
-    supports = {item: bs.popcount(tids)
-                for item, tids in enumerate(item_tidsets)}
+    try:
+        vectors = [as_tidvector(t, n_records) for t in item_tidsets]
+    except ValueError as exc:
+        raise MiningError(str(exc)) from exc
+    supports = {item: tids.count()
+                for item, tids in enumerate(vectors)}
     frequent = {item for item, supp in supports.items()
                 if supp >= min_sup}
     # Descending frequency, item id as tie-break: the canonical FP order.
@@ -159,13 +164,12 @@ def mine_fpgrowth(
     # (O(sum of supports)) instead of probing every item's bitset for
     # every record (O(n_records * n_items), ruinous on sparse data).
     # Visiting items in rank order leaves each transaction already
-    # sorted by descending global frequency, and iter_indices yields
+    # sorted by descending global frequency, and indices() yields
     # ascending record ids, so the insertion order — and therefore the
     # tree — is identical to the per-record construction.
-    universe = bs.universe(n_records)
     transactions: List[List[int]] = [[] for _ in range(n_records)]
     for item in sorted(frequent, key=lambda i: rank[i]):
-        for record in bs.iter_indices(item_tidsets[item] & universe):
+        for record in vectors[item].indices():
             transactions[record].append(item)
     tree = FPTree()
     for transaction in transactions:
@@ -176,9 +180,9 @@ def mine_fpgrowth(
     found.sort(key=lambda items: (len(items), items))
     out: List[FrequentPattern] = []
     for items in found:
-        tids = _intersect_tidsets(items, item_tidsets, n_records)
+        tids = _intersect_tidsets(items, vectors, n_records)
         out.append(FrequentPattern(frozenset(items), tids,
-                                   bs.popcount(tids)))
+                                   tids.count()))
     return out
 
 
@@ -226,9 +230,9 @@ def _conditional_tree(tree: FPTree, item: int, min_sup: int) -> FPTree:
 
 
 def _intersect_tidsets(items: Sequence[int],
-                       item_tidsets: Sequence[int],
-                       n_records: int) -> int:
-    tids = bs.universe(n_records)
+                       item_tidsets: Sequence[TidVector],
+                       n_records: int) -> TidVector:
+    tids = TidVector.universe(n_records)
     for item in items:
         tids &= item_tidsets[item]
     return tids

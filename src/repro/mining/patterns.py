@@ -34,8 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
-from .. import bitset as bs
 from ..errors import MiningError
+from ..tidvector import TidVector, as_tidvector
 
 __all__ = [
     "Pattern",
@@ -58,10 +58,13 @@ class Pattern:
     items:
         Original catalog item ids of the pattern (frozen set).
     tidset:
-        Bitset of records containing the pattern (a subset of the
-        parent's tidset).
+        Packed record set (:class:`~repro.tidvector.TidVector`) of the
+        records containing the pattern (a subset of the parent's
+        tidset). Plugin miners may still supply bigint bitsets; every
+        consumer coerces through
+        :func:`~repro.tidvector.as_tidvector`.
     support:
-        ``popcount(tidset)`` — the coverage of rules built on this
+        ``tidset.count()`` — the coverage of rules built on this
         pattern.
     depth:
         Distance from the root in the enumeration tree.
@@ -70,7 +73,7 @@ class Pattern:
     node_id: int
     parent_id: int
     items: frozenset
-    tidset: int
+    tidset: TidVector
     support: int
     depth: int
 
@@ -169,7 +172,15 @@ class PatternSet:
                     f"children")
             if pattern.parent_id >= 0:
                 parent = self.patterns[pattern.parent_id]
-                if pattern.tidset & ~parent.tidset:
+                try:
+                    child_tids = as_tidvector(pattern.tidset,
+                                              self.n_records)
+                    parent_tids = as_tidvector(parent.tidset,
+                                               self.n_records)
+                except ValueError as exc:
+                    raise MiningError(
+                        f"pattern {position}: {exc}") from exc
+                if not child_tids.is_subset(parent_tids):
                     raise MiningError(
                         f"pattern {position}'s tidset is not a subset "
                         f"of its parent's")
@@ -214,8 +225,8 @@ def patternset_from_frequent(
     all-frequent hypothesis sets.
     """
     root = Pattern(node_id=0, parent_id=-1, items=frozenset(),
-                   tidset=bs.universe(n_records), support=n_records,
-                   depth=0)
+                   tidset=TidVector.universe(n_records),
+                   support=n_records, depth=0)
     nodes: List[Pattern] = [root]
     node_of: Dict[frozenset, int] = {root.items: 0}
     ordered = sorted(patterns,

@@ -22,11 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .. import bitset as bs
 from ..data.dataset import Dataset
 from ..errors import MiningError
 from ..stats.buffer_cache import BufferCache
 from ..stats.chi2 import chi2_rule_p_value
+from ..tidvector import as_tidvector
 from .closed import mine_closed
 from .patterns import Pattern
 
@@ -174,8 +174,9 @@ def generate_rules(
         if not pattern.items:
             continue  # the root (empty LHS) is not a rule
         coverage = pattern.support
+        tids = as_tidvector(pattern.tidset, n)
         if binary:
-            supp_c0 = bs.popcount(pattern.tidset & dataset.class_tidset(0))
+            supp_c0 = tids.intersection_count(dataset.class_tidset(0))
             supports = (supp_c0, coverage - supp_c0)
             if rhs_class is not None:
                 target = rhs_class
@@ -185,7 +186,7 @@ def generate_rules(
             candidates = [target]
         else:
             supports = tuple(
-                bs.popcount(pattern.tidset & dataset.class_tidset(c))
+                tids.intersection_count(dataset.class_tidset(c))
                 for c in range(dataset.n_classes))
             candidates = list(range(dataset.n_classes))
         for c in candidates:

@@ -134,7 +134,9 @@ def sequential_rule_p_value(
     the engine's batch pass is cheaper per rule when *all* rules are
     needed.
     """
-    from .. import bitset as bs
+    import numpy as np
+
+    from ..tidvector import TidVector, as_tidvector
 
     rules = ruleset.rules
     if not 0 <= rule_index < len(rules):
@@ -145,21 +147,22 @@ def sequential_rule_p_value(
     n = dataset.n_records
     pattern = next(p for p in ruleset.patterns
                    if p.node_id == rule.pattern_id)
+    # Plugin miners may carry bigint tidsets; coerce once up front.
+    pattern_tids = as_tidvector(pattern.tidset, dataset.n_records)
     coverage = rule.coverage
     cache = ruleset.caches[rule.class_index]
     labels = list(range(n))
     class_bits = dataset.class_tidset(rule.class_index)
-    class_records = [i for i in labels if class_bits >> i & 1]
-    n_c = len(class_records)
+    n_c = class_bits.count()
 
     def shuffled_p(generator: random.Random) -> float:
         # Shuffling labels == drawing which records carry class c;
         # only the pattern's overlap with that draw matters.
         chosen = generator.sample(labels, n_c)
-        bits = 0
-        for record in chosen:
-            bits |= 1 << record
-        support = bs.popcount(pattern.tidset & bits)
+        indicator = np.zeros(n, dtype=bool)
+        indicator[chosen] = True
+        support = pattern_tids.intersection_count(
+            TidVector.from_bool(indicator))
         return cache.p_value(support, coverage)
 
     return sequential_p_value(rule.p_value, shuffled_p, h=h,

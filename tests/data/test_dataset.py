@@ -107,17 +107,42 @@ class TestTransformations:
         assert flipped.item_tidsets[0] == tiny_dataset.item_tidsets[0]
         assert flipped.class_support(0) == 4
 
-    def test_permuted_preserves_class_counts(self, tiny_dataset, rng):
-        permuted = tiny_dataset.permuted(rng)
+    def test_permuted_preserves_class_counts(self, tiny_dataset):
+        import numpy as np
+
+        permuted = tiny_dataset.permuted(np.random.default_rng(0xC0FFEE))
         assert sorted(permuted.class_labels) == sorted(
             tiny_dataset.class_labels)
         assert permuted.item_tidsets == tiny_dataset.item_tidsets
 
-    def test_permuted_class_tidsets_counts(self, tiny_dataset, rng):
-        tidsets = tiny_dataset.permuted_class_tidsets(rng)
+    def test_permuted_generator_is_deterministic(self, tiny_dataset):
+        import numpy as np
+
+        first = tiny_dataset.permuted(np.random.default_rng(7))
+        second = tiny_dataset.permuted(np.random.default_rng(7))
+        assert first.class_labels == second.class_labels
+
+    def test_permuted_random_random_is_deprecated(self, tiny_dataset, rng):
+        with pytest.deprecated_call():
+            permuted = tiny_dataset.permuted(rng)
+        # The legacy shim still performs the Fisher–Yates shuffle.
+        assert sorted(permuted.class_labels) == sorted(
+            tiny_dataset.class_labels)
+
+    def test_permuted_class_tidsets_counts(self, tiny_dataset):
+        import numpy as np
+
+        tidsets = tiny_dataset.permuted_class_tidsets(
+            np.random.default_rng(0xC0FFEE))
         assert [bs.popcount(t) for t in tidsets] == [4, 4]
         assert tidsets[0] & tidsets[1] == 0
         assert tidsets[0] | tidsets[1] == bs.universe(8)
+
+    def test_permuted_class_tidsets_random_random_warns(
+            self, tiny_dataset, rng):
+        with pytest.deprecated_call():
+            tidsets = tiny_dataset.permuted_class_tidsets(rng)
+        assert [bs.popcount(t) for t in tidsets] == [4, 4]
 
     def test_subset_reindexes(self, tiny_dataset):
         sub = tiny_dataset.subset([4, 5, 6, 7])
