@@ -1,0 +1,77 @@
+"""AST-based invariant checking: ``repro lint``.
+
+Five PRs of refactoring established contracts that nothing enforced
+mechanically — bit-identical CSV output at any worker count (PR 2),
+the packed :class:`~repro.tidvector.TidVector` substrate as the only
+record-set representation (PR 5), lock discipline for process-wide
+mutable state (PR 3). This package enforces them at the AST level,
+before a test ever runs:
+
+* a visitor **engine** that parses each file once and runs every
+  registered rule over the shared tree
+  (:mod:`repro.analysis.engine`);
+* a rule **registry** with the corrections/miners registry semantics —
+  aliases, case-insensitive resolution, did-you-mean,
+  :func:`register_rule` for out-of-tree rules
+  (:mod:`repro.analysis.registry`);
+* per-line / per-file **suppression** pragmas
+  (``# repro-lint: disable=rule``);
+* a committed JSON **baseline** with a zero-new-findings gate
+  (:mod:`repro.analysis.baseline`);
+* **text/JSON reporters** and two command-line entry points:
+  ``python -m repro.analysis`` and the ``repro lint`` subcommand.
+
+>>> from repro.analysis import analyze_paths          # doctest: +SKIP
+>>> findings = analyze_paths(["src/repro"])           # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineDiff
+from .engine import (
+    FileContext,
+    Finding,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from .registry import (
+    Rule,
+    available_rules,
+    get_rule,
+    register_rule,
+    resolve_rule,
+    rule_names,
+    unregister_rule,
+)
+from . import rules  # noqa: F401  (registers the built-in rules)
+from .report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineDiff",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "available_rules",
+    "get_rule",
+    "iter_python_files",
+    "main",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "resolve_rule",
+    "rule_names",
+    "unregister_rule",
+]
+
+
+def main(argv=None, out=None):
+    """CLI entry point (delegates to :mod:`repro.analysis.cli`)."""
+    from .cli import main as _main
+
+    return _main(argv, out=out)

@@ -1,0 +1,126 @@
+"""Committed-baseline handling: the zero-new-findings ratchet.
+
+A baseline is a committed JSON snapshot of the findings the codebase
+is *allowed* to have — pre-existing debt grandfathered in when a rule
+was introduced. The gate compares the current findings against it:
+
+* **new** findings (present now, absent from the baseline) fail the
+  run — the ratchet only tightens;
+* **stale** entries (baselined, but no longer found) are reported so
+  the file can be re-generated (``--update-baseline``) and the debt
+  visibly shrinks;
+* matched findings pass silently.
+
+Identity is ``(rule, path, message)`` — deliberately *not* the line
+number, so unrelated edits that shift a baselined violation down a
+file do not break the gate. Duplicate identical findings are matched
+by count: a file with two baselined violations of one kind fails the
+moment a third appears. The recorded line is refreshed on every
+``--update-baseline`` for human readers.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .engine import Finding
+
+__all__ = ["Baseline", "BaselineDiff"]
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of matching current findings against a baseline."""
+
+    new: List[Finding]
+    matched: List[Finding]
+    stale: List[Dict[str, object]]
+
+    @property
+    def gate_passes(self) -> bool:
+        """The zero-new-findings gate: only *new* findings fail."""
+        return not self.new
+
+
+class Baseline:
+    """A set of grandfathered findings, keyed by (rule, path, message)."""
+
+    def __init__(self, entries: Sequence[Dict[str, object]] = ()) -> None:
+        self.entries = [dict(entry) for entry in entries]
+        for entry in self.entries:
+            for field in ("rule", "path", "message"):
+                if field not in entry:
+                    raise AnalysisError(
+                        f"baseline entry missing {field!r}: {entry}")
+
+    # -- persistence --------------------------------------------------
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Read a baseline file written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise AnalysisError(f"baseline file not found: {path}")
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(
+                f"baseline file {path} is not valid JSON: {exc}")
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise AnalysisError(
+                f"baseline file {path} has no 'findings' key")
+        version = payload.get("version", _VERSION)
+        if version != _VERSION:
+            raise AnalysisError(
+                f"baseline file {path} has version {version}, "
+                f"expected {_VERSION}")
+        return cls(payload["findings"])
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Snapshot the given findings (the ``--update-baseline`` path)."""
+        return cls([finding.to_json() for finding in sorted(findings)])
+
+    def save(self, path) -> None:
+        """Write the committed JSON format (stable ordering, LF)."""
+        entries = sorted(
+            self.entries,
+            key=lambda e: (e["path"], e.get("line", 0), e["rule"]))
+        payload = {"version": _VERSION, "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    # -- matching -----------------------------------------------------
+
+    def diff(self, findings: Sequence[Finding]) -> BaselineDiff:
+        """Split current findings into new/matched, and list stale debt."""
+        budget: Counter = Counter(
+            (e["rule"], e["path"], e["message"]) for e in self.entries)
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in sorted(findings):
+            key = finding.key()
+            if budget[key] > 0:
+                budget[key] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        stale: List[Dict[str, object]] = []
+        remaining = dict(budget)
+        for entry in self.entries:
+            key: Tuple[str, str, str] = (
+                entry["rule"], entry["path"], entry["message"])
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                stale.append(entry)
+        return BaselineDiff(new=new, matched=matched, stale=stale)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,132 @@
+"""Command-line driver: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit codes: 0 = clean (no non-baselined findings), 1 = new findings
+(the zero-new-findings gate), 2 = usage/configuration error.
+
+The committed baseline (``lint-baseline.json`` at the repo root) is
+picked up automatically when present in the current directory; pass
+``--baseline`` for another location or ``--no-baseline`` to see every
+finding. ``--update-baseline`` re-snapshots current findings —
+graduating fixed debt out and (deliberately, visibly, in the diff)
+grandfathering new debt in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..errors import AnalysisError, ReproError
+from .baseline import Baseline
+from .engine import analyze_paths, iter_python_files
+from .registry import available_rules, resolve_rule
+from .report import render_json, render_text
+
+__all__ = ["main", "build_parser", "DEFAULT_BASELINE"]
+
+#: Filename the driver auto-loads from the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="AST invariant checker for the repro codebase: "
+                    "determinism, substrate and concurrency "
+                    "contracts (see docs/static-analysis.md).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule names to run "
+                             "(any registered spelling; default: all)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json"),
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline JSON to gate against (default: "
+                             f"./{DEFAULT_BASELINE} when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline; report every "
+                             "finding as new")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline file from current "
+                             "findings (adds new debt, expires stale "
+                             "entries) and exit 0")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="also list findings matched by the "
+                             "baseline")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def _print_rules(out) -> None:
+    print("registered rules (aliases; guarded invariant):", file=out)
+    for spec in sorted(available_rules(), key=lambda s: s.name):
+        line = f"  {spec.name}"
+        if spec.aliases:
+            line += f"  (aliases: {', '.join(spec.aliases)})"
+        print(line, file=out)
+        if spec.description:
+            print(f"      {spec.description}", file=out)
+        if spec.invariant:
+            print(f"      invariant: {spec.invariant}", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Run the analysis; returns a process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return run_lint(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def run_lint(args: argparse.Namespace, out) -> int:
+    """Shared implementation behind ``repro lint`` and ``-m``."""
+    if args.list_rules:
+        _print_rules(out)
+        return 0
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",")
+                  if name.strip()]
+        for name in select:
+            resolve_rule(name)  # fail fast with did-you-mean
+    rules_run = [spec.name for spec in available_rules()] \
+        if select is None else select
+    n_files = len(iter_python_files(args.paths))
+    findings = analyze_paths(args.paths, select=select)
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        candidate = Path(DEFAULT_BASELINE)
+        if candidate.exists():
+            baseline_path = str(candidate)
+    if args.no_baseline:
+        baseline_path = None
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(findings).save(target)
+        print(f"wrote {len(findings)} finding(s) to {target}",
+              file=out)
+        return 0
+
+    diff = None
+    if baseline_path is not None:
+        diff = Baseline.load(baseline_path).diff(findings)
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, diff, n_files=n_files,
+                 rules_run=rules_run), file=out)
+    if args.show_baselined and diff is not None and args.format == "text":
+        for finding in diff.matched:
+            print(f"baselined: {finding.describe()}", file=out)
+    new = findings if diff is None else diff.new
+    return 1 if new else 0

@@ -1,0 +1,270 @@
+"""The analysis engine: file contexts, suppressions, and the driver.
+
+One :class:`FileContext` is built per analyzed file; it parses the
+source once, extracts suppression pragmas from the comment stream, and
+canonicalises the path so rule scopes and baselines are stable no
+matter which directory the analysis is launched from. Rules receive
+the shared parse tree and yield :class:`Finding` objects; the driver
+filters suppressed findings and returns the rest sorted by location.
+
+Suppression syntax (checked against the comment tokens, so string
+literals cannot trigger it)::
+
+    value = risky()  # repro-lint: disable=no-stdlib-rng
+    # repro-lint: disable-file=float-equality-in-stats,no-stdlib-rng
+
+A line pragma silences the named rules (or ``all``) on its own line; a
+``disable-file`` pragma, anywhere in the file, silences them for the
+whole file. Suppressions are deliberate, visible-in-diff escapes; the
+committed baseline (:mod:`repro.analysis.baseline`) is for the
+pre-existing debt the gate must not let grow.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import AnalysisError
+from .registry import Rule, available_rules, resolve_rule
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_,\-\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the canonical (package-rooted) posix path, so the same
+    violation fingerprints identically from any launch directory.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line drift."""
+        return (self.rule, self.path, self.message)
+
+    def describe(self) -> str:
+        """One text-report line."""
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule}: {self.message}")
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain dict for the JSON reporter and the baseline file."""
+        return {"rule": self.rule, "path": self.path,
+                "line": self.line, "col": self.col,
+                "message": self.message}
+
+
+class FileContext:
+    """Everything a rule may want to know about one file.
+
+    Parameters
+    ----------
+    path:
+        Path the file was reached under (display / canonicalisation
+        input). For in-memory fixtures any virtual path works.
+    source:
+        File contents; read from ``path`` when omitted.
+    """
+
+    def __init__(self, path, source: Optional[str] = None) -> None:
+        self.path = Path(path)
+        if source is None:
+            source = self.path.read_text(encoding="utf-8")
+        self.source = source
+        self.canonical = _canonical_path(self.path)
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise AnalysisError(
+                f"cannot parse {self.canonical}: {exc}") from exc
+        self._line_disables: Dict[int, Set[str]] = {}
+        self._file_disables: Set[str] = set()
+        self._parse_pragmas()
+
+    # -- path scope ---------------------------------------------------
+
+    def matches(self, patterns: Sequence[str]) -> bool:
+        """fnmatch of the canonical path / basename against patterns."""
+        name = self.path.name
+        for pattern in patterns:
+            if (fnmatch(self.canonical, pattern)
+                    or fnmatch(name, pattern)):
+                return True
+        return False
+
+    @property
+    def is_test(self) -> bool:
+        """Under a ``tests``/``benchmarks`` tree, or a test module."""
+        parts = set(self.canonical.split("/"))
+        if parts & {"tests", "benchmarks"}:
+            return True
+        return (self.path.name.startswith("test_")
+                or self.path.name == "conftest.py")
+
+    @property
+    def module(self) -> str:
+        """Dotted module name guess (``repro.stats.fisher``)."""
+        dotted = self.canonical[:-3] if self.canonical.endswith(".py") \
+            else self.canonical
+        dotted = dotted.replace("/", ".")
+        if dotted.endswith(".__init__"):
+            dotted = dotted[:-len(".__init__")]
+        return dotted
+
+    # -- findings and suppression -------------------------------------
+
+    def finding(self, rule: str, node, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(path=self.canonical,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       rule=rule, message=message)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether a pragma silences this finding."""
+        for disabled in (self._file_disables,
+                         self._line_disables.get(finding.line, ())):
+            if "all" in disabled or finding.rule in disabled:
+                return True
+        return False
+
+    def _parse_pragmas(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _PRAGMA.search(tok.string)
+                if not match:
+                    continue
+                kind, names = match.groups()
+                rules = {name.strip() for name in names.split(",")
+                         if name.strip()}
+                if kind == "disable-file":
+                    self._file_disables |= rules
+                else:
+                    self._line_disables.setdefault(
+                        tok.start[0], set()).update(rules)
+        except tokenize.TokenError:
+            # ast.parse succeeded, so this is a tokenizer-only corner
+            # (e.g. trailing backslash); run without pragmas.
+            pass
+
+
+def _canonical_path(path: Path) -> str:
+    """Package-rooted posix path: stable across launch directories.
+
+    ``/any/prefix/src/repro/stats/fisher.py`` -> ``repro/stats/
+    fisher.py``; ``/any/prefix/tests/stats/test_fisher.py`` ->
+    ``tests/stats/test_fisher.py``. Files outside a recognised root
+    keep their path relative to the current directory when possible.
+    """
+    posix = path.as_posix()
+    parts = posix.split("/")
+    for root in ("repro", "tests", "benchmarks", "examples"):
+        if root in parts:
+            index = parts.index(root)
+            # `src/repro/...` and `repro/...` both root at `repro`;
+            # ignore a bare trailing component (a file named repro).
+            if index < len(parts) - 1 or parts[index].endswith(".py"):
+                return "/".join(parts[index:])
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return posix
+
+
+def iter_python_files(paths: Sequence) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+        elif not p.exists():
+            raise AnalysisError(f"no such file or directory: {entry}")
+    unique: List[Path] = []
+    seen: Set[str] = set()
+    for p in out:
+        key = p.resolve().as_posix()
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def _selected_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    if select is None:
+        rules = available_rules()
+        if not rules:
+            raise AnalysisError(
+                "no rules registered; import repro.analysis.rules or "
+                "register custom rules first")
+        return rules
+    return [resolve_rule(name) for name in select]
+
+
+def analyze_source(path, source: str,
+                   select: Optional[Sequence[str]] = None,
+                   ) -> List[Finding]:
+    """Analyze one in-memory source blob (fixture entry point)."""
+    ctx = FileContext(path, source=source)
+    return _run_rules(ctx, _selected_rules(select))
+
+
+def analyze_file(path, select: Optional[Sequence[str]] = None,
+                 ) -> List[Finding]:
+    """Analyze one file on disk."""
+    ctx = FileContext(path)
+    return _run_rules(ctx, _selected_rules(select))
+
+
+def analyze_paths(paths: Sequence,
+                  select: Optional[Sequence[str]] = None,
+                  ) -> List[Finding]:
+    """Analyze files/directories; findings sorted by location."""
+    rules = _selected_rules(select)
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(_run_rules(FileContext(path), rules))
+    return sorted(findings)
+
+
+def _run_rules(ctx: FileContext, rules: Iterable[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx.tree, ctx):
+            if not ctx.suppressed(finding):
+                findings.append(finding)
+    # Overlapping scope walks may surface one violation twice; the
+    # Finding tuple identity makes dedup exact.
+    return sorted(set(findings))

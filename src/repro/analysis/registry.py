@@ -1,0 +1,208 @@
+"""The pluggable lint-rule registry.
+
+Every invariant checker the analysis pass ships is described by one
+:class:`Rule` spec — canonical name, aliases, the contract it guards,
+the PR that established that contract, an optional path scope, and a
+``check`` callable — and registered here at import time by its home
+module under :mod:`repro.analysis.rules`. The engine, the reporters
+and the CLI enumerate and resolve rules exclusively through this
+registry, mirroring the corrections/miners registries: adding a rule
+is one :func:`register_rule` call, not an engine patch:
+
+>>> from repro.analysis import Finding, Rule, register_rule
+>>> def no_print(tree, ctx):                     # doctest: +SKIP
+...     import ast
+...     for node in ast.walk(tree):
+...         if (isinstance(node, ast.Call)
+...                 and isinstance(node.func, ast.Name)
+...                 and node.func.id == "print"):
+...             yield ctx.finding("no-print", node, "print() call")
+>>> register_rule(Rule(                          # doctest: +SKIP
+...     name="no-print", check_fn=no_print,
+...     description="library code must not print"))
+
+Name resolution accepts the canonical name, any registered alias, and
+case-insensitive variants of both, with a did-you-mean suggestion on
+near misses — the exact semantics of
+:func:`repro.corrections.resolve_correction`. Out-of-tree rules load
+through the same ``--plugin`` / ``REPRO_PLUGINS`` hooks as out-of-tree
+corrections and miners.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "Rule",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "resolve_rule",
+    "rule_names",
+    "unregister_rule",
+]
+
+#: Signature of a rule's check callable: ``check_fn(tree, ctx)`` yields
+#: :class:`~repro.analysis.engine.Finding` objects for one parsed file.
+CheckFn = Callable[[object, object], Iterable[object]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule.
+
+    Attributes
+    ----------
+    name:
+        Canonical kebab-case identifier (``"no-stdlib-rng"``), the key
+        findings, suppressions and baselines use.
+    check_fn:
+        ``check_fn(tree, ctx) -> Iterable[Finding]`` where ``tree`` is
+        the parsed :mod:`ast` module and ``ctx`` the
+        :class:`~repro.analysis.engine.FileContext`. Use
+        ``ctx.finding(...)`` to build findings so paths stay canonical.
+    description:
+        One-line summary for listings.
+    invariant:
+        The codebase contract the rule guards, and which PR
+        established it (shown in ``--list-rules`` and the docs).
+    aliases:
+        Additional resolvable spellings (resolution is
+        case-insensitive on top of these).
+    paths:
+        fnmatch patterns; when non-empty the rule only runs on files
+        whose canonical path matches one of them (e.g. the
+        float-equality rule is scoped to ``repro/stats/*``).
+    exclude:
+        fnmatch patterns naming the rule's whitelist — files where the
+        guarded construct is legitimate (deprecation shims, interop
+        modules, test oracles).
+    """
+
+    name: str
+    check_fn: CheckFn
+    description: str = ""
+    invariant: str = ""
+    aliases: Tuple[str, ...] = ()
+    paths: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def all_names(self) -> Tuple[str, ...]:
+        """Every spelling this rule answers to."""
+        return (self.name,) + tuple(self.aliases)
+
+    def applies_to(self, ctx) -> bool:
+        """Whether this rule's path scope covers ``ctx``'s file."""
+        if self.paths and not ctx.matches(self.paths):
+            return False
+        if self.exclude and ctx.matches(self.exclude):
+            return False
+        return True
+
+    def check(self, tree, ctx) -> List[object]:
+        """Run the rule over one parsed file (scope already decided)."""
+        return list(self.check_fn(tree, ctx))
+
+
+_REGISTRY: Dict[str, Rule] = {}
+# Lookup table: lower-cased spelling -> canonical name.
+_INDEX: Dict[str, str] = {}
+
+
+def register_rule(spec: Rule, overwrite: bool = False) -> Rule:
+    """Add a rule to the registry and return it.
+
+    Every spelling in ``spec.all_names()`` becomes resolvable
+    case-insensitively. Colliding names raise :class:`AnalysisError`
+    unless ``overwrite=True``, in which case the previous owner of the
+    canonical name is replaced wholesale.
+    """
+    if not spec.name:
+        raise AnalysisError("rule name must be non-empty")
+    replaced = None
+    if overwrite:
+        canonical = _INDEX.get(spec.name.lower())
+        if canonical is not None and canonical.lower() == spec.name.lower():
+            replaced = _REGISTRY[canonical]
+    taken = [spelling for spelling in spec.all_names()
+             if spelling.lower() in _INDEX
+             and _INDEX[spelling.lower()] != getattr(replaced, "name",
+                                                     None)]
+    if taken:
+        raise AnalysisError(
+            f"cannot register rule {spec.name!r}: "
+            f"name(s) {sorted(set(taken))} already registered")
+    if replaced is not None:
+        unregister_rule(replaced.name)
+    # Registration happens at import time, which Python serializes;
+    # same convention as the corrections/miners registries.
+    _REGISTRY[spec.name] = spec  # repro-lint: disable=unlocked-shared-state
+    for spelling in spec.all_names():
+        _INDEX[spelling.lower()] = spec.name  # repro-lint: disable=unlocked-shared-state
+    return spec
+
+
+def unregister_rule(name: str) -> None:
+    """Remove a rule (by any of its spellings) from the registry."""
+    canonical = _INDEX.get(name.lower())
+    if canonical is None:
+        raise AnalysisError(f"unknown rule {name!r}")
+    spec = _REGISTRY.pop(canonical)  # repro-lint: disable=unlocked-shared-state
+    for spelling in spec.all_names():
+        _INDEX.pop(spelling.lower(), None)  # repro-lint: disable=unlocked-shared-state
+
+
+def resolve_rule(name: str) -> Rule:
+    """Resolve any accepted spelling to its registered rule.
+
+    Raises :class:`AnalysisError` listing the valid names and a
+    did-you-mean suggestion for near-miss spellings.
+    """
+    if not isinstance(name, str):
+        raise AnalysisError(
+            f"rule name must be a string, got {type(name).__name__}")
+    canonical = _INDEX.get(name.lower())
+    if canonical is None:
+        raise AnalysisError(_unknown_message(name))
+    return _REGISTRY[canonical]
+
+
+def get_rule(name: str) -> Rule:
+    """Alias of :func:`resolve_rule` (corrections-registry parity)."""
+    return resolve_rule(name)
+
+
+def available_rules() -> List[Rule]:
+    """All registered rules, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def rule_names() -> List[str]:
+    """Canonical names of all registered rules, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _accepted_spellings() -> List[str]:
+    seen: List[str] = []
+    for spec in _REGISTRY.values():
+        for spelling in spec.all_names():
+            if spelling not in seen:
+                seen.append(spelling)
+    return seen
+
+
+def _unknown_message(name: str) -> str:
+    spellings = _accepted_spellings()
+    message = (f"unknown rule {name!r}; valid names: "
+               f"{sorted(spellings, key=str.lower)}")
+    close = difflib.get_close_matches(
+        name.lower(), [s.lower() for s in spellings], n=1, cutoff=0.6)
+    if close:
+        original = next(s for s in spellings if s.lower() == close[0])
+        message += f" — did you mean {original!r}?"
+    return message

@@ -1,0 +1,64 @@
+"""Text and JSON reporters for analysis runs."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from .baseline import BaselineDiff
+from .engine import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding],
+                diff: Optional[BaselineDiff] = None,
+                n_files: Optional[int] = None,
+                rules_run: Optional[Sequence[str]] = None) -> str:
+    """Human-readable report; new findings lead, baselined debt follows.
+
+    Without a baseline every finding is reported as actionable.
+    """
+    lines: List[str] = []
+    new = list(findings) if diff is None else diff.new
+    for finding in new:
+        lines.append(finding.describe())
+    if diff is not None and diff.matched:
+        lines.append(f"({len(diff.matched)} baselined finding(s) "
+                     "suppressed; run with --show-baselined to list)")
+    if diff is not None and diff.stale:
+        lines.append(f"{len(diff.stale)} stale baseline entr"
+                     f"{'y' if len(diff.stale) == 1 else 'ies'} — "
+                     "fixed debt; refresh with --update-baseline:")
+        for entry in diff.stale:
+            lines.append(f"  {entry['path']}: {entry['rule']}: "
+                         f"{entry['message']}")
+    scanned = "" if n_files is None else f" across {n_files} file(s)"
+    ran = "" if rules_run is None else f", {len(rules_run)} rule(s)"
+    if new:
+        lines.append(f"{len(new)} new finding(s){scanned}{ran}")
+    else:
+        lines.append(f"clean: 0 new findings{scanned}{ran}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                diff: Optional[BaselineDiff] = None,
+                n_files: Optional[int] = None,
+                rules_run: Optional[Sequence[str]] = None) -> str:
+    """Machine-readable report mirroring :func:`render_text`."""
+    new = list(findings) if diff is None else diff.new
+    payload = {
+        "new": [finding.to_json() for finding in new],
+        "baselined": ([] if diff is None
+                      else [f.to_json() for f in diff.matched]),
+        "stale_baseline": [] if diff is None else list(diff.stale),
+        "summary": {
+            "new": len(new),
+            "baselined": 0 if diff is None else len(diff.matched),
+            "stale": 0 if diff is None else len(diff.stale),
+            "files": n_files,
+            "rules": list(rules_run) if rules_run is not None else None,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

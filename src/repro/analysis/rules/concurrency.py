@@ -1,0 +1,328 @@
+"""Concurrency rules: the PR-3 lock-discipline contract.
+
+The ``LogFactorialBuffer`` race (PR 3) was exactly this shape: a
+process-wide mutable table grown from concurrent thread fan-outs
+without a lock, silently corrupting Fisher p-values. Two rules guard
+the class:
+
+* **unlocked-shared-state** — a module-level or class-level mutable
+  container mutated inside a function/method without an enclosing
+  ``with <lock>:`` block. Instance attributes (assigned via
+  ``self.x = ...``) are per-object state and stay out of scope;
+  import-time mutation of module globals is single-threaded and legal.
+* **pickle-unsafe-worker** — a class carrying a ``threading.Lock`` (or
+  sibling primitive) or a ``numpy`` ``Generator`` attribute without
+  ``__getstate__``/``__reduce__``. Locks do not pickle at all, and a
+  Generator shipped to a process worker forks its stream — both break
+  the processes backend; ``LogFactorialBuffer.__getstate__`` is the
+  model fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..registry import Rule, register_rule
+from ._util import call_name, dotted_name
+
+__all__ = ["UNLOCKED_SHARED_STATE", "PICKLE_UNSAFE_WORKER"]
+
+#: Container methods that mutate in place.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+    "appendleft", "extendleft",
+})
+
+#: Callables whose result is a mutable container.
+_MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque", "collections.defaultdict",
+    "collections.OrderedDict", "collections.Counter",
+    "collections.deque",
+})
+
+#: Thread-synchronisation constructors.
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "threading.Event", "multiprocessing.Lock", "multiprocessing.RLock",
+    "Lock", "RLock", "Condition",
+})
+
+
+def _is_mutable_literal(node) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _is_lock_value(node) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    return call_name(node) in _LOCK_FACTORIES
+
+
+def _assigned_names(stmt) -> Iterator[str]:
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                yield target.id
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        if isinstance(stmt.target, ast.Name):
+            yield stmt.target.id
+
+
+def _stmt_value(stmt):
+    if isinstance(stmt, ast.Assign):
+        return stmt.value
+    if isinstance(stmt, ast.AnnAssign):
+        return stmt.value
+    return None
+
+
+def _expr_is_lockish(node) -> bool:
+    """A with-context expression that looks like lock acquisition."""
+    if isinstance(node, ast.Call):
+        # ``with lock.acquire_timeout(...)`` / ``with Lock():``
+        return _expr_is_lockish(node.func) or _is_lock_value(node)
+    name = dotted_name(node)
+    if name is None:
+        return False
+    return "lock" in name.rsplit(".", 1)[-1].lower()
+
+
+class _SharedStateChecker:
+    """One-module scan for unlocked mutation of shared containers."""
+
+    def __init__(self, tree, ctx) -> None:
+        self.ctx = ctx
+        self.findings: List = []
+        self.module_shared: Set[str] = set()
+        self.module_locks: Set[str] = set()
+        for stmt in tree.body:
+            value = _stmt_value(stmt)
+            if value is None:
+                continue
+            for name in _assigned_names(stmt):
+                if _is_mutable_literal(value):
+                    self.module_shared.add(name)
+                elif _is_lock_value(value):
+                    self.module_locks.add(name)
+        self.tree = tree
+
+    def run(self) -> List:
+        for stmt in self.tree.body:
+            self._visit_toplevel(stmt)
+        return self.findings
+
+    def _visit_toplevel(self, stmt) -> None:
+        if isinstance(stmt, ast.ClassDef):
+            self._check_class(stmt)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._check_function(stmt, class_shared=frozenset())
+        # Module-level statements mutate at import time: legal.
+
+    # -- class handling -----------------------------------------------
+
+    def _check_class(self, cls: ast.ClassDef) -> None:
+        class_mutable: Set[str] = set()
+        instance_assigned: Set[str] = set()
+        for stmt in cls.body:
+            value = _stmt_value(stmt)
+            if value is not None:
+                for name in _assigned_names(stmt):
+                    if _is_mutable_literal(value):
+                        class_mutable.add(name)
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        instance_assigned.add(target.attr)
+        shared = frozenset(class_mutable - instance_assigned)
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                self._check_function(stmt, class_shared=shared,
+                                     class_name=cls.name)
+            elif isinstance(stmt, ast.ClassDef):
+                self._check_class(stmt)
+
+    # -- function body walk -------------------------------------------
+
+    def _check_function(self, func, class_shared: frozenset,
+                        class_name: Optional[str] = None) -> None:
+        for stmt in func.body:
+            self._scan(stmt, False, class_shared, class_name)
+
+    def _scan(self, node, locked: bool, class_shared: frozenset,
+              class_name: Optional[str]) -> None:
+        """Recursive walk carrying the lexical lock state."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def starts unlocked: holding a lock around the
+            # ``def`` statement does not guard its later calls.
+            self._check_function(node, class_shared, class_name)
+            return
+        if isinstance(node, ast.ClassDef):
+            self._check_class(node)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or any(_expr_is_lockish(item.context_expr)
+                                  for item in node.items)
+            for item in node.items:
+                self._scan(item.context_expr, locked, class_shared,
+                           class_name)
+            for stmt in node.body:
+                self._scan(stmt, inner, class_shared, class_name)
+            return
+        if not locked:
+            self._check_node(node, class_shared, class_name)
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, locked, class_shared, class_name)
+
+    def _shared_target(self, node, class_shared: frozenset,
+                       class_name: Optional[str]) -> Optional[str]:
+        """Shared-container description if ``node`` refers to one."""
+        if isinstance(node, ast.Name) and node.id in self.module_shared:
+            return f"module-level {node.id!r}"
+        if isinstance(node, ast.Attribute):
+            owner = node.value
+            if (isinstance(owner, ast.Name)
+                    and node.attr in class_shared
+                    and owner.id in ("self", "cls", class_name)):
+                return f"class-level {node.attr!r}"
+        return None
+
+    def _check_node(self, node, class_shared: frozenset,
+                    class_name: Optional[str]) -> None:
+        """Flag ``node`` itself (children are scanned separately)."""
+        target = None
+        verb = ""
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS):
+                target = self._shared_target(func.value, class_shared,
+                                             class_name)
+                verb = f".{func.attr}()"
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for tgt in targets:
+                if isinstance(tgt, ast.Subscript):
+                    target = self._shared_target(tgt.value,
+                                                 class_shared,
+                                                 class_name)
+                    verb = "[...] assignment"
+                    if target:
+                        break
+        elif isinstance(node, ast.Delete):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Subscript):
+                    target = self._shared_target(tgt.value,
+                                                 class_shared,
+                                                 class_name)
+                    verb = "del [...]"
+                    if target:
+                        break
+        if target:
+            self.findings.append(self.ctx.finding(
+                "unlocked-shared-state", node,
+                f"{verb} mutates {target} shared mutable state "
+                "outside a 'with <lock>:' block — the "
+                "LogFactorialBuffer race class (PR 3); serialize "
+                "writers or make the state per-instance"))
+
+
+def _check_unlocked_shared_state(tree, ctx):
+    return _SharedStateChecker(tree, ctx).run()
+
+
+_GENERATOR_FACTORIES = frozenset({
+    "default_rng", "numpy.random.default_rng", "np.random.default_rng",
+    "numpy.random.Generator", "np.random.Generator",
+})
+
+_PICKLE_HOOKS = frozenset({
+    "__getstate__", "__reduce__", "__reduce_ex__",
+})
+
+
+def _check_pickle_unsafe(tree, ctx):
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        hooks = {stmt.name for stmt in cls.body
+                 if isinstance(stmt, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))}
+        if hooks & _PICKLE_HOOKS:
+            continue
+        risky: Dict[str, str] = {}
+        for stmt in cls.body:
+            value = _stmt_value(stmt)
+            if value is None:
+                continue
+            for name in _assigned_names(stmt):
+                if _is_lock_value(value):
+                    risky[name] = "lock"
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                if _is_lock_value(node.value):
+                    risky[target.attr] = "lock"
+                elif (isinstance(node.value, ast.Call)
+                      and call_name(node.value)
+                      in _GENERATOR_FACTORIES):
+                    risky[target.attr] = "generator"
+        if not risky:
+            continue
+        attrs = ", ".join(sorted(risky))
+        kinds = set(risky.values())
+        detail = []
+        if "lock" in kinds:
+            detail.append("locks do not pickle")
+        if "generator" in kinds:
+            detail.append("a shipped Generator forks its stream")
+        yield ctx.finding(
+            "pickle-unsafe-worker", cls,
+            f"class {cls.name} carries {attrs} but defines no "
+            f"__getstate__/__reduce__ — {'; '.join(detail)}; the "
+            "processes backend cannot ship it "
+            "(LogFactorialBuffer.__getstate__ is the model fix)")
+
+
+UNLOCKED_SHARED_STATE = register_rule(Rule(
+    name="unlocked-shared-state",
+    check_fn=_check_unlocked_shared_state,
+    aliases=("shared-state", "no-unlocked-globals"),
+    description="module/class-level mutable containers must be "
+                "mutated under a lock (or made per-instance)",
+    invariant="lock discipline for process-wide state (PR 3): the "
+              "LogFactorialBuffer race corrupted Fisher p-values "
+              "silently",
+    exclude=("tests/*", "benchmarks/*", "examples/*"),
+))
+
+PICKLE_UNSAFE_WORKER = register_rule(Rule(
+    name="pickle-unsafe-worker",
+    check_fn=_check_pickle_unsafe,
+    aliases=("pickle-unsafe", "worker-unsafe"),
+    description="classes holding Lock/Generator attributes need "
+                "__getstate__/__reduce__ for the processes backend",
+    invariant="process-backend portability (PR 2/3): worker payloads "
+              "must pickle, and RNG streams must not be forked by "
+              "shipping Generators",
+    exclude=("tests/*", "benchmarks/*", "examples/*"),
+))

@@ -23,9 +23,12 @@ All functions treat a bitset as immutable; operations return new ints.
 
 from __future__ import annotations
 
+import inspect
+import warnings
 from typing import Iterable, Iterator, List, Sequence
 
 __all__ = [
+    "warn_if_unsanctioned_import",
     "bitset_from_indices",
     "bitset_to_indices",
     "iter_indices",
@@ -36,6 +39,57 @@ __all__ = [
     "to_uint64_words",
     "from_uint64_words",
 ]
+
+#: Filename suffixes sanctioned to import this shim: the TidVector
+#: bridge, the Diffsets miner's bigint interop, and the test-suite
+#: oracles (mirrors the ``bitset-quarantine`` lint rule's whitelist).
+_SANCTIONED_SUFFIXES = (
+    "repro/bitmat.py",
+    "repro/mining/diffsets.py",
+)
+_SANCTIONED_COMPONENTS = ("tests", "benchmarks")
+
+
+def warn_if_unsanctioned_import() -> None:
+    """Emit a DeprecationWarning when a non-whitelisted module imports us.
+
+    Walks past the import machinery to the frame that triggered the
+    import; files outside the quarantine whitelist (``bitmat.py``,
+    ``diffsets.py``, tests, benchmarks) get a warning pointing at
+    :class:`repro.tidvector.TidVector`. Interactive / frozen importers
+    with no resolvable filename are left alone.
+    """
+    frame = inspect.currentframe()
+    try:
+        caller = frame.f_back if frame is not None else None
+        while caller is not None:
+            filename = caller.f_code.co_filename.replace("\\", "/")
+            in_machinery = ("importlib" in filename
+                            or filename.startswith("<frozen")
+                            or filename.endswith("repro/bitset.py"))
+            if not in_machinery:
+                break
+            caller = caller.f_back
+        if caller is None:
+            return
+        filename = caller.f_code.co_filename.replace("\\", "/")
+        if filename.startswith("<"):
+            return  # REPL / exec'd source: not a quarantine target
+        if any(filename.endswith(sfx) for sfx in _SANCTIONED_SUFFIXES):
+            return
+        parts = filename.split("/")
+        if any(comp in parts for comp in _SANCTIONED_COMPONENTS):
+            return
+        warnings.warn(
+            f"repro.bitset is a deprecated interop shim (imported from "
+            f"{filename}); use repro.tidvector.TidVector for record "
+            f"sets — see docs/static-analysis.md (bitset-quarantine)",
+            DeprecationWarning, stacklevel=3)
+    finally:
+        del frame
+
+
+warn_if_unsanctioned_import()
 
 
 def popcount(bits) -> int:

@@ -15,8 +15,11 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..data.dataset import Dataset
 from ..errors import EvaluationError
@@ -150,20 +153,37 @@ class FilteredBaseReport:
 
 
 def stratified_folds(class_labels: Sequence[int], k: int,
-                     rng: Optional[random.Random] = None,
-                     ) -> List[List[int]]:
+                     rng=None) -> List[List[int]]:
     """Partition record ids into ``k`` folds with per-class balance.
 
     Each class's records are shuffled and dealt round-robin, so every
     fold's class mix tracks the full data's within one record per
     class. Folds partition ``range(len(class_labels))`` exactly.
+
+    ``rng`` is a :class:`numpy.random.Generator` (``None`` uses
+    ``numpy.random.default_rng(0)``), matching the determinism
+    contract of the parallel subsystem. Passing a
+    :class:`random.Random` is deprecated; the legacy Fisher–Yates
+    shuffle is kept as a warning shim for one release.
     """
     if k < 2:
         raise EvaluationError(f"need at least 2 folds, got {k}")
     if k > len(class_labels):
         raise EvaluationError(
             f"{k} folds for only {len(class_labels)} records")
-    rng = rng or random.Random(0)
+    if isinstance(rng, random.Random):
+        warnings.warn(
+            "stratified_folds(random.Random) is deprecated; pass a "
+            "numpy.random.Generator (e.g. numpy.random.default_rng"
+            "(seed)) for the engine-consistent shuffle",
+            DeprecationWarning, stacklevel=2)
+        shuffle = rng.shuffle
+    else:
+        generator = rng if rng is not None else np.random.default_rng(0)
+
+        def shuffle(members: List[int]) -> None:
+            order = generator.permutation(len(members))
+            members[:] = [members[i] for i in order]
     by_class: Dict[int, List[int]] = {}
     for r, label in enumerate(class_labels):
         by_class.setdefault(label, []).append(r)
@@ -171,7 +191,7 @@ def stratified_folds(class_labels: Sequence[int], k: int,
     position = 0
     for label in sorted(by_class):
         members = by_class[label]
-        rng.shuffle(members)
+        shuffle(members)
         for r in members:
             folds[position % k].append(r)
             position += 1
@@ -194,7 +214,7 @@ def cross_validate(
         ``predict_itemset`` and ``n_rules``. See
         :func:`significance_filtered_classifier` for a ready factory.
     """
-    rng = random.Random(seed)
+    rng = np.random.default_rng(seed)
     folds = stratified_folds(dataset.class_labels, k, rng)
     item_sets = record_item_sets(dataset)
     confusion = ConfusionMatrix(list(dataset.class_names))

@@ -25,6 +25,9 @@ Commands
     report cross-validated accuracy.
 ``contrast``
     Mine STUCCO contrast sets between the dataset's class groups.
+``lint``
+    Run the AST invariant checker (:mod:`repro.analysis`) over the
+    source tree, gated by the committed ``lint-baseline.json``.
 
 Correction names (``--correction``, ``experiment --methods``) are
 resolved through the correction registry and mining algorithms
@@ -388,6 +391,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="CSV class column (default: last)")
     contrast.add_argument("--top", type=int, default=15,
                           help="contrast sets to print (default: 15)")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the AST invariant checker (repro.analysis)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files/directories to analyze "
+                           "(default: src)")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule names to run "
+                           "(default: all)")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json"),
+                      help="report format (default: text)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline JSON to gate against (default: "
+                           "./lint-baseline.json when it exists)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline; report every "
+                           "finding as new")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from current "
+                           "findings and exit 0")
+    lint.add_argument("--show-baselined", action="store_true",
+                      help="also list findings matched by the "
+                           "baseline")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
     return parser
 
 
@@ -623,6 +653,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _run_classify(args, out)
         if args.command == "contrast":
             return _run_contrast(args, out)
+        if args.command == "lint":
+            from .analysis.cli import run_lint
+            return run_lint(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -34,3 +34,7 @@ class CorrectionError(ReproError):
 
 class EvaluationError(ReproError):
     """The evaluation harness was driven with inconsistent inputs."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis pass (``repro lint``) was misconfigured."""

@@ -23,9 +23,10 @@ by downstream code via
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..corrections.base import CorrectionResult
 from ..corrections.holdout import HoldoutRun
@@ -206,8 +207,9 @@ class ExperimentRunner:
         # Replicate seeds are drawn serially up front, so the grid is
         # fixed before any fan-out and results cannot depend on the
         # worker count or completion order.
-        master = random.Random(seed)
-        seeds = [master.getrandbits(48) for _ in range(n_replicates)]
+        master = np.random.default_rng(seed)
+        seeds = [int(s) for s in
+                 master.integers(0, 1 << 48, size=n_replicates)]
         executor = get_executor(self.backend, self.n_jobs)
         if executor.backend == "processes":
             # ResolvedCorrection specs hold lambdas (unpicklable);

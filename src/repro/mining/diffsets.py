@@ -37,7 +37,6 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .. import bitset as bs
 from ..bitmat import BitMatrix
 from ..errors import MiningError
 from ..tidvector import as_tidvector
@@ -235,6 +234,9 @@ class PatternForest:
             assert self._matrix is not None
             return self._matrix.class_supports(indicator)
         if self.policy == "bitset":
+            # Deferred so importing the forest does not pull in the
+            # deprecated shim; only the bigint ablation arm needs it.
+            from .. import bitset as bs
             class_bits = bs.from_numpy_bool(indicator)
             assert self._tidsets is not None
             return np.fromiter(
@@ -277,6 +279,7 @@ class PatternForest:
 
     def tidset(self, node_id: int) -> int:
         """Reconstruct the tidset of one node (any policy)."""
+        from .. import bitset as bs
         if self.policy == "packed":
             assert self._matrix is not None
             return self._matrix.tidset(node_id)

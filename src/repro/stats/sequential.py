@@ -33,8 +33,11 @@ handful of candidate rules, where per-rule early stopping shines.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
+
+import numpy as np
 
 from ..errors import StatsError
 
@@ -66,10 +69,10 @@ class SequentialResult:
 
 def sequential_p_value(
     observed: float,
-    sampler: Callable[[random.Random], float],
+    sampler: Callable[..., float],
     h: int = 10,
     n_max: int = 1000,
-    rng: Optional[random.Random] = None,
+    rng=None,
     seed: Optional[int] = None,
 ) -> SequentialResult:
     """Estimate ``P(null statistic <= observed)`` with early stopping.
@@ -81,7 +84,9 @@ def sequential_p_value(
         extreme* (statistics that are p-values themselves, as in the
         permutation pipeline, already satisfy this; negate otherwise).
     sampler:
-        Draws one null statistic; receives the procedure's ``Random``.
+        Draws one null statistic; receives the procedure's generator
+        (a :class:`numpy.random.Generator` unless a deprecated
+        :class:`random.Random` was passed as ``rng``).
     h:
         Exceedance budget. Larger ``h`` lowers the estimator's
         variance for mid-range p-values at the price of later
@@ -102,7 +107,16 @@ def sequential_p_value(
         raise StatsError(f"n_max must be >= 1, got {n_max}")
     if rng is not None and seed is not None:
         raise StatsError("give rng or seed, not both")
-    generator = rng or random.Random(seed)
+    if isinstance(rng, random.Random):
+        warnings.warn(
+            "sequential_p_value(rng=random.Random) is deprecated; "
+            "pass a numpy.random.Generator (e.g. "
+            "numpy.random.default_rng(seed)) for the "
+            "engine-consistent stream",
+            DeprecationWarning, stacklevel=2)
+        generator = rng
+    else:
+        generator = rng if rng is not None else np.random.default_rng(seed)
     exceedances = 0
     draws = 0
     while draws < n_max:
@@ -134,8 +148,6 @@ def sequential_rule_p_value(
     the engine's batch pass is cheaper per rule when *all* rules are
     needed.
     """
-    import numpy as np
-
     from ..tidvector import TidVector, as_tidvector
 
     rules = ruleset.rules
@@ -155,10 +167,13 @@ def sequential_rule_p_value(
     class_bits = dataset.class_tidset(rule.class_index)
     n_c = class_bits.count()
 
-    def shuffled_p(generator: random.Random) -> float:
+    def shuffled_p(generator) -> float:
         # Shuffling labels == drawing which records carry class c;
         # only the pattern's overlap with that draw matters.
-        chosen = generator.sample(labels, n_c)
+        if isinstance(generator, random.Random):  # deprecated shim
+            chosen = generator.sample(labels, n_c)
+        else:
+            chosen = generator.choice(n, size=n_c, replace=False)
         indicator = np.zeros(n, dtype=bool)
         indicator[chosen] = True
         support = pattern_tids.intersection_count(

@@ -1,0 +1,114 @@
+"""Baseline ratchet: new findings fail, stale debt expires visibly."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Finding
+from repro.errors import AnalysisError
+
+
+def _finding(rule="r", path="repro/x.py", line=1, message="m"):
+    return Finding(path=path, line=line, col=0, rule=rule,
+                   message=message)
+
+
+class TestDiff:
+    def test_matched_passes_gate(self):
+        f = _finding()
+        base = Baseline.from_findings([f])
+        diff = base.diff([f])
+        assert diff.gate_passes
+        assert diff.matched == [f]
+        assert diff.new == [] and diff.stale == []
+
+    def test_new_finding_fails_gate(self):
+        base = Baseline.from_findings([_finding()])
+        extra = _finding(rule="other")
+        diff = base.diff([_finding(), extra])
+        assert not diff.gate_passes
+        assert diff.new == [extra]
+
+    def test_line_drift_still_matches(self):
+        base = Baseline.from_findings([_finding(line=10)])
+        diff = base.diff([_finding(line=99)])
+        assert diff.gate_passes
+
+    def test_duplicates_matched_by_count(self):
+        two = [_finding(line=1), _finding(line=2)]
+        base = Baseline.from_findings(two)
+        assert base.diff(two).gate_passes
+        three = two + [_finding(line=3)]
+        diff = base.diff(three)
+        assert not diff.gate_passes
+        assert len(diff.new) == 1
+
+    def test_fixed_debt_reported_stale(self):
+        base = Baseline.from_findings([_finding(), _finding(rule="q")])
+        diff = base.diff([_finding()])
+        assert diff.gate_passes  # stale debt never fails the gate
+        assert len(diff.stale) == 1
+        assert diff.stale[0]["rule"] == "q"
+
+    def test_empty_baseline_everything_new(self):
+        diff = Baseline().diff([_finding()])
+        assert not diff.gate_passes
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        base = Baseline.from_findings(
+            [_finding(), _finding(rule="q", line=5)])
+        base.save(target)
+        loaded = Baseline.load(target)
+        assert len(loaded) == 2
+        assert loaded.diff([_finding()]).gate_passes
+
+    def test_saved_format_is_stable(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings([_finding()]).save(target)
+        payload = json.loads(target.read_text())
+        assert payload["version"] == 1
+        assert payload["findings"][0]["rule"] == "r"
+        assert target.read_text().endswith("\n")
+
+    def test_update_cycle_add_then_expire(self, tmp_path):
+        # The --update-baseline lifecycle: debt enters, gets fixed,
+        # and a re-snapshot removes it.
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings([_finding(), _finding(rule="q")]).save(
+            target)
+        current = [_finding()]  # "q" got fixed
+        diff = Baseline.load(target).diff(current)
+        assert diff.gate_passes and len(diff.stale) == 1
+        Baseline.from_findings(current).save(target)
+        refreshed = Baseline.load(target)
+        assert len(refreshed) == 1
+        assert refreshed.diff(current).stale == []
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AnalysisError, match="not found"):
+            Baseline.load(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(AnalysisError, match="not valid JSON"):
+            Baseline.load(bad)
+
+    def test_missing_findings_key(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 1}')
+        with pytest.raises(AnalysisError, match="findings"):
+            Baseline.load(bad)
+
+    def test_wrong_version(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(AnalysisError, match="version"):
+            Baseline.load(bad)
+
+    def test_entry_missing_field(self):
+        with pytest.raises(AnalysisError, match="message"):
+            Baseline([{"rule": "r", "path": "p"}])

@@ -1,0 +1,108 @@
+"""Engine behavior: canonical paths, suppressions, file discovery."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import FileContext, Finding, analyze_source
+from repro.analysis.engine import _canonical_path, iter_python_files
+from repro.errors import AnalysisError
+from pathlib import Path
+
+
+class TestCanonicalPath:
+    @pytest.mark.parametrize("raw, expected", [
+        ("/any/prefix/src/repro/stats/fisher.py",
+         "repro/stats/fisher.py"),
+        ("src/repro/cli.py", "repro/cli.py"),
+        ("repro/cli.py", "repro/cli.py"),
+        ("/x/tests/stats/test_fisher.py", "tests/stats/test_fisher.py"),
+        ("benchmarks/bench_mine.py", "benchmarks/bench_mine.py"),
+    ])
+    def test_rooted_at_package(self, raw, expected):
+        assert _canonical_path(Path(raw)) == expected
+
+    def test_identical_fingerprint_any_prefix(self):
+        a = _canonical_path(Path("/home/a/src/repro/stats/chi2.py"))
+        b = _canonical_path(Path("/ci/build/repro/stats/chi2.py"))
+        assert a == b == "repro/stats/chi2.py"
+
+
+class TestSuppression:
+    SRC = """\
+        _CACHE = dict()
+
+        def put(key, value):
+            _CACHE[key] = value@PRAGMA@
+        """
+
+    def _hits(self, pragma=""):
+        source = textwrap.dedent(self.SRC).replace("@PRAGMA@", pragma)
+        return analyze_source("repro/pkg/mod.py", source,
+                              select=["unlocked-shared-state"])
+
+    def test_unsuppressed_baseline(self):
+        assert len(self._hits()) == 1
+
+    def test_line_pragma(self):
+        assert self._hits(
+            "  # repro-lint: disable=unlocked-shared-state") == []
+
+    def test_line_pragma_all(self):
+        assert self._hits("  # repro-lint: disable=all") == []
+
+    def test_line_pragma_other_rule_does_not_mask(self):
+        assert len(self._hits(
+            "  # repro-lint: disable=no-stdlib-rng")) == 1
+
+    def test_file_pragma(self):
+        src = ("# repro-lint: disable-file=unlocked-shared-state\n"
+               + textwrap.dedent(self.SRC).replace("@PRAGMA@", ""))
+        assert analyze_source("repro/pkg/mod.py", src,
+                              select=["unlocked-shared-state"]) == []
+
+    def test_pragma_in_string_literal_is_inert(self):
+        src = textwrap.dedent("""\
+            _CACHE = {}
+            NOTE = "# repro-lint: disable-file=all"
+
+            def put(key, value):
+                _CACHE[key] = value
+            """)
+        assert len(analyze_source("repro/pkg/mod.py", src,
+                                  select=["unlocked-shared-state"])) == 1
+
+
+class TestFindings:
+    def test_describe_format(self):
+        f = Finding(path="repro/x.py", line=3, col=4,
+                    rule="r", message="m")
+        assert f.describe() == "repro/x.py:3:5: r: m"
+
+    def test_key_ignores_position(self):
+        a = Finding(path="p", line=3, col=0, rule="r", message="m")
+        b = Finding(path="p", line=9, col=4, rule="r", message="m")
+        assert a.key() == b.key()
+
+    def test_syntax_error_raises_analysis_error(self):
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            FileContext("repro/x.py", source="def broken(:\n")
+
+
+class TestIterPythonFiles:
+    def test_missing_path_raises(self):
+        with pytest.raises(AnalysisError, match="no such file"):
+            iter_python_files(["definitely/not/here"])
+
+    def test_expands_and_dedupes(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        (pkg / "b.txt").write_text("not python\n")
+        files = iter_python_files([pkg, pkg / "a.py"])
+        assert [p.name for p in files] == ["a.py"]
+
+    def test_unknown_rule_select(self):
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            analyze_source("repro/x.py", "x = 1\n",
+                           select=["not-a-rule"])

@@ -1,0 +1,71 @@
+"""The bitset shim's import-time quarantine warning.
+
+The warning fires in the *importing module's* process the first time
+``repro.bitset`` executes, so each scenario runs in a fresh
+interpreter. Files under ``tests/`` (like this one) are sanctioned,
+mirroring the ``bitset-quarantine`` lint rule's whitelist.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+PROBE = """\
+import warnings
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    import repro.bitset
+hits = [w for w in caught
+        if issubclass(w.category, DeprecationWarning)
+        and "interop shim" in str(w.message)]
+print("WARNED" if hits else "SILENT")
+"""
+
+
+def _probe(script_path: Path) -> str:
+    script_path.write_text(PROBE)
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.run([sys.executable, str(script_path)],
+                          capture_output=True, text=True, env=env,
+                          check=True)
+    return proc.stdout.strip()
+
+
+def test_unsanctioned_import_warns(tmp_path):
+    assert _probe(tmp_path / "app.py") == "WARNED"
+
+
+def test_tests_directory_sanctioned(tmp_path):
+    tests_dir = tmp_path / "tests"
+    tests_dir.mkdir()
+    assert _probe(tests_dir / "test_probe.py") == "SILENT"
+
+
+def test_package_import_does_not_preload_shim():
+    # The warning only works if `import repro` stays lazy about the
+    # shim; a module-level import anywhere in the package would burn
+    # the one-shot warning under a sanctioned frame.
+    code = ("import sys, repro\n"
+            "print('LOADED' if 'repro.bitset' in sys.modules "
+            "else 'LAZY')\n")
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.run([sys.executable, "-c", code],
+                          capture_output=True, text=True, env=env,
+                          check=True)
+    assert proc.stdout.strip() == "LAZY"
+
+
+def test_in_suite_import_is_silent(recwarn):
+    # Direct import from a tests/ file: sanctioned, no warning.
+    import importlib
+
+    import repro.bitset
+    importlib.reload(repro.bitset)
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, DeprecationWarning)
+                and "interop shim" in str(w.message)]
