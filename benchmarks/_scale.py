@@ -1,4 +1,4 @@
-"""Benchmark scale control.
+"""Benchmark scale control and the shared ``BENCH_*.json`` envelope.
 
 Every bench reads ``REPRO_SCALE`` from the environment:
 
@@ -9,13 +9,36 @@ Every bench reads ``REPRO_SCALE`` from the environment:
   permutations, full UCI record counts); hours of compute.
 
 ``EXPERIMENTS.md`` records which scale produced the committed numbers.
+
+Committed benchmark artifacts all share one envelope so the CI
+``bench-regression`` job can parse them uniformly::
+
+    {
+      "schema_version": 1,
+      "benchmark": "<name>",
+      "scale": "<smoke|default|paper>",
+      "host": {"machine": ..., "python": ..., "system": ...},
+      "gates": {"<ratio name>": {"value": <measured>, "min": <floor>}},
+      "metrics": {...}            # bench-specific detail, free-form
+    }
+
+``gates`` holds every speedup ratio the repo stakes a claim on: each
+must stay above its absolute ``min`` and, in CI, within the tolerance
+band of the committed ``value`` (see
+``benchmarks/check_bench_regression.py``). Everything else lives under
+``metrics`` and is informational.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
+
+#: Version of the shared BENCH_*.json envelope.
+ENVELOPE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -85,3 +108,92 @@ def banner(experiment: str, detail: str = "") -> str:
         parts.append(detail)
     parts.append(line)
     return "\n".join(parts)
+
+
+def host_fingerprint() -> Dict[str, str]:
+    """Where the committed numbers came from (context, not a gate)."""
+    return {
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "system": platform.system(),
+    }
+
+
+def bench_envelope(benchmark: str, gates: Dict[str, Dict[str, float]],
+                   metrics: Dict[str, object]) -> Dict[str, object]:
+    """Assemble one ``BENCH_*.json`` record in the shared envelope.
+
+    ``gates`` maps ratio names to ``{"value": measured, "min": floor}``
+    — the numbers the bench-regression job compares run over run.
+    ``metrics`` is the bench's free-form detail block.
+    """
+    record = {
+        "schema_version": ENVELOPE_VERSION,
+        "benchmark": benchmark,
+        "scale": current_scale().name,
+        "host": host_fingerprint(),
+        "gates": gates,
+        "metrics": metrics,
+    }
+    validate_bench(record)
+    return record
+
+
+def validate_bench(record: object) -> None:
+    """Reject malformed envelopes with an explicit error.
+
+    Raises ``ValueError`` naming every problem found; the
+    bench-regression comparator runs this on both the committed and
+    the freshly produced files before comparing anything, so a schema
+    drift fails loudly instead of slipping past the gate.
+    """
+    problems = []
+    if not isinstance(record, dict):
+        raise ValueError("bench record must be a JSON object")
+    if record.get("schema_version") != ENVELOPE_VERSION:
+        problems.append(
+            f"schema_version must be {ENVELOPE_VERSION}, got "
+            f"{record.get('schema_version')!r}")
+    benchmark = record.get("benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        problems.append("benchmark must be a non-empty string")
+    if record.get("scale") not in _SCALES:
+        problems.append(
+            f"scale must be one of {sorted(_SCALES)}, got "
+            f"{record.get('scale')!r}")
+    host = record.get("host")
+    if not isinstance(host, dict) or not all(
+            isinstance(host.get(k), str)
+            for k in ("machine", "python", "system")):
+        problems.append(
+            "host must carry machine/python/system strings")
+    gates = record.get("gates")
+    if not isinstance(gates, dict):
+        problems.append("gates must be an object")
+    else:
+        for name, gate in gates.items():
+            if not isinstance(gate, dict) \
+                    or not isinstance(gate.get("value"), (int, float)) \
+                    or not isinstance(gate.get("min"), (int, float)):
+                problems.append(
+                    f"gate {name!r} must be "
+                    "{'value': number, 'min': number}")
+            elif gate["value"] < gate["min"]:
+                problems.append(
+                    f"gate {name!r}: value {gate['value']:.3f} below "
+                    f"its floor {gate['min']}")
+    if not isinstance(record.get("metrics"), dict):
+        problems.append("metrics must be an object")
+    if problems:
+        raise ValueError("invalid bench record: " + "; ".join(problems))
+
+
+def write_bench(record: Dict[str, object], default_path: str) -> str:
+    """Validate and write one envelope (``REPRO_BENCH_JSON`` overrides
+    the destination); returns the path written."""
+    validate_bench(record)
+    out_path = os.environ.get("REPRO_BENCH_JSON", str(default_path))
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return out_path

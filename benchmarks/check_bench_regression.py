@@ -1,0 +1,104 @@
+"""Compare a fresh BENCH_*.json against its committed baseline.
+
+The CI ``bench-regression`` job re-runs every benchmark and calls this
+once per artifact::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_kernels.json --fresh fresh/BENCH_kernels.json
+
+Both files must carry the shared envelope (``_scale.validate_bench``).
+For every gate in the *baseline* the fresh run must (a) still clear
+the gate's absolute ``min`` and (b) reach at least ``(1 - tolerance)``
+of the committed ratio — the default 30% band absorbs runner noise
+while catching real kernel regressions. A gate present in the
+baseline but missing from the fresh run is a failure (a silently
+dropped gate is how regressions hide); new gates in the fresh run are
+reported but do not fail until committed.
+
+Exit status 0 when every gate holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from _scale import validate_bench
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        record = json.load(handle)
+    validate_bench(record)
+    return record
+
+
+def compare(baseline: dict, fresh: dict,
+            tolerance: float) -> "list[str]":
+    """Return one line per failed gate (empty = pass)."""
+    failures = []
+    if baseline["benchmark"] != fresh["benchmark"]:
+        return [f"benchmark mismatch: baseline "
+                f"{baseline['benchmark']!r} vs fresh "
+                f"{fresh['benchmark']!r}"]
+    for name, gate in sorted(baseline["gates"].items()):
+        committed = float(gate["value"])
+        floor = float(gate["min"])
+        fresh_gate = fresh["gates"].get(name)
+        if fresh_gate is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        measured = float(fresh_gate["value"])
+        allowed = committed * (1.0 - tolerance)
+        status = "ok"
+        if measured < floor:
+            status = f"below absolute floor {floor:g}"
+        elif measured < allowed:
+            status = (f"regressed >{tolerance:.0%} "
+                      f"(allowed >= {allowed:.2f})")
+        line = (f"{name}: committed {committed:.2f}x, "
+                f"fresh {measured:.2f}x — {status}")
+        print(f"  {line}")
+        if status != "ok":
+            failures.append(line)
+    for name in sorted(set(fresh["gates"]) - set(baseline["gates"])):
+        print(f"  {name}: new gate "
+              f"({fresh['gates'][name]['value']:.2f}x), not yet "
+              f"committed — informational")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional regression of each "
+                             "committed ratio (default: 0.30)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("tolerance must be in [0, 1)")
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    print(f"{baseline['benchmark']}: baseline scale "
+          f"{baseline['scale']}, fresh scale {fresh['scale']}, "
+          f"tolerance {args.tolerance:.0%}")
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"FAIL: {len(failures)} gate(s) regressed:",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("all gates within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

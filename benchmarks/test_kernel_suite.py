@@ -1,0 +1,246 @@
+"""Per-shape timings for every kernel in the native suite.
+
+The kernel-suite PR grew :mod:`repro._native` from one fused scoring
+kernel into three — batched class supports, the subset/closure mask,
+and the andnot diffset recurrence — each consumed through a
+:mod:`repro.bitmat` wrapper with a silent numpy fallback. This bench
+times, per dataset shape:
+
+* the **closure check** (:func:`~repro.bitmat.superset_mask` behind
+  ``VerticalView.superset_positions``) against the per-row Python
+  ``is_subset`` loop it replaced;
+* the **enumeration join** (``VerticalView.candidate_supports``, the
+  closed miner's child-support pass) against the per-candidate Python
+  ``intersection_count`` loop — the acceptance-gated ratio;
+* the **multi-class batched supports**
+  (``PatternForest.class_supports_multi``, one dispatch for all
+  classes) against the historical one-call-per-class loop;
+* the **andnot recurrence** (:func:`~repro.bitmat.andnot_counts`, the
+  diffset builder's sizing pass) against the per-pair Python
+  ``andnot_count`` loop;
+
+plus the packed-vs-diffsets per-labelling times at a dense and a very
+sparse density, the measured crossover behind ``--policy auto``
+(:func:`repro.mining.diffsets.resolve_auto_policy`). Every timed pair
+is asserted equal before any number counts. Results land in the
+repo-root ``BENCH_kernels.json`` (``REPRO_BENCH_JSON`` overrides) in
+the shared envelope; the gated ratio is the enumeration join on the
+10k-record x 1k-item reference shape.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _scale import banner, bench_envelope, current_scale, write_bench
+from repro.bitmat import andnot_counts, superset_mask
+from repro.mining import PatternForest
+from repro.mining.patterns import Pattern
+from repro.mining.tidsets import build_vertical_view
+from repro.tidvector import TidVector, arena_rows, pack_bool_matrix
+
+SEED = 2026
+#: The acceptance-gated reference shape (records, items).
+REFERENCE_SHAPE = (10_000, 1_000)
+N_QUERIES = 16
+N_CLASSES = 3
+BATCH = 16
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+
+_EXTRA_SHAPES = {
+    "smoke": (),
+    "default": ((2_000, 200), (50_000, 500)),
+    "paper": ((2_000, 200), (50_000, 500), (100_000, 1_000)),
+}
+
+
+def _timed(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _random_view(n_records, n_items, density, rng):
+    flags = rng.random((n_items, n_records)) < density
+    arena = pack_bool_matrix(flags)
+    tidsets = arena_rows(arena, n_records)
+    return build_vertical_view(tidsets, n_records, min_sup=1,
+                               order="original")
+
+
+def _bench_shape(n_records, n_items, repeats, rng):
+    """Time all four kernels against their Python loops on one shape."""
+    view = _random_view(n_records, n_items, 0.1, rng)
+    queries = [view.pattern_tidset([rng.integers(0, n_items)])
+               & view.tidsets[int(rng.integers(0, n_items))]
+               for _ in range(N_QUERIES)]
+
+    # -- closure check: superset mask vs per-row is_subset loop ------ #
+    python_s, python_out = _timed(
+        lambda: [[q.is_subset(t) for t in view.tidsets]
+                 for q in queries], repeats)
+    kernel_s, kernel_out = _timed(
+        lambda: [superset_mask(view.matrix, q.words) for q in queries],
+        repeats)
+    for py_row, k_row in zip(python_out, kernel_out):
+        assert np.array_equal(np.asarray(py_row), k_row)
+    closure = _ratio_block(python_s, kernel_s)
+
+    # -- enumeration join: candidate supports vs per-candidate loop - #
+    python_s, python_out = _timed(
+        lambda: [[q.intersection_count(t) for t in view.tidsets]
+                 for q in queries], repeats)
+    kernel_s, kernel_out = _timed(
+        lambda: [view.candidate_supports(q) for q in queries], repeats)
+    for py_row, k_row in zip(python_out, kernel_out):
+        assert np.array_equal(np.asarray(py_row), k_row)
+    join = _ratio_block(python_s, kernel_s)
+
+    # -- multi-class batched supports vs one call per class ---------- #
+    patterns = [Pattern(node_id=i, parent_id=-1,
+                        items=frozenset((i,)), tidset=t,
+                        support=t.count(), depth=0)
+                for i, t in enumerate(view.tidsets)]
+    forest = PatternForest(patterns, n_records, "packed")
+    labels = rng.integers(0, N_CLASSES, size=(BATCH, n_records))
+    stacked = np.stack([labels == c for c in range(N_CLASSES)])
+    python_s, python_out = _timed(
+        lambda: np.stack([forest.class_supports_batch(labels == c)
+                          for c in range(N_CLASSES)]), repeats)
+    kernel_s, kernel_out = _timed(
+        lambda: forest.class_supports_multi(stacked), repeats)
+    assert np.array_equal(python_out, kernel_out)
+    multi = _ratio_block(python_s, kernel_s)
+
+    # -- andnot recurrence vs per-pair Python loop ------------------- #
+    perm = rng.permutation(n_items)
+    pairs_a = view.matrix
+    pairs_b = view.matrix[perm]
+    vec_b = arena_rows(pairs_b, n_records)
+    python_s, python_out = _timed(
+        lambda: [a.andnot_count(b)
+                 for a, b in zip(view.tidsets, vec_b)], repeats)
+    kernel_s, kernel_out = _timed(
+        lambda: andnot_counts(pairs_a, pairs_b), repeats)
+    assert np.array_equal(np.asarray(python_out), kernel_out)
+    andnot = _ratio_block(python_s, kernel_s)
+
+    return {
+        "n_records": n_records,
+        "n_items": n_items,
+        "n_queries": N_QUERIES,
+        "closure": closure,
+        "enumeration_join": join,
+        "multi_class_supports": multi,
+        "andnot_recurrence": andnot,
+    }
+
+
+def _ratio_block(python_seconds, kernel_seconds):
+    return {
+        "python_ms": python_seconds * 1000,
+        "kernel_ms": kernel_seconds * 1000,
+        "speedup": python_seconds / max(kernel_seconds, 1e-12),
+    }
+
+
+def _policy_crossover(rng, repeats):
+    """Packed vs diffsets per-labelling cost at two densities.
+
+    The dense side shows the packed sweep winning outright; the very
+    sparse side shows the gather path closing in — the measured basis
+    for ``resolve_auto_policy``'s density crossover.
+    """
+    n_records, n_nodes = 10_000, 500
+    out = {}
+    for label, density in (("dense_10pct", 0.1),
+                           ("sparse_0.1pct", 0.001)):
+        flags = rng.random((n_nodes, n_records)) < density
+        arena = pack_bool_matrix(flags)
+        tidsets = arena_rows(arena, n_records)
+        patterns = [Pattern(node_id=i, parent_id=-1,
+                            items=frozenset((i,)), tidset=t,
+                            support=t.count(), depth=0)
+                    for i, t in enumerate(tidsets)]
+        indicator = rng.random(n_records) < 0.5
+        timings = {}
+        reference = None
+        for policy in ("packed", "diffsets"):
+            forest = PatternForest(patterns, n_records, policy)
+            seconds, result = _timed(
+                lambda f=forest: f.class_supports(indicator), repeats)
+            if reference is None:
+                reference = result
+            else:
+                assert np.array_equal(reference, result)
+            timings[policy] = seconds * 1000
+        out[label] = {
+            "n_records": n_records,
+            "n_nodes": n_nodes,
+            "density": density,
+            "packed_ms": timings["packed"],
+            "diffsets_ms": timings["diffsets"],
+        }
+    return out
+
+
+def test_kernel_suite():
+    scale = current_scale()
+    repeats = 1 if scale.name == "smoke" else 3
+    rng = np.random.default_rng(SEED)
+
+    shapes = [_bench_shape(n_records, n_items, repeats, rng)
+              for n_records, n_items
+              in (REFERENCE_SHAPE,) + _EXTRA_SHAPES[scale.name]]
+    reference = shapes[0]
+    crossover = _policy_crossover(rng, repeats)
+
+    record = bench_envelope(
+        "kernel_suite",
+        gates={
+            "enumeration_speedup": {
+                "value": reference["enumeration_join"]["speedup"],
+                "min": 3.0,
+            },
+        },
+        metrics={
+            "reference_shape": list(REFERENCE_SHAPE),
+            "shapes": shapes,
+            "policy_crossover": crossover,
+        },
+    )
+    out_path = write_bench(record, str(DEFAULT_OUT))
+
+    lines = []
+    for shape in shapes:
+        lines.append(f"{shape['n_records']} records x "
+                     f"{shape['n_items']} items:")
+        for key in ("closure", "enumeration_join",
+                    "multi_class_supports", "andnot_recurrence"):
+            block = shape[key]
+            lines.append(
+                f"  {key:22s} {block['python_ms']:9.2f} ms -> "
+                f"{block['kernel_ms']:9.2f} ms "
+                f"({block['speedup']:.1f}x)")
+    for label, block in crossover.items():
+        lines.append(
+            f"crossover {label}: packed {block['packed_ms']:.2f} ms, "
+            f"diffsets {block['diffsets_ms']:.2f} ms per labelling")
+    print()
+    print(banner("native kernel suite vs pure-Python word loops",
+                 "\n".join(lines)))
+    print(f"wrote {out_path}")
+
+    # The acceptance gate: on the 10k x 1k reference shape one fused
+    # AND+popcount pass must decisively beat a thousand per-candidate
+    # Python calls.
+    gate = reference["enumeration_join"]["speedup"]
+    assert gate >= 3.0, (
+        f"enumeration join only {gate:.1f}x over the Python loop")

@@ -17,13 +17,11 @@ path).
 
 from __future__ import annotations
 
-import json
-import os
 import random
 import time
 from pathlib import Path
 
-from _scale import banner, current_scale
+from _scale import banner, bench_envelope, current_scale, write_bench
 from repro.data import Dataset
 from repro.data.items import ItemCatalog
 from repro.mining import mine_closed
@@ -99,27 +97,29 @@ def test_mining_ingest():
         lambda: mine_closed(dataset.item_tidsets, dataset.n_records,
                             min_sup, max_length=3), repeats=1)
 
-    record = {
-        "benchmark": "mining_ingest",
-        "scale": scale.name,
-        "ingest": {
-            "n_records": n_records,
-            "n_items": dataset.n_items,
-            "n_cells": n_records * N_ATTRIBUTES,
-            "bigint_seconds": bigint_seconds,
-            "packed_seconds": packed_seconds,
-            "speedup": speedup,
+    record = bench_envelope(
+        "mining_ingest",
+        gates={
+            "ingest_speedup": {"value": speedup, "min": 3.0},
         },
-        "closed_mining": {
-            "min_sup": min_sup,
-            "max_length": 3,
-            "n_patterns": len(patterns),
-            "seconds": mine_seconds,
+        metrics={
+            "ingest": {
+                "n_records": n_records,
+                "n_items": dataset.n_items,
+                "n_cells": n_records * N_ATTRIBUTES,
+                "bigint_seconds": bigint_seconds,
+                "packed_seconds": packed_seconds,
+                "speedup": speedup,
+            },
+            "closed_mining": {
+                "min_sup": min_sup,
+                "max_length": 3,
+                "n_patterns": len(patterns),
+                "seconds": mine_seconds,
+            },
         },
-    }
-    out_path = os.environ.get("REPRO_BENCH_JSON", str(DEFAULT_OUT))
-    with open(out_path, "w") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
+    )
+    out_path = write_bench(record, str(DEFAULT_OUT))
 
     lines = [
         f"ingest ({n_records} records x {dataset.n_items} items, "

@@ -18,14 +18,12 @@ overrides the path).
 
 from __future__ import annotations
 
-import json
-import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from _scale import banner, current_scale
+from _scale import banner, bench_envelope, current_scale, write_bench
 from repro import bitset as bs
 from repro.corrections import PermutationEngine
 from repro.data import GeneratorConfig, generate
@@ -131,31 +129,33 @@ def test_permutation_kernel():
     end_to_end_speedup = (end_to_end["bitset"]["seconds"]
                           / max(end_to_end["packed"]["seconds"], 1e-12))
 
-    record = {
-        "benchmark": "permutation_kernel",
-        "scale": scale.name,
-        "kernel": {
-            "n_patterns": KERNEL_PATTERNS,
-            "n_records": KERNEL_RECORDS,
-            "batch_size": KERNEL_BATCH,
-            "bigint_ms_per_labelling": bigint_seconds * 1000,
-            "packed_ms_per_labelling": packed_seconds * 1000,
-            "packed_batch_ms_per_labelling":
-                batch_per_labelling * 1000,
-            "speedup_single": speedup_single,
-            "speedup_batch": speedup_batch,
+    record = bench_envelope(
+        "permutation_kernel",
+        gates={
+            "speedup_batch": {"value": speedup_batch, "min": 5.0},
         },
-        "end_to_end": {
-            "n_permutations": n_perm,
-            "n_rules": ruleset.n_tests,
-            "n_records": scale.synth_records,
-            "policies": end_to_end,
-            "packed_speedup": end_to_end_speedup,
+        metrics={
+            "kernel": {
+                "n_patterns": KERNEL_PATTERNS,
+                "n_records": KERNEL_RECORDS,
+                "batch_size": KERNEL_BATCH,
+                "bigint_ms_per_labelling": bigint_seconds * 1000,
+                "packed_ms_per_labelling": packed_seconds * 1000,
+                "packed_batch_ms_per_labelling":
+                    batch_per_labelling * 1000,
+                "speedup_single": speedup_single,
+                "speedup_batch": speedup_batch,
+            },
+            "end_to_end": {
+                "n_permutations": n_perm,
+                "n_rules": ruleset.n_tests,
+                "n_records": scale.synth_records,
+                "policies": end_to_end,
+                "packed_speedup": end_to_end_speedup,
+            },
         },
-    }
-    out_path = os.environ.get("REPRO_BENCH_JSON", str(DEFAULT_OUT))
-    with open(out_path, "w") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
+    )
+    out_path = write_bench(record, str(DEFAULT_OUT))
 
     lines = [
         f"kernel ({KERNEL_PATTERNS} patterns x {KERNEL_RECORDS} "

@@ -111,7 +111,12 @@ from .corrections.registry import (
 )
 from .bitmat import BitMatrix
 from .tidvector import TidVector, as_tidvector
-from .mining.diffsets import DEFAULT_POLICY, POLICIES, PatternForest
+from .mining.diffsets import (
+    DEFAULT_POLICY,
+    POLICIES,
+    POLICY_CHOICES,
+    PatternForest,
+)
 from .mining.patterns import Pattern, PatternSet
 from .mining.registry import (
     Miner,
@@ -143,6 +148,7 @@ __all__ = [
     "Miner",
     "MiningReport",
     "POLICIES",
+    "POLICY_CHOICES",
     "Pattern",
     "PatternForest",
     "PatternSet",

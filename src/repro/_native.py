@@ -1,28 +1,49 @@
-"""Optional fused C kernel behind :class:`repro.bitmat.BitMatrix`.
+"""Optional fused C kernel suite behind the packed uint64 substrate.
 
-NumPy cannot fuse ``bitwise_and`` → ``bitwise_count`` → row-sum into
-one pass, so the pure-numpy batch kernel materialises a
-``words``-sized intermediate per labelling and pays three memory
-sweeps where one would do. This module compiles (once, lazily, with
-the system C compiler) a ~20-line fused loop::
+NumPy cannot fuse ``bitwise_and`` → ``bitwise_count`` → reduce into
+one pass, so every pure-numpy word kernel materialises a
+``words``-sized intermediate and pays extra memory sweeps where one
+would do. This module compiles (once, lazily, with the system C
+compiler) a small suite of fused loops and loads them through
+:mod:`ctypes`:
 
-    out[b][j] = sum_w popcount(words[j][w] & rows[b][w])
+* ``repro_class_supports_batch`` — the PR-4 scoring kernel::
 
-and loads it through :mod:`ctypes`. The kernel reads the packed
-forest once per labelling and keeps the accumulator in a register —
-on AVX-512 hardware gcc auto-vectorises the popcount — which is
-what clears the ``BENCH_permutation.json`` speedup gate on one core.
+      out[b][j] = sum_w popcount(words[j][w] & rows[b][w])
 
-Everything here is best-effort: no compiler, a sandboxed filesystem, a
+  behind :meth:`repro.bitmat.BitMatrix.class_supports_batch` (and,
+  flattened over classes, :meth:`~repro.bitmat.BitMatrix.
+  class_supports_multi`);
+
+* ``repro_subset_mask`` — the enumeration closure/subset check::
+
+      out[j] = all_w ((query[w] & ~words[j][w]) == 0)
+
+  with early exit per row, behind
+  :func:`repro.bitmat.superset_mask` and thus
+  :meth:`repro.mining.tidsets.VerticalView.superset_positions` (the
+  closed miner's closure primitive);
+
+* ``repro_andnot_counts`` — the diffset recurrence join::
+
+      out[j] = sum_w popcount(a[j][w] & ~b[j][w])
+
+  behind :func:`repro.bitmat.andnot_counts`, which sizes the
+  word-wise ``parent \\ child`` difference blocks of
+  :class:`repro.mining.diffsets.PatternForest`.
+
+Each call releases the GIL, so the kernels also scale on the
+``threads`` backend. Everything here is best-effort: no compiler
+(``CC=/bin/false`` is the CI leg for that), a sandboxed filesystem, a
 failed compile, or ``REPRO_NATIVE=0`` all degrade silently to the
-numpy path (:meth:`BitMatrix.class_supports_batch` checks
-:func:`load_kernel` for ``None``). Results are bit-identical either
-way — both paths count exact integers.
+numpy paths. Results are bit-identical either way — every kernel
+counts exact integers or compares exact words.
 
 The shared object is cached under ``$REPRO_NATIVE_CACHE`` (default: a
 per-user directory beneath the system temp dir), keyed by a hash of
-the source and compiler flags, and published with an atomic rename so
-concurrent workers never load a half-written library.
+the source, the compiler identity (``$CC`` and its version banner)
+and flags, and published with an atomic rename so concurrent workers
+never load a half-written library.
 """
 
 from __future__ import annotations
@@ -37,14 +58,14 @@ import sys
 import tempfile
 from typing import Optional
 
-__all__ = ["load_kernel", "native_status"]
+__all__ = ["KernelSuite", "load_kernel", "load_suite", "native_status"]
 
 _SOURCE = r"""
 #include <stdint.h>
 
-/* Fused AND -> popcount -> accumulate over one row of packed words.
-   The three-array numpy pipeline is memory bound; this single pass
-   reads each word once and keeps the running count in a register. */
+/* Fused word kernels over packed little-endian uint64 record sets.
+   The multi-array numpy pipelines are memory bound; each loop here
+   reads every word once and keeps its accumulator in a register. */
 
 #if defined(__GNUC__) || defined(__clang__)
 #define POPCOUNT64 __builtin_popcountll
@@ -56,6 +77,7 @@ static int POPCOUNT64(uint64_t x) {
 }
 #endif
 
+/* out[b][j] = sum_w popcount(words[j][w] & rows[b][w]) */
 void repro_class_supports_batch(
     const uint64_t *words,   /* (n_rows, n_words), row-major */
     const uint64_t *rows,    /* (n_batch, n_words), row-major */
@@ -76,6 +98,44 @@ void repro_class_supports_batch(
         }
     }
 }
+
+/* out[j] = 1 iff query is a subset of words[j] (query & ~row == 0),
+   early exit on the first uncovered word. */
+void repro_subset_mask(
+    const uint64_t *words,   /* (n_rows, n_words), row-major */
+    const uint64_t *query,   /* (n_words,) */
+    uint8_t *out,            /* (n_rows,) */
+    int64_t n_rows,
+    int64_t n_words)
+{
+    for (int64_t j = 0; j < n_rows; ++j) {
+        const uint64_t *row = words + j * n_words;
+        uint8_t covered = 1;
+        for (int64_t w = 0; w < n_words; ++w) {
+            if (query[w] & ~row[w]) { covered = 0; break; }
+        }
+        out[j] = covered;
+    }
+}
+
+/* out[j] = sum_w popcount(a[j][w] & ~b[j][w]) — the diffset size of
+   row pair j. */
+void repro_andnot_counts(
+    const uint64_t *a,       /* (n_rows, n_words), row-major */
+    const uint64_t *b,       /* (n_rows, n_words), row-major */
+    int64_t *out,            /* (n_rows,) */
+    int64_t n_rows,
+    int64_t n_words)
+{
+    for (int64_t j = 0; j < n_rows; ++j) {
+        const uint64_t *pa = a + j * n_words;
+        const uint64_t *pb = b + j * n_words;
+        int64_t acc = 0;
+        for (int64_t w = 0; w < n_words; ++w)
+            acc += POPCOUNT64(pa[w] & ~pb[w]);
+        out[j] = acc;
+    }
+}
 """
 
 #: Flag sets tried in order; the first successful compile wins. The
@@ -88,10 +148,56 @@ _FLAG_SETS = (
 
 _CACHE_ENV = "REPRO_NATIVE_CACHE"
 _DISABLE_ENV = "REPRO_NATIVE"
+_CC_ENV = "CC"
+
+_UINT64_P = ctypes.POINTER(ctypes.c_uint64)
+_INT64_P = ctypes.POINTER(ctypes.c_int64)
+_UINT8_P = ctypes.POINTER(ctypes.c_uint8)
+
+#: (symbol, argtypes) for every kernel the suite must export; a
+#: library missing any of them is rejected as a whole.
+_KERNEL_SIGNATURES = (
+    ("repro_class_supports_batch",
+     [_UINT64_P, _UINT64_P, _INT64_P,
+      ctypes.c_int64, ctypes.c_int64, ctypes.c_int64]),
+    ("repro_subset_mask",
+     [_UINT64_P, _UINT64_P, _UINT8_P,
+      ctypes.c_int64, ctypes.c_int64]),
+    ("repro_andnot_counts",
+     [_UINT64_P, _UINT64_P, _INT64_P,
+      ctypes.c_int64, ctypes.c_int64]),
+)
+
+
+class KernelSuite:
+    """The loaded native kernels, one attribute per C entry point.
+
+    Attributes are ctypes functions with argtypes/restype set:
+    ``class_supports_batch``, ``subset_mask``, ``andnot_counts``. The
+    whole suite loads from one shared object — either every kernel is
+    native or none is, so callers never mix generations.
+    """
+
+    __slots__ = ("class_supports_batch", "subset_mask", "andnot_counts",
+                 "_handle")
+
+    def __init__(self, handle: ctypes.CDLL) -> None:
+        self._handle = handle
+        for symbol, argtypes in _KERNEL_SIGNATURES:
+            fn = getattr(handle, symbol)  # AttributeError -> rejected
+            fn.restype = None
+            fn.argtypes = argtypes
+            setattr(self, symbol[len("repro_"):], fn)
+
 
 # Memoised load result: "unset" -> not tried yet; None -> unavailable.
 _kernel: object = "unset"
 _status = "not loaded"
+
+# Memoised compiler probe: "unset" -> not probed; None -> no usable
+# compiler; str -> its identity banner (hashed into the cache tag so
+# a compiler upgrade or a CC= switch never reuses a stale library).
+_compiler: object = "unset"
 
 
 def _cache_dir() -> Optional[str]:
@@ -134,19 +240,54 @@ def _cache_dir() -> Optional[str]:
     return directory
 
 
+def _compiler_command() -> str:
+    """The C compiler to invoke (``$CC``, default ``cc``)."""
+    return os.environ.get(_CC_ENV, "").strip() or "cc"
+
+
+def _compiler_fingerprint() -> Optional[str]:
+    """Identity banner of the configured compiler, or ``None``.
+
+    Probed once per process. A missing or broken compiler (the
+    ``CC=/bin/false`` CI leg) returns ``None``, which short-circuits
+    every compile attempt — the numpy fallback engages without ever
+    writing to the cache.
+    """
+    global _compiler
+    if _compiler != "unset":
+        return _compiler  # type: ignore[return-value]
+    command = _compiler_command()
+    try:
+        probe = subprocess.run([command, "--version"],
+                               capture_output=True, timeout=30)
+    except Exception:
+        _compiler = None
+        return None
+    if probe.returncode != 0 or not probe.stdout.strip():
+        _compiler = None
+        return None
+    banner = probe.stdout.splitlines()[0].decode("utf-8", "replace")
+    _compiler = f"{command} {banner}"
+    return _compiler
+
+
 def _compile(flags) -> Optional[str]:
-    """Compile the kernel with ``flags``; return the .so path or None.
+    """Compile the suite with ``flags``; return the .so path or None.
 
     The object is written to a unique temp name and published with
     ``os.replace`` so a concurrent worker either sees the finished
     library or none at all — never a partial write. The cache tag
-    hashes the host identity alongside source and flags because
-    ``-march=native`` output is CPU-specific: a library built on one
-    machine must never be picked up on another through a shared
-    cache directory (SIGILL at call time is uncatchable).
+    hashes the compiler identity and the host identity alongside
+    source and flags: ``-march=native`` output is CPU-specific (a
+    library built on one machine must never be picked up on another
+    through a shared cache directory — SIGILL at call time is
+    uncatchable), and a compiler upgrade must rebuild.
     """
+    compiler = _compiler_fingerprint()
+    if compiler is None:
+        return None
     tag = hashlib.sha256(
-        (_SOURCE + " ".join(flags) + sys.version
+        (_SOURCE + " ".join(flags) + sys.version + compiler
          + platform.machine() + platform.node()).encode()
     ).hexdigest()[:16]
     directory = _cache_dir()
@@ -168,8 +309,8 @@ def _compile(flags) -> Optional[str]:
         with os.fdopen(source_fd, "w") as handle:
             handle.write(_SOURCE)
         subprocess.run(
-            ["cc", "-shared", "-fPIC", *flags, source_path,
-             "-o", scratch],
+            [_compiler_command(), "-shared", "-fPIC", *flags,
+             source_path, "-o", scratch],
             check=True, capture_output=True, timeout=120)
         os.replace(scratch, library)
         return library
@@ -186,16 +327,16 @@ def _compile(flags) -> Optional[str]:
             pass
 
 
-def load_kernel():
-    """The ctypes kernel function, or ``None`` when unavailable.
+def load_suite() -> Optional[KernelSuite]:
+    """The loaded :class:`KernelSuite`, or ``None`` when unavailable.
 
     Lazy and memoised; safe to call from any thread or worker
     process (each process compiles at most once, against the shared
-    on-disk cache).
+    on-disk cache). ``REPRO_NATIVE=0`` disables the whole suite.
     """
     global _kernel, _status
     if _kernel != "unset":
-        return _kernel
+        return _kernel  # type: ignore[return-value]
     if os.environ.get(_DISABLE_ENV, "").strip() == "0":
         _kernel, _status = None, "disabled via REPRO_NATIVE=0"
         return None
@@ -204,24 +345,30 @@ def load_kernel():
         if library is None:
             continue
         try:
-            handle = ctypes.CDLL(library)
-            fn = handle.repro_class_supports_batch
+            suite = KernelSuite(ctypes.CDLL(library))
         except (OSError, AttributeError):
+            # Unloadable, or an older-generation library missing a
+            # kernel (the tag hashes the source, so this only happens
+            # on a corrupted cache) — try the next flag set.
             continue
-        fn.restype = None
-        fn.argtypes = [
-            ctypes.POINTER(ctypes.c_uint64),
-            ctypes.POINTER(ctypes.c_uint64),
-            ctypes.POINTER(ctypes.c_int64),
-            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
-        ]
-        _kernel = fn
+        _kernel = suite
         _status = f"loaded ({' '.join(flags)})"
-        return fn
+        return suite
     _kernel, _status = None, "compile failed (numpy fallback)"
     return None
 
 
+def load_kernel():
+    """The batched class-support kernel alone (compatibility entry).
+
+    Historical name from the single-kernel era; equivalent to
+    ``load_suite().class_supports_batch`` with the same ``None``
+    fallback contract.
+    """
+    suite = load_suite()
+    return None if suite is None else suite.class_supports_batch
+
+
 def native_status() -> str:
-    """Human-readable state of the native kernel (for diagnostics)."""
+    """Human-readable state of the native kernel suite (diagnostics)."""
     return _status

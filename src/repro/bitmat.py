@@ -1,4 +1,4 @@
-"""Packed uint64 bitmap kernel: the permutation pass's counting engine.
+"""Packed uint64 bitmap kernels: counting, closure and diffset joins.
 
 The mining substrate stores tidsets as arbitrary-precision Python ints
 (:mod:`repro.bitset`), which makes *one* intersection a single C call —
@@ -12,7 +12,7 @@ and a full class-support pass is three C-level array operations —
 ``bitwise_and`` broadcast, ``bitwise_count`` (the POPCNT instruction on
 x86), and a row sum.
 
-Two kernels are exposed:
+Counting kernels on :class:`BitMatrix`:
 
 * :meth:`BitMatrix.class_supports` — supports of every node under one
   boolean record indicator (one permutation);
@@ -21,10 +21,27 @@ Two kernels are exposed:
   batched permutation pass. The broadcast intermediate is
   ``B × n_nodes × n_words`` bytes of popcounts, so the batch is
   processed in row blocks bounded by ``block_bytes`` (see
-  ``docs/performance.md``).
+  ``docs/performance.md``);
+* :meth:`BitMatrix.class_supports_multi` — a ``(C, B, n_nodes)``
+  support tensor for ``C`` classes × ``B`` labellings through *one*
+  kernel dispatch, so multi-class permutation scoring no longer pays
+  one kernel call (and one numpy block loop) per class.
 
-Both kernels count *exact integers* — results are bit-identical to the
-bigint ``popcount`` path for any input.
+Two enumeration kernels operate on raw packed arenas (the
+``(k, n_words)`` uint64 matrices every :class:`~repro.tidvector.
+TidVector` arena and :class:`BitMatrix` share), native-accelerated
+through :mod:`repro._native` with silent numpy fallbacks:
+
+* :func:`superset_mask` — which arena rows contain a query set
+  (``query & ~row == 0`` per row); the closed miner's closure check
+  (:meth:`repro.mining.tidsets.VerticalView.superset_positions`);
+* :func:`andnot_counts` — ``popcount(a_row & ~b_row)`` per row pair;
+  sizes the word-wise diffset join of
+  :class:`repro.mining.diffsets.PatternForest`.
+
+Every kernel counts *exact integers* or compares exact words —
+results are bit-identical to the bigint path for any input, with the
+native suite loaded or not.
 """
 
 from __future__ import annotations
@@ -38,8 +55,11 @@ from . import _native
 
 __all__ = [
     "BitMatrix",
+    "andnot_counts",
+    "intersection_counts",
     "pack_indicator",
     "pack_indicators",
+    "superset_mask",
     "words_per_row",
 ]
 
@@ -216,9 +236,10 @@ class BitMatrix:
                 f"indicator must have shape ({self.n_records},), got "
                 f"{flags.shape}")
         packed = pack_indicator(flags)
-        kernel = _native.load_kernel()
-        if kernel is not None and self.n_rows:
-            return self._run_native(packed[None, :], kernel)[0]
+        suite = _native.load_suite()
+        if suite is not None and self.n_rows:
+            return self._run_native(packed[None, :],
+                                    suite.class_supports_batch)[0]
         return (np.bitwise_count(self._words & packed[None, :])
                 .sum(axis=1, dtype=np.int64))
 
@@ -243,9 +264,39 @@ class BitMatrix:
                 f"got {flags.shape}")
         n_batch = flags.shape[0]
         packed = pack_indicators(flags)
-        kernel = _native.load_kernel()
-        if kernel is not None and self.n_rows and n_batch:
-            return self._run_native(packed, kernel)
+        return self._supports_packed(packed, block_bytes)
+
+    def class_supports_multi(self, class_indicators: np.ndarray,
+                             block_bytes: int = DEFAULT_BLOCK_BYTES,
+                             ) -> np.ndarray:
+        """``(C, B, n_rows)`` supports for ``C`` classes × ``B`` rows.
+
+        ``class_indicators`` is a boolean ``(C, B, n_records)`` tensor
+        — one ``(B, n_records)`` indicator matrix per class. The whole
+        tensor is packed once and flattened into a single
+        ``(C·B, n_words)`` dispatch, so the multi-class permutation
+        pass costs one kernel call for *all* classes instead of one
+        per class. Entry ``(c, b)`` equals
+        ``class_supports(class_indicators[c, b])`` exactly.
+        """
+        flags = np.asarray(class_indicators, dtype=bool)
+        if flags.ndim != 3 or flags.shape[2] != self.n_records:
+            raise ValueError(
+                f"class indicators must have shape "
+                f"(C, B, {self.n_records}), got {flags.shape}")
+        n_classes, n_batch = flags.shape[0], flags.shape[1]
+        packed = pack_indicators(
+            flags.reshape(n_classes * n_batch, self.n_records))
+        out = self._supports_packed(packed, block_bytes)
+        return out.reshape(n_classes, n_batch, self.n_rows)
+
+    def _supports_packed(self, packed: np.ndarray,
+                         block_bytes: int) -> np.ndarray:
+        """Supports of every row against already-packed labellings."""
+        n_batch = packed.shape[0]
+        suite = _native.load_suite()
+        if suite is not None and self.n_rows and n_batch:
+            return self._run_native(packed, suite.class_supports_batch)
         out = np.empty((n_batch, self.n_rows), dtype=np.int64)
         block = self.batch_block_rows(block_bytes)
         for start in range(0, n_batch, block):
@@ -287,3 +338,111 @@ class BitMatrix:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"BitMatrix(n_rows={self.n_rows}, "
                 f"n_records={self.n_records}, n_words={self.n_words})")
+
+
+# ----------------------------------------------------------------------
+# arena-level enumeration kernels (native-accelerated, numpy fallback)
+# ----------------------------------------------------------------------
+
+
+def superset_mask(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Which rows of a packed arena contain the query set (bool mask).
+
+    ``matrix`` is a ``(k, n_words)`` uint64 arena (item tidsets,
+    forest rows); ``query`` a ``(n_words,)`` uint64 row over the same
+    universe. Row ``j`` is True iff ``query & ~matrix[j] == 0`` — the
+    subset/closure primitive behind
+    :meth:`repro.mining.tidsets.VerticalView.superset_positions`. The
+    native kernel fuses the and-not with an early-exit scan per row;
+    the numpy fallback materialises one ``k × n_words`` intermediate.
+    Both compare exact words, so the mask is identical either way.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.uint64)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be a 2-D uint64 arena")
+    query = np.ascontiguousarray(query, dtype=np.uint64)
+    if query.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"query must have shape ({matrix.shape[1]},), got "
+            f"{query.shape}")
+    n_rows = matrix.shape[0]
+    if n_rows == 0:
+        return np.zeros(0, dtype=bool)
+    suite = _native.load_suite()
+    if suite is not None and matrix.shape[1]:
+        out = np.empty(n_rows, dtype=np.uint8)
+        suite.subset_mask(
+            matrix.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+            query.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+            n_rows, matrix.shape[1])
+        return out.view(bool)
+    if matrix.shape[1] == 0:
+        # Zero-width universe: the empty query is a subset of any row.
+        return np.ones(n_rows, dtype=bool)
+    return ~np.any(query[None, :] & ~matrix, axis=1)
+
+
+def intersection_counts(matrix: np.ndarray,
+                        query: np.ndarray) -> np.ndarray:
+    """``popcount(matrix[j] & query)`` per arena row, as int64.
+
+    ``matrix`` is a ``(k, n_words)`` uint64 arena, ``query`` a
+    ``(n_words,)`` uint64 row. The enumeration-join primitive behind
+    :meth:`repro.mining.tidsets.VerticalView.candidate_supports`: one
+    fused AND+popcount sweep (the batch-supports kernel with ``B=1``)
+    instead of a per-row Python ``intersection_count`` loop.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.uint64)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be a 2-D uint64 arena")
+    query = np.ascontiguousarray(query, dtype=np.uint64)
+    if query.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"query must have shape ({matrix.shape[1]},), got "
+            f"{query.shape}")
+    n_rows = matrix.shape[0]
+    if n_rows == 0 or matrix.shape[1] == 0:
+        return np.zeros(n_rows, dtype=np.int64)
+    suite = _native.load_suite()
+    if suite is not None:
+        out = np.empty((1, n_rows), dtype=np.int64)
+        suite.class_supports_batch(
+            matrix.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+            query.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+            n_rows, matrix.shape[1], 1)
+        return out[0]
+    return (np.bitwise_count(matrix & query[None, :])
+            .sum(axis=1, dtype=np.int64))
+
+
+def andnot_counts(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``popcount(a[j] & ~b[j])`` per row pair, as an int64 array.
+
+    ``a`` and ``b`` are equal-shape ``(k, n_words)`` uint64 arenas;
+    entry ``j`` is the cardinality of the set difference
+    ``a[j] \\ b[j]`` — the word-wise diffset recurrence that sizes
+    each ``parent \\ child`` block of
+    :class:`repro.mining.diffsets.PatternForest` in one pass. Exact
+    integers under both the native kernel and the numpy fallback.
+    """
+    a = np.ascontiguousarray(a, dtype=np.uint64)
+    b = np.ascontiguousarray(b, dtype=np.uint64)
+    if a.ndim != 2 or a.shape != b.shape:
+        raise ValueError(
+            f"a and b must be equal-shape 2-D uint64 arenas, got "
+            f"{a.shape} vs {b.shape}")
+    n_rows = a.shape[0]
+    if n_rows == 0 or a.shape[1] == 0:
+        return np.zeros(n_rows, dtype=np.int64)
+    suite = _native.load_suite()
+    if suite is not None:
+        out = np.empty(n_rows, dtype=np.int64)
+        suite.andnot_counts(
+            a.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+            b.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+            n_rows, a.shape[1])
+        return out
+    return np.bitwise_count(a & ~b).sum(axis=1, dtype=np.int64)

@@ -79,7 +79,7 @@ from .data.dataset import Dataset
 from .data.loaders import load_arff, load_csv, load_fimi
 from .data.uci import REAL_DATASETS, load_real_dataset
 from .errors import CorrectionError, MiningError, ReproError
-from .mining.diffsets import DEFAULT_POLICY, POLICIES
+from .mining.diffsets import DEFAULT_POLICY, POLICY_CHOICES
 from .mining.registry import (
     available_miners,
     miner_names,
@@ -235,12 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="permutation count for permutation-* "
                            "corrections (default: 1000)")
     mine.add_argument("--policy", default=DEFAULT_POLICY,
-                      choices=tuple(sorted(POLICIES)),
+                      choices=tuple(sorted(POLICY_CHOICES)),
                       help="pattern-forest storage/kernel policy for "
                            "permutation-* corrections (default: "
-                           "packed, the uint64 bitmap kernel; all "
-                           "policies give bit-identical results — "
-                           "see docs/performance.md)")
+                           "packed, the uint64 bitmap kernel; auto "
+                           "picks per dataset shape; all policies "
+                           "give bit-identical results — see "
+                           "docs/performance.md)")
     mine.add_argument("--holdout-split", default="random",
                       choices=("random", "structured"),
                       help="split convention for holdout-* corrections")

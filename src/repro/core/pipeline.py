@@ -41,7 +41,7 @@ from ..corrections.registry import (
 )
 from ..data.dataset import Dataset
 from ..errors import CorrectionError, MiningError
-from ..mining.diffsets import DEFAULT_POLICY, POLICIES
+from ..mining.diffsets import DEFAULT_POLICY, POLICY_CHOICES
 from ..mining.patterns import PatternSet
 from ..mining.registry import resolve_miner
 from ..mining.representative import reduce_patterns
@@ -267,10 +267,11 @@ class Pipeline:
         Error budget: FWER or FDR level depending on the correction.
     policy:
         Storage/kernel policy of the permutation pass's pattern forest
-        (:data:`repro.mining.POLICIES`): ``"packed"`` (default — the
-        uint64 bitmap kernel, the fastest path), ``"bitset"``,
-        ``"diffsets"`` or ``"full"``. Results are bit-identical under
-        every policy; see ``docs/performance.md``.
+        (:data:`repro.mining.POLICY_CHOICES`): ``"packed"`` (default —
+        the uint64 bitmap kernel, the fastest path), ``"bitset"``,
+        ``"diffsets"``, ``"full"``, or ``"auto"`` (pick per dataset
+        shape from measured crossover points). Results are
+        bit-identical under every policy; see ``docs/performance.md``.
     n_jobs:
         Worker count for the parallel machinery (``-1`` = all cores):
         the permutation pass shards across workers, independent
@@ -316,10 +317,10 @@ class Pipeline:
                     f"redundancy_delta is not supported with "
                     f"{sorted(unsupported)} (holdout corrections mine "
                     f"their own halves)")
-        if policy not in POLICIES:
+        if policy not in POLICY_CHOICES:
             raise CorrectionError(
                 f"unknown forest policy {policy!r}; pick from "
-                f"{POLICIES}")
+                f"{POLICY_CHOICES}")
         self.min_sup = min_sup
         self.algorithm = algorithm
         self.miner_options = dict(miner_options or {})

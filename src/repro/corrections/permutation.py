@@ -77,7 +77,11 @@ import numpy as np
 
 from ..bitmat import DEFAULT_BLOCK_BYTES
 from ..errors import CorrectionError
-from ..mining.diffsets import DEFAULT_POLICY, POLICIES, PatternForest
+from ..mining.diffsets import (
+    DEFAULT_POLICY,
+    POLICY_CHOICES,
+    PatternForest,
+)
 from ..mining.rules import RuleSet
 from ..parallel import (
     get_executor,
@@ -128,8 +132,11 @@ class PermutationEngine:
     policy:
         Record-id storage policy for the pattern forest; one of
         ``"packed"`` (default — the uint64 bitmap kernel),
-        ``"bitset"``, ``"diffsets"``, ``"full"``. All policies return
-        bit-identical results; see ``docs/performance.md``.
+        ``"bitset"``, ``"diffsets"``, ``"full"``, or ``"auto"``
+        (resolved per dataset shape, see
+        :func:`repro.mining.diffsets.resolve_auto_policy`). All
+        policies return bit-identical results; see
+        ``docs/performance.md``.
     pvalue_mode:
         ``"vectorized"``, ``"cache"`` or ``"direct"`` — see module
         docstring.
@@ -154,7 +161,7 @@ class PermutationEngine:
                  batch_bytes: int = DEFAULT_BLOCK_BYTES) -> None:
         if n_permutations < 1:
             raise CorrectionError("n_permutations must be >= 1")
-        if policy not in POLICIES:
+        if policy not in POLICY_CHOICES:
             raise CorrectionError(f"unknown forest policy {policy!r}")
         if pvalue_mode not in _PVALUE_MODES:
             raise CorrectionError(f"unknown pvalue_mode {pvalue_mode!r}")
@@ -426,7 +433,10 @@ class PermutationEngine:
         labels; the result is the ``(B, n_rules)`` integer support
         matrix. Binary datasets need one batched forest kernel call
         (class-1 supports derive from coverage); multi-class datasets
-        one call per class that appears on a rule RHS.
+        stack the indicators of every class that appears on a rule RHS
+        into one multi-class kernel dispatch
+        (:meth:`~repro.mining.diffsets.PatternForest.
+        class_supports_multi`).
         """
         n_classes = self.ruleset.dataset.n_classes
         node_supports: Dict[int, np.ndarray] = {}
@@ -436,9 +446,10 @@ class PermutationEngine:
             node_supports[1] = self._forest.supports[None, :] - supp0
         else:
             needed = sorted(set(int(c) for c in self._classes))
-            for c in needed:
-                node_supports[c] = self._forest.class_supports_batch(
-                    labels == c)
+            stacked = np.stack([labels == c for c in needed])
+            per_class = self._forest.class_supports_multi(stacked)
+            for i, c in enumerate(needed):
+                node_supports[c] = per_class[i]
         out = np.empty((labels.shape[0], len(self._node_ids)),
                        dtype=np.int64)
         for c, per_node in node_supports.items():

@@ -95,8 +95,9 @@ class PipelineContext:
     seed: Optional[int] = None
     n_permutations: int = 1000
     # Storage/kernel policy of the permutation pass's pattern forest
-    # (repro.mining.diffsets.POLICIES; the default is the packed
-    # uint64 bitmap kernel). Every policy is bit-identical in results.
+    # (repro.mining.diffsets.POLICY_CHOICES; the default is the packed
+    # uint64 bitmap kernel, "auto" resolves per dataset shape). Every
+    # policy is bit-identical in results.
     policy: str = DEFAULT_POLICY
     permutation_seed: Optional[int] = None
     holdout_split: str = "random"

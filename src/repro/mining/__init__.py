@@ -21,7 +21,14 @@ from .closed import (
     mine_closed,
     mine_closed_from_view,
 )
-from .diffsets import DEFAULT_POLICY, POLICIES, ForestStats, PatternForest
+from .diffsets import (
+    DEFAULT_POLICY,
+    POLICIES,
+    POLICY_CHOICES,
+    ForestStats,
+    PatternForest,
+    resolve_auto_policy,
+)
 from .patterns import (
     Pattern,
     PatternSet,
@@ -77,8 +84,10 @@ __all__ = [
     "mine_closed_from_view",
     "DEFAULT_POLICY",
     "POLICIES",
+    "POLICY_CHOICES",
     "ForestStats",
     "PatternForest",
+    "resolve_auto_policy",
     "ClassRule",
     "RuleSet",
     "generate_rules",

@@ -150,11 +150,14 @@ def _push_children(
     m = view.n_items
     min_sup = view.min_sup
     member = set(positions)
+    # One fused AND+popcount pass over the candidate block replaces the
+    # per-candidate intersection_count loop; pruned branches never
+    # allocate a tidset.
+    counts = view.candidate_supports(tids, core + 1)
     for j in range(m - 1, core, -1):
         if j in member:
             continue
-        # Count before materializing: pruned branches never allocate.
-        if tids.intersection_count(tidsets[j]) < min_sup:
+        if counts[j - core - 1] < min_sup:
             continue
         new_tids = tids & tidsets[j]
         closure = tuple(int(p)

@@ -27,7 +27,10 @@ ablation can compare them:
 
 All four count exact integers, so their results are bit-identical;
 they differ only in storage footprint and wall-clock speed
-(``docs/performance.md`` has measurements and guidance).
+(``docs/performance.md`` has measurements and guidance). Callers who
+do not want to choose may request ``"auto"``, which resolves to
+``"packed"`` or ``"diffsets"`` from the forest's shape at construction
+(:func:`resolve_auto_policy`).
 """
 
 from __future__ import annotations
@@ -37,17 +40,59 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..bitmat import BitMatrix
+from ..bitmat import BitMatrix, andnot_counts
 from ..errors import MiningError
 from ..tidvector import as_tidvector
 from .patterns import Pattern
 
-__all__ = ["PatternForest", "ForestStats", "POLICIES", "DEFAULT_POLICY"]
+__all__ = ["PatternForest", "ForestStats", "POLICIES", "POLICY_CHOICES",
+           "DEFAULT_POLICY", "resolve_auto_policy"]
 
 POLICIES = ("full", "diffsets", "bitset", "packed")
 
+#: What callers may request: every storage policy plus ``"auto"``,
+#: which resolves to one of :data:`POLICIES` at forest construction
+#: (see :func:`resolve_auto_policy`).
+POLICY_CHOICES = POLICIES + ("auto",)
+
 #: The policy used when callers do not pick one.
 DEFAULT_POLICY = "packed"
+
+#: Below this record count a packed row is a handful of uint64 words,
+#: so the popcount kernels win at any density (BENCH_kernels.json:
+#: per-shape timings show no gather-path crossover under ~4k records).
+AUTO_MIN_RECORDS = 4096
+
+#: Mean tidset density below which the gather path (``"diffsets"``)
+#: overtakes the packed popcount sweep. The packed kernels touch every
+#: word of every row (``n_nodes * n_records / 64`` word ops per
+#: labelling) regardless of density; the gather path touches only the
+#: stored ids, each roughly an order of magnitude costlier than a
+#: word op. The measured crossover sits near one set bit per eight
+#: words (BENCH_kernels.json sparse shapes).
+AUTO_DENSITY_CROSSOVER = 1.0 / 512
+
+
+def resolve_auto_policy(n_nodes: int, n_records: int,
+                        total_ids: int) -> str:
+    """Pick a storage policy from the forest's shape.
+
+    ``total_ids`` is the summed support of all nodes (the ids a
+    ``"full"`` forest would store); ``total_ids / (n_nodes *
+    n_records)`` is the mean tidset density. Dense or small shapes go
+    ``"packed"`` (hardware popcounts over contiguous words); very
+    sparse forests over wide record sets go ``"diffsets"``, whose
+    per-id gather work shrinks with density while the packed sweep
+    does not. Crossover constants come from the committed
+    ``BENCH_kernels.json`` per-shape timings, and every policy is
+    bit-identical, so the choice only ever affects speed.
+    """
+    if n_nodes <= 0 or n_records < AUTO_MIN_RECORDS:
+        return "packed"
+    density = total_ids / (n_nodes * n_records)
+    if density < AUTO_DENSITY_CROSSOVER:
+        return "diffsets"
+    return "packed"
 
 
 @dataclass(frozen=True)
@@ -84,25 +129,34 @@ class PatternForest:
     n_records:
         Number of records in the mined dataset.
     policy:
-        One of :data:`POLICIES` (default :data:`DEFAULT_POLICY`).
+        One of :data:`POLICY_CHOICES` (default
+        :data:`DEFAULT_POLICY`). ``"auto"`` resolves through
+        :func:`resolve_auto_policy` at construction; the requested
+        string stays visible as ``requested_policy`` and the resolved
+        one as ``policy``.
     """
 
     def __init__(self, patterns: Sequence[Pattern], n_records: int,
                  policy: str = DEFAULT_POLICY) -> None:
-        if policy not in POLICIES:
+        if policy not in POLICY_CHOICES:
             raise MiningError(
-                f"unknown storage policy {policy!r}; pick from {POLICIES}")
+                f"unknown storage policy {policy!r}; pick from "
+                f"{POLICY_CHOICES}")
         for v, pattern in enumerate(patterns):
             if pattern.parent_id >= v:
                 raise MiningError(
                     "patterns must be in DFS order (parent before child)")
-        self.policy = policy
+        self.requested_policy = policy
         self.n_records = n_records
         self.n_nodes = len(patterns)
         self._supports = np.array([p.support for p in patterns],
                                   dtype=np.int64)
         self._parents = np.array([p.parent_id for p in patterns],
                                  dtype=np.int64)
+        if policy == "auto":
+            policy = resolve_auto_policy(
+                self.n_nodes, n_records, int(self._supports.sum()))
+        self.policy = policy
         self._tidsets: Optional[List[int]] = None
         self._matrix: Optional[BitMatrix] = None
         self._id_lists: Optional[List[np.ndarray]] = None
@@ -139,28 +193,59 @@ class PatternForest:
             full_policy_ids=full_ids,
         )
 
+    #: Unpacked-bit budget per decode block (bytes); keeps the blocked
+    #: id-list decode cache-resident regardless of forest size.
+    _DECODE_BLOCK_BYTES = 2 ** 25
+
     def _build_id_lists(self, patterns: Sequence[Pattern],
                         policy: str):
-        id_lists: List[np.ndarray] = []
+        """Materialize the stored id list of every node, vectorized.
+
+        The stored rows (full tidsets, or parent-minus-child diffs
+        where the paper's rule applies) are assembled word-wise over
+        the whole forest at once — the diff rows through one
+        ``a & ~b`` arena pass sized by the
+        :func:`~repro.bitmat.andnot_counts` kernel — then decoded to
+        ascending int32 ids block by block, replacing the historical
+        per-node Python loop.
+        """
         is_diff = np.zeros(len(patterns), dtype=bool)
         n = self.n_records
-        for v, pattern in enumerate(patterns):
-            parent_id = pattern.parent_id
-            use_diff = False
-            if policy == "diffsets" and parent_id >= 0:
-                parent = patterns[parent_id]
-                # The paper's rule: a child keeping more than half of
-                # its parent's records stores only the difference.
-                use_diff = pattern.support > parent.support / 2
-            if use_diff:
-                parent = patterns[parent_id]
-                diff = as_tidvector(parent.tidset, n).andnot(
-                    as_tidvector(pattern.tidset, n))
-                id_lists.append(diff.indices())
-                is_diff[v] = True
-            else:
-                id_lists.append(as_tidvector(pattern.tidset,
-                                             n).indices())
+        if not patterns:
+            return [], is_diff
+        arena = np.stack([as_tidvector(p.tidset, n).words
+                          for p in patterns])
+        supports = self._supports
+        parents = self._parents
+        if policy == "diffsets":
+            has_parent = parents >= 0
+            # The paper's rule: a child keeping more than half of its
+            # parent's records stores only the difference.
+            is_diff[has_parent] = (
+                2 * supports[has_parent]
+                > supports[parents[has_parent]])
+        stored = arena
+        counts = supports.astype(np.int64, copy=True)
+        diff_rows = np.flatnonzero(is_diff)
+        if diff_rows.size:
+            stored = arena.copy()
+            stored[diff_rows] = (arena[parents[diff_rows]]
+                                 & ~arena[diff_rows])
+            counts[diff_rows] = andnot_counts(
+                arena[parents[diff_rows]], arena[diff_rows])
+        id_lists: List[np.ndarray] = []
+        row_bytes = max(1, stored.shape[1] * 64)
+        block = max(1, self._DECODE_BLOCK_BYTES // row_bytes)
+        for start in range(0, len(patterns), block):
+            chunk = stored[start:start + block]
+            flags = np.unpackbits(chunk.view(np.uint8), axis=1,
+                                  bitorder="little")[:, :n]
+            # nonzero is row-major, so ids come out grouped by node in
+            # ascending record order; the per-row bit counts are the
+            # split boundaries.
+            ids = np.nonzero(flags)[1].astype(np.int32)
+            bounds = np.cumsum(counts[start:start + chunk.shape[0]])
+            id_lists.extend(np.split(ids, bounds[:-1]))
         return id_lists, is_diff
 
     def _build_segments(self) -> None:
@@ -276,6 +361,33 @@ class PatternForest:
             return np.zeros((0, self.n_nodes), dtype=np.int64)
         return np.stack([self.class_supports(row)
                          for row in indicators])
+
+    def class_supports_multi(self, class_indicators: np.ndarray,
+                             ) -> np.ndarray:
+        """``(C, B, n_nodes)`` supports: all classes, all labellings.
+
+        ``class_indicators[c, b]`` marks the records labelled class
+        ``c`` under labelling ``b``; the result's ``[c, b]`` row equals
+        ``class_supports(class_indicators[c, b])``. Under the
+        ``"packed"`` policy the whole class-by-batch block is one
+        kernel dispatch (:meth:`repro.bitmat.BitMatrix.
+        class_supports_multi`) instead of one call per class — the
+        multiclass permutation pass's entry point; other policies
+        flatten through :meth:`class_supports_batch`.
+        """
+        indicators = np.asarray(class_indicators, dtype=bool)
+        if indicators.ndim != 3 \
+                or indicators.shape[2] != self.n_records:
+            raise MiningError(
+                f"class indicators must have shape "
+                f"(C, B, {self.n_records})")
+        if self.policy == "packed":
+            assert self._matrix is not None
+            return self._matrix.class_supports_multi(indicators)
+        n_classes, n_batch = indicators.shape[:2]
+        flat = indicators.reshape(n_classes * n_batch, self.n_records)
+        return self.class_supports_batch(flat).reshape(
+            n_classes, n_batch, self.n_nodes)
 
     def tidset(self, node_id: int) -> int:
         """Reconstruct the tidset of one node (any policy)."""

@@ -11,7 +11,10 @@ small) — while remembering original item ids.
 The view's tidsets are rows of one contiguous ``(m, n_words)`` uint64
 ``matrix``, so per-item operations are word-wise numpy ops and
 whole-view scans (closure checks, support counting) are single
-vectorized passes over the matrix.
+vectorized passes over the matrix — native-accelerated through the
+fused kernels of :mod:`repro.bitmat` (:func:`~repro.bitmat.
+superset_mask` for the closure check, the batched popcount kernel for
+candidate support joins) with silent numpy fallbacks.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..bitmat import intersection_counts, superset_mask
 from ..errors import MiningError
 from ..tidvector import TidVector, arena_rows, as_tidvector, words_for
 
@@ -66,13 +70,26 @@ class VerticalView:
     def superset_positions(self, tids: TidVector) -> np.ndarray:
         """Positions of every item whose tidset contains ``tids``.
 
-        The closure primitive: one vectorized word-wise pass over the
-        whole matrix (``tids & ~row == 0`` per row), ascending order.
+        The closure primitive: one fused word-wise pass over the whole
+        matrix (``tids & ~row == 0`` per row, the
+        :func:`~repro.bitmat.superset_mask` kernel with early exit per
+        row under the native suite), ascending order.
         """
         if self.matrix.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
-        uncovered = np.any(tids.words[None, :] & ~self.matrix, axis=1)
-        return np.flatnonzero(~uncovered)
+        return np.flatnonzero(superset_mask(self.matrix, tids.words))
+
+    def candidate_supports(self, tids: TidVector,
+                           start: int = 0) -> np.ndarray:
+        """``|tids ∩ tidsets[p]|`` for every position ``p >= start``.
+
+        The enumeration join: one batched hardware-popcount pass over
+        the candidate block of the matrix (the same fused kernel the
+        permutation pass counts with) instead of a per-candidate
+        Python ``intersection_count`` loop. Entry ``i`` of the result
+        is the support of extending by position ``start + i``.
+        """
+        return intersection_counts(self.matrix[start:], tids.words)
 
 
 def build_vertical_view(

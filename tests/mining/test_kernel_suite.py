@@ -1,0 +1,252 @@
+"""The native kernel suite ≡ the numpy fallbacks ≡ the bigint oracle.
+
+The kernel-suite PR added three fused kernels to :mod:`repro._native`
+— the subset/closure mask, multi-class batched supports, and the
+andnot diffset recurrence — each reached through a :mod:`repro.bitmat`
+wrapper that silently falls back to numpy. These tests pin the
+three-way equivalence on ragged shapes (widths under one word, exact
+word boundaries, straddling tails), the edge cases of kernel
+selection (empty forests, single-record datasets), and the ``auto``
+policy's crossover decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import _native
+from repro import bitset as bs
+from repro.bitmat import (
+    BitMatrix,
+    andnot_counts,
+    intersection_counts,
+    superset_mask,
+)
+from repro.errors import CorrectionError, MiningError
+from repro.mining import (
+    POLICY_CHOICES,
+    PatternForest,
+    mine_closed,
+    resolve_auto_policy,
+)
+from repro.mining.diffsets import (
+    AUTO_DENSITY_CROSSOVER,
+    AUTO_MIN_RECORDS,
+)
+from repro.mining.tidsets import build_vertical_view
+from repro.tidvector import TidVector, arena_rows, pack_bool_matrix
+
+
+def _arena(tidsets, n_records):
+    """Pack bigint tidsets into a ``(k, n_words)`` uint64 arena."""
+    return BitMatrix.from_tidsets(tidsets, n_records).words
+
+
+@st.composite
+def ragged_arenas(draw):
+    # 1..130 records straddles <1 word, =1 word, =2 words, ragged tail.
+    n_records = draw(st.integers(min_value=1, max_value=130))
+    n_rows = draw(st.integers(min_value=0, max_value=8))
+    top = (1 << n_records) - 1
+    rows = [draw(st.integers(min_value=0, max_value=top))
+            for _ in range(n_rows)]
+    query = draw(st.integers(min_value=0, max_value=top))
+    return rows, query, n_records
+
+
+def _both_paths(fn):
+    """Evaluate ``fn`` on the native path and the numpy fallback."""
+    native = fn()
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setattr(_native, "_kernel", None)
+        numpy_out = fn()
+    return native, numpy_out
+
+
+class TestSupersetMask:
+    @given(instance=ragged_arenas())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bigint_subset(self, instance):
+        rows, query, n_records = instance
+        matrix = _arena(rows, n_records)
+        query_words = _arena([query], n_records)[0]
+        oracle = [query & ~row == 0 for row in rows]
+        native, fallback = _both_paths(
+            lambda: superset_mask(matrix, query_words))
+        assert native.tolist() == oracle
+        assert fallback.tolist() == oracle
+
+    def test_empty_and_single_record(self):
+        empty = _arena([], 77)
+        assert superset_mask(empty, _arena([0], 77)[0]).shape == (0,)
+        one = _arena([1, 0], 1)
+        assert superset_mask(one, _arena([1], 1)[0]).tolist() == \
+            [True, False]
+        assert superset_mask(one, _arena([0], 1)[0]).tolist() == \
+            [True, True]
+
+
+class TestIntersectionCounts:
+    @given(instance=ragged_arenas())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bigint_popcount(self, instance):
+        rows, query, n_records = instance
+        matrix = _arena(rows, n_records)
+        query_words = _arena([query], n_records)[0]
+        oracle = [bs.popcount(row & query) for row in rows]
+        native, fallback = _both_paths(
+            lambda: intersection_counts(matrix, query_words))
+        assert native.tolist() == oracle
+        assert fallback.tolist() == oracle
+
+    def test_shape_validated(self):
+        matrix = _arena([1, 2], 100)
+        with pytest.raises(ValueError):
+            intersection_counts(matrix, np.zeros(3, dtype=np.uint64))
+
+
+class TestAndnotCounts:
+    @given(instance=ragged_arenas())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bigint_difference(self, instance):
+        rows, query, n_records = instance
+        matrix = _arena(rows, n_records)
+        other = _arena([query] * len(rows), n_records)
+        oracle = [bs.popcount(row & ~query) for row in rows]
+        native, fallback = _both_paths(
+            lambda: andnot_counts(matrix, other))
+        assert native.tolist() == oracle
+        assert fallback.tolist() == oracle
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            andnot_counts(_arena([1], 65), _arena([1, 2], 65))
+
+
+class TestClassSupportsMulti:
+    @given(instance=ragged_arenas(),
+           n_batch=st.integers(min_value=0, max_value=3),
+           n_classes=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_per_class_calls(self, instance, n_batch,
+                                     n_classes):
+        rows, _query, n_records = instance
+        matrix = BitMatrix.from_tidsets(rows, n_records)
+        rng = np.random.default_rng(n_records * 31 + n_batch)
+        stacked = rng.random((n_classes, n_batch, n_records)) < 0.5
+        native, fallback = _both_paths(
+            lambda: matrix.class_supports_multi(stacked))
+        assert native.shape == (n_classes, n_batch, len(rows))
+        assert np.array_equal(native, fallback)
+        for c in range(n_classes):
+            assert np.array_equal(
+                native[c], matrix.class_supports_batch(stacked[c]))
+
+    def test_shape_validated(self):
+        matrix = BitMatrix.from_tidsets([1], 4)
+        with pytest.raises(ValueError):
+            matrix.class_supports_multi(np.ones((2, 4), dtype=bool))
+        with pytest.raises(ValueError):
+            matrix.class_supports_multi(np.ones((1, 2, 5), dtype=bool))
+
+
+class TestVerticalViewKernels:
+    def _view(self, n_records, n_items, seed, density=0.3):
+        rng = np.random.default_rng(seed)
+        flags = rng.random((n_items, n_records)) < density
+        tidsets = arena_rows(pack_bool_matrix(flags), n_records)
+        return build_vertical_view(tidsets, n_records, min_sup=1,
+                                   order="original")
+
+    def test_candidate_supports_equals_python_loop(self):
+        view = self._view(100, 12, seed=5)
+        query = view.tidsets[0] & view.tidsets[3]
+        expected = [query.intersection_count(t) for t in view.tidsets]
+        for start in (0, 4, 11, 12, 40):
+            native, fallback = _both_paths(
+                lambda s=start: view.candidate_supports(query, s))
+            assert native.tolist() == expected[start:]
+            assert fallback.tolist() == expected[start:]
+
+    def test_superset_positions_equals_python_loop(self):
+        view = self._view(90, 10, seed=8, density=0.6)
+        query = view.tidsets[1] & view.tidsets[7]
+        expected = [p for p, t in enumerate(view.tidsets)
+                    if query.is_subset(t)]
+        native, fallback = _both_paths(
+            lambda: view.superset_positions(query))
+        assert native.tolist() == expected
+        assert fallback.tolist() == expected
+
+    def test_single_record_dataset(self):
+        view = self._view(1, 4, seed=2, density=1.0)
+        tids = TidVector.universe(1)
+        assert view.candidate_supports(tids).tolist() == [1] * 4
+        assert view.superset_positions(tids).tolist() == [0, 1, 2, 3]
+
+    def test_mined_patterns_identical_without_native(self, monkeypatch):
+        rng = np.random.default_rng(13)
+        flags = rng.random((20, 200)) < 0.4
+        tidsets = arena_rows(pack_bool_matrix(flags), 200)
+        native_run = mine_closed(tidsets, 200, min_sup=10)
+        with monkeypatch.context() as patch:
+            patch.setattr(_native, "_kernel", None)
+            numpy_run = mine_closed(tidsets, 200, min_sup=10)
+        assert [(p.node_id, p.parent_id, p.items, p.support, p.depth)
+                for p in native_run] == \
+            [(p.node_id, p.parent_id, p.items, p.support, p.depth)
+             for p in numpy_run]
+
+
+class TestAutoPolicy:
+    def test_crossover_decisions(self):
+        # Small record sets always pack, whatever the density.
+        assert resolve_auto_policy(1000, AUTO_MIN_RECORDS - 1,
+                                   10) == "packed"
+        assert resolve_auto_policy(0, 100_000, 0) == "packed"
+        n_nodes, n_records = 100, 100_000
+        dense = int(n_nodes * n_records * AUTO_DENSITY_CROSSOVER * 2)
+        sparse = int(n_nodes * n_records * AUTO_DENSITY_CROSSOVER / 2)
+        assert resolve_auto_policy(n_nodes, n_records,
+                                   dense) == "packed"
+        assert resolve_auto_policy(n_nodes, n_records,
+                                   sparse) == "diffsets"
+
+    def test_auto_is_a_choice_everywhere(self):
+        assert "auto" in POLICY_CHOICES
+        from repro.core.pipeline import Pipeline
+        Pipeline(min_sup=5, corrections=("bh",), policy="auto")
+        with pytest.raises(CorrectionError):
+            Pipeline(min_sup=5, corrections=("bh",), policy="nope")
+
+    def test_forest_resolves_auto(self):
+        rng = np.random.default_rng(3)
+        from repro.mining.patterns import Pattern
+        flags = rng.random((6, 100)) < 0.5
+        tidsets = arena_rows(pack_bool_matrix(flags), 100)
+        patterns = [Pattern(i, -1, frozenset({i}), t, t.count(), 0)
+                    for i, t in enumerate(tidsets)]
+        forest = PatternForest(patterns, 100, "auto")
+        assert forest.requested_policy == "auto"
+        assert forest.policy in ("packed", "diffsets")
+        # 100 records < AUTO_MIN_RECORDS: the dense side of the rule.
+        assert forest.policy == "packed"
+        with pytest.raises(MiningError):
+            PatternForest(patterns, 100, "fastest")
+
+    def test_auto_supports_match_explicit_policies(self):
+        rng = np.random.default_rng(21)
+        flags = rng.random((15, 140)) < 0.3
+        tidsets = arena_rows(pack_bool_matrix(flags), 140)
+        patterns = mine_closed(tidsets, 140, min_sup=5)
+        indicator = rng.random(140) < 0.5
+        reference = None
+        for policy in POLICY_CHOICES:
+            forest = PatternForest(patterns, 140, policy)
+            got = forest.class_supports(indicator)
+            if reference is None:
+                reference = got
+            assert np.array_equal(got, reference), policy
