@@ -173,5 +173,8 @@ UNORDERED_ITERATION_TO_OUTPUT = register_rule(Rule(
     paths=(
         "repro/evaluation/reporting.py", "repro/evaluation/export.py",
         "repro/data/summary.py", "repro/cli.py",
+        # The service renders API payloads and cache keys; unordered
+        # iteration there would break cached-vs-fresh byte identity.
+        "repro/service/*",
     ),
 ))

@@ -25,6 +25,10 @@ Commands
     report cross-validated accuracy.
 ``contrast``
     Mine STUCCO contrast sets between the dataset's class groups.
+``serve``
+    Run the mining service (:mod:`repro.service`): an HTTP API with a
+    dataset registry, an async job queue and a fingerprint-keyed
+    artifact cache; see ``docs/service.md``.
 ``lint``
     Run the AST invariant checker (:mod:`repro.analysis`) over the
     source tree, gated by the committed ``lint-baseline.json``.
@@ -393,6 +397,41 @@ def build_parser() -> argparse.ArgumentParser:
     contrast.add_argument("--top", type=int, default=15,
                           help="contrast sets to print (default: 15)")
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the mining service (HTTP API with job queue and "
+             "artifact cache)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (default: 8765)")
+    serve.add_argument("--db", default=":memory:",
+                       help="artifact-store SQLite path (default: "
+                            "in-memory, nothing survives restart)")
+    serve.add_argument("--dataset", action="append", default=[],
+                       metavar="NAME=SOURCE",
+                       help="pre-register a dataset, e.g. "
+                            "german=builtin:german or "
+                            "mydata=path/to/data.csv (repeatable; "
+                            "more can be registered at runtime via "
+                            "POST /v1/datasets)")
+    serve.add_argument("--job-workers", type=int, default=1,
+                       help="background job worker threads "
+                            "(default: 1)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="repro.parallel workers each job's "
+                            "pipeline runs with (-1 = all cores; "
+                            "results are identical for any count; "
+                            "default: 1)")
+    serve.add_argument("--backend", default="serial",
+                       choices=("serial", "threads", "processes"),
+                       help="parallel execution backend for job "
+                            "pipelines (default: serial)")
+    serve.add_argument("--token", default=None,
+                       help="require 'Authorization: Bearer <token>' "
+                            "on every route except /health "
+                            "(default: no authentication)")
+
     lint = commands.add_parser(
         "lint",
         help="run the AST invariant checker (repro.analysis)")
@@ -619,6 +658,27 @@ def _run_contrast(args, out) -> int:
     return 0
 
 
+def _run_serve(args, out) -> int:
+    from .service import ServiceConfig, create_app
+    from .service.server import serve
+
+    config = ServiceConfig(db_path=args.db, token=args.token,
+                           workers=args.job_workers,
+                           n_jobs=args.jobs, backend=args.backend)
+    app = create_app(config)
+    for spec in args.dataset:
+        name, separator, source = spec.partition("=")
+        if not separator or not name or not source:
+            raise ReproError(
+                f"--dataset expects NAME=SOURCE, got {spec!r}")
+        entry = app.core.registry.register(
+            name, _load_input(source, "-1"), source=source)
+        print(f"registered dataset {name!r} from {source} "
+              f"({entry.fingerprint[:28]}...)", file=out)
+    return serve(config, host=args.host, port=args.port, out=out,
+                 app=app)
+
+
 def _run_measures(out) -> int:
     print("interestingness measures (repro.interest):", file=out)
     for name in sorted(ALL_MEASURES):
@@ -654,6 +714,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _run_classify(args, out)
         if args.command == "contrast":
             return _run_contrast(args, out)
+        if args.command == "serve":
+            return _run_serve(args, out)
         if args.command == "lint":
             from .analysis.cli import run_lint
             return run_lint(args, out)

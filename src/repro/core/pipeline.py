@@ -389,6 +389,17 @@ class Pipeline:
                               resolved={r.requested: r
                                         for r in self.resolved})
 
+    def config(self, **overrides: object) -> Dict[str, object]:
+        """The plain constructor kwargs reproducing this pipeline.
+
+        Public accessor over the configuration the process-backend
+        workers rebuild from; the service's job orchestrator uses it
+        to derive artifact-cache keys (minus ``n_jobs``/``backend``,
+        which never affect results). Custom stage objects are not part
+        of the configuration.
+        """
+        return self._config(**overrides)
+
     def _config(self, **overrides: object) -> Dict[str, object]:
         """Constructor kwargs reproducing this pipeline (default
         stages only) — what a process worker rebuilds from."""

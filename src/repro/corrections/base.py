@@ -14,13 +14,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import CorrectionError
+from ..jsonio import json_safe
 from ..mining.rules import ClassRule
 
-__all__ = ["CorrectionResult", "validate_alpha", "FWER", "FDR", "NONE"]
+__all__ = ["CorrectionResult", "RESULT_SCHEMA_VERSION", "validate_alpha",
+           "FWER", "FDR", "NONE"]
 
 FWER = "fwer"
 FDR = "fdr"
 NONE = "none"
+
+#: Version stamp of the :meth:`CorrectionResult.to_json` document
+#: shape; persisted artifacts (the service's result cache) refuse to
+#: load under a different version rather than misread fields.
+RESULT_SCHEMA_VERSION = 1
 
 
 def validate_alpha(alpha: float) -> None:
@@ -75,6 +82,51 @@ class CorrectionResult:
         return (f"{self.method}: {self.n_significant} significant rules "
                 f"(alpha={self.alpha:g}, control={self.control}, "
                 f"threshold={self.threshold:.3g}, n_tests={self.n_tests})")
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-JSON document of this result, versioned.
+
+        The significant rules serialize losslessly (floats render as
+        shortest round-trip ``repr``), so a
+        :func:`~repro.evaluation.export.rules_to_csv` of the
+        round-tripped rules is byte-identical to one of the originals.
+        ``details`` entries that are not JSON-serializable are dropped
+        (they are diagnostics, not part of the decision).
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "method": self.method,
+            "control": self.control,
+            "alpha": float(self.alpha),
+            "threshold": float(self.threshold),
+            "n_tests": self.n_tests,
+            "significant": [rule.to_json() for rule in self.significant],
+            "details": json_safe(self.details),
+        }
+
+    @classmethod
+    def from_json(cls, payload) -> "CorrectionResult":
+        """Rebuild a result from :meth:`to_json` output.
+
+        Raises :class:`CorrectionError` on a missing or unsupported
+        ``schema_version``.
+        """
+        version = payload.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise CorrectionError(
+                f"cannot read CorrectionResult JSON with schema_version "
+                f"{version!r}; this library writes/reads version "
+                f"{RESULT_SCHEMA_VERSION}")
+        return cls(
+            method=str(payload["method"]),
+            control=str(payload["control"]),
+            alpha=float(payload["alpha"]),
+            threshold=float(payload["threshold"]),
+            significant=[ClassRule.from_json(rule)
+                         for rule in payload["significant"]],
+            n_tests=int(payload["n_tests"]),
+            details=dict(payload.get("details") or {}),
+        )
 
 
 def select_by_threshold(rules: List[ClassRule],

@@ -315,6 +315,23 @@ class Dataset:
         """Support of a single item."""
         return self.item_tidsets[item_id].count()
 
+    def fingerprint(self) -> str:
+        """Stable content hash of this dataset (cached after one call).
+
+        Invariant to ingest ordering — record order, column/item order
+        and class-index order — but sensitive to any change in the
+        record multiset, attribute names or class-name universe; see
+        :mod:`repro.data.fingerprint`. The service's artifact cache
+        (:mod:`repro.service`) keys every mining result by this value.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            from .fingerprint import dataset_fingerprint
+
+            cached = dataset_fingerprint(self)
+            self._fingerprint = cached
+        return cached
+
     def pattern_tidset(self, item_ids: Iterable[int]) -> TidVector:
         """Tidset of a pattern: intersection of its items' tidsets.
 

@@ -1,0 +1,73 @@
+"""Content fingerprints for datasets.
+
+The mining service (:mod:`repro.service`) keys its artifact cache by
+*dataset content*, not by file path or registration name: two ingests
+of the same logical data must map to the same cache rows, or repeated
+queries re-mine for no reason. The fingerprint therefore hashes the
+canonical content of a dataset — the multiset of its records, each
+record the set of its ``attribute=value`` items plus its class label —
+rather than the raw packed arenas, whose item ordering and record
+ordering depend on how the data was ingested:
+
+* **record order** — ``from_records(rows)`` and
+  ``from_records(shuffled(rows))`` pack different tidsets, but describe
+  the same data; the record lines are sorted before hashing.
+* **item/column order** — catalog ids are assigned in first-seen order,
+  so reordering columns (or transactions' element order) permutes the
+  arena rows; items are rendered by name and sorted within each record.
+* **class index order** — class indices follow first-seen label order;
+  labels are rendered by name, and the class-name universe is hashed
+  sorted (classes with zero records still shape rule generation for
+  ``m > 2`` classes, so they must count).
+
+What *does* change the fingerprint: any record's items or label, the
+record multiset, attribute names, or the set of class names. The
+``name`` of the dataset is display metadata and never participates.
+
+The format is versioned (``sha256-v1:``) so a future canonicalization
+change cannot silently alias old cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+__all__ = ["FINGERPRINT_VERSION", "dataset_fingerprint"]
+
+FINGERPRINT_VERSION = "sha256-v1"
+
+# Separators chosen from the C0 range so they cannot collide with
+# attribute/value/class text.
+_ITEM_SEP = "\x1f"
+_FIELD_SEP = "\x1e"
+_LINE_SEP = "\x1d"
+
+
+def dataset_fingerprint(dataset) -> str:
+    """Canonical content hash of a dataset (see module docstring).
+
+    Accepts any object with the :class:`~repro.data.dataset.Dataset`
+    read surface (``n_records``, ``catalog``, ``item_tidsets``,
+    ``class_labels``, ``class_names``).
+    """
+    n = dataset.n_records
+    per_record: List[List[str]] = [[] for _ in range(n)]
+    for item_id, tidset in enumerate(dataset.item_tidsets):
+        rendered = str(dataset.catalog.item(item_id))
+        for record_id in tidset.indices():
+            per_record[record_id].append(rendered)
+    lines = []
+    for record_id in range(n):
+        label = dataset.class_names[dataset.class_labels[record_id]]
+        lines.append(_ITEM_SEP.join(sorted(per_record[record_id]))
+                     + _FIELD_SEP + label)
+    lines.sort()
+    digest = hashlib.sha256()
+    digest.update(f"{FINGERPRINT_VERSION}\x00".encode("utf-8"))
+    digest.update((_LINE_SEP.join(sorted(dataset.class_names))
+                   + "\x00").encode("utf-8"))
+    for line in lines:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\x00")
+    return f"{FINGERPRINT_VERSION}:{digest.hexdigest()}"

@@ -38,3 +38,26 @@ class EvaluationError(ReproError):
 
 class AnalysisError(ReproError):
     """The static-analysis pass (``repro lint``) was misconfigured."""
+
+
+class ServiceError(ReproError):
+    """The mining service (:mod:`repro.service`) was driven with an
+    invalid request: bad job parameters, a malformed payload, or a
+    conflicting dataset registration."""
+
+
+class JobNotFound(ServiceError):
+    """A job id names no job the orchestrator knows about.
+
+    Raised by :meth:`repro.service.jobs.JobManager.get` with the
+    registries' did-you-mean convention: the message lists known job
+    ids and suggests the closest spelling.
+    """
+
+
+class DatasetNotRegistered(ServiceError):
+    """A dataset name or fingerprint is not in the dataset registry.
+
+    Raised by :meth:`repro.service.registry.DatasetRegistry.get` with
+    the registries' did-you-mean convention.
+    """

@@ -1,0 +1,63 @@
+"""Shared JSON helpers for the serializable result surfaces.
+
+Three layers persist results as JSON — the pattern/rule round-trip
+(:meth:`repro.mining.patterns.PatternSet.to_json`,
+:meth:`repro.corrections.base.CorrectionResult.to_json`) and the
+service's artifact store (:mod:`repro.service.store`) — and they all
+need the same two guarantees:
+
+* **losslessness** — Python floats survive a dump/load cycle exactly
+  (``json`` renders shortest-round-trip ``repr``), so byte-identity
+  against the CSV export path is achievable; numpy scalars are
+  converted to their exact Python equivalents before dumping.
+* **canonical bytes** — :func:`canonical_dumps` fixes key order and
+  separators, so equal payloads produce equal stored text and cache
+  keys hash deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["canonical_dumps", "json_safe"]
+
+
+def json_safe(value: Any, strict: bool = False) -> Any:
+    """Recursively convert ``value`` to plain JSON-dumpable types.
+
+    Numpy scalars become exact Python ints/floats/bools, tuples and
+    sets become (sorted, for sets) lists, mapping keys are stringified.
+    Unconvertible leaves are dropped from mappings and replaced by
+    their ``repr`` elsewhere — unless ``strict`` is true, in which
+    case they raise :class:`TypeError`.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item") and hasattr(value, "dtype"):
+        return json_safe(value.item(), strict=strict)
+    if isinstance(value, dict):
+        out = {}
+        for key, entry in value.items():
+            try:
+                out[str(key)] = json_safe(entry, strict=True)
+            except TypeError:
+                if strict:
+                    raise
+                continue  # drop entries that cannot round-trip
+        return out
+    if isinstance(value, (list, tuple)):
+        return [json_safe(entry, strict=strict) for entry in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(json_safe(entry, strict=strict) for entry in value)
+    if strict:
+        raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+    return repr(value)
+
+
+def canonical_dumps(payload: Any) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)

@@ -35,14 +35,21 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from ..errors import MiningError
+from ..jsonio import json_safe
 from ..tidvector import TidVector, as_tidvector
 
 __all__ = [
+    "PATTERNSET_SCHEMA_VERSION",
     "Pattern",
     "PatternSet",
     "patternset_from_frequent",
     "patternset_from_tree",
 ]
+
+#: Version stamp of the :meth:`PatternSet.to_json` document shape.
+#: Bump on any change to the field layout so persisted forests (the
+#: service's artifact store) cannot be misread by newer code.
+PATTERNSET_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -81,6 +88,41 @@ class Pattern:
     def length(self) -> int:
         """Number of items in the pattern."""
         return len(self.items)
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-JSON form of this node (items and tids sorted)."""
+        if isinstance(self.tidset, TidVector):
+            tid_list = [int(t) for t in self.tidset.indices()]
+        else:  # bigint interop (plugin miners)
+            bits = int(self.tidset)
+            tid_list = []
+            index = 0
+            while bits:
+                if bits & 1:
+                    tid_list.append(index)
+                bits >>= 1
+                index += 1
+        return {
+            "node_id": self.node_id,
+            "parent_id": self.parent_id,
+            "items": sorted(int(i) for i in self.items),
+            "tids": tid_list,
+            "support": self.support,
+            "depth": self.depth,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping, n_records: int) -> "Pattern":
+        """Rebuild a node from :meth:`to_json` output."""
+        return cls(
+            node_id=int(payload["node_id"]),
+            parent_id=int(payload["parent_id"]),
+            items=frozenset(int(i) for i in payload["items"]),
+            tidset=TidVector.from_indices(
+                (int(t) for t in payload["tids"]), n_records),
+            support=int(payload["support"]),
+            depth=int(payload["depth"]),
+        )
 
     def __repr__(self) -> str:
         return (f"{type(self).__name__}(id={self.node_id}, "
@@ -152,6 +194,52 @@ class PatternSet:
     def supports(self) -> List[int]:
         """Support of every node, in forest order."""
         return [pattern.support for pattern in self.patterns]
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-JSON document of the whole forest, versioned.
+
+        Everything a consumer needs to rebuild the forest — nodes with
+        their tidsets (as sorted record-id lists), the dataset size,
+        the mining parameters and the producing miner — under a
+        ``schema_version`` stamp. Provenance entries that are not
+        JSON-serializable (e.g. the ``general-rules`` miner's scored
+        rule object) are dropped; the structural payload always
+        round-trips. Floats survive exactly (``json`` renders
+        shortest-round-trip ``repr``), so re-rendered output is
+        byte-identical to the original.
+        """
+        return {
+            "schema_version": PATTERNSET_SCHEMA_VERSION,
+            "n_records": self.n_records,
+            "min_sup": self.min_sup,
+            "algorithm": self.algorithm,
+            "patterns": [pattern.to_json() for pattern in self.patterns],
+            "provenance": json_safe(self.provenance),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "PatternSet":
+        """Rebuild a forest from :meth:`to_json` output.
+
+        Raises :class:`MiningError` on a missing or unsupported
+        ``schema_version`` — a persisted artifact from a different
+        library version must fail loudly, not deserialize garbage.
+        """
+        version = payload.get("schema_version")
+        if version != PATTERNSET_SCHEMA_VERSION:
+            raise MiningError(
+                f"cannot read PatternSet JSON with schema_version "
+                f"{version!r}; this library writes/reads version "
+                f"{PATTERNSET_SCHEMA_VERSION}")
+        n_records = int(payload["n_records"])
+        return cls(
+            patterns=[Pattern.from_json(node, n_records)
+                      for node in payload["patterns"]],
+            n_records=n_records,
+            min_sup=int(payload["min_sup"]),
+            algorithm=str(payload.get("algorithm", "")),
+            provenance=dict(payload.get("provenance") or {}),
+        )
 
     def validate(self) -> "PatternSet":
         """Check the structural contract; return self when it holds.

@@ -68,6 +68,31 @@ class ClassRule:
                 f"(coverage={self.coverage}, support={self.support}, "
                 f"confidence={self.confidence:.3f}, p={self.p_value:.3g})")
 
+    def to_json(self) -> Dict[str, object]:
+        """Plain-JSON form; floats round-trip exactly, items sorted."""
+        return {
+            "pattern_id": self.pattern_id,
+            "items": sorted(int(i) for i in self.items),
+            "class_index": self.class_index,
+            "coverage": self.coverage,
+            "support": self.support,
+            "confidence": float(self.confidence),
+            "p_value": float(self.p_value),
+        }
+
+    @classmethod
+    def from_json(cls, payload) -> "ClassRule":
+        """Rebuild a rule from :meth:`to_json` output."""
+        return cls(
+            pattern_id=int(payload["pattern_id"]),
+            items=frozenset(int(i) for i in payload["items"]),
+            class_index=int(payload["class_index"]),
+            coverage=int(payload["coverage"]),
+            support=int(payload["support"]),
+            confidence=float(payload["confidence"]),
+            p_value=float(payload["p_value"]),
+        )
+
 
 @dataclass
 class RuleSet:

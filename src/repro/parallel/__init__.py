@@ -15,6 +15,7 @@ from .executor import (
     WorkerError,
     get_executor,
     validate_backend,
+    validate_n_jobs,
 )
 from .seeding import (
     root_sequence,
@@ -35,4 +36,5 @@ __all__ = [
     "slice_sequences",
     "spawn_sequences",
     "validate_backend",
+    "validate_n_jobs",
 ]

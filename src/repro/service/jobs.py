@@ -1,0 +1,656 @@
+"""Async job orchestration: submit → queue → run → poll → result.
+
+Jobs are the service's unit of work: ``mine`` (one pipeline run on a
+registered dataset), ``holdout`` (the same, restricted to holdout
+corrections — the split-data workflow gets its own kind so clients
+cannot accidentally run an exploratory correction on the full data),
+and ``experiment`` (the Section 5 replicated planted-rule loop).
+
+A job's life is ``queued → running → done | failed``, with queued jobs
+cancellable. Submission validates everything it can — kind, dataset
+registration, correction/miner spellings (through the registries, so
+unknown names carry their did-you-mean suggestions), parameter names —
+so bad requests fail at submit time with a 4xx, not minutes later in a
+worker.
+
+Execution reuses the repro parallel subsystem: each job runs one
+:class:`~repro.core.pipeline.Pipeline` whose permutation pass and
+correction fan-out go through :mod:`repro.parallel`'s executor with
+the manager's configured ``n_jobs``/``backend``. Because that
+machinery is bit-identical at any worker count, service results are
+byte-for-byte the results the CLI produces — which is also why worker
+configuration is *excluded* from the artifact-cache key: a ``mine``
+job is served from the :class:`~repro.service.store.ArtifactStore`
+whenever the same (dataset fingerprint, miner, correction, policy,
+params) tuple was computed before, and the cached payload is the same
+JSON the fresh run would have produced.
+
+Determinism notes: job ids are sequential (``job-00000001``), not
+random; jobs default ``seed=0`` so two submissions of the same request
+are the same computation; payloads carry no timestamps (wall-clock
+metadata lives on the :class:`Job`, outside the cached payload).
+"""
+
+from __future__ import annotations
+
+import csv
+import difflib
+import io
+import math
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..corrections.base import FDR, CorrectionResult
+from ..corrections.registry import resolve_correction
+from ..data.dataset import Dataset
+from ..errors import JobNotFound, ReproError, ServiceError
+from ..evaluation.export import _BASE_HEADER, rule_rows
+from ..mining.diffsets import DEFAULT_POLICY, POLICY_CHOICES
+from ..mining.registry import resolve_miner
+from ..parallel import get_executor
+from .registry import DatasetRegistry
+from .store import ArtifactStore
+
+__all__ = ["JOB_KINDS", "JOB_STATES", "Job", "JobManager",
+           "bh_q_values"]
+
+JOB_KINDS = ("mine", "holdout", "experiment")
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Mining-job parameters and their defaults. ``dataset`` is required;
+#: everything else falls back to the CLI's defaults (``seed`` pinned
+#: to 0 rather than None: a service request must be repeatable).
+_MINE_DEFAULTS = {
+    "correction": "bh",
+    "algorithm": "closed",
+    "alpha": 0.05,
+    "min_conf": 0.0,
+    "max_length": None,
+    "scorer": "fisher",
+    "seed": 0,
+    "n_permutations": 1000,
+    "policy": DEFAULT_POLICY,
+    "holdout_split": "random",
+    "redundancy_delta": None,
+}
+
+_EXPERIMENT_DEFAULTS = {
+    "records": 2000,
+    "attributes": 40,
+    "rules": 1,
+    "coverage": 400,
+    "confidence": 0.65,
+    "min_sup": 150,
+    "algorithm": "closed",
+    "alpha": 0.05,
+    "replicates": 10,
+    "n_permutations": 150,
+    "methods": ("No correction", "BC", "BH"),
+    "seed": 0,
+}
+
+#: Synthetic experiments have no registered dataset; their cache rows
+#: use these sentinels for the fingerprint/policy key slots.
+_EXPERIMENT_FINGERPRINT = "synthetic:experiment"
+_EXPERIMENT_POLICY = "experiment"
+
+
+def bh_q_values(p_values: Sequence[float],
+                n_tests: Optional[int] = None) -> Dict[float, float]:
+    """Benjamini–Hochberg q-value for each distinct p-value.
+
+    ``q_i = min_{j >= i} p_(j) * n / j`` over the ascending-sorted
+    p-values (the standard right-to-left running minimum, capped at
+    1). Returned as a p → q mapping: every rule with the same p-value
+    has the same q-value, so callers look their rules up by p.
+    """
+    ordered = sorted(float(p) for p in p_values)
+    if not ordered:
+        return {}
+    n = max(int(n_tests or 0), len(ordered))
+    mapping: Dict[float, float] = {}
+    best = 1.0
+    for index in range(len(ordered) - 1, -1, -1):
+        best = min(best, ordered[index] * n / (index + 1))
+        mapping[ordered[index]] = best
+    return mapping
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its lifecycle record.
+
+    ``params`` is the *normalized* request (defaults filled in,
+    spellings canonicalised) — the exact dict that keys the artifact
+    cache. ``payload`` is the JSON-ready result once ``state`` is
+    ``"done"``; ``cached`` records whether it came from the artifact
+    store instead of a fresh run.
+    """
+
+    job_id: str
+    kind: str
+    dataset: Optional[str]
+    params: Dict[str, object]
+    state: str = "queued"
+    cached: bool = False
+    error: Optional[str] = None
+    payload: Optional[Dict[str, object]] = field(default=None,
+                                                 repr=False)
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def info(self) -> Dict[str, object]:
+        """JSON-ready status document (poll endpoint body)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "dataset": self.dataset,
+            "params": dict(self.params),
+            "state": self.state,
+            "cached": self.cached,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+def _reject_unknown(given, allowed, kind: str) -> None:
+    unknown = sorted(set(given) - set(allowed))
+    if not unknown:
+        return
+    message = (f"unknown parameter(s) {unknown} for a {kind!r} job; "
+               f"allowed: {sorted(allowed)}")
+    close = difflib.get_close_matches(unknown[0], sorted(allowed),
+                                      n=1, cutoff=0.6)
+    if close:
+        message += f" — did you mean {close[0]!r}?"
+    raise ServiceError(message)
+
+
+def _canonical_correction(value: str) -> str:
+    """CLI convention: canonical name, unless the requested spelling
+    binds context overrides (``"HD_BC"`` → structured split)."""
+    resolved = resolve_correction(str(value))
+    return str(value) if resolved.overrides else resolved.name
+
+
+class JobManager:
+    """Thread-pooled job queue over a registry and an artifact store.
+
+    Parameters
+    ----------
+    registry / store:
+        The shared dataset registry and artifact cache.
+    workers:
+        Worker threads consuming the queue. ``0`` means no background
+        workers — tests then drain explicitly with
+        :meth:`process_pending` for single-threaded determinism.
+    n_jobs / backend:
+        The :mod:`repro.parallel` configuration each job's pipeline
+        runs with. Deliberately *not* part of the cache key: results
+        are bit-identical at any worker count.
+    """
+
+    def __init__(self, registry: DatasetRegistry, store: ArtifactStore,
+                 workers: int = 1, n_jobs: int = 1,
+                 backend: str = "serial") -> None:
+        executor = get_executor(backend, n_jobs)  # validates both
+        self.registry = registry
+        self.store = store
+        self.n_jobs = executor.n_jobs
+        self.backend = executor.backend
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._counter = 0
+        self._executed = 0
+        self._cache_hits = 0
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._workers: List[threading.Thread] = []
+        for index in range(max(0, int(workers))):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"repro-job-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._workers.append(thread)
+
+    def __reduce__(self):
+        # Process-local by design: live worker threads, a queue and a
+        # lock cannot cross a process boundary. Parallelism inside a
+        # job goes through the pipeline's n_jobs/backend instead.
+        raise TypeError(
+            "JobManager is process-local and cannot be pickled")
+
+    # ------------------------------------------------------------------
+    # submission & validation
+    # ------------------------------------------------------------------
+
+    def submit(self, kind: str, params: Dict[str, object]) -> Job:
+        """Validate and enqueue one job; returns it in state queued."""
+        if kind not in JOB_KINDS:
+            message = (f"unknown job kind {kind!r}; "
+                       f"valid kinds: {sorted(JOB_KINDS)}")
+            close = difflib.get_close_matches(str(kind), JOB_KINDS,
+                                              n=1, cutoff=0.6)
+            if close:
+                message += f" — did you mean {close[0]!r}?"
+            raise ServiceError(message)
+        params = dict(params or {})
+        if kind == "experiment":
+            dataset_name = None
+            normalized = self._validate_experiment(params)
+        else:
+            dataset_name, normalized = self._validate_mine(kind, params)
+        with self._lock:
+            self._counter += 1
+            job = Job(job_id=f"job-{self._counter:08d}", kind=kind,
+                      dataset=dataset_name, params=normalized,
+                      created_at=time.time())
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+        self._queue.put(job.job_id)
+        return job
+
+    def _validate_mine(self, kind: str, params: Dict[str, object],
+                       ) -> Tuple[str, Dict[str, object]]:
+        allowed = set(_MINE_DEFAULTS) | {"dataset", "min_sup"}
+        _reject_unknown(params, allowed, kind)
+        if "dataset" not in params:
+            raise ServiceError(
+                f"a {kind!r} job needs a 'dataset' parameter "
+                f"(registered name or fingerprint)")
+        if "min_sup" not in params:
+            raise ServiceError(f"a {kind!r} job needs 'min_sup'")
+        entry = self.registry.get(str(params["dataset"]))
+        normalized = dict(_MINE_DEFAULTS)
+        for name in _MINE_DEFAULTS:
+            if name in params and params[name] is not None:
+                normalized[name] = params[name]
+        min_sup = int(params["min_sup"])
+        if min_sup < 1:
+            raise ServiceError(f"min_sup must be >= 1, got {min_sup}")
+        if min_sup > entry.dataset.n_records:
+            raise ServiceError(
+                f"min_sup={min_sup} exceeds dataset "
+                f"{entry.name!r} size {entry.dataset.n_records}")
+        normalized["min_sup"] = min_sup
+        resolved = resolve_correction(str(normalized["correction"]))
+        if kind == "holdout" and not resolved.spec.needs_holdout:
+            raise ServiceError(
+                f"a 'holdout' job needs a holdout correction "
+                f"(e.g. 'HD_BC', 'RH_BH'); {normalized['correction']!r} "
+                f"resolves to {resolved.name!r}, which scores the "
+                f"full dataset — submit it as a 'mine' job")
+        normalized["correction"] = _canonical_correction(
+            str(normalized["correction"]))
+        normalized["algorithm"] = resolve_miner(
+            str(normalized["algorithm"])).name
+        if normalized["policy"] not in POLICY_CHOICES:
+            raise ServiceError(
+                f"unknown forest policy {normalized['policy']!r}; "
+                f"pick from {sorted(POLICY_CHOICES)}")
+        if normalized["holdout_split"] not in ("random", "structured"):
+            raise ServiceError(
+                f"holdout_split must be 'random' or 'structured', "
+                f"got {normalized['holdout_split']!r}")
+        if normalized["scorer"] not in ("fisher", "fisher-midp",
+                                        "chi2"):
+            raise ServiceError(
+                f"unknown scorer {normalized['scorer']!r}")
+        normalized["alpha"] = float(normalized["alpha"])
+        normalized["min_conf"] = float(normalized["min_conf"])
+        normalized["seed"] = int(normalized["seed"])
+        normalized["n_permutations"] = int(normalized["n_permutations"])
+        if normalized["max_length"] is not None:
+            normalized["max_length"] = int(normalized["max_length"])
+        if normalized["redundancy_delta"] is not None:
+            normalized["redundancy_delta"] = float(
+                normalized["redundancy_delta"])
+        # The dataset is keyed by *content*, not by registered name.
+        normalized["dataset"] = entry.name
+        return entry.name, normalized
+
+    def _validate_experiment(self, params: Dict[str, object],
+                             ) -> Dict[str, object]:
+        _reject_unknown(params, _EXPERIMENT_DEFAULTS, "experiment")
+        normalized = dict(_EXPERIMENT_DEFAULTS)
+        for name in _EXPERIMENT_DEFAULTS:
+            if name in params and params[name] is not None:
+                normalized[name] = params[name]
+        methods = normalized["methods"]
+        if isinstance(methods, str):
+            methods = tuple(part.strip() for part in methods.split(",")
+                            if part.strip())
+        normalized["methods"] = [
+            _canonical_correction(str(m)) for m in methods]
+        if not normalized["methods"]:
+            raise ServiceError(
+                "an 'experiment' job needs at least one method")
+        normalized["algorithm"] = resolve_miner(
+            str(normalized["algorithm"])).name
+        for name in ("records", "attributes", "rules", "coverage",
+                     "min_sup", "replicates", "n_permutations", "seed"):
+            normalized[name] = int(normalized[name])
+        for name in ("confidence", "alpha"):
+            normalized[name] = float(normalized[name])
+        return normalized
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """The job for ``job_id`` (did-you-mean on unknown ids)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job
+            known = list(self._order)
+        message = f"no job {job_id!r}; known jobs: {known[-10:]}"
+        close = difflib.get_close_matches(str(job_id), known,
+                                          n=1, cutoff=0.6)
+        if close:
+            message += f" — did you mean {close[0]!r}?"
+        raise JobNotFound(message)
+
+    def jobs(self) -> List[Job]:
+        """All jobs in submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The payload of a done job; ServiceError otherwise."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.state != "done":
+                raise ServiceError(
+                    f"job {job_id} is {job.state!r}, not 'done'"
+                    + (f": {job.error}" if job.error else ""))
+            assert job.payload is not None
+            return job.payload
+
+    def result_csv(self, job_id: str) -> str:
+        """The significant rules of a done mine/holdout job as CSV.
+
+        Rendered from the payload's round-tripped
+        :class:`~repro.corrections.base.CorrectionResult` with the
+        same writer the CLI's ``--csv-out`` uses — cached or fresh,
+        the bytes match an uncached run exactly.
+        """
+        job = self.get(job_id)
+        payload = self.result(job_id)
+        if job.kind == "experiment":
+            raise ServiceError(
+                f"job {job_id} is an experiment; only mine/holdout "
+                f"results render as rule CSVs")
+        entry = self.registry.get(str(payload["dataset"]["name"]))
+        result = CorrectionResult.from_json(payload["result"])
+        return render_rules_csv(result.significant, entry.dataset)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job (running/finished jobs cannot be)."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.state != "queued":
+                raise ServiceError(
+                    f"job {job_id} is {job.state!r}; only queued jobs "
+                    f"can be cancelled")
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            return job
+
+    def stats(self) -> Dict[str, object]:
+        """Execution counters plus a per-state census."""
+        with self._lock:
+            states = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            return {"executed": self._executed,
+                    "cache_hits": self._cache_hits,
+                    "jobs": dict(states),
+                    "workers": len(self._workers),
+                    "n_jobs": self.n_jobs,
+                    "backend": self.backend}
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def process_pending(self) -> int:
+        """Drain the queue on the calling thread; returns jobs run.
+
+        The synchronous path for ``workers=0`` deployments and for
+        tests that want deterministic single-threaded scheduling.
+        """
+        processed = 0
+        while True:
+            try:
+                job_id = self._queue.get_nowait()
+            except queue.Empty:
+                return processed
+            if job_id is None:
+                continue
+            if self._process(job_id):
+                processed += 1
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Job:
+        """Block until ``job_id`` leaves the queued/running states."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.get(job_id)
+            with self._lock:
+                state = job.state
+            if state not in ("queued", "running"):
+                return job
+            if not self._workers:
+                self.process_pending()
+                continue
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {state!r} after "
+                    f"{timeout:g}s")
+            time.sleep(0.02)
+
+    def close(self) -> None:
+        """Stop the worker threads (queued jobs stay queued)."""
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+        self._workers = []
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            self._process(job_id)
+
+    def _process(self, job_id: str) -> bool:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "queued":
+                # cancelled (or already claimed) while queued
+                return False
+            job.state = "running"
+            job.started_at = time.time()
+        try:
+            payload, cached = self._execute(job)
+        except ReproError as exc:
+            with self._lock:
+                job.state = "failed"
+                job.error = str(exc)
+                job.finished_at = time.time()
+            return True
+        with self._lock:
+            job.state = "done"
+            job.payload = payload
+            job.cached = cached
+            job.finished_at = time.time()
+            if cached:
+                self._cache_hits += 1
+            else:
+                self._executed += 1
+        return True
+
+    def _execute(self, job: Job) -> Tuple[Dict[str, object], bool]:
+        if job.kind == "experiment":
+            return self._execute_experiment(job)
+        return self._execute_mine(job)
+
+    def _cache_slots(self, job: Job):
+        """The five artifact-key slots for a job (fingerprint, miner,
+        correction, policy, params)."""
+        params = dict(job.params)
+        if job.kind == "experiment":
+            miner = str(params.pop("algorithm"))
+            correction = ",".join(params.pop("methods"))
+            return (_EXPERIMENT_FINGERPRINT, miner, correction,
+                    _EXPERIMENT_POLICY, params)
+        entry = self.registry.get(str(params.pop("dataset")))
+        miner = str(params.pop("algorithm"))
+        correction = str(params.pop("correction"))
+        policy = str(params.pop("policy"))
+        return (entry.fingerprint, miner, correction, policy, params)
+
+    def _execute_mine(self, job: Job) -> Tuple[Dict[str, object], bool]:
+        from ..core.pipeline import Pipeline
+
+        fingerprint, miner, correction, policy, key_params = \
+            self._cache_slots(job)
+        cached = self.store.get(fingerprint, miner, correction, policy,
+                                key_params)
+        if cached is not None:
+            return dict(cached.payload), True
+        entry = self.registry.get(str(job.params["dataset"]))
+        params = job.params
+        pipeline = Pipeline(
+            min_sup=int(params["min_sup"]), corrections=(correction,),
+            algorithm=miner, alpha=float(params["alpha"]),
+            min_conf=float(params["min_conf"]),
+            max_length=params["max_length"],
+            scorer=str(params["scorer"]), seed=int(params["seed"]),
+            n_permutations=int(params["n_permutations"]),
+            policy=policy,
+            holdout_split=str(params["holdout_split"]),
+            redundancy_delta=params["redundancy_delta"],
+            n_jobs=self.n_jobs, backend=self.backend)
+        outcome = pipeline.run(entry.dataset)
+        result = outcome.results[correction]
+        q_map: Optional[Dict[float, float]] = None
+        if result.control == FDR and outcome.ruleset is not None:
+            q_map = bh_q_values(outcome.ruleset.p_values(),
+                                result.n_tests)
+        rows = _payload_rows(result, entry.dataset, q_map)
+        payload = {
+            "kind": job.kind,
+            "dataset": {"name": entry.name,
+                        "fingerprint": fingerprint},
+            "miner": miner,
+            "correction": correction,
+            "policy": policy,
+            "params": dict(key_params),
+            "result": result.to_json(),
+            "n_patterns_mined": outcome.state.n_patterns_mined,
+            "n_rules_tested": result.n_tests,
+            "n_significant": result.n_significant,
+            "rules": rows,
+        }
+        self.store.put(fingerprint, miner, correction, policy,
+                       key_params, payload, rows)
+        return payload, False
+
+    def _execute_experiment(self, job: Job,
+                            ) -> Tuple[Dict[str, object], bool]:
+        from ..data.synthetic import GeneratorConfig
+        from ..evaluation.runner import ExperimentRunner
+
+        fingerprint, miner, correction, policy, key_params = \
+            self._cache_slots(job)
+        cached = self.store.get(fingerprint, miner, correction, policy,
+                                key_params)
+        if cached is not None:
+            return dict(cached.payload), True
+        params = job.params
+        config = GeneratorConfig(
+            n_records=int(params["records"]),
+            n_attributes=int(params["attributes"]),
+            n_rules=int(params["rules"]),
+            min_coverage=int(params["coverage"]),
+            max_coverage=int(params["coverage"]),
+            min_confidence=float(params["confidence"]),
+            max_confidence=float(params["confidence"]))
+        runner = ExperimentRunner(
+            methods=tuple(params["methods"]),
+            alpha=float(params["alpha"]),
+            n_permutations=int(params["n_permutations"]),
+            algorithm=miner, n_jobs=self.n_jobs, backend=self.backend)
+        outcome = runner.run(config, min_sup=int(params["min_sup"]),
+                             n_replicates=int(params["replicates"]),
+                             seed=int(params["seed"]))
+        header = ["method", "n_datasets", "power", "fwer", "fdr",
+                  "avg_false_positives", "avg_significant"]
+        table = {}
+        for method in params["methods"]:
+            row = outcome.aggregates[method].row()
+            table[method] = {name: value
+                             for name, value in zip(header, row)}
+        payload = {
+            "kind": "experiment",
+            "params": dict(key_params),
+            "methods": list(params["methods"]),
+            "algorithm": miner,
+            "mean_tested": {key: float(value) for key, value
+                            in sorted(outcome.mean_tested.items())},
+            "table": table,
+        }
+        self.store.put(fingerprint, miner, correction, policy,
+                       key_params, payload)
+        return payload, False
+
+
+def _payload_rows(result: CorrectionResult, dataset: Dataset,
+                  q_map: Optional[Dict[float, float]],
+                  ) -> List[Dict[str, object]]:
+    """JSON-ready rendered rows of the significant rules, p-ordered.
+
+    These feed both the result payload and the artifact store's
+    indexed ``artifact_rules``/``rule_items`` columns.
+    """
+    n = dataset.n_records
+    rows: List[Dict[str, object]] = []
+    for rule in sorted(result.significant, key=lambda r: r.p_value):
+        n_c = dataset.class_support(rule.class_index)
+        lift = rule.lift(n, n_c)
+        q_value = q_map.get(float(rule.p_value)) if q_map else None
+        rows.append({
+            "rule": dataset.catalog.describe_pattern(rule.items),
+            "class": dataset.class_names[rule.class_index],
+            "length": rule.length,
+            "coverage": rule.coverage,
+            "support": rule.support,
+            "confidence": float(rule.confidence),
+            "p_value": float(rule.p_value),
+            "q_value": (float(q_value)
+                        if q_value is not None else None),
+            "lift": float(lift) if math.isfinite(lift) else None,
+            "items": sorted(str(dataset.catalog.item(i))
+                            for i in rule.items),
+        })
+    return rows
+
+
+def render_rules_csv(rules, dataset: Dataset) -> str:
+    """Rules as CSV text, byte-identical to
+    :func:`repro.evaluation.export.rules_to_csv`'s file output (same
+    header, same row builder, same dialect)."""
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(_BASE_HEADER)
+    writer.writerows(rule_rows(rules, dataset))
+    return buffer.getvalue()

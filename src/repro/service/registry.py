@@ -1,0 +1,146 @@
+"""Dataset registry: named datasets with content fingerprints.
+
+The service's datasets are registered once (by name) and addressed by
+name or by content fingerprint afterwards. Registration is
+content-aware: re-registering the same name with identical content is
+an idempotent no-op, while the same name with *different* content is a
+conflict — silently replacing a dataset under a live cache would let
+stale artifacts serve for new data.
+
+Lookup follows the corrections/miners registry conventions: unknown
+names raise :class:`~repro.errors.DatasetNotRegistered` listing the
+valid names plus a did-you-mean suggestion for near-miss spellings.
+"""
+
+from __future__ import annotations
+
+import difflib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..data.dataset import Dataset
+from ..errors import DatasetNotRegistered, ServiceError
+
+__all__ = ["DatasetRegistry", "RegisteredDataset"]
+
+
+@dataclass
+class RegisteredDataset:
+    """One registry entry: the dataset plus its service identity."""
+
+    name: str
+    dataset: Dataset = field(repr=False)
+    fingerprint: str
+    source: str = ""
+
+    def info(self) -> Dict[str, object]:
+        """JSON-ready description for the API surface."""
+        dataset = self.dataset
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "n_records": dataset.n_records,
+            "n_attributes": dataset.n_attributes,
+            "n_items": dataset.n_items,
+            "n_classes": dataset.n_classes,
+            "class_names": list(dataset.class_names),
+        }
+
+
+class DatasetRegistry:
+    """Thread-safe name → dataset mapping with fingerprint lookup."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._by_name: Dict[str, RegisteredDataset] = {}
+
+    def __reduce__(self):
+        # Process-local by design: the registry is the service's
+        # mutable source of truth; a pickled copy would silently
+        # diverge from it. Jobs ship datasets, never the registry.
+        raise TypeError(
+            "DatasetRegistry is process-local and cannot be pickled")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._by_name
+
+    def register(self, name: str, dataset: Dataset,
+                 source: str = "") -> RegisteredDataset:
+        """Register ``dataset`` under ``name``; returns the entry.
+
+        Identical re-registration (same content fingerprint) is
+        idempotent; the same name with different content raises
+        :class:`~repro.errors.ServiceError` — replacing a dataset
+        under a live artifact cache would serve stale results.
+        """
+        if not name or not isinstance(name, str):
+            raise ServiceError(
+                f"dataset name must be a non-empty string, got {name!r}")
+        fingerprint = dataset.fingerprint()
+        with self._lock:
+            existing = self._by_name.get(name)
+            if existing is not None:
+                if existing.fingerprint == fingerprint:
+                    return existing
+                raise ServiceError(
+                    f"dataset {name!r} is already registered with "
+                    f"different content (fingerprint "
+                    f"{existing.fingerprint[:24]}...); unregister it "
+                    f"first or register the new content under a new "
+                    f"name")
+            entry = RegisteredDataset(name=name, dataset=dataset,
+                                      fingerprint=fingerprint,
+                                      source=source)
+            self._by_name[name] = entry
+            return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` from the registry (must exist)."""
+        with self._lock:
+            if name not in self._by_name:
+                raise DatasetNotRegistered(self._unknown_message(name))
+            del self._by_name[name]
+
+    def get(self, name: str) -> RegisteredDataset:
+        """Entry for ``name``, by registered name or fingerprint.
+
+        Raises :class:`~repro.errors.DatasetNotRegistered` with the
+        registries' did-you-mean convention for unknown names.
+        """
+        with self._lock:
+            entry = self._by_name.get(name)
+            if entry is not None:
+                return entry
+            for candidate in self._by_name.values():
+                if candidate.fingerprint == name:
+                    return candidate
+            raise DatasetNotRegistered(self._unknown_message(name))
+
+    def names(self) -> List[str]:
+        """Registered names, sorted."""
+        with self._lock:
+            return sorted(self._by_name)
+
+    def entries(self) -> List[RegisteredDataset]:
+        """All entries, sorted by name (deterministic API output)."""
+        with self._lock:
+            return [self._by_name[name] for name in sorted(self._by_name)]
+
+    def _unknown_message(self, name: str) -> str:
+        with self._lock:
+            names = sorted(self._by_name)
+        message = (f"dataset {name!r} is not registered; "
+                   f"registered datasets: {names}")
+        close: Optional[List[str]] = difflib.get_close_matches(
+            name.lower(), [n.lower() for n in names], n=1, cutoff=0.6)
+        if close:
+            original = next(n for n in names if n.lower() == close[0])
+            message += f" — did you mean {original!r}?"
+        return message

@@ -1,0 +1,93 @@
+"""Running the service: uvicorn when available, stdlib otherwise.
+
+:func:`serve` is what ``python -m repro serve`` calls. It prefers
+``uvicorn`` (the production ASGI server the requirements pin), and
+falls back to a stdlib ``ThreadingHTTPServer`` that calls the same
+:meth:`~repro.service.app.ServiceCore.dispatch` table directly — so a
+bare container with no third-party packages still serves the full API
+with identical routes and payload bytes, just without uvicorn's
+connection management.
+"""
+
+from __future__ import annotations
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import urlsplit
+
+from .app import ServiceConfig, ServiceCore, _flatten_query, create_app
+
+__all__ = ["serve", "make_stdlib_server"]
+
+
+def make_stdlib_server(core: ServiceCore, host: str, port: int,
+                       ) -> ThreadingHTTPServer:
+    """A stdlib threaded HTTP server over ``core`` (not yet serving)."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _respond(self, method: str) -> None:
+            split = urlsplit(self.path)
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            status, payload, content_type = core.dispatch(
+                method, split.path, _flatten_query(split.query),
+                dict(self.headers.items()), body)
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            self._respond("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._respond("POST")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._respond("DELETE")
+
+        def log_message(self, format, *args) -> None:  # noqa: A002
+            pass  # quiet by default; uvicorn handles access logs
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+def serve(config: Optional[ServiceConfig] = None,
+          host: str = "127.0.0.1", port: int = 8765,
+          out=None, app=None) -> int:
+    """Run the service until interrupted; returns an exit code.
+
+    ``app`` lets callers pass a pre-built application (e.g. with
+    datasets already registered — the CLI's ``--dataset`` flags);
+    otherwise one is created from ``config``.
+    """
+    import sys
+
+    out = out or sys.stdout
+    if app is None:
+        app = create_app(config)
+    core = app.core
+    try:
+        import uvicorn
+    except ImportError:
+        uvicorn = None
+    if uvicorn is not None:
+        print(f"serving repro ({app.framework} app) on "
+              f"http://{host}:{port} via uvicorn", file=out)
+        uvicorn.run(app, host=host, port=port, log_level="warning")
+        return 0
+    server = make_stdlib_server(core, host, port)
+    print(f"serving repro on http://{host}:{port} via the stdlib "
+          f"threaded server (install uvicorn for production use)",
+          file=out)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        core.close()
+    return 0

@@ -1,0 +1,85 @@
+"""CorrectionResult JSON round-trips and CSV byte-identity.
+
+The service's artifact cache persists results as JSON and re-renders
+CSVs from the deserialized rules; these tests pin the property that
+makes that safe: the round trip is lossless down to the float bits.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corrections.base import RESULT_SCHEMA_VERSION, \
+    CorrectionResult
+from repro.core.pipeline import Pipeline
+from repro.errors import CorrectionError
+from repro.evaluation.export import rules_to_csv
+from repro.mining.rules import ClassRule
+
+from ..conftest import small_random_dataset  # noqa: F401
+
+
+@pytest.fixture
+def outcome(small_random_dataset):  # noqa: F811
+    pipeline = Pipeline(min_sup=12, corrections=("bh", "bonferroni"),
+                        seed=0)
+    return pipeline.run(small_random_dataset)
+
+
+def test_round_trip_lossless(outcome):
+    result = outcome.results["bh"]
+    document = json.loads(json.dumps(result.to_json()))
+    rebuilt = CorrectionResult.from_json(document)
+    assert rebuilt.method == result.method
+    assert rebuilt.control == result.control
+    assert rebuilt.alpha == result.alpha
+    assert rebuilt.threshold == result.threshold
+    assert rebuilt.n_tests == result.n_tests
+    assert len(rebuilt.significant) == len(result.significant)
+    for original, restored in zip(result.significant,
+                                  rebuilt.significant):
+        assert restored == original  # dataclass eq: every field exact
+
+
+def test_csv_byte_identity_after_round_trip(outcome,
+                                            small_random_dataset,  # noqa: F811
+                                            tmp_path):
+    result = outcome.results["bh"]
+    rebuilt = CorrectionResult.from_json(
+        json.loads(json.dumps(result.to_json())))
+    original_path = tmp_path / "original.csv"
+    rebuilt_path = tmp_path / "rebuilt.csv"
+    rules_to_csv(result.significant, small_random_dataset,
+                 original_path)
+    rules_to_csv(rebuilt.significant, small_random_dataset,
+                 rebuilt_path)
+    assert original_path.read_bytes() == rebuilt_path.read_bytes()
+
+
+def test_schema_version_enforced(outcome):
+    document = outcome.results["bh"].to_json()
+    assert document["schema_version"] == RESULT_SCHEMA_VERSION
+    document["schema_version"] = 99
+    with pytest.raises(CorrectionError, match="schema_version"):
+        CorrectionResult.from_json(document)
+
+
+def test_non_json_details_dropped(outcome):
+    result = outcome.results["bonferroni"]
+    result.details["diagnostic_handle"] = object()
+    result.details["kept"] = 1.5
+    document = result.to_json()
+    assert "diagnostic_handle" not in document["details"]
+    assert document["details"]["kept"] == 1.5
+
+
+def test_class_rule_floats_exact():
+    rule = ClassRule(pattern_id=3, items=frozenset((2, 5)),
+                     class_index=1, coverage=17, support=11,
+                     confidence=11 / 17, p_value=0.07230089175)
+    restored = ClassRule.from_json(
+        json.loads(json.dumps(rule.to_json())))
+    assert restored == rule
+    assert restored.confidence.hex() == rule.confidence.hex()

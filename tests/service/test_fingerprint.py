@@ -1,0 +1,62 @@
+"""Dataset content fingerprints: stable identity, sensitive content."""
+
+from __future__ import annotations
+
+from repro.data import Dataset
+from repro.data.fingerprint import FINGERPRINT_VERSION, \
+    dataset_fingerprint
+
+from .conftest import small_dataset
+
+
+def test_fingerprint_format_and_caching():
+    dataset = small_dataset()
+    fingerprint = dataset.fingerprint()
+    assert fingerprint.startswith(FINGERPRINT_VERSION + ":")
+    assert len(fingerprint.split(":", 1)[1]) == 64  # sha256 hex
+    assert dataset.fingerprint() is fingerprint  # cached
+    assert dataset_fingerprint(dataset) == fingerprint
+
+
+def test_fingerprint_invariant_to_record_order():
+    base = small_dataset().fingerprint()
+    for seed in (1, 2, 3):
+        shuffled = small_dataset(shuffle_seed=seed)
+        assert shuffled.fingerprint() == base
+
+
+def test_fingerprint_invariant_to_column_order():
+    records = [["a", "x"], ["b", "y"], ["a", "y"]]
+    labels = ["pos", "neg", "pos"]
+    forward = Dataset.from_records(records, labels, ["A", "B"])
+    swapped = Dataset.from_records([[b, a] for a, b in records],
+                                   labels, ["B", "A"])
+    assert forward.fingerprint() == swapped.fingerprint()
+
+
+def test_fingerprint_invariant_to_dataset_name():
+    assert (small_dataset("x").fingerprint()
+            == small_dataset("y").fingerprint())
+
+
+def test_fingerprint_sensitive_to_content():
+    records = [["a", "x"], ["b", "y"], ["a", "y"]]
+    labels = ["pos", "neg", "pos"]
+    base = Dataset.from_records(records, labels, ["A", "B"])
+    changed_value = Dataset.from_records(
+        [["a", "x"], ["b", "y"], ["b", "y"]], labels, ["A", "B"])
+    changed_label = Dataset.from_records(
+        records, ["pos", "neg", "neg"], ["A", "B"])
+    renamed_attr = Dataset.from_records(records, labels, ["A", "Z"])
+    fingerprints = {base.fingerprint(), changed_value.fingerprint(),
+                    changed_label.fingerprint(),
+                    renamed_attr.fingerprint()}
+    assert len(fingerprints) == 4
+
+
+def test_fingerprint_sensitive_to_duplicate_multiplicity():
+    records = [["a"], ["a"], ["b"]]
+    once = Dataset.from_records(records, ["p", "p", "n"], ["A"])
+    twice = Dataset.from_records(records + [["a"]],
+                                 ["p", "p", "n", "p"], ["A"])
+    assert once.fingerprint() != twice.fingerprint()
