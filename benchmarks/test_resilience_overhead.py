@@ -1,0 +1,82 @@
+"""Cost of the resilience layer when nothing is failing.
+
+The fault-tolerance PR threaded retry waves, a circuit-breaker
+consult and named fault-injection points through the executor hot
+path, and a bounded busy retry around every artifact-store write.
+All of that must be free in the common case:
+
+* a **disarmed** fault point is one truthiness check on an empty
+  dict — no RNG, no locks, no syscalls;
+* ``Executor.map_shards`` with the default :class:`RetryPolicy` and
+  a healthy breaker runs exactly one wave, within a small constant
+  factor of the bare serial loop it replaced.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _scale import banner
+from repro.parallel import CircuitBreaker, Executor, RetryPolicy
+from repro.testing import faults
+
+CALLS = 200_000
+SHARDS = 200
+REPEATS = 5
+
+
+def _work(seed: int) -> int:
+    total = seed
+    for value in range(2_000):
+        total += value * value
+    return total
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disarmed_fault_point_is_nanoseconds():
+    faults.disarm()
+    should_fire = faults.should_fire
+
+    def probe():
+        for _ in range(CALLS):
+            should_fire("worker-kill")
+
+    elapsed = _best_of(REPEATS, probe)
+    per_call = elapsed / CALLS
+    print(banner("resilience: disarmed fault points",
+                 f"{per_call * 1e9:.0f} ns per should_fire()"))
+    # Generous even for a loaded CI box; the real cost is ~100 ns.
+    assert per_call < 5e-6
+
+
+def test_clean_serial_wave_overhead_is_bounded():
+    shards = list(range(SHARDS))
+    executor = Executor("serial", retry=RetryPolicy(),
+                        breaker=CircuitBreaker())
+
+    def direct():
+        return [_work(shard) for shard in shards]
+
+    def through_executor():
+        return executor.map_shards(_work, shards)
+
+    assert through_executor() == direct()  # and warm both paths
+    direct_time = _best_of(REPEATS, direct)
+    executor_time = _best_of(REPEATS, through_executor)
+    ratio = executor_time / direct_time
+    print(banner("resilience: clean map_shards vs bare loop",
+                 f"direct {direct_time * 1e3:.1f} ms, executor "
+                 f"{executor_time * 1e3:.1f} ms, ratio {ratio:.3f}"))
+    assert executor.stats["waves"] >= REPEATS + 1
+    assert executor.stats["retries"] == 0
+    # One wave over ~1 ms shards: the wave bookkeeping must stay
+    # within 25% of the bare loop.
+    assert ratio < 1.25

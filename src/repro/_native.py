@@ -58,6 +58,8 @@ import sys
 import tempfile
 from typing import Optional
 
+from .testing import faults
+
 __all__ = ["KernelSuite", "load_kernel", "load_suite", "native_status"]
 
 _SOURCE = r"""
@@ -283,6 +285,10 @@ def _compile(flags) -> Optional[str]:
     through a shared cache directory — SIGILL at call time is
     uncatchable), and a compiler upgrade must rebuild.
     """
+    if faults.should_fire("native-compile-failure"):
+        # Chaos injection: behave exactly like a failed cc invocation
+        # so the caller exercises the numpy-fallback path.
+        return None
     compiler = _compiler_fingerprint()
     if compiler is None:
         return None

@@ -11,11 +11,14 @@ module                    rules
 :mod:`.concurrency`       unlocked-shared-state, pickle-unsafe-worker
 :mod:`.determinism`       float-equality-in-stats,
                           unordered-iteration-to-output
+:mod:`.robustness`        swallowed-worker-exception
 ========================  =========================================
 """
 
 from __future__ import annotations
 
-from . import concurrency, determinism, rng, substrate  # noqa: F401
+from . import concurrency, determinism, rng, robustness, \
+    substrate  # noqa: F401
 
-__all__ = ["concurrency", "determinism", "rng", "substrate"]
+__all__ = ["concurrency", "determinism", "rng", "robustness",
+           "substrate"]

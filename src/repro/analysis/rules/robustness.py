@@ -1,0 +1,104 @@
+"""Robustness rule: worker loops must not swallow exceptions.
+
+The fault-tolerance PR's contract (``docs/resilience.md``): every
+failure inside :mod:`repro.parallel` and :mod:`repro.service` is
+**classified and recorded** — retried when transient, surfaced with
+its traceback when fatal. A handler that silently discards an
+exception breaks the whole chain: the job record shows nothing, the
+journal shows nothing, the retry/breaker machinery never hears about
+it, and a worker thread can die (or a fault be eaten) without a
+trace.
+
+``swallowed-worker-exception`` flags the two shapes that do this:
+
+* a **bare** ``except:`` that never re-raises — it eats
+  ``KeyboardInterrupt``/``SystemExit`` along with everything else;
+* a broad ``except Exception:`` / ``except BaseException:`` whose
+  body is *only* ``pass``/``...``/``continue`` — a pure swallow.
+
+Broad handlers that record what they caught (the worker-loop
+catch-all stores the traceback on the job record; the reaper counts
+its errors) are exactly the sanctioned pattern and do not match.
+The rule is scoped to the resilience-bearing packages; narrowing the
+caught type (``except (OSError, ValueError):``) is the usual fix when
+a swallow is genuinely intended.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..registry import Rule, register_rule
+from ._util import dotted_name
+
+__all__ = ["SWALLOWED_WORKER_EXCEPTION"]
+
+#: Exception names broad enough that silently dropping them hides
+#: arbitrary failures.
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    node = handler.type
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    for entry in nodes:
+        name = dotted_name(entry)
+        if name is not None:
+            yield name.rsplit(".", 1)[-1]
+
+
+def _only_swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does nothing but discard control."""
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise)
+               for node in ast.walk(handler))
+
+
+def _check_swallowed(tree, ctx) -> Iterator[object]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            if _reraises(node):
+                continue
+            yield ctx.finding(
+                "swallowed-worker-exception", node,
+                "bare 'except:' without a re-raise swallows every "
+                "failure (KeyboardInterrupt and SystemExit included) "
+                "— catch a named type, or record and re-raise")
+            continue
+        broad = any(name in _BROAD_TYPES
+                    for name in _handler_type_names(node))
+        if broad and _only_swallows(node):
+            caught = ", ".join(_handler_type_names(node))
+            yield ctx.finding(
+                "swallowed-worker-exception", node,
+                f"'except {caught}:' silently discards the failure — "
+                "the resilience contract requires it recorded on the "
+                "job/executor record (or the caught type narrowed)")
+
+
+SWALLOWED_WORKER_EXCEPTION = register_rule(Rule(
+    name="swallowed-worker-exception",
+    check_fn=_check_swallowed,
+    aliases=("no-swallowed-exceptions", "swallowed-exception"),
+    description="worker/service code must not silently swallow "
+                "broad exceptions",
+    invariant="failure classification (resilience PR): every error "
+              "in repro/parallel and repro/service is retried, "
+              "recorded or re-raised — never silently dropped",
+    paths=("repro/parallel/*", "repro/service/*"),
+    exclude=("tests/*", "benchmarks/*", "examples/*"),
+))

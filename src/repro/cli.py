@@ -431,6 +431,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="require 'Authorization: Bearer <token>' "
                             "on every route except /health "
                             "(default: no authentication)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="job-journal SQLite path; default derives "
+                            "<db>.jobs next to a file-backed --db "
+                            "(in-memory stores run without a "
+                            "journal); pass an empty string to "
+                            "disable durability explicitly")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="times a job is re-enqueued after a "
+                            "transient failure or an orphaning "
+                            "crash (default: 2)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock bound, enforced "
+                            "cooperatively by the reaper (default: "
+                            "none)")
+    serve.add_argument("--job-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="prune finished jobs from memory after "
+                            "this age; the journal keeps their "
+                            "history (default: keep forever)")
 
     lint = commands.add_parser(
         "lint",
@@ -662,17 +682,27 @@ def _run_serve(args, out) -> int:
     from .service import ServiceConfig, create_app
     from .service.server import serve
 
-    config = ServiceConfig(db_path=args.db, token=args.token,
-                           workers=args.job_workers,
-                           n_jobs=args.jobs, backend=args.backend)
-    app = create_app(config)
+    datasets = []
     for spec in args.dataset:
         name, separator, source = spec.partition("=")
         if not separator or not name or not source:
             raise ReproError(
                 f"--dataset expects NAME=SOURCE, got {spec!r}")
-        entry = app.core.registry.register(
-            name, _load_input(source, "-1"), source=source)
+        datasets.append((name, source))
+    # Datasets ride in the config so ServiceCore registers them
+    # before the job manager's journal replay can run a recovered
+    # job that needs them.
+    config = ServiceConfig(db_path=args.db, token=args.token,
+                           workers=args.job_workers,
+                           n_jobs=args.jobs, backend=args.backend,
+                           journal_path=args.journal,
+                           max_retries=args.max_retries,
+                           job_timeout=args.job_timeout,
+                           job_ttl=args.job_ttl,
+                           datasets=tuple(datasets))
+    app = create_app(config)
+    for name, source in datasets:
+        entry = app.core.registry.get(name)
         print(f"registered dataset {name!r} from {source} "
               f"({entry.fingerprint[:28]}...)", file=out)
     return serve(config, host=args.host, port=args.port, out=out,

@@ -40,6 +40,26 @@ class AnalysisError(ReproError):
     """The static-analysis pass (``repro lint``) was misconfigured."""
 
 
+class TransientError(ReproError):
+    """A failure expected to succeed on retry (worker killed, pool
+    broken, lock contention, injected fault).
+
+    The marker class :func:`repro.parallel.resilience.is_transient`
+    recognises explicitly; raise it (or a subclass) from code that
+    knows its failure is retry-worthy.
+    """
+
+
+class DeadlineExceeded(TransientError):
+    """A work unit overran its per-unit deadline.
+
+    Raised by the process backend of
+    :class:`repro.parallel.Executor` when ``deadline`` is set; the
+    hung worker is terminated and the unit is eligible for retry
+    (possibly on a degraded backend).
+    """
+
+
 class ServiceError(ReproError):
     """The mining service (:mod:`repro.service`) was driven with an
     invalid request: bad job parameters, a malformed payload, or a

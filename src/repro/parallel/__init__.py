@@ -12,10 +12,20 @@ any worker count. Used by the permutation engine
 from .executor import (
     BACKENDS,
     Executor,
+    RetryExhausted,
     WorkerError,
     get_executor,
     validate_backend,
     validate_n_jobs,
+)
+from .resilience import (
+    DEGRADATION_ORDER,
+    CircuitBreaker,
+    DeadlineExceeded,
+    RetryPolicy,
+    TransientError,
+    global_breaker,
+    is_transient,
 )
 from .seeding import (
     root_sequence,
@@ -27,9 +37,17 @@ from .seeding import (
 
 __all__ = [
     "BACKENDS",
+    "DEGRADATION_ORDER",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "Executor",
+    "RetryExhausted",
+    "RetryPolicy",
+    "TransientError",
     "WorkerError",
     "get_executor",
+    "global_breaker",
+    "is_transient",
     "root_sequence",
     "sequence_from_legacy_rng",
     "shard_slices",

@@ -19,31 +19,72 @@ the *caller* decides the shard structure (and derives per-shard seeds
 via :mod:`repro.parallel.seeding`), so the same shards produce the
 same results on any backend at any worker count.
 
-Worker failures propagate as the **original exception type**. For the
-in-process backends the original traceback survives unchanged; for the
-``processes`` backend (where tracebacks cannot cross the pickle
-boundary) the re-raised exception is chained to a :class:`WorkerError`
-whose message carries the worker's formatted traceback, so the
-failing frame is never lost.
+Failure handling (see :mod:`repro.parallel.resilience` and
+``docs/resilience.md``): **fatal** failures — deterministic exceptions
+raised by the shard function — propagate immediately as the original
+exception type (chained to a :class:`WorkerError` carrying the remote
+traceback when it crossed a process boundary). **Transient** failures
+— a killed worker, a broken pool, an overrun deadline — are retried
+under the executor's :class:`~repro.parallel.resilience.RetryPolicy`:
+the same shard object is re-run (its seeds travel with it, so a
+recovered result is byte-identical to a fault-free run), the shared
+:class:`~repro.parallel.resilience.CircuitBreaker` is notified (and
+may degrade the backend processes → threads → serial for the next
+wave), and exhaustion raises the last failure chained to a
+:class:`RetryExhausted` recording the attempt count and the final
+attempt's traceback.
+
+When ``deadline`` is set, the processes backend bounds each unit's
+wall clock: an overrun terminates the pool's workers and surfaces a
+transient :class:`~repro.errors.DeadlineExceeded` for the unit.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import signal
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
-from ..errors import ReproError
+from ..errors import DeadlineExceeded, ReproError
+from ..testing import faults
+from .resilience import CircuitBreaker, RetryPolicy, global_breaker, \
+    is_transient
 
-__all__ = ["BACKENDS", "Executor", "WorkerError", "get_executor",
-           "validate_backend"]
+__all__ = ["BACKENDS", "Executor", "RetryExhausted", "WorkerError",
+           "get_executor", "validate_backend"]
 
 BACKENDS = ("serial", "threads", "processes")
 
 S = TypeVar("S")
 R = TypeVar("R")
+
+#: One unit's outcome inside a wave: (unit index, succeeded, value or
+#: exception, formatted worker traceback when one crossed a process
+#: boundary).
+_Outcome = Tuple[int, bool, object, Optional[str]]
+
+#: A submitted unit paired with its in-flight future (processes wave).
+_Submitted = Tuple[int, "Future[Tuple[bool, object, Optional[str]]]"]
 
 
 class WorkerError(ReproError):
@@ -61,6 +102,22 @@ class WorkerError(ReproError):
           File "...", line 42, in _score_shard
         ...
     """
+
+
+class RetryExhausted(WorkerError):
+    """A transiently-failing unit ran out of retry attempts.
+
+    The original (last-attempt) exception is re-raised *from* this
+    error; :attr:`attempts` is the total number of tries and
+    :attr:`last_traceback` the formatted traceback of the final
+    attempt, so post-mortems see exactly where the last retry died.
+    """
+
+    def __init__(self, message: str, attempts: int,
+                 last_traceback: str) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_traceback = last_traceback
 
 
 def validate_backend(backend: str) -> str:
@@ -89,15 +146,43 @@ class Executor:
     Parameters
     ----------
     backend:
-        One of :data:`BACKENDS`.
+        One of :data:`BACKENDS`. The breaker may degrade the *active*
+        backend below the requested one after repeated transient
+        failures.
     n_jobs:
         Worker count; ``-1`` means one per CPU core. ``n_jobs=1``
         always degenerates to the serial loop, whatever the backend.
+    retry:
+        The :class:`~repro.parallel.resilience.RetryPolicy` for
+        transient failures (default: 4 attempts, deterministic capped
+        exponential backoff). ``RetryPolicy(max_attempts=1)`` disables
+        retries.
+    deadline:
+        Optional per-unit wall-clock bound in seconds, enforced on the
+        processes backend (an overrun terminates the workers and
+        counts as a transient failure of the unit).
+    breaker:
+        The :class:`~repro.parallel.resilience.CircuitBreaker` to
+        consult and notify; defaults to the process-wide shared one.
     """
 
-    def __init__(self, backend: str = "serial", n_jobs: int = 1) -> None:
+    def __init__(self, backend: str = "serial", n_jobs: int = 1,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[float] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self.backend = validate_backend(backend)
         self.n_jobs = validate_n_jobs(n_jobs)
+        self.retry = retry if retry is not None else RetryPolicy()
+        if deadline is not None and not deadline > 0:
+            raise ReproError(
+                f"deadline must be a positive number of seconds, "
+                f"got {deadline!r}")
+        self.deadline = deadline
+        self.breaker = breaker if breaker is not None \
+            else global_breaker()
+        #: Cumulative resilience counters (diagnostics, not identity).
+        self.stats: Dict[str, int] = {"waves": 0, "retries": 0,
+                                      "transient_failures": 0}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Executor(backend={self.backend!r}, n_jobs={self.n_jobs})"
@@ -111,56 +196,202 @@ class Executor:
         Results come back in shard order on every backend. The shard
         structure is the caller's: this method never splits or merges
         shards, which is what makes results independent of the worker
-        count.
+        count — and what makes retries invisible in the output, since
+        a retried shard re-runs with the seeds it carries.
         """
         items: Sequence[S] = list(shards)
         if not items:
             return []
-        workers = min(self.n_jobs, len(items))
-        if self.backend == "serial" or workers == 1:
-            return [fn(shard) for shard in items]
-        if self.backend == "threads":
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                # Executor.map preserves input order and re-raises the
-                # first failure with its original traceback.
-                return list(pool.map(fn, items))
-        return self._map_processes(fn, items, workers)
+        results: List[object] = [None] * len(items)
+        attempts = [0] * len(items)
+        pending = list(range(len(items)))
+        clean = True
+        while pending:
+            backend = self.breaker.active_backend(self.backend)
+            workers = min(self.n_jobs, len(pending))
+            self.stats["waves"] += 1
+            # A single worker degenerates to the in-process loop
+            # (which is why closures work at n_jobs=1 on any
+            # backend) — except when a deadline must be enforced,
+            # which only the process pool can do.
+            in_process = (workers == 1
+                          and (backend != "processes"
+                               or self.deadline is None))
+            if backend == "serial" or in_process:
+                outcomes = self._wave_serial(fn, items, pending)
+            elif backend == "threads":
+                outcomes = self._wave_threads(fn, items, pending,
+                                              workers)
+            else:
+                outcomes = self._wave_processes(fn, items, pending,
+                                                workers)
+            retry: List[int] = []
+            deepest = 0
+            for index, ok, value, formatted in outcomes:
+                if ok:
+                    results[index] = value
+                    continue
+                clean = False
+                error = value if isinstance(value, BaseException) \
+                    else ReproError(f"shard {index} failed: {value!r}")
+                attempts[index] += 1
+                if not is_transient(error):
+                    self._raise_fatal(backend, index, error, formatted)
+                self.stats["transient_failures"] += 1
+                self.breaker.record_transient(backend,
+                                              error=repr(error))
+                if attempts[index] >= self.retry.max_attempts:
+                    self._raise_exhausted(index, error, formatted,
+                                          attempts[index])
+                retry.append(index)
+                deepest = max(deepest, attempts[index])
+            if retry:
+                self.stats["retries"] += len(retry)
+                delay = self.retry.delay(deepest)
+                if delay > 0:
+                    time.sleep(delay)
+            pending = retry
+        if clean:
+            self.breaker.record_success()
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # failure surfacing
+    # ------------------------------------------------------------------
 
-    def _map_processes(self, fn: Callable[[S], R], items: Sequence[S],
-                       workers: int) -> List[R]:
+    def _raise_fatal(self, backend: str, index: int,
+                     error: BaseException,
+                     formatted: Optional[str]) -> None:
+        if backend == "processes" and formatted is not None:
+            raise error from WorkerError(
+                f"shard {index} raised in worker:\n{formatted}")
+        # In-process backends: the exception object still carries its
+        # original traceback; re-raise it unwrapped.
+        raise error
+
+    def _raise_exhausted(self, index: int, error: BaseException,
+                         formatted: Optional[str],
+                         attempts: int) -> None:
+        last = formatted or "".join(
+            traceback.format_exception(type(error), error,
+                                       error.__traceback__))
+        raise error from RetryExhausted(
+            f"shard {index} failed transiently on every attempt "
+            f"({attempts} of {attempts}); last failure:\n{last}",
+            attempts=attempts, last_traceback=last)
+
+    # ------------------------------------------------------------------
+    # waves (one attempt of every still-pending unit)
+    # ------------------------------------------------------------------
+
+    def _wave_serial(self, fn: Callable[[S], R], items: Sequence[S],
+                     pending: Sequence[int]) -> List[_Outcome]:
+        outcomes: List[_Outcome] = []
+        for index in pending:
+            try:
+                outcomes.append((index, True, fn(items[index]), None))
+            except Exception as exc:
+                outcomes.append((index, False, exc,
+                                 traceback.format_exc()))
+                if not is_transient(exc):
+                    # Fatal: no retry is coming, so stop executing the
+                    # rest of the wave (matches eager serial
+                    # semantics).
+                    break
+        return outcomes
+
+    def _wave_threads(self, fn: Callable[[S], R], items: Sequence[S],
+                      pending: Sequence[int],
+                      workers: int) -> List[_Outcome]:
+        def guarded(index: int) -> _Outcome:
+            try:
+                return index, True, fn(items[index]), None
+            except Exception as exc:
+                return index, False, exc, traceback.format_exc()
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(guarded, pending))
+
+    def _wave_processes(self, fn: Callable[[S], R], items: Sequence[S],
+                        pending: Sequence[int],
+                        workers: int) -> List[_Outcome]:
         # fork keeps the parent's modules/sys.path visible without
         # re-importing, and makes already-registered plugin
-        # corrections available in workers; fall back to the platform
-        # default where fork is unavailable (Windows, macOS spawn).
+        # corrections (and the armed fault plan) available in workers;
+        # fall back to the platform default where fork is unavailable
+        # (Windows, macOS spawn).
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             ctx = multiprocessing.get_context()
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=ctx) as pool:
-            futures = [pool.submit(_guarded_call, fn, index, shard)
-                       for index, shard in enumerate(items)]
-            out: List[R] = []
-            for index, future in enumerate(futures):
-                ok, value, formatted = future.result()
-                if ok:
-                    out.append(value)
-                    continue
-                raise value from WorkerError(
-                    f"shard {index} raised in worker:\n{formatted}")
-            return out
+        outcomes: List[_Outcome] = []
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        try:
+            futures: List[_Submitted] = []
+            for index in pending:
+                try:
+                    futures.append((index,
+                                    pool.submit(_guarded_call, fn,
+                                                index, items[index])))
+                except BrokenExecutor as exc:
+                    # A worker died while this wave was still being
+                    # submitted: the pool refuses further work, so the
+                    # unsubmitted units fail transiently right here.
+                    outcomes.append((index, False, exc, None))
+            for index, future in futures:
+                try:
+                    ok, value, formatted = future.result(
+                        timeout=self.deadline)
+                except (_FuturesTimeout, TimeoutError):
+                    # The unit overran its deadline. The worker is
+                    # hung, which poisons the pool: kill the workers
+                    # so this wave ends in bounded time (the
+                    # remaining futures fail fast as a broken pool).
+                    _terminate_pool_workers(pool)
+                    deadline = self.deadline or 0.0
+                    ok, value, formatted = False, DeadlineExceeded(
+                        f"shard {index} exceeded its {deadline:g}s "
+                        f"deadline"), None
+                except BrokenExecutor as exc:
+                    # A worker died (SIGKILL, OOM-kill): every unit
+                    # still in flight fails transiently.
+                    ok, value, formatted = False, exc, None
+                outcomes.append((index, ok, value, formatted))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes
 
 
-def _guarded_call(fn, index, shard):
+def _terminate_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """SIGTERM a pool's worker processes (hung-deadline recovery)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - dead worker
+            continue
+
+
+def _guarded_call(fn: Callable[[S], R], index: int,
+                  shard: S) -> Tuple[bool, object, Optional[str]]:
     """Run one shard in a worker, capturing the traceback on failure.
 
     Exception objects survive pickling back to the parent; traceback
     objects do not, so the formatted text rides along. Unpicklable
     exceptions are downgraded to a :class:`WorkerError` carrying their
     repr (the traceback text still shows the original type).
+
+    This is also where the process-backend chaos faults live:
+    ``worker-kill`` SIGKILLs the worker before the shard runs (the
+    parent observes a broken pool, exactly like a real OOM-kill), and
+    ``executor-hang`` sleeps past any sane deadline (the parent's
+    deadline enforcement must recover). Both are no-ops unless armed
+    (:mod:`repro.testing.faults`).
     """
+    if faults.should_fire("worker-kill"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if faults.should_fire("executor-hang"):
+        time.sleep(faults.hang_seconds())
     try:
         return True, fn(shard), None
     except BaseException as exc:
@@ -173,6 +404,10 @@ def _guarded_call(fn, index, shard):
         return False, exc, formatted
 
 
-def get_executor(backend: str = "serial", n_jobs: int = 1) -> Executor:
+def get_executor(backend: str = "serial", n_jobs: int = 1,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[float] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> Executor:
     """Construct a validated :class:`Executor`."""
-    return Executor(backend=backend, n_jobs=n_jobs)
+    return Executor(backend=backend, n_jobs=n_jobs, retry=retry,
+                    deadline=deadline, breaker=breaker)

@@ -1,0 +1,257 @@
+"""Retry policies, failure classification and the backend breaker.
+
+The executor's fault model (see ``docs/resilience.md``): a work unit
+can fail **transiently** (a SIGKILLed process worker, a broken pool, a
+timed-out deadline, a locked SQLite database — failures where the same
+computation retried is expected to succeed) or **fatally** (a
+deterministic exception from the shard function itself, which would
+recur on every retry). :func:`is_transient` draws that line;
+:class:`RetryPolicy` bounds how often a transient failure is retried
+and spaces the attempts on a **deterministic** capped-exponential
+schedule — no wall-clock coupling, no jitter — so chaos tests
+reproduce exactly; :class:`CircuitBreaker` degrades the *backend*
+(processes → threads → serial) once transient failures repeat, which
+is what guarantees forward progress even when every process worker is
+being killed.
+
+Determinism under retry is structural, not statistical: a retried
+unit re-runs the **same shard object**, which carries the same
+:class:`numpy.random.SeedSequence` children
+(:mod:`repro.parallel.seeding` attaches seeds to unit indices, never
+to workers or attempts), so a run that recovered from ten kills is
+byte-identical to a fault-free run.
+
+One process-wide breaker (:func:`global_breaker`) is shared by every
+executor by default: repeated kills discovered by the permutation
+engine also protect the next pipeline run, and the service's
+``/health`` endpoint reports its state.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import DeadlineExceeded, ReproError, TransientError
+
+__all__ = [
+    "DEGRADATION_ORDER",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "TransientError",
+    "global_breaker",
+    "is_transient",
+]
+
+#: Backends ordered from most to least demanding; the breaker walks
+#: this chain left to right as transient failures accumulate.
+DEGRADATION_ORDER: Tuple[str, ...] = ("processes", "threads", "serial")
+
+#: SQLite error-message fragments that indicate lock contention (the
+#: retryable subset of ``sqlite3.OperationalError``).
+_SQLITE_BUSY_MARKERS = ("locked", "busy")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` names a failure worth retrying.
+
+    Transient: the explicit :class:`~repro.errors.TransientError`
+    marker (which fault injection and deadline enforcement raise),
+    a broken executor/pool (a worker process died — the SIGKILL
+    signature), timeouts, connection/interrupt-class OS errors, and
+    SQLite lock contention. Everything else — in particular any
+    deterministic exception raised *by the shard function* — is
+    fatal: retrying a computation that failed on its own inputs
+    cannot change the outcome.
+    """
+    if isinstance(exc, TransientError):
+        return True
+    if isinstance(exc, BrokenExecutor):
+        return True
+    if isinstance(exc, (TimeoutError, ConnectionError,
+                        InterruptedError, BrokenPipeError)):
+        return True
+    if isinstance(exc, sqlite3.OperationalError):
+        message = str(exc).lower()
+        return any(marker in message
+                   for marker in _SQLITE_BUSY_MARKERS)
+    return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries on a deterministic backoff schedule.
+
+    ``max_attempts`` counts *total* tries of one work unit (1 = never
+    retry). The delay before attempt ``k+1`` is
+    ``min(max_delay, base_delay * multiplier**(k-1))`` — a pure
+    function of the attempt index, so two runs of the same chaos
+    scenario sleep the same schedule.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ReproError(
+                f"retry multiplier must be >= 1, got {self.multiplier}")
+
+    def delay(self, failed_attempts: int) -> float:
+        """Seconds to wait after ``failed_attempts`` failures."""
+        if failed_attempts < 1:
+            return 0.0
+        raw = self.base_delay * self.multiplier ** (failed_attempts - 1)
+        return min(self.max_delay, raw)
+
+    def schedule(self) -> Tuple[float, ...]:
+        """The full backoff schedule (one delay per retry)."""
+        return tuple(self.delay(attempt)
+                     for attempt in range(1, self.max_attempts))
+
+
+class CircuitBreaker:
+    """Degrade the execution backend under repeated transient failure.
+
+    Counts consecutive transient failures; each time the count reaches
+    ``threshold`` the degradation level rises one step and the count
+    resets. The level shifts any requested backend down
+    :data:`DEGRADATION_ORDER` (``processes`` degrades to ``threads``
+    then ``serial``; ``serial`` has nowhere left to go). A fully
+    fault-free ``map_shards`` call resets the consecutive count but
+    never the level — recovery is explicit (:meth:`reset`), because a
+    backend that killed workers three times is not trusted again just
+    for surviving one call.
+
+    Thread-safe; picklable by snapshot (the lock is dropped and
+    re-created, so a breaker riding along in a worker payload does not
+    break the processes backend — the worker gets an independent copy).
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ReproError(
+                f"breaker threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._consecutive = 0
+        self._total = 0
+        self._level = 0
+        self._degradations: List[Dict[str, object]] = []
+
+    # -- pickling (drop the lock, keep the counters) -------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        with self._lock:
+            return {"threshold": self.threshold,
+                    "consecutive": self._consecutive,
+                    "total": self._total,
+                    "level": self._level,
+                    "degradations": list(self._degradations)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.threshold = int(state["threshold"])  # type: ignore[arg-type]
+        self._lock = threading.Lock()
+        self._consecutive = int(state["consecutive"])  # type: ignore[arg-type]
+        self._total = int(state["total"])  # type: ignore[arg-type]
+        self._level = int(state["level"])  # type: ignore[arg-type]
+        self._degradations = list(state["degradations"])  # type: ignore[arg-type]
+
+    # -- recording -----------------------------------------------------
+
+    def record_transient(self, backend: str,
+                         error: str = "") -> Optional[str]:
+        """Count one transient failure on ``backend``.
+
+        Returns the new *active* backend for ``backend`` when this
+        failure tripped a degradation, else ``None``.
+        """
+        with self._lock:
+            self._total += 1
+            self._consecutive += 1
+            if (self._consecutive < self.threshold
+                    or self._level >= len(DEGRADATION_ORDER) - 1):
+                return None
+            self._consecutive = 0
+            self._level += 1
+            degraded = self._active_locked(backend)
+            self._degradations.append({
+                "requested": backend,
+                "active": degraded,
+                "level": self._level,
+                "after_failures": self.threshold,
+                "error": error,
+            })
+            return degraded
+
+    def record_success(self) -> None:
+        """A fault-free call: forgive the consecutive-failure streak."""
+        with self._lock:
+            self._consecutive = 0
+
+    def reset(self) -> None:
+        """Re-arm completely (clears the degradation level too)."""
+        with self._lock:
+            self._consecutive = 0
+            self._total = 0
+            self._level = 0
+            self._degradations = []
+
+    # -- queries -------------------------------------------------------
+
+    def _active_locked(self, requested: str) -> str:
+        # The level is an index into DEGRADATION_ORDER acting as a
+        # ceiling on ambition: at level 1 ``processes`` is banned (it
+        # degrades to ``threads``) but a request for ``threads`` or
+        # ``serial`` is already at or below the ceiling and passes
+        # through unchanged.
+        if self._level == 0 or requested not in DEGRADATION_ORDER:
+            return requested
+        position = DEGRADATION_ORDER.index(requested)
+        return DEGRADATION_ORDER[max(position, self._level)]
+
+    def active_backend(self, requested: str) -> str:
+        """The backend actually used when ``requested`` is asked for."""
+        with self._lock:
+            return self._active_locked(requested)
+
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._level
+
+    def state(self) -> Dict[str, object]:
+        """JSON-ready snapshot (the ``/health`` breaker component)."""
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "level": self._level,
+                "consecutive_transient": self._consecutive,
+                "total_transient": self._total,
+                "active": {backend: self._active_locked(backend)
+                           for backend in DEGRADATION_ORDER},
+                "degradations": [dict(entry)
+                                 for entry in self._degradations],
+            }
+
+
+# The process-wide default breaker every Executor shares unless handed
+# its own instance. Module-level and deliberately shared: degradation
+# discovered anywhere protects everything that runs afterwards.
+_GLOBAL_BREAKER = CircuitBreaker()
+
+
+def global_breaker() -> CircuitBreaker:
+    """The shared process-wide :class:`CircuitBreaker`."""
+    return _GLOBAL_BREAKER

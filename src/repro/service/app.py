@@ -55,6 +55,7 @@ from ..errors import (
     ServiceError,
 )
 from .jobs import JOB_KINDS, JobManager, _canonical_correction
+from .journal import JobJournal
 from .registry import DatasetRegistry
 from .store import ArtifactStore
 
@@ -67,13 +68,43 @@ _CSV = "text/csv"
 
 @dataclass
 class ServiceConfig:
-    """Deployment knobs for one service instance."""
+    """Deployment knobs for one service instance.
+
+    ``journal_path`` controls crash durability: ``None`` (the
+    default) derives ``<db_path>.jobs`` next to a file-backed
+    artifact store and disables the journal for in-memory stores;
+    ``""`` disables it explicitly; any other string is used verbatim.
+    ``max_retries``/``job_timeout``/``job_ttl`` feed the
+    :class:`~repro.service.jobs.JobManager` resilience policy (see
+    ``docs/resilience.md``).
+
+    ``datasets`` (``(name, source)`` pairs, same sources as
+    ``POST /v1/datasets``) are registered *before* the job manager
+    starts — journal-replayed jobs can run the moment the workers
+    exist, so datasets registered only after construction would race
+    boot recovery.
+    """
 
     db_path: str = ":memory:"
     token: Optional[str] = None
     workers: int = 1
     n_jobs: int = 1
     backend: str = "serial"
+    journal_path: Optional[str] = None
+    max_retries: int = 2
+    job_timeout: Optional[float] = None
+    job_ttl: Optional[float] = None
+    datasets: Tuple[Tuple[str, str], ...] = ()
+
+    def resolved_journal_path(self) -> Optional[str]:
+        """The journal database path, or ``None`` when disabled."""
+        if self.journal_path == "":
+            return None
+        if self.journal_path is not None:
+            return self.journal_path
+        if self.db_path == ":memory:":
+            return None
+        return f"{self.db_path}.jobs"
 
 
 class ServiceCore:
@@ -89,15 +120,32 @@ class ServiceCore:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.registry = DatasetRegistry()
+        # Pre-configured datasets must exist before the JobManager:
+        # its boot replay re-enqueues journaled jobs immediately, and
+        # a recovered job must find its dataset registered.
+        for name, source in self.config.datasets:
+            from ..cli import _load_input
+
+            self.registry.register(name, _load_input(source, "-1"),
+                                   source=source)
         self.store = ArtifactStore(self.config.db_path)
+        journal_path = self.config.resolved_journal_path()
+        self.journal = (None if journal_path is None
+                        else JobJournal(journal_path))
         self.jobs = JobManager(self.registry, self.store,
                                workers=self.config.workers,
                                n_jobs=self.config.n_jobs,
-                               backend=self.config.backend)
+                               backend=self.config.backend,
+                               journal=self.journal,
+                               max_retries=self.config.max_retries,
+                               job_timeout=self.config.job_timeout,
+                               job_ttl=self.config.job_ttl)
 
     def close(self) -> None:
-        """Stop workers and close the store."""
+        """Drain workers, then close the journal and the store."""
         self.jobs.close()
+        if self.journal is not None:
+            self.journal.close()
         self.store.close()
 
     # ------------------------------------------------------------------
@@ -139,7 +187,7 @@ class ServiceCore:
                body: bytes) -> Tuple[int, object]:
         parts = [part for part in path.split("/") if part]
         if path == "/health" and method == "GET":
-            return 200, {"status": "ok", "service": "repro"}
+            return 200, self._health()
         if not parts or parts[0] != "v1":
             raise _NotFoundRoute(f"no route {method} {path}")
         parts = parts[1:]
@@ -185,6 +233,29 @@ class ServiceCore:
     # ------------------------------------------------------------------
     # handlers
     # ------------------------------------------------------------------
+
+    def _health(self) -> Dict[str, object]:
+        """Liveness plus a per-component report.
+
+        ``status`` stays ``"ok"`` whenever the service can answer at
+        all (a missing native kernel or a tripped breaker degrade
+        performance, not correctness — the components say so), so
+        existing probes keep working; operators read ``components``
+        for the real story.
+        """
+        from .._native import native_status
+        from ..parallel import global_breaker
+
+        components: Dict[str, object] = {
+            "native_kernel": native_status(),
+            "framework": os.environ.get("REPRO_SERVICE_FRAMEWORK",
+                                        "auto") or "auto",
+            "breaker": global_breaker().state(),
+            "journal": self.jobs.journal_stats(),
+            "store": {"path": self.store.path},
+        }
+        return {"status": "ok", "service": "repro",
+                "components": components}
 
     def _handle_register(self, body: Dict[str, object],
                          ) -> Tuple[int, object]:

@@ -38,8 +38,10 @@ import difflib
 import io
 import math
 import queue
+import sqlite3
 import threading
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,7 +52,8 @@ from ..errors import JobNotFound, ReproError, ServiceError
 from ..evaluation.export import _BASE_HEADER, rule_rows
 from ..mining.diffsets import DEFAULT_POLICY, POLICY_CHOICES
 from ..mining.registry import resolve_miner
-from ..parallel import get_executor
+from ..parallel import get_executor, is_transient
+from .journal import DEFAULT_STALE_AFTER, JobJournal
 from .registry import DatasetRegistry
 from .store import ArtifactStore
 
@@ -142,6 +145,10 @@ class Job:
     created_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    attempts: int = 0
+    timeout: Optional[float] = None
+    heartbeat_at: Optional[float] = None
+    traceback: Optional[str] = field(default=None, repr=False)
 
     def info(self) -> Dict[str, object]:
         """JSON-ready status document (poll endpoint body)."""
@@ -153,10 +160,22 @@ class Job:
             "state": self.state,
             "cached": self.cached,
             "error": self.error,
+            "attempts": self.attempts,
+            "timeout": self.timeout,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+
+    def snapshot(self) -> Dict[str, object]:
+        """The full durable record (what the job journal persists):
+        :meth:`info` plus the payload, traceback and heartbeat."""
+        record = self.info()
+        record["payload"] = (None if self.payload is None
+                             else dict(self.payload))
+        record["traceback"] = self.traceback
+        record["heartbeat_at"] = self.heartbeat_at
+        return record
 
 
 def _reject_unknown(given, allowed, kind: str) -> None:
@@ -189,35 +208,102 @@ class JobManager:
     workers:
         Worker threads consuming the queue. ``0`` means no background
         workers — tests then drain explicitly with
-        :meth:`process_pending` for single-threaded determinism.
+        :meth:`process_pending` (and :meth:`reap` for time-based
+        transitions) for single-threaded determinism.
     n_jobs / backend:
         The :mod:`repro.parallel` configuration each job's pipeline
         runs with. Deliberately *not* part of the cache key: results
         are bit-identical at any worker count.
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal`. When
+        present, every state transition is journaled before it is
+        acted on, and construction **replays** the journal: finished
+        jobs come back servable, queued jobs re-enter the queue, and
+        orphaned running jobs (their process died mid-run) are
+        retried — or failed once they have burned ``max_retries`` —
+        exactly as ``docs/resilience.md`` specifies.
+    max_retries:
+        How many times a job may be *re-enqueued* after a transient
+        failure or an orphaning crash (0 = never; the first attempt
+        is not a retry). Deterministic jobs make retries safe: a
+        re-run computes byte-identical results.
+    job_timeout:
+        Default per-job wall-clock bound in seconds (overridable per
+        submit). Enforcement is cooperative — a worker thread cannot
+        be killed — so an overrunning job is marked ``failed`` by the
+        reaper and its eventual result is discarded.
+    job_ttl:
+        Age in seconds after which *finished* jobs are pruned from
+        memory by the reaper (the journal keeps their history).
+    stale_after / assume_exclusive:
+        Orphan detection at replay time. A ``running`` row is an
+        orphan when its heartbeat is older than ``stale_after``
+        seconds — or unconditionally under ``assume_exclusive``
+        (the default: one service process owns the journal, so any
+        ``running`` row at boot is from a dead process). Pass
+        ``assume_exclusive=False`` when several processes share one
+        journal.
     """
 
     def __init__(self, registry: DatasetRegistry, store: ArtifactStore,
                  workers: int = 1, n_jobs: int = 1,
-                 backend: str = "serial") -> None:
+                 backend: str = "serial",
+                 journal: Optional[JobJournal] = None,
+                 max_retries: int = 2,
+                 job_timeout: Optional[float] = None,
+                 job_ttl: Optional[float] = None,
+                 heartbeat_interval: float = 5.0,
+                 stale_after: float = DEFAULT_STALE_AFTER,
+                 assume_exclusive: bool = True) -> None:
         executor = get_executor(backend, n_jobs)  # validates both
+        if max_retries < 0:
+            raise ServiceError(
+                f"max_retries must be >= 0, got {max_retries}")
+        if job_timeout is not None and not job_timeout > 0:
+            raise ServiceError(
+                f"job_timeout must be positive, got {job_timeout!r}")
+        if job_ttl is not None and not job_ttl > 0:
+            raise ServiceError(
+                f"job_ttl must be positive, got {job_ttl!r}")
         self.registry = registry
         self.store = store
         self.n_jobs = executor.n_jobs
         self.backend = executor.backend
+        self.max_retries = int(max_retries)
+        self.job_timeout = job_timeout
+        self.job_ttl = job_ttl
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.stale_after = float(stale_after)
+        self._journal = journal
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._counter = 0
         self._executed = 0
         self._cache_hits = 0
+        self._retried = 0
+        self._timed_out = 0
+        self._expired = 0
+        self._journal_errors = 0
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._workers: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._reaper: Optional[threading.Thread] = None
+        if journal is not None:
+            self._recover(assume_exclusive=assume_exclusive)
         for index in range(max(0, int(workers))):
             thread = threading.Thread(target=self._worker_loop,
                                       name=f"repro-job-worker-{index}",
                                       daemon=True)
             thread.start()
             self._workers.append(thread)
+        if self._workers and (journal is not None
+                              or job_timeout is not None
+                              or job_ttl is not None):
+            self._reaper = threading.Thread(
+                target=self._reaper_loop, name="repro-job-reaper",
+                daemon=True)
+            self._reaper.start()
 
     def __reduce__(self):
         # Process-local by design: live worker threads, a queue and a
@@ -230,8 +316,18 @@ class JobManager:
     # submission & validation
     # ------------------------------------------------------------------
 
-    def submit(self, kind: str, params: Dict[str, object]) -> Job:
-        """Validate and enqueue one job; returns it in state queued."""
+    def submit(self, kind: str, params: Dict[str, object],
+               timeout: Optional[float] = None) -> Job:
+        """Validate and enqueue one job; returns it in state queued.
+
+        ``timeout`` overrides the manager's default per-job deadline
+        for this job only. It is deliberately a *submission* argument,
+        not a job parameter: worker configuration never enters
+        ``params``, which key the artifact cache.
+        """
+        if timeout is not None and not timeout > 0:
+            raise ServiceError(
+                f"job timeout must be positive, got {timeout!r}")
         if kind not in JOB_KINDS:
             message = (f"unknown job kind {kind!r}; "
                        f"valid kinds: {sorted(JOB_KINDS)}")
@@ -250,9 +346,14 @@ class JobManager:
             self._counter += 1
             job = Job(job_id=f"job-{self._counter:08d}", kind=kind,
                       dataset=dataset_name, params=normalized,
-                      created_at=time.time())
+                      created_at=time.time(),
+                      timeout=(timeout if timeout is not None
+                               else self.job_timeout))
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)
+        # Journal *before* enqueueing: a crash in between replays the
+        # job back into the queue instead of losing it.
+        self._journal_record(job, "submitted")
         self._queue.put(job.job_id)
         return job
 
@@ -402,7 +503,8 @@ class JobManager:
                     f"can be cancelled")
             job.state = "cancelled"
             job.finished_at = time.time()
-            return job
+        self._journal_record(job, "cancelled")
+        return job
 
     def stats(self) -> Dict[str, object]:
         """Execution counters plus a per-state census."""
@@ -415,7 +517,24 @@ class JobManager:
                     "jobs": dict(states),
                     "workers": len(self._workers),
                     "n_jobs": self.n_jobs,
-                    "backend": self.backend}
+                    "backend": self.backend,
+                    "retried": self._retried,
+                    "timed_out": self._timed_out,
+                    "expired": self._expired,
+                    "max_retries": self.max_retries,
+                    "job_timeout": self.job_timeout,
+                    "job_ttl": self.job_ttl,
+                    "journal": (None if self._journal is None
+                                else self._journal.path),
+                    "journal_errors": self._journal_errors}
+
+    def journal_stats(self) -> Optional[Dict[str, object]]:
+        """The journal's health component, or ``None`` without one."""
+        if self._journal is None:
+            return None
+        stats = self._journal.stats()
+        stats["errors"] = self._journal_errors
+        return stats
 
     # ------------------------------------------------------------------
     # execution
@@ -457,19 +576,222 @@ class JobManager:
             time.sleep(0.02)
 
     def close(self) -> None:
-        """Stop the worker threads (queued jobs stay queued)."""
+        """Drain gracefully: stop workers after in-flight jobs finish.
+
+        The ``None`` sentinels queue *behind* any already-queued job
+        ids, so every job submitted before ``close`` still runs;
+        workers exit when they reach a sentinel. The reaper stops
+        last, after a final sweep, so shutdown-time timeouts are
+        still journaled. Queued jobs that no worker reached stay
+        ``queued`` in the journal and are re-enqueued on next boot.
+        """
+        self._stop.set()
         for _ in self._workers:
             self._queue.put(None)
         for thread in self._workers:
-            thread.join(timeout=5.0)
+            thread.join(timeout=30.0)
         self._workers = []
+        if self._reaper is not None:
+            self._reaper.join(timeout=5.0)
+            self._reaper = None
+        self.reap()
+
+    # ------------------------------------------------------------------
+    # journal plumbing & crash recovery
+    # ------------------------------------------------------------------
+
+    def _journal_record(self, job: Job, event: str, detail: str = "",
+                        strict: bool = True) -> None:
+        """Persist one transition. ``strict`` propagates journal
+        failures (submit-time: the client must know durability
+        failed); non-strict callers — already inside a failure path —
+        count the error and move on so one sick journal cannot wedge
+        a worker thread."""
+        if self._journal is None:
+            return
+        with self._lock:
+            snapshot = job.snapshot()
+        try:
+            self._journal.record(snapshot, event, detail)
+        except sqlite3.OperationalError:
+            with self._lock:
+                self._journal_errors += 1
+            if strict:
+                raise
+
+    def _recover(self, assume_exclusive: bool) -> None:
+        """Replay the journal into memory (constructor-time only).
+
+        Finished jobs come back servable; ``queued`` jobs re-enter
+        the queue; ``running`` rows are orphans of a dead process —
+        detected by heartbeat staleness (or assumed, under an
+        exclusive journal) — and are re-enqueued until their attempt
+        budget (``max_retries`` + the first attempt) is spent, then
+        failed loudly.
+        """
+        assert self._journal is not None
+        now = time.time()
+        budget = self.max_retries + 1
+        for record in self._journal.load():
+            job = Job(
+                job_id=str(record["job_id"]),
+                kind=str(record["kind"]),
+                dataset=record["dataset"],
+                params=dict(record["params"]),
+                state=str(record["state"]),
+                cached=bool(record["cached"]),
+                error=record["error"],
+                payload=record["payload"],
+                created_at=float(record["created_at"]),
+                started_at=record["started_at"],
+                finished_at=record["finished_at"],
+                attempts=int(record["attempts"] or 0),
+                timeout=record["timeout"],
+                heartbeat_at=record["heartbeat_at"],
+                traceback=record["traceback"])
+            with self._lock:
+                self._jobs[job.job_id] = job
+                self._order.append(job.job_id)
+                tail = job.job_id.rsplit("-", 1)[-1]
+                if tail.isdigit():
+                    self._counter = max(self._counter, int(tail))
+            if job.state == "queued":
+                self._journal_record(job, "recovered",
+                                     detail="re-enqueued at boot",
+                                     strict=False)
+                self._queue.put(job.job_id)
+            elif job.state == "running":
+                beat = job.heartbeat_at or job.started_at or 0.0
+                stale = (now - float(beat)) >= self.stale_after
+                if not (assume_exclusive or stale):
+                    # Another live process owns this job; leave it.
+                    continue
+                if job.attempts < budget:
+                    with self._lock:
+                        job.state = "queued"
+                        job.started_at = None
+                        job.heartbeat_at = None
+                    self._journal_record(
+                        job, "recovered",
+                        detail=f"orphaned running job re-enqueued "
+                               f"(attempt {job.attempts} of {budget})",
+                        strict=False)
+                    self._queue.put(job.job_id)
+                else:
+                    with self._lock:
+                        job.state = "failed"
+                        job.error = (
+                            f"orphaned: the owning process died "
+                            f"mid-run and the job already used its "
+                            f"{budget} attempts")
+                        job.finished_at = now
+                    self._journal_record(job, "failed",
+                                         detail="orphan budget spent",
+                                         strict=False)
+
+    # ------------------------------------------------------------------
+    # time-based transitions (heartbeats, timeouts, TTL)
+    # ------------------------------------------------------------------
+
+    def reap(self) -> Dict[str, int]:
+        """One sweep of the time-based lifecycle rules.
+
+        Heartbeats every running job (proving to a future replay that
+        this process was alive), fails running jobs past their
+        deadline (cooperatively: the computing thread keeps going but
+        its result will be discarded), and prunes finished jobs older
+        than the TTL from memory. Called periodically by the reaper
+        thread, or explicitly in ``workers=0`` deployments/tests.
+        """
+        now = time.time()
+        timed_out: List[Job] = []
+        expired: List[Job] = []
+        running: List[str] = []
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state == "running":
+                    deadline = job.timeout
+                    if (deadline is not None
+                            and job.started_at is not None
+                            and now - job.started_at >= deadline):
+                        job.state = "failed"
+                        job.error = (f"timed out after {deadline:g}s "
+                                     f"(cooperative enforcement; the "
+                                     f"worker's result will be "
+                                     f"discarded)")
+                        job.finished_at = now
+                        self._timed_out += 1
+                        timed_out.append(job)
+                    else:
+                        job.heartbeat_at = now
+                        running.append(job.job_id)
+                elif (self.job_ttl is not None
+                        and job.state in ("done", "failed",
+                                          "cancelled")
+                        and job.finished_at is not None
+                        and now - job.finished_at >= self.job_ttl):
+                    expired.append(job)
+            for job in expired:
+                del self._jobs[job.job_id]
+                self._order.remove(job.job_id)
+                self._expired += 1
+        for job in timed_out:
+            self._journal_record(job, "timeout", strict=False)
+        for job in expired:
+            self._journal_record(job, "expired",
+                                 detail="pruned from memory by TTL",
+                                 strict=False)
+        if running and self._journal is not None:
+            try:
+                self._journal.heartbeat(running, at=now)
+            except sqlite3.OperationalError:
+                with self._lock:
+                    self._journal_errors += 1
+        return {"timed_out": len(timed_out), "expired": len(expired),
+                "heartbeats": len(running)}
+
+    def _reaper_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                self.reap()
+            except Exception:
+                # The reaper must survive anything — a dead reaper
+                # silently disables timeouts and heartbeats. The
+                # failure is recorded, not swallowed.
+                with self._lock:
+                    self._journal_errors += 1
+
+    # ------------------------------------------------------------------
+    # worker execution
+    # ------------------------------------------------------------------
 
     def _worker_loop(self) -> None:
         while True:
             job_id = self._queue.get()
             if job_id is None:
                 return
-            self._process(job_id)
+            try:
+                self._process(job_id)
+            except Exception:
+                # Loop-boundary catch-all: nothing a single job does —
+                # including a journal that stopped accepting writes —
+                # may take the worker thread down with it. The
+                # traceback lands on the job record; the worker moves
+                # to the next job.
+                details = traceback_module.format_exc()
+                with self._lock:
+                    job = self._jobs.get(job_id)
+                    if job is not None and job.state in ("queued",
+                                                         "running"):
+                        job.state = "failed"
+                        job.error = ("internal worker error "
+                                     "(see traceback)")
+                        job.traceback = details
+                        job.finished_at = time.time()
+                if job is not None:
+                    self._journal_record(job, "failed",
+                                         detail="worker-loop catch-all",
+                                         strict=False)
 
     def _process(self, job_id: str) -> bool:
         with self._lock:
@@ -479,23 +801,94 @@ class JobManager:
                 return False
             job.state = "running"
             job.started_at = time.time()
+            job.heartbeat_at = job.started_at
+            job.attempts += 1
+        self._journal_record(job, "started",
+                             detail=f"attempt {job.attempts}",
+                             strict=False)
         try:
             payload, cached = self._execute(job)
         except ReproError as exc:
-            with self._lock:
-                job.state = "failed"
-                job.error = str(exc)
-                job.finished_at = time.time()
-            return True
+            return self._finish_failed(job, exc, str(exc),
+                                       traceback_module.format_exc())
+        except sqlite3.OperationalError as exc:
+            # Artifact-store writes exhausted their busy retry — a
+            # classified (and, when it is lock contention, transient)
+            # failure, eligible for re-enqueue.
+            return self._finish_failed(job, exc,
+                                       f"storage error: {exc}",
+                                       traceback_module.format_exc())
+        except Exception as exc:
+            # Defensive catch-all (the satellite contract): a bug in a
+            # correction plugin or a numpy edge must fail the *job*,
+            # with its traceback recorded, not kill the worker.
+            return self._finish_failed(
+                job, exc, f"unexpected {type(exc).__name__}: {exc}",
+                traceback_module.format_exc())
+        discarded = False
         with self._lock:
-            job.state = "done"
-            job.payload = payload
-            job.cached = cached
-            job.finished_at = time.time()
-            if cached:
-                self._cache_hits += 1
+            if job.state != "running":
+                # Timed out or cancelled while computing: the
+                # authoritative state is already final — drop the
+                # late result on the floor.
+                discarded = True
             else:
-                self._executed += 1
+                job.state = "done"
+                job.payload = payload
+                job.cached = cached
+                job.finished_at = time.time()
+                if cached:
+                    self._cache_hits += 1
+                else:
+                    self._executed += 1
+        if discarded:
+            self._journal_record(job, "discarded",
+                                 detail="result arrived after the "
+                                        "job left the running state",
+                                 strict=False)
+        else:
+            self._journal_record(job, "done", strict=False)
+        return True
+
+    def _finish_failed(self, job: Job, exc: BaseException, error: str,
+                       details: str) -> bool:
+        """Fail or re-enqueue ``job`` after an execution error.
+
+        Transient failures (:func:`repro.parallel.is_transient` — a
+        killed worker that exhausted the executor's own retries, lock
+        contention, a deadline) are re-enqueued while the job has
+        attempt budget left; everything else fails now. Either way
+        the last traceback stays on the record.
+        """
+        transient = is_transient(exc)
+        with self._lock:
+            if job.state != "running":
+                # Already timed out/cancelled: keep the earlier state.
+                return True
+            if transient and job.attempts <= self.max_retries:
+                job.state = "queued"
+                job.started_at = None
+                job.heartbeat_at = None
+                job.traceback = details
+                requeue = True
+            else:
+                job.state = "failed"
+                job.error = error
+                job.traceback = details
+                job.finished_at = time.time()
+                requeue = False
+            if requeue:
+                self._retried += 1
+        if requeue:
+            self._journal_record(
+                job, "retried",
+                detail=f"transient failure, attempt {job.attempts} "
+                       f"of {self.max_retries + 1}: {error}",
+                strict=False)
+            self._queue.put(job.job_id)
+        else:
+            self._journal_record(job, "failed", detail=error,
+                                 strict=False)
         return True
 
     def _execute(self, job: Job) -> Tuple[Dict[str, object], bool]:

@@ -1,0 +1,278 @@
+"""Crash-durable job journal: every job state transition on disk.
+
+The :class:`~repro.service.jobs.JobManager` holds its queue in memory
+for speed, but memory dies with the process. The journal is the
+durable shadow: one WAL-mode SQLite database (same conventions as the
+:class:`~repro.service.store.ArtifactStore` — ``busy_timeout``,
+bounded busy retry, lock-serialized connection) holding
+
+* a ``jobs`` snapshot table — the latest full record of every job,
+  upserted on each transition, and
+* a ``job_events`` append-only log — one row per transition
+  (``submitted``, ``started``, ``heartbeat``, ``done``, ``failed``,
+  ``retried``, ``recovered``, ``expired`` …), which is what makes a
+  post-crash forensic timeline possible.
+
+On boot the manager replays the snapshot table
+(:meth:`JobJournal.load`): finished jobs come back servable (their
+payloads ride along, so a client can still fetch a result computed
+before the crash), ``queued`` jobs re-enter the queue, and ``running``
+jobs — necessarily orphans, their worker thread died with the old
+process — are retried or failed per the manager's retry policy,
+depending on how many attempts the journal says they already burned.
+
+Heartbeats make orphan detection work *across* processes too: a
+running job's ``heartbeat_at`` is refreshed by the owning manager's
+ticker; a replaying manager treats a ``running`` row as orphaned only
+once the heartbeat is stale, so two service processes pointed at the
+same journal do not steal each other's live work.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..jsonio import canonical_dumps, json_safe
+from ..testing import faults
+
+try:
+    import json
+except ImportError:  # pragma: no cover - stdlib
+    raise
+
+from .store import run_with_busy_retry
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "JobJournal"]
+
+JOURNAL_SCHEMA_VERSION = 1
+
+#: A ``running`` row whose heartbeat is older than this is an orphan:
+#: its owning process is gone (or wedged past usefulness). Managers
+#: heartbeat every few seconds, so 30s of silence is conclusive.
+DEFAULT_STALE_AFTER = 30.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS journal_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    dataset TEXT,
+    params_json TEXT NOT NULL,
+    state TEXT NOT NULL,
+    cached INTEGER NOT NULL DEFAULT 0,
+    error TEXT,
+    traceback TEXT,
+    payload_json TEXT,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    timeout REAL,
+    created_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL,
+    heartbeat_at REAL
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs(state);
+CREATE TABLE IF NOT EXISTS job_events (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id TEXT NOT NULL,
+    event TEXT NOT NULL,
+    state TEXT NOT NULL,
+    detail TEXT NOT NULL DEFAULT '',
+    at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_job_events_job ON job_events(job_id);
+"""
+
+
+class JobJournal:
+    """WAL-mode SQLite journal of job state (see module docstring).
+
+    Parameters
+    ----------
+    path:
+        Database file, or ``":memory:"`` for a process-lifetime
+        journal (tests; obviously not crash-durable).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.path,
+                                     check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=5000")
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO journal_meta (key, value) "
+                "VALUES (?, ?)",
+                ("journal_schema_version", str(JOURNAL_SCHEMA_VERSION)))
+            self._conn.commit()
+
+    def __reduce__(self):
+        # Same contract as ArtifactStore: an open connection and its
+        # lock are process-local; a worker process must open its own
+        # journal on the same path.
+        raise TypeError(
+            "JobJournal is process-local and cannot be pickled; "
+            "open a new JobJournal(path) in the worker instead")
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def record(self, snapshot: Dict[str, object], event: str,
+               detail: str = "") -> None:
+        """Upsert a job snapshot and append the transition event.
+
+        ``snapshot`` is :meth:`repro.service.jobs.Job.snapshot` — the
+        full current record. One transaction covers both writes, so a
+        crash never separates the snapshot from its event. Wrapped in
+        the store's bounded ``SQLITE_BUSY`` retry.
+        """
+        payload = snapshot.get("payload")
+        payload_text = None if payload is None else canonical_dumps(
+            json_safe(payload, strict=True))
+        params_text = canonical_dumps(
+            json_safe(dict(snapshot["params"]), strict=True))
+        now = time.time()
+
+        def write() -> None:
+            faults.sleep_if("sqlite-slow-write")
+            with self._lock:
+                try:
+                    self._write_locked(snapshot, params_text,
+                                       payload_text, event, detail,
+                                       now)
+                except sqlite3.OperationalError:
+                    # A retry must re-run the whole transaction.
+                    try:
+                        self._conn.rollback()
+                    except sqlite3.Error:  # pragma: no cover
+                        pass
+                    raise
+
+        run_with_busy_retry(write, what=f"journal {event}")
+
+    def _write_locked(self, snapshot: Dict[str, object],
+                      params_text: str, payload_text: Optional[str],
+                      event: str, detail: str, now: float) -> None:
+        self._conn.execute(
+            "INSERT INTO jobs (job_id, kind, dataset, "
+            "params_json, state, cached, error, traceback, "
+            "payload_json, attempts, timeout, created_at, "
+            "started_at, finished_at, heartbeat_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT(job_id) DO UPDATE SET "
+            "state = excluded.state, "
+            "cached = excluded.cached, "
+            "error = excluded.error, "
+            "traceback = excluded.traceback, "
+            "payload_json = excluded.payload_json, "
+            "attempts = excluded.attempts, "
+            "timeout = excluded.timeout, "
+            "started_at = excluded.started_at, "
+            "finished_at = excluded.finished_at, "
+            "heartbeat_at = excluded.heartbeat_at",
+            (snapshot["job_id"], snapshot["kind"],
+             snapshot["dataset"], params_text,
+             snapshot["state"],
+             1 if snapshot.get("cached") else 0,
+             snapshot.get("error"), snapshot.get("traceback"),
+             payload_text, int(snapshot.get("attempts") or 0),
+             snapshot.get("timeout"), snapshot["created_at"],
+             snapshot.get("started_at"),
+             snapshot.get("finished_at"),
+             snapshot.get("heartbeat_at")))
+        self._conn.execute(
+            "INSERT INTO job_events (job_id, event, state, "
+            "detail, at) VALUES (?, ?, ?, ?, ?)",
+            (snapshot["job_id"], event, snapshot["state"],
+             detail, now))
+        self._conn.commit()
+
+    def heartbeat(self, job_ids: List[str],
+                  at: Optional[float] = None) -> None:
+        """Refresh ``heartbeat_at`` for live running jobs.
+
+        Deliberately *not* an event per beat — heartbeats are a
+        liveness signal, not history, and an append per tick would
+        grow the log without bound.
+        """
+        if not job_ids:
+            return
+        moment = time.time() if at is None else at
+
+        def write() -> None:
+            with self._lock:
+                try:
+                    self._conn.executemany(
+                        "UPDATE jobs SET heartbeat_at = ? "
+                        "WHERE job_id = ? AND state = 'running'",
+                        [(moment, job_id) for job_id in job_ids])
+                    self._conn.commit()
+                except sqlite3.OperationalError:
+                    try:
+                        self._conn.rollback()
+                    except sqlite3.Error:  # pragma: no cover
+                        pass
+                    raise
+
+        run_with_busy_retry(write, what="journal heartbeat")
+
+    # ------------------------------------------------------------------
+    # read path (boot replay, forensics, health)
+    # ------------------------------------------------------------------
+
+    def load(self) -> List[Dict[str, object]]:
+        """Every job snapshot, in job-id (= submission) order."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs ORDER BY job_id").fetchall()
+        snapshots = []
+        for row in rows:
+            record = dict(row)
+            record["params"] = json.loads(record.pop("params_json"))
+            payload_text = record.pop("payload_json")
+            record["payload"] = (None if payload_text is None
+                                 else json.loads(payload_text))
+            record["cached"] = bool(record["cached"])
+            snapshots.append(record)
+        return snapshots
+
+    def events(self, job_id: str) -> List[Dict[str, object]]:
+        """The append-only transition log of one job, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT seq, event, state, detail, at FROM job_events "
+                "WHERE job_id = ? ORDER BY seq", (job_id,)).fetchall()
+        return [dict(row) for row in rows]
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready health snapshot (the ``/health`` journal
+        component)."""
+        with self._lock:
+            states = dict(self._conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state",
+            ).fetchall())
+            events = self._conn.execute(
+                "SELECT COUNT(*) FROM job_events").fetchone()[0]
+            journal_mode = self._conn.execute(
+                "PRAGMA journal_mode").fetchone()[0]
+        return {"path": self.path,
+                "journal_mode": journal_mode,
+                "journal_schema_version": JOURNAL_SCHEMA_VERSION,
+                "jobs": {str(state): int(count)
+                         for state, count in sorted(states.items())},
+                "events": int(events)}

@@ -7,10 +7,20 @@ falls back to a stdlib ``ThreadingHTTPServer`` that calls the same
 bare container with no third-party packages still serves the full API
 with identical routes and payload bytes, just without uvicorn's
 connection management.
+
+Shutdown is graceful on ``SIGTERM`` as well as ``SIGINT``: the
+listener stops accepting, in-flight jobs drain (the
+:meth:`~repro.service.jobs.JobManager.close` contract), the job
+journal records where everything stood, and the process exits 0 — so
+an orchestrator's routine ``SIGTERM`` never loses a job. Only a hard
+kill (``SIGKILL``) skips the drain, and then the journal replay at
+next boot picks up the pieces (see ``docs/resilience.md``).
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import urlsplit
@@ -75,6 +85,9 @@ def serve(config: Optional[ServiceConfig] = None,
     except ImportError:
         uvicorn = None
     if uvicorn is not None:
+        # uvicorn installs its own SIGTERM/SIGINT handling; the
+        # lifespan shutdown event calls core.close(), which drains
+        # the job workers before the process exits.
         print(f"serving repro ({app.framework} app) on "
               f"http://{host}:{port} via uvicorn", file=out)
         uvicorn.run(app, host=host, port=port, log_level="warning")
@@ -83,11 +96,26 @@ def serve(config: Optional[ServiceConfig] = None,
     print(f"serving repro on http://{host}:{port} via the stdlib "
           f"threaded server (install uvicorn for production use)",
           file=out)
+
+    def _drain(signum, frame) -> None:
+        # Runs on the main thread; shutdown() must come from another
+        # thread or serve_forever deadlocks waiting on itself.
+        threading.Thread(target=server.shutdown,
+                         name="repro-serve-drain",
+                         daemon=True).start()
+
+    installed = False
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _drain)
+        installed = True
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if installed:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
         server.server_close()
         core.close()
+    print("repro service drained cleanly", file=out)
     return 0

@@ -34,13 +34,16 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..errors import ServiceError
 from ..jsonio import canonical_dumps, json_safe
+from ..parallel.resilience import RetryPolicy, is_transient
+from ..testing import faults
 
 try:  # json module is stdlib; decouple the import for monkeypatching
     import json
 except ImportError:  # pragma: no cover - stdlib
     raise
 
-__all__ = ["ArtifactStore", "AsyncArtifactStore", "CachedArtifact"]
+__all__ = ["ArtifactStore", "AsyncArtifactStore", "CachedArtifact",
+           "run_with_busy_retry"]
 
 STORE_SCHEMA_VERSION = 1
 
@@ -104,6 +107,46 @@ _ORDERINGS = {
 _RULE_COLUMNS = ("rule", "class", "length", "coverage", "support",
                  "confidence", "p_value", "q_value", "lift")
 
+#: Bounded ``SQLITE_BUSY`` retry on the deterministic capped schedule
+#: 10/20/40/80 ms — a second line of defence on top of SQLite's own
+#: ``busy_timeout`` (which blocks *inside* one statement; this retries
+#: the whole write when the timeout still expired).
+_BUSY_RETRY = RetryPolicy(max_attempts=5, base_delay=0.01,
+                          max_delay=0.08)
+
+
+def run_with_busy_retry(operation, what: str = "sqlite write",
+                        policy: RetryPolicy = _BUSY_RETRY):
+    """Run a write closure, retrying bounded times on ``SQLITE_BUSY``.
+
+    Lock contention (``database is locked`` / ``... is busy``) is the
+    one :class:`sqlite3.OperationalError` that retrying fixes: another
+    process holds the WAL write lock and will release it. Anything
+    else — corrupt schema, missing table, disk full — re-raises
+    unchanged on the first attempt, and even contention re-raises
+    once the schedule is exhausted, so a genuinely stuck database
+    fails loudly instead of hanging.
+
+    The ``sqlite-busy`` chaos point fires *inside* the loop: an armed
+    plan with a fire cap exercises the retry path and then recovers;
+    an uncapped plan proves exhaustion stays a classified, transient
+    error (see ``tests/chaos``).
+    """
+    last_error: Optional[sqlite3.OperationalError] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            if faults.should_fire("sqlite-busy"):
+                raise sqlite3.OperationalError(
+                    f"database is locked (injected sqlite-busy fault "
+                    f"during {what})")
+            return operation()
+        except sqlite3.OperationalError as exc:
+            if not is_transient(exc) or attempt >= policy.max_attempts:
+                raise
+            last_error = exc
+            time.sleep(policy.delay(attempt))
+    raise last_error  # pragma: no cover - loop always returns/raises
+
 
 @dataclass
 class CachedArtifact:
@@ -146,6 +189,10 @@ class ArtifactStore:
         with self._lock:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
+            # Block up to 5s inside SQLite on a contended write lock
+            # before surfacing SQLITE_BUSY (which the bounded retry in
+            # run_with_busy_retry then handles).
+            self._conn.execute("PRAGMA busy_timeout=5000")
             self._conn.executescript(_SCHEMA)
             self._conn.execute(
                 "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
@@ -214,31 +261,52 @@ class ArtifactStore:
                             policy, params)
         payload_text = canonical_dumps(json_safe(dict(payload),
                                                  strict=True))
-        with self._lock:
-            cursor = self._conn.execute(
-                "INSERT OR IGNORE INTO artifacts (key, "
-                "dataset_fingerprint, miner, correction, policy, "
-                "params_json, schema_version, created_at, payload_json)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (key, dataset_fingerprint, miner, correction, policy,
-                 self.canonical_params(params), STORE_SCHEMA_VERSION,
-                 time.time(), payload_text))
-            if cursor.rowcount:
-                for index, rule in enumerate(rules):
-                    self._conn.execute(
-                        "INSERT INTO artifact_rules (artifact_key, "
-                        "rule_index, rule, class, length, coverage, "
-                        "support, confidence, p_value, q_value, lift) "
-                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                        (key, index) + tuple(rule.get(column)
-                                             for column in _RULE_COLUMNS))
-                    for item in rule.get("items", ()):
-                        self._conn.execute(
-                            "INSERT INTO rule_items (artifact_key, "
-                            "rule_index, item) VALUES (?, ?, ?)",
-                            (key, index, str(item)))
-            self._conn.commit()
-        return key
+
+        def write() -> str:
+            faults.sleep_if("sqlite-slow-write")
+            with self._lock:
+                try:
+                    cursor = self._conn.execute(
+                        "INSERT OR IGNORE INTO artifacts (key, "
+                        "dataset_fingerprint, miner, correction, "
+                        "policy, params_json, schema_version, "
+                        "created_at, payload_json)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        (key, dataset_fingerprint, miner, correction,
+                         policy, self.canonical_params(params),
+                         STORE_SCHEMA_VERSION, time.time(),
+                         payload_text))
+                    if cursor.rowcount:
+                        for index, rule in enumerate(rules):
+                            self._conn.execute(
+                                "INSERT INTO artifact_rules "
+                                "(artifact_key, rule_index, rule, "
+                                "class, length, coverage, support, "
+                                "confidence, p_value, q_value, lift) "
+                                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, "
+                                "?, ?)",
+                                (key, index)
+                                + tuple(rule.get(column)
+                                        for column in _RULE_COLUMNS))
+                            for item in rule.get("items", ()):
+                                self._conn.execute(
+                                    "INSERT INTO rule_items "
+                                    "(artifact_key, rule_index, item) "
+                                    "VALUES (?, ?, ?)",
+                                    (key, index, str(item)))
+                    self._conn.commit()
+                except sqlite3.OperationalError:
+                    # Leave no open transaction behind: a retry must
+                    # re-run the whole write (INSERT OR IGNORE keeps
+                    # it idempotent), not resume half of one.
+                    try:
+                        self._conn.rollback()
+                    except sqlite3.Error:  # pragma: no cover
+                        pass
+                    raise
+            return key
+
+        return run_with_busy_retry(write, what="artifact put")
 
     # ------------------------------------------------------------------
     # read path

@@ -1,0 +1,33 @@
+"""Test-support machinery shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection harness behind the
+``tests/chaos`` suite and the CI chaos job: production modules embed
+named injection points (``worker-kill``, ``sqlite-busy``, …) that are
+inert until armed via the ``REPRO_FAULTS`` environment variable or
+:func:`~repro.testing.faults.arm`. It lives inside the package —
+not under ``tests/`` — because the injection points are compiled into
+the production call sites and forked worker processes must inherit
+the armed state.
+"""
+
+from .faults import (
+    FAULT_POINTS,
+    FaultSpec,
+    arm,
+    disarm,
+    fault_stats,
+    plan_description,
+    should_fire,
+    suspended,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultSpec",
+    "arm",
+    "disarm",
+    "fault_stats",
+    "plan_description",
+    "should_fire",
+    "suspended",
+]

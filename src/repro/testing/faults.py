@@ -1,0 +1,278 @@
+"""Deterministic fault injection behind named production call sites.
+
+The resilience layer (:mod:`repro.parallel.resilience`, the job
+journal, the artifact store's busy retry) exists to survive failures
+that ordinary tests cannot produce: a SIGKILLed process worker, a
+``SQLITE_BUSY`` under concurrent puts, a hung executor, a broken C
+compiler. This module makes those failures *injectable* so the
+``tests/chaos`` suite can assert the recovery contract — every
+injected fault either recovers to byte-identical output or fails
+loudly with a classified error.
+
+Injection points are compiled into the production call sites by name:
+
+==========================  ==========================================
+point                       effect at the call site
+==========================  ==========================================
+``worker-kill``             a process-backend worker SIGKILLs itself
+                            before running its shard (the parent sees
+                            a broken pool)
+``sqlite-busy``             an artifact-store/journal write raises
+                            ``sqlite3.OperationalError: database is
+                            locked`` before touching the database
+``sqlite-slow-write``       an artifact-store/journal write sleeps
+                            briefly before executing (induces real
+                            cross-process lock contention)
+``native-compile-failure``  :func:`repro._native.load_suite` behaves
+                            as if the C compiler failed (numpy
+                            fallback engages)
+``executor-hang``           a process-backend worker sleeps past any
+                            reasonable deadline before running its
+                            shard
+==========================  ==========================================
+
+Arming uses the ``REPRO_FAULTS`` environment variable — parsed once
+at import, so forked worker processes inherit the plan — or
+:func:`arm` at runtime (tests)::
+
+    REPRO_FAULTS=worker-kill:0.2                # p=0.2, unlimited
+    REPRO_FAULTS=sqlite-busy:1.0:3              # at most 3 fires
+    REPRO_FAULTS=worker-kill:0.2,sqlite-busy:0.5:2
+
+When nothing is armed, :func:`should_fire` is one dict lookup against
+an empty mapping — no RNG, no syscalls, no locks — so shipping the
+injection points in production code is free.
+
+Firing is **deterministic**: the *k*-th check of point *p* fires iff
+``sha256(seed:p:k)``'s leading 64 bits, read as a fraction, fall
+below the armed probability. The check counter lives in a
+``multiprocessing.Value`` created at arm time, so forked process
+workers share one counter sequence instead of each replaying the
+parent's — a retried work unit draws a fresh index and the draw
+sequence cannot livelock a retry loop. The seed comes from
+``REPRO_FAULTS_SEED`` (default 0).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultSpec",
+    "arm",
+    "disarm",
+    "fault_stats",
+    "hang_seconds",
+    "parse_plan",
+    "plan_description",
+    "should_fire",
+    "sleep_if",
+    "suspended",
+]
+
+FAULT_POINTS = ("worker-kill", "sqlite-busy", "sqlite-slow-write",
+                "native-compile-failure", "executor-hang")
+
+_ENV = "REPRO_FAULTS"
+_SEED_ENV = "REPRO_FAULTS_SEED"
+_HANG_ENV = "REPRO_FAULTS_HANG"
+
+#: Default sleep of the ``executor-hang`` fault; long enough that any
+#: sane per-unit deadline expires first, short enough that a leaked
+#: worker drains in bounded time if nothing kills it.
+_DEFAULT_HANG_SECONDS = 30.0
+
+#: Default sleep of ``sqlite-slow-write``.
+_SLOW_WRITE_SECONDS = 0.05
+
+
+class FaultSpec:
+    """One armed injection point and its shared firing state.
+
+    ``checks``/``fires`` are process-shared counters (``fork`` start
+    method), so a parent test observes faults fired inside its pool
+    workers, and worker processes draw disjoint check indices.
+    """
+
+    def __init__(self, point: str, probability: float,
+                 max_fires: Optional[int], seed: int) -> None:
+        if point not in FAULT_POINTS:
+            raise ReproError(
+                f"unknown fault point {point!r}; valid points: "
+                f"{', '.join(FAULT_POINTS)}")
+        if not 0.0 <= probability <= 1.0:
+            raise ReproError(
+                f"fault probability must be in [0, 1], got "
+                f"{probability!r} for {point!r}")
+        if max_fires is not None and max_fires < 0:
+            raise ReproError(
+                f"fault count must be >= 0, got {max_fires!r} "
+                f"for {point!r}")
+        self.point = point
+        self.probability = probability
+        self.max_fires = max_fires
+        self.seed = seed
+        self._checks = multiprocessing.Value("q", 0)
+        self._fires = multiprocessing.Value("q", 0)
+
+    def describe(self) -> str:
+        tail = "" if self.max_fires is None else f":{self.max_fires}"
+        return f"{self.point}:{self.probability:g}{tail}"
+
+    # -- firing --------------------------------------------------------
+
+    def should_fire(self) -> bool:
+        """Deterministically decide (and record) one check."""
+        with self._checks.get_lock():
+            index = self._checks.value
+            self._checks.value = index + 1
+        if not self.probability:
+            return False
+        if _fraction(self.seed, self.point, index) >= self.probability:
+            return False
+        with self._fires.get_lock():
+            if (self.max_fires is not None
+                    and self._fires.value >= self.max_fires):
+                return False
+            self._fires.value += 1
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        return {"checks": int(self._checks.value),
+                "fires": int(self._fires.value)}
+
+
+def _fraction(seed: int, point: str, index: int) -> float:
+    digest = hashlib.sha256(
+        f"{seed}:{point}:{index}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+def parse_plan(text: str,
+               seed: Optional[int] = None) -> Dict[str, FaultSpec]:
+    """Parse a ``point:prob[:count][,point:prob[:count]...]`` plan."""
+    if seed is None:
+        seed = int(os.environ.get(_SEED_ENV, "0") or "0")
+    plan: Dict[str, FaultSpec] = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        fields = chunk.split(":")
+        if len(fields) not in (2, 3):
+            raise ReproError(
+                f"bad {_ENV} entry {chunk!r}; expected "
+                f"point:probability[:count]")
+        point = fields[0].strip()
+        try:
+            probability = float(fields[1])
+            max_fires = int(fields[2]) if len(fields) == 3 else None
+        except ValueError as exc:
+            raise ReproError(
+                f"bad {_ENV} entry {chunk!r}: {exc}") from exc
+        if point in plan:
+            raise ReproError(
+                f"fault point {point!r} armed twice in {text!r}")
+        plan[point] = FaultSpec(point, probability, max_fires, seed)
+    return plan
+
+
+# The armed plan. Empty dict == disarmed; the hot path is one
+# truthiness check + dict lookup. Mutated only under _LOCK (arm /
+# disarm / suspended); forked workers inherit the parent's plan and
+# share its counters.
+_LOCK = threading.Lock()
+_PLAN: Dict[str, FaultSpec] = {}
+
+
+def arm(text: str, seed: Optional[int] = None) -> Dict[str, FaultSpec]:
+    """Install a fault plan (replacing any active one); returns it."""
+    plan = parse_plan(text, seed=seed)
+    with _LOCK:
+        _PLAN.clear()
+        _PLAN.update(plan)
+    return dict(plan)
+
+
+def disarm() -> None:
+    """Remove every armed fault."""
+    with _LOCK:
+        _PLAN.clear()
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Temporarily disarm all faults (chaos tests compute their
+    fault-free baselines under this)."""
+    with _LOCK:
+        saved = dict(_PLAN)
+        _PLAN.clear()
+    try:
+        yield
+    finally:
+        with _LOCK:
+            _PLAN.clear()
+            _PLAN.update(saved)
+
+
+def should_fire(point: str) -> bool:
+    """Whether the armed plan fires ``point`` at this check.
+
+    The production-facing hot path: when nothing is armed this is one
+    dict lookup returning ``False``.
+    """
+    if not _PLAN:
+        return False
+    spec = _PLAN.get(point)
+    if spec is None:
+        return False
+    return spec.should_fire()
+
+
+def sleep_if(point: str, duration: float = _SLOW_WRITE_SECONDS) -> bool:
+    """Sleep ``duration`` seconds when ``point`` fires."""
+    if should_fire(point):
+        time.sleep(duration)
+        return True
+    return False
+
+
+def hang_seconds() -> float:
+    """How long the ``executor-hang`` fault sleeps
+    (``REPRO_FAULTS_HANG``, default 30s)."""
+    raw = os.environ.get(_HANG_ENV, "").strip()
+    try:
+        return float(raw) if raw else _DEFAULT_HANG_SECONDS
+    except ValueError:
+        return _DEFAULT_HANG_SECONDS
+
+
+def plan_description() -> str:
+    """The armed plan as a ``REPRO_FAULTS`` string ('' if disarmed)."""
+    with _LOCK:
+        return ",".join(spec.describe()
+                        for _, spec in sorted(_PLAN.items()))
+
+
+def fault_stats() -> Dict[str, Dict[str, int]]:
+    """Check/fire counters per armed point (shared across workers)."""
+    with _LOCK:
+        return {point: spec.stats()
+                for point, spec in sorted(_PLAN.items())}
+
+
+# Arm from the environment at import time: forked process workers and
+# `repro serve` subprocesses inherit the plan without any plumbing.
+_env_plan = os.environ.get(_ENV, "").strip()
+if _env_plan:
+    arm(_env_plan)
+del _env_plan

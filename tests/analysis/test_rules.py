@@ -401,3 +401,90 @@ class TestUint64DtypePromotion:
                 return counts / n
             """)
         assert hits == []
+
+
+class TestSwallowedWorkerException:
+    RULE = "swallowed-worker-exception"
+
+    def test_tp_bare_except_without_reraise(self):
+        hits = _run(self.RULE, "repro/parallel/worker.py", """\
+            def loop(queue):
+                try:
+                    queue.get()
+                except:
+                    return None
+            """)
+        assert len(hits) == 1
+        assert "bare 'except:'" in hits[0].message
+
+    def test_tp_broad_except_pass(self):
+        hits = _run(self.RULE, "repro/service/worker.py", """\
+            def drain(jobs):
+                for job in jobs:
+                    try:
+                        job.run()
+                    except Exception:
+                        pass
+            """)
+        assert len(hits) == 1
+        assert "silently discards" in hits[0].message
+
+    def test_tp_base_exception_continue_in_tuple(self):
+        hits = _run(self.RULE, "repro/parallel/pool.py", """\
+            def reap(workers):
+                for worker in workers:
+                    try:
+                        worker.join()
+                    except (OSError, BaseException):
+                        continue
+            """)
+        assert len(hits) == 1
+
+    def test_tn_broad_except_that_records(self):
+        # The sanctioned worker-loop catch-all: the failure lands on
+        # the job record with its traceback.
+        hits = _run(self.RULE, "repro/service/jobs.py", """\
+            import traceback
+
+            def worker_loop(job):
+                try:
+                    job.run()
+                except Exception:
+                    job.traceback = traceback.format_exc()
+                    job.state = "failed"
+            """)
+        assert hits == []
+
+    def test_tn_bare_except_with_reraise(self):
+        hits = _run(self.RULE, "repro/parallel/executor.py", """\
+            def guarded(fn):
+                try:
+                    return fn()
+                except:
+                    cleanup()
+                    raise
+            """)
+        assert hits == []
+
+    def test_tn_narrow_type_swallow(self):
+        # Narrowed catches are the sanctioned fix for deliberate
+        # swallows (terminating already-dead workers).
+        hits = _run(self.RULE, "repro/parallel/executor.py", """\
+            def terminate(workers):
+                for worker in workers:
+                    try:
+                        worker.terminate()
+                    except (OSError, ValueError):
+                        continue
+            """)
+        assert hits == []
+
+    def test_tn_out_of_scope_module(self):
+        hits = _run(self.RULE, "repro/stats/fisher.py", """\
+            def probe():
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """)
+        assert hits == []

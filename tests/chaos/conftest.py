@@ -1,0 +1,76 @@
+"""Fixtures for the chaos suite.
+
+Every test in this directory asserts one contract: an injected fault
+either **recovers to byte-identical output** or **fails loudly with a
+classified error** — never a silent wrong answer, never a hang.
+
+Tests arm their own deterministic fault plans through
+:mod:`repro.testing.faults`, so the suite is self-contained and runs
+green inside tier-1 with no environment set. The CI chaos job
+additionally re-runs it under three ``REPRO_FAULTS`` profiles
+(worker-kill, sqlite-busy, native-compile-failure);
+``test_profile.py`` picks the armed profile up from the environment
+and drives a whole mine job under it.
+
+The autouse hygiene fixture suspends whatever plan the environment
+armed (each test re-arms exactly what it exercises) and resets the
+process-wide circuit breaker on both sides, so degradation state
+cannot leak between tests — or out into the rest of the test run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import global_breaker
+from repro.service.jobs import JobManager
+from repro.service.registry import DatasetRegistry
+from repro.service.store import ArtifactStore
+from repro.testing import faults
+
+from ..service.conftest import small_dataset
+
+#: A mine job whose correction actually fans permutations out through
+#: the executor — the processes backend is where worker-kill and
+#: executor-hang live.
+MINE_PARAMS = {
+    "dataset": "small",
+    "min_sup": 10,
+    "correction": "permutation-fdr",
+    "n_permutations": 20,
+}
+
+
+@pytest.fixture(autouse=True)
+def _fault_hygiene():
+    """Suspend any environment-armed plan and reset the breaker."""
+    global_breaker().reset()
+    with faults.suspended():
+        yield
+    global_breaker().reset()
+
+
+def make_manager(db_path: str = ":memory:", journal=None,
+                 **kwargs) -> JobManager:
+    """A workers=0 JobManager over a fresh registry + store."""
+    registry = DatasetRegistry()
+    registry.register("small", small_dataset())
+    store = ArtifactStore(db_path)
+    kwargs.setdefault("workers", 0)
+    return JobManager(registry, store, journal=journal, **kwargs)
+
+
+def run_mine(manager: JobManager, **overrides):
+    """Submit one mine job, drain the queue, return the Job."""
+    params = dict(MINE_PARAMS)
+    params.update(overrides)
+    job = manager.submit("mine", params)
+    manager.process_pending()
+    return job
+
+
+def env_profile(default: str) -> str:
+    """The CI-armed ``REPRO_FAULTS`` profile, or ``default``."""
+    return os.environ.get("REPRO_FAULTS", "").strip() or default

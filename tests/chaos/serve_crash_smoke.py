@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Kill -9 / restart / journal-recovery smoke of ``repro serve``.
+
+The CI chaos job's end-to-end durability check, stdlib-only:
+
+1. start ``repro serve`` with a file-backed store (journal derived),
+2. run one mine job to completion and keep its CSV bytes,
+3. submit a deliberately slow second job and SIGKILL the server
+   mid-run — no drain, no goodbye,
+4. restart on the same store: the finished job must still serve the
+   **byte-identical** CSV straight from the artifact cache, and the
+   killed job must be replayed from the journal and run to done,
+5. resubmit the first job's params: answered from cache
+   (``cached: true``) with the same bytes again.
+
+Exit code 0 on success; any violated expectation aborts with a
+diagnostic on stderr. Usage::
+
+    python tests/chaos/serve_crash_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+MINE_PARAMS = {"dataset": "small", "min_sup": 10,
+               "correction": "permutation-fdr", "n_permutations": 20}
+#: Sized so the job takes several seconds: the SIGKILL lands mid-run.
+SLOW_PARAMS = dict(MINE_PARAMS, n_permutations=400_000)
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(method, url, body=None, timeout=10):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(req, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+def get_json(url):
+    status, payload = request("GET", url)
+    return status, json.loads(payload)
+
+
+def wait_for_health(base, deadline=30.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            status, body = get_json(f"{base}/health")
+            if status == 200 and body["status"] == "ok":
+                return body
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass
+        time.sleep(0.2)
+    fail(f"server at {base} never became healthy")
+
+
+def wait_for_state(base, job_id, states, deadline=120.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        _, body = get_json(f"{base}/v1/jobs/{job_id}")
+        if body["state"] in states:
+            return body
+        time.sleep(0.2)
+    fail(f"job {job_id} never reached {states} "
+         f"(last: {body['state']!r}, error: {body.get('error')!r})")
+
+
+def submit(base, params):
+    status, payload = request("POST", f"{base}/v1/jobs",
+                              {"kind": "mine", "params": params})
+    if status != 201:
+        fail(f"submit returned {status}: {payload!r}")
+    return json.loads(payload)["job_id"]
+
+
+def result_csv(base, job_id):
+    status, payload = request("GET",
+                              f"{base}/v1/jobs/{job_id}/result.csv")
+    if status != 200:
+        fail(f"result.csv for {job_id} returned {status}")
+    return payload
+
+
+def start_server(workdir, port, csv_path):
+    env = dict(os.environ)
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--host", "127.0.0.1", "--port", str(port),
+         "--db", os.path.join(workdir, "store.sqlite"),
+         "--dataset", f"small={csv_path}",
+         "--job-workers", "1", "--backend", "serial"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        env=env)
+    return process
+
+
+def write_dataset(workdir):
+    """The service suite's small dataset, as a CSV on disk."""
+    path = os.path.join(workdir, "small.csv")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("A,B,C,class\n")
+        for index in range(60):
+            a = "a1" if index % 3 else "a0"
+            b = f"b{index % 2}"
+            c = f"c{index % 5}"
+            label = ("pos" if (index % 3 != 0) == (index % 7 != 0)
+                     else "neg")
+            handle.write(f"{a},{b},{c},{label}\n")
+    return path
+
+
+def main() -> None:
+    workdir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="repro-crash-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    csv_path = write_dataset(workdir)
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    base = f"http://127.0.0.1:{port}"
+
+    print(f"[1/5] starting repro serve in {workdir} on :{port}")
+    server = start_server(workdir, port, csv_path)
+    try:
+        wait_for_health(base)
+        fast = submit(base, MINE_PARAMS)
+        wait_for_state(base, fast, {"done"})
+        fast_csv = result_csv(base, fast)
+        print(f"[2/5] job {fast} done ({len(fast_csv)} CSV bytes)")
+
+        slow = submit(base, SLOW_PARAMS)
+        wait_for_state(base, slow, {"running", "done"}, deadline=30.0)
+        print(f"[3/5] SIGKILL while job {slow} is in flight")
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+    except BaseException:
+        server.kill()
+        raise
+
+    server = start_server(workdir, port, csv_path)
+    try:
+        health = wait_for_health(base)
+        journal = health["components"]["journal"]
+        if not journal:
+            fail("restarted server reports no journal component")
+
+        replayed = wait_for_state(base, fast, {"done"}, deadline=10.0)
+        if not replayed:
+            fail(f"finished job {fast} lost across the crash")
+        if result_csv(base, fast) != fast_csv:
+            fail("cached CSV changed bytes across kill -9 + restart")
+        print(f"[4/5] journal replay OK: {fast} still done, "
+              f"CSV byte-identical")
+
+        recovered = wait_for_state(base, slow, {"done", "failed"})
+        if recovered["state"] != "done":
+            fail(f"recovered job {slow} failed: {recovered['error']!r}")
+
+        again = submit(base, MINE_PARAMS)
+        wait_for_state(base, again, {"done"})
+        _, result = get_json(f"{base}/v1/jobs/{again}/result")
+        if result["cached"] is not True:
+            fail("resubmitted params were recomputed, not cached")
+        if result_csv(base, again) != fast_csv:
+            fail("cache served different bytes after restart")
+        print(f"[5/5] resubmission {again} served from cache, "
+              f"byte-identical — PASS")
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    main()

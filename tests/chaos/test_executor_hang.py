@@ -1,0 +1,55 @@
+"""Chaos: a process worker hangs instead of crashing.
+
+A hang is the nastiest failure mode — nothing raises, nothing exits.
+The executor's per-unit ``deadline`` is the only recovery path: the
+overrun unit surfaces as a transient
+:class:`~repro.errors.DeadlineExceeded`, the hung workers are
+terminated, and the retried wave (with the fault's fire budget spent)
+produces exactly the fault-free results.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.parallel import (
+    CircuitBreaker,
+    Executor,
+    RetryExhausted,
+    RetryPolicy,
+)
+from repro.testing import faults
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+
+def _double(value):
+    return 2 * value
+
+
+def test_deadline_recovers_single_hang(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS_HANG", "10")
+    faults.arm("executor-hang:1.0:1")
+    executor = Executor("processes", n_jobs=2, deadline=0.75,
+                        retry=RetryPolicy(base_delay=0.0),
+                        breaker=CircuitBreaker(threshold=100))
+    start = time.monotonic()
+    assert executor.map_shards(_double, [1, 2, 3]) == [2, 4, 6]
+    # Recovery must not wait out the 10s hang: the deadline fired.
+    assert time.monotonic() - start < 8.0
+    assert executor.stats["retries"] >= 1
+
+
+def test_endless_hangs_exhaust_loudly(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS_HANG", "10")
+    faults.arm("executor-hang:1.0")
+    executor = Executor("processes", n_jobs=2, deadline=0.5,
+                        retry=RetryPolicy(max_attempts=2,
+                                          base_delay=0.0),
+                        breaker=CircuitBreaker(threshold=100))
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        executor.map_shards(_double, [1, 2])
+    assert isinstance(excinfo.value.__cause__, RetryExhausted)

@@ -1,0 +1,55 @@
+"""Chaos: the CI-armed ``REPRO_FAULTS`` profile, end to end.
+
+The CI chaos job runs this suite three times — ``worker-kill:0.2``,
+``sqlite-busy:1.0:3``, ``native-compile-failure:1.0`` — and this
+module is the test that actually runs a whole mine job under
+whatever profile the environment armed (defaulting to the
+acceptance-criterion profile, ``worker-kill:0.2``, when none is).
+
+The assertion is deliberately profile-agnostic, because it *is* the
+resilience contract: the job either finishes with a CSV
+byte-identical to the fault-free baseline, or fails loudly with a
+classified error and the final traceback on the record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro._native as native
+from repro.testing import faults
+
+from .conftest import env_profile, make_manager, run_mine
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+
+def test_armed_profile_recovers_or_fails_loudly():
+    profile = env_profile("worker-kill:0.2")
+
+    baseline_manager = make_manager(backend="processes", n_jobs=2)
+    baseline_job = run_mine(baseline_manager)
+    assert baseline_job.state == "done"
+    baseline_csv = baseline_manager.result_csv(baseline_job.job_id)
+    baseline_manager.close()
+
+    plan = faults.arm(profile)
+    if "native-compile-failure" in plan:
+        # Make the injection point reachable: load_suite memoises.
+        saved = native._kernel, native._status
+        native._kernel, native._status = "unset", "not loaded"
+    try:
+        manager = make_manager(backend="processes", n_jobs=2,
+                               max_retries=3)
+        job = run_mine(manager)
+        if job.state == "done":
+            assert manager.result_csv(job.job_id) == baseline_csv
+        else:
+            # Exhaustion is allowed — silence is not.
+            assert job.state == "failed"
+            assert job.error
+            assert job.traceback
+        manager.close()
+    finally:
+        if "native-compile-failure" in plan:
+            native._kernel, native._status = saved

@@ -1,0 +1,59 @@
+"""Chaos: SQLITE_BUSY and slow writes against the artifact store.
+
+The bounded busy retry (``run_with_busy_retry``) must absorb a burst
+of lock contention without changing a single output byte — and when
+contention never clears, the job must fail loudly with the storage
+error classified on the record, not hang or half-write.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import faults
+
+from .conftest import make_manager, run_mine
+
+pytestmark = [pytest.mark.chaos]
+
+
+def test_busy_burst_recovers_byte_identical():
+    baseline_manager = make_manager()
+    baseline_csv = baseline_manager.result_csv(
+        run_mine(baseline_manager).job_id)
+    baseline_manager.close()
+
+    # Four consecutive injected BUSYs: inside the 5-attempt budget,
+    # so the put succeeds on the final try.
+    faults.arm("sqlite-busy:1.0:4")
+    manager = make_manager()
+    job = run_mine(manager)
+    assert job.state == "done", job.error
+    assert faults.fault_stats()["sqlite-busy"]["fires"] == 4
+    assert manager.result_csv(job.job_id) == baseline_csv
+    manager.close()
+
+
+def test_unbounded_busy_fails_loudly_classified():
+    faults.arm("sqlite-busy:1.0")
+    manager = make_manager(max_retries=0)
+    job = run_mine(manager)
+    assert job.state == "failed"
+    assert "storage error" in job.error
+    assert "database is locked" in job.error
+    assert job.traceback is not None
+    manager.close()
+
+
+def test_slow_writes_change_nothing_but_latency():
+    baseline_manager = make_manager()
+    baseline_csv = baseline_manager.result_csv(
+        run_mine(baseline_manager).job_id)
+    baseline_manager.close()
+
+    faults.arm("sqlite-slow-write:1.0:2")
+    manager = make_manager()
+    job = run_mine(manager)
+    assert job.state == "done", job.error
+    assert manager.result_csv(job.job_id) == baseline_csv
+    manager.close()

@@ -1,0 +1,83 @@
+"""Chaos: SIGKILLed process workers.
+
+The acceptance criterion from the resilience PR: a mine job that
+loses process workers to injected kills recovers — under the
+executor's retry policy, degrading through the breaker if the kills
+never stop — and its exported CSV is **byte-identical** to a
+fault-free run. When retries are exhausted, the failure is loud and
+classified (:class:`~repro.parallel.RetryExhausted` with the attempt
+count), never a silent partial result.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro.parallel import (
+    CircuitBreaker,
+    Executor,
+    RetryExhausted,
+    RetryPolicy,
+    global_breaker,
+)
+from repro.testing import faults
+
+from .conftest import make_manager, run_mine
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+
+def _identity(value):
+    return value
+
+
+def test_recovered_mine_csv_is_byte_identical():
+    baseline_manager = make_manager(backend="processes", n_jobs=2)
+    baseline_job = run_mine(baseline_manager)
+    assert baseline_job.state == "done"
+    baseline_csv = baseline_manager.result_csv(baseline_job.job_id)
+    baseline_manager.close()
+
+    faults.arm("worker-kill:1.0:2")
+    manager = make_manager(backend="processes", n_jobs=2)
+    job = run_mine(manager)
+    assert job.state == "done", job.error
+    assert faults.fault_stats()["worker-kill"]["fires"] == 2
+    assert manager.result_csv(job.job_id) == baseline_csv
+    manager.close()
+
+
+def test_unbounded_kills_degrade_and_still_converge():
+    """With every process worker dying, the breaker walks the job
+    down to threads (where there is nothing to kill) and the result
+    is still byte-identical to the fault-free run."""
+    baseline_manager = make_manager(backend="processes", n_jobs=2)
+    baseline_csv = baseline_manager.result_csv(
+        run_mine(baseline_manager).job_id)
+    baseline_manager.close()
+
+    faults.arm("worker-kill:1.0")
+    manager = make_manager(backend="processes", n_jobs=2)
+    job = run_mine(manager)
+    assert job.state == "done", job.error
+    assert global_breaker().state()["level"] >= 1
+    assert manager.result_csv(job.job_id) == baseline_csv
+    manager.close()
+
+
+def test_exhausted_retries_fail_loudly_classified():
+    """With the breaker held open (huge threshold) and a small retry
+    budget, unbounded kills must exhaust — and the error names the
+    attempt count instead of surfacing a bare pool crash."""
+    faults.arm("worker-kill:1.0")
+    executor = Executor("processes", n_jobs=2,
+                        retry=RetryPolicy(max_attempts=2,
+                                          base_delay=0.0),
+                        breaker=CircuitBreaker(threshold=100))
+    with pytest.raises(BrokenExecutor) as excinfo:
+        executor.map_shards(_identity, [1, 2, 3])
+    cause = excinfo.value.__cause__
+    assert isinstance(cause, RetryExhausted)
+    assert cause.attempts == 2

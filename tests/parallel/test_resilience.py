@@ -1,0 +1,359 @@
+"""Tests for the resilience layer: retry policy, failure
+classification, circuit breaker, deadlines, and executor retries."""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import time
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro.errors import DeadlineExceeded, ReproError, TransientError
+from repro.parallel import (
+    DEGRADATION_ORDER,
+    CircuitBreaker,
+    Executor,
+    RetryExhausted,
+    RetryPolicy,
+    WorkerError,
+    global_breaker,
+    is_transient,
+)
+from repro.testing import faults
+
+pytestmark = pytest.mark.usefixtures("_disarm_faults")
+
+
+@pytest.fixture
+def _disarm_faults():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+@pytest.fixture
+def breaker():
+    return CircuitBreaker()
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+
+
+class TestIsTransient:
+    @pytest.mark.parametrize("exc", [
+        TransientError("injected"),
+        DeadlineExceeded("too slow"),
+        BrokenExecutor("worker died"),
+        TimeoutError("timed out"),
+        ConnectionResetError("peer gone"),
+        BrokenPipeError("pipe"),
+        InterruptedError("signal"),
+        sqlite3.OperationalError("database is locked"),
+        sqlite3.OperationalError("database table is busy"),
+    ])
+    def test_transient(self, exc):
+        assert is_transient(exc)
+
+    @pytest.mark.parametrize("exc", [
+        ValueError("bad input"),
+        KeyError("missing"),
+        ReproError("misuse"),
+        ZeroDivisionError(),
+        sqlite3.OperationalError("no such table: artifacts"),
+        MemoryError(),
+    ])
+    def test_fatal(self, exc):
+        assert not is_transient(exc)
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.schedule() == (0.02, 0.04, 0.08)
+
+    def test_cap(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=0.1,
+                             multiplier=3.0, max_delay=0.5)
+        schedule = policy.schedule()
+        assert schedule[0] == pytest.approx(0.1)
+        assert schedule[-1] == 0.5
+        assert all(delay <= 0.5 for delay in schedule)
+
+    def test_deterministic(self):
+        assert RetryPolicy().schedule() == RetryPolicy().schedule()
+
+    def test_no_delay_before_first_failure(self):
+        assert RetryPolicy().delay(0) == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -0.1},
+        {"max_delay": -1.0},
+        {"multiplier": 0.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            RetryPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self, breaker):
+        for backend in DEGRADATION_ORDER:
+            assert breaker.active_backend(backend) == backend
+        assert breaker.level == 0
+
+    def test_degrades_after_threshold(self, breaker):
+        assert breaker.record_transient("processes") is None
+        assert breaker.record_transient("processes") is None
+        assert breaker.record_transient("processes") == "threads"
+        assert breaker.active_backend("processes") == "threads"
+        assert breaker.active_backend("threads") == "threads"
+
+    def test_degrades_to_serial_and_stops(self, breaker):
+        for _ in range(3):
+            breaker.record_transient("processes")
+        for _ in range(3):
+            breaker.record_transient("threads")
+        assert breaker.active_backend("processes") == "serial"
+        # serial is the floor: further failures do not move the level
+        level = breaker.level
+        for _ in range(10):
+            breaker.record_transient("serial")
+        assert breaker.level == level
+
+    def test_success_resets_streak_not_level(self, breaker):
+        breaker.record_transient("processes")
+        breaker.record_transient("processes")
+        breaker.record_success()
+        assert breaker.record_transient("processes") is None
+        assert breaker.level == 0
+        # now trip it, then succeed: level must stay degraded
+        for _ in range(3):
+            breaker.record_transient("processes")
+        assert breaker.level == 1
+        breaker.record_success()
+        assert breaker.level == 1
+        assert breaker.active_backend("processes") == "threads"
+
+    def test_reset_clears_everything(self, breaker):
+        for _ in range(6):
+            breaker.record_transient("processes")
+        breaker.reset()
+        assert breaker.level == 0
+        assert breaker.active_backend("processes") == "processes"
+        assert breaker.state()["total_transient"] == 0
+
+    def test_state_snapshot(self, breaker):
+        for _ in range(3):
+            breaker.record_transient("processes", error="SIGKILL")
+        state = breaker.state()
+        assert state["level"] == 1
+        assert state["active"]["processes"] == "threads"
+        assert state["degradations"][0]["requested"] == "processes"
+        assert state["degradations"][0]["error"] == "SIGKILL"
+
+    def test_picklable(self, breaker):
+        for _ in range(3):
+            breaker.record_transient("processes")
+        clone = pickle.loads(pickle.dumps(breaker))
+        assert clone.level == breaker.level
+        assert clone.active_backend("processes") == "threads"
+        # the clone is independent and has a working lock
+        clone.record_transient("threads")
+        assert breaker.state() != clone.state()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ReproError):
+            CircuitBreaker(threshold=0)
+
+    def test_global_breaker_is_shared(self):
+        assert global_breaker() is global_breaker()
+
+
+# ----------------------------------------------------------------------
+# executor retry semantics (per-backend)
+# ----------------------------------------------------------------------
+
+
+_FLAKY_CALLS = {"count": 0}
+
+
+def _flaky_then_ok(x):
+    # Transiently fail the first two times shard 2 runs.
+    if x == 2 and _FLAKY_CALLS["count"] < 2:
+        _FLAKY_CALLS["count"] += 1
+        raise TransientError(f"flaky shard {x}")
+    return x * 10
+
+
+def _always_transient(x):
+    raise TransientError(f"never recovers on shard {x}")
+
+
+def _fatal(x):
+    if x == 1:
+        raise ValueError(f"deterministic failure on {x}")
+    return x
+
+
+class TestExecutorRetries:
+    def setup_method(self):
+        _FLAKY_CALLS["count"] = 0
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_transient_failures_retried(self, backend, breaker):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0)
+        ex = Executor(backend=backend, n_jobs=2, retry=policy,
+                      breaker=breaker)
+        assert ex.map_shards(_flaky_then_ok, [1, 2, 3]) == [10, 20, 30]
+        assert ex.stats["retries"] == 2
+        assert ex.stats["transient_failures"] == 2
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_exhaustion_raises_with_attempt_count(self, backend,
+                                                  breaker):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        ex = Executor(backend=backend, n_jobs=2, retry=policy,
+                      breaker=breaker)
+        with pytest.raises(TransientError) as info:
+            ex.map_shards(_always_transient, [0])
+        cause = info.value.__cause__
+        assert isinstance(cause, RetryExhausted)
+        assert isinstance(cause, WorkerError)
+        assert cause.attempts == 3
+        assert "3 of 3" in str(cause)
+        # the final error carries the last attempt's traceback
+        assert "_always_transient" in cause.last_traceback
+        assert "never recovers" in cause.last_traceback
+        assert "_always_transient" in str(cause)
+
+    def test_fatal_errors_never_retried(self, breaker):
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            if x == 1:
+                raise ValueError("fatal")
+            return x
+
+        ex = Executor(backend="serial", n_jobs=1,
+                      retry=RetryPolicy(max_attempts=5,
+                                        base_delay=0.0),
+                      breaker=breaker)
+        with pytest.raises(ValueError):
+            ex.map_shards(fn, [0, 1, 2])
+        assert calls == [0, 1]  # one try each, eager stop after fatal
+
+    def test_max_attempts_one_disables_retry(self, breaker):
+        ex = Executor(backend="serial", n_jobs=1,
+                      retry=RetryPolicy(max_attempts=1),
+                      breaker=breaker)
+        with pytest.raises(TransientError) as info:
+            ex.map_shards(_always_transient, [0])
+        assert isinstance(info.value.__cause__, RetryExhausted)
+        assert info.value.__cause__.attempts == 1
+
+    def test_retried_results_identical_to_fault_free(self, breaker):
+        # The determinism contract: a run that recovered from
+        # transient failures returns exactly what a clean run returns.
+        _FLAKY_CALLS["count"] = 0
+        flaky = Executor(backend="serial", n_jobs=1,
+                         retry=RetryPolicy(max_attempts=4,
+                                           base_delay=0.0),
+                         breaker=breaker).map_shards(
+                             _flaky_then_ok, [1, 2, 3])
+        clean = Executor(backend="serial", n_jobs=1,
+                         breaker=CircuitBreaker()).map_shards(
+                             _flaky_then_ok, [1, 2, 3])
+        assert flaky == clean
+
+    def test_breaker_degrades_executor_backend(self, breaker):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.0)
+        ex = Executor(backend="threads", n_jobs=2, retry=policy,
+                      breaker=breaker)
+        with pytest.raises(TransientError):
+            ex.map_shards(_always_transient, [0])
+        # threshold=3 < max_attempts=6: the breaker tripped mid-call
+        assert breaker.level >= 1
+        assert breaker.active_backend("threads") == "serial"
+
+    def test_deadline_validation(self):
+        with pytest.raises(ReproError):
+            Executor(backend="processes", n_jobs=2, deadline=0.0)
+        with pytest.raises(ReproError):
+            Executor(backend="processes", n_jobs=2, deadline=-5)
+
+
+# ----------------------------------------------------------------------
+# process-backend faults: worker kill, deadline on a hung worker
+# ----------------------------------------------------------------------
+
+
+def _sleep_by_shard(x):
+    time.sleep(float(x))
+    return x
+
+
+@pytest.mark.slow
+class TestProcessFaults:
+    def test_worker_kill_recovers_byte_identical(self, breaker):
+        faults.arm("worker-kill:1.0:2")  # kill exactly two workers
+        try:
+            ex = Executor(backend="processes", n_jobs=2,
+                          retry=RetryPolicy(max_attempts=4,
+                                            base_delay=0.0),
+                          breaker=breaker)
+            result = ex.map_shards(_flaky_then_ok, [1, 3, 4])
+        finally:
+            faults.disarm()
+        assert result == [10, 30, 40]
+        assert ex.stats["transient_failures"] > 0
+
+    def test_worker_kill_every_attempt_degrades_to_threads(self,
+                                                           breaker):
+        # p=1.0 unlimited: the processes backend can never finish a
+        # wave, so the breaker must degrade to threads (where the
+        # kill point does not exist) and the call still succeeds.
+        faults.arm("worker-kill:1.0")
+        try:
+            ex = Executor(backend="processes", n_jobs=2,
+                          retry=RetryPolicy(max_attempts=10,
+                                            base_delay=0.0),
+                          breaker=breaker)
+            result = ex.map_shards(_square_local, [2, 3])
+        finally:
+            faults.disarm()
+        assert result == [4, 9]
+        assert breaker.level >= 1
+
+    def test_deadline_times_out_hung_worker(self, breaker):
+        ex = Executor(backend="processes", n_jobs=2, deadline=0.5,
+                      retry=RetryPolicy(max_attempts=2,
+                                        base_delay=0.0),
+                      breaker=breaker)
+        started = time.monotonic()
+        with pytest.raises(TransientError) as info:
+            ex.map_shards(_sleep_by_shard, [30.0])
+        elapsed = time.monotonic() - started
+        assert isinstance(info.value.__cause__, RetryExhausted)
+        assert elapsed < 20.0  # did not wait out the 30s sleep
+        assert "deadline" in str(info.value).lower()
+
+
+def _square_local(x):
+    return x * x

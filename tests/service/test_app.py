@@ -35,6 +35,18 @@ def test_health(client):
     assert response.json()["status"] == "ok"
 
 
+def test_health_component_report(client):
+    body = client.get("/health").json()
+    components = body["components"]
+    assert "native_kernel" in components
+    breaker = components["breaker"]
+    assert set(breaker["active"]) == {"serial", "threads", "processes"}
+    assert breaker["threshold"] >= 1
+    # the default test core is in-memory, so the journal is disabled
+    assert components["journal"] is None
+    assert components["store"]["path"] == ":memory:"
+
+
 def test_unknown_route_404(client):
     assert client.get("/v1/nonsense").status_code == 404
     body = client.get("/v1/nonsense").json()

@@ -1,0 +1,159 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+class TestParsePlan:
+    def test_single_point(self):
+        plan = faults.parse_plan("worker-kill:0.25", seed=7)
+        spec = plan["worker-kill"]
+        assert spec.probability == 0.25
+        assert spec.max_fires is None
+        assert spec.seed == 7
+
+    def test_fire_cap(self):
+        plan = faults.parse_plan("sqlite-busy:1.0:3", seed=0)
+        assert plan["sqlite-busy"].max_fires == 3
+
+    def test_multiple_points(self):
+        plan = faults.parse_plan(
+            "worker-kill:0.2,sqlite-busy:0.5:2", seed=0)
+        assert set(plan) == {"worker-kill", "sqlite-busy"}
+
+    def test_blank_chunks_skipped(self):
+        assert faults.parse_plan(" , worker-kill:0.1 ,", seed=0)
+
+    @pytest.mark.parametrize("text", [
+        "nonsense:0.5",            # unknown point
+        "worker-kill",             # missing probability
+        "worker-kill:high",        # non-numeric probability
+        "worker-kill:1.5",         # probability out of range
+        "worker-kill:0.5:-1",      # negative cap
+        "worker-kill:0.5:1:9",     # too many fields
+        "worker-kill:0.1,worker-kill:0.2",  # armed twice
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(ReproError):
+            faults.parse_plan(text, seed=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = faults.parse_plan("sqlite-busy:0.3", seed=42)["sqlite-busy"]
+        b = faults.parse_plan("sqlite-busy:0.3", seed=42)["sqlite-busy"]
+        assert [a.should_fire() for _ in range(200)] \
+            == [b.should_fire() for _ in range(200)]
+
+    def test_different_seeds_differ(self):
+        a = faults.parse_plan("sqlite-busy:0.5", seed=1)["sqlite-busy"]
+        b = faults.parse_plan("sqlite-busy:0.5", seed=2)["sqlite-busy"]
+        assert [a.should_fire() for _ in range(64)] \
+            != [b.should_fire() for _ in range(64)]
+
+    def test_rate_tracks_probability(self):
+        spec = faults.parse_plan("sqlite-busy:0.2", seed=0)["sqlite-busy"]
+        fires = sum(spec.should_fire() for _ in range(2000))
+        assert 300 < fires < 500  # 0.2 ± generous tolerance
+
+    def test_zero_probability_never_fires(self):
+        spec = faults.parse_plan("worker-kill:0.0", seed=0)["worker-kill"]
+        assert not any(spec.should_fire() for _ in range(100))
+
+    def test_fire_cap_enforced(self):
+        spec = faults.parse_plan("sqlite-busy:1.0:2", seed=0)["sqlite-busy"]
+        assert sum(spec.should_fire() for _ in range(50)) == 2
+        assert spec.stats() == {"checks": 50, "fires": 2}
+
+
+class TestArming:
+    def test_disarmed_is_inert(self):
+        assert not faults.should_fire("worker-kill")
+        assert faults.plan_description() == ""
+        assert faults.fault_stats() == {}
+
+    def test_arm_and_fire(self):
+        faults.arm("sqlite-busy:1.0")
+        assert faults.should_fire("sqlite-busy")
+        assert not faults.should_fire("worker-kill")  # not armed
+
+    def test_disarm(self):
+        faults.arm("sqlite-busy:1.0")
+        faults.disarm()
+        assert not faults.should_fire("sqlite-busy")
+
+    def test_plan_description_round_trips(self):
+        faults.arm("worker-kill:0.2,sqlite-busy:1:3")
+        text = faults.plan_description()
+        assert faults.parse_plan(text).keys() == {
+            "worker-kill", "sqlite-busy"}
+
+    def test_suspended_restores(self):
+        faults.arm("sqlite-busy:1.0")
+        with faults.suspended():
+            assert not faults.should_fire("sqlite-busy")
+        assert faults.should_fire("sqlite-busy")
+
+    def test_suspended_restores_after_error(self):
+        faults.arm("sqlite-busy:1.0")
+        with pytest.raises(RuntimeError):
+            with faults.suspended():
+                raise RuntimeError("boom")
+        assert faults.should_fire("sqlite-busy")
+
+    def test_stats_visible_through_module_api(self):
+        faults.arm("sqlite-busy:1.0:1")
+        faults.should_fire("sqlite-busy")
+        faults.should_fire("sqlite-busy")
+        stats = faults.fault_stats()
+        assert stats["sqlite-busy"] == {"checks": 2, "fires": 1}
+
+
+class TestHelpers:
+    def test_sleep_if_fires(self):
+        faults.arm("sqlite-slow-write:1.0")
+        started = time.monotonic()
+        assert faults.sleep_if("sqlite-slow-write", duration=0.01)
+        assert time.monotonic() - started >= 0.01
+
+    def test_sleep_if_disarmed_returns_fast(self):
+        assert not faults.sleep_if("sqlite-slow-write", duration=10.0)
+
+    def test_hang_seconds_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS_HANG", "1.5")
+        assert faults.hang_seconds() == 1.5
+        monkeypatch.setenv("REPRO_FAULTS_HANG", "garbage")
+        assert faults.hang_seconds() == 30.0
+        monkeypatch.delenv("REPRO_FAULTS_HANG")
+        assert faults.hang_seconds() == 30.0
+
+    def test_counters_shared_with_forked_children(self):
+        # The check counter must be process-shared so forked workers
+        # consume draw indices from the same sequence as the parent.
+        import multiprocessing
+
+        faults.arm("sqlite-busy:1.0:5", seed=0)
+        ctx = multiprocessing.get_context("fork")
+
+        def child() -> None:
+            faults.should_fire("sqlite-busy")
+
+        processes = [ctx.Process(target=child) for _ in range(3)]
+        for proc in processes:
+            proc.start()
+        for proc in processes:
+            proc.join()
+        assert faults.fault_stats()["sqlite-busy"]["checks"] == 3
