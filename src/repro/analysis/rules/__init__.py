@@ -12,13 +12,14 @@ module                    rules
 :mod:`.determinism`       float-equality-in-stats,
                           unordered-iteration-to-output
 :mod:`.robustness`        swallowed-worker-exception
+:mod:`.lifetime`          arena-lifetime
 ========================  =========================================
 """
 
 from __future__ import annotations
 
-from . import concurrency, determinism, rng, robustness, \
+from . import concurrency, determinism, lifetime, rng, robustness, \
     substrate  # noqa: F401
 
-__all__ = ["concurrency", "determinism", "rng", "robustness",
-           "substrate"]
+__all__ = ["concurrency", "determinism", "lifetime", "rng",
+           "robustness", "substrate"]

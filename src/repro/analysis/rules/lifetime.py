@@ -1,0 +1,225 @@
+"""Lifetime rules: memmap-backed views must not outlive their arena.
+
+The out-of-core arena (:mod:`repro.data.arena`) hands out numpy views
+that alias pages of an open file mapping — ``ArenaFile.whole_words``,
+``ArenaFile.segment_words`` and everything sliced from them. Once the
+arena is closed (explicit ``close()`` or ``with`` exit) those views
+point at unmapped or about-to-be-unmapped pages; touching one is at
+best a stale read and at worst a segfault, and numpy cannot detect it.
+
+The **arena-lifetime** rule flags, inside :mod:`repro.data` and
+:mod:`repro.mining`, any view derived from an arena word-block method
+that can be observed after its arena's lifetime ends:
+
+* a use of the view after the ``with`` block that opened the arena, or
+  after an explicit ``arena.close()`` call;
+* ``return`` / ``yield`` of the view from inside the ``with`` body;
+* storing the view on ``self`` while the function also closes the
+  arena (object lifetime exceeds the mapping's).
+
+Materialize with ``np.array(view)`` (a copy) before the close, or keep
+the arena open for as long as the view lives (what
+``Dataset.open_arena`` does by holding the mapping itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..registry import Rule, register_rule
+from ._util import call_name
+
+__all__ = ["ARENA_LIFETIME"]
+
+#: ArenaFile methods whose return value aliases the file mapping.
+_VIEW_METHODS = frozenset({"whole_words", "segment_words"})
+
+#: Numpy wrappers that may return the same buffer rather than a copy.
+_ALIASING_WRAPPERS = frozenset({
+    "ascontiguousarray", "asarray", "asanyarray", "ravel", "reshape",
+    "view", "transpose", "squeeze",
+})
+
+
+def _view_source(node, views: Dict[str, str]) -> Optional[str]:
+    """Arena name a value expression aliases, or ``None`` if it copies.
+
+    Tracks the method calls that mint views, plain name/subscript
+    propagation, and the numpy wrappers that are allowed to return the
+    original buffer. Anything else (``np.array``, arithmetic, popcount
+    reductions) materializes and breaks the chain.
+    """
+    if isinstance(node, ast.Name):
+        return views.get(node.id)
+    if isinstance(node, ast.Subscript):
+        return _view_source(node.value, views)
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name is None:
+            return None
+        head, _, method = name.rpartition(".")
+        if method in _VIEW_METHODS and head:
+            # af.whole_words() / af.segment_words(i): a view of `af`.
+            root = head.split(".", 1)[0]
+            return root
+        if method in _ALIASING_WRAPPERS:
+            if head and head.split(".", 1)[0] in views:
+                return views[head.split(".", 1)[0]]
+            if node.args:
+                return _view_source(node.args[0], views)
+    return None
+
+
+def _assignments(func) -> Iterator[Tuple[List[object], object]]:
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assign):
+            yield stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            yield [stmt.target], stmt.value
+
+
+def _collect_views(func) -> Dict[str, str]:
+    """Map of local name -> arena name it aliases (fixpoint pass)."""
+    views: Dict[str, str] = {}
+    for _ in range(4):  # chains are short; bound the fixpoint
+        changed = False
+        for targets, value in _assignments(func):
+            arena = _view_source(value, views)
+            if arena is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) \
+                        and views.get(target.id) != arena:
+                    views[target.id] = arena
+                    changed = True
+        if not changed:
+            break
+    return views
+
+
+def _minted_arenas(func, views: Dict[str, str]) -> set:
+    """Every arena name that has a view minted from it anywhere."""
+    arenas = set(views.values())
+    for _, value in _assignments(func):
+        arena = _view_source(value, views)
+        if arena is not None:
+            arenas.add(arena)
+    return arenas
+
+
+def _close_events(func, arenas: set) -> Dict[str, int]:
+    """Arena name -> line after which its mapping is gone.
+
+    A ``with ArenaFile(...) as af`` (any ``with ... as name`` whose
+    body mints views of ``name``) closes at the block's last line; an
+    explicit ``name.close()`` closes at the call line. The earliest
+    close wins.
+    """
+    closed: Dict[str, int] = {}
+
+    def note(name: str, line: int) -> None:
+        if name not in closed or line < closed[name]:
+            closed[name] = line
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                var = item.optional_vars
+                if isinstance(var, ast.Name) and var.id in arenas:
+                    note(var.id, node.body[-1].end_lineno or node.lineno)
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is None:
+                continue
+            head, _, method = name.rpartition(".")
+            if method == "close" and head.split(".", 1)[0] in arenas:
+                note(head.split(".", 1)[0], node.lineno)
+    return closed
+
+
+def _with_bounds(func, arenas) -> Dict[str, Tuple[int, int]]:
+    """Arena name -> (first, last) line of the with body that owns it."""
+    bounds: Dict[str, Tuple[int, int]] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            var = item.optional_vars
+            if isinstance(var, ast.Name) and var.id in arenas:
+                bounds[var.id] = (node.body[0].lineno,
+                                  node.body[-1].end_lineno or node.lineno)
+    return bounds
+
+
+def _check_arena_lifetime(tree, ctx):
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        views = _collect_views(func)
+        arenas = _minted_arenas(func, views)
+        if not arenas:
+            continue
+        closed = _close_events(func, arenas)
+        if not closed:
+            continue
+        bounds = _with_bounds(func, set(closed))
+        # 1. Any load of a view after its arena's close line.
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            arena = views.get(node.id)
+            if arena is None or arena not in closed:
+                continue
+            if node.lineno > closed[arena]:
+                yield ctx.finding(
+                    "arena-lifetime", node,
+                    f"view {node.id!r} of memmap arena {arena!r} used "
+                    f"after the arena is closed (line {closed[arena]}); "
+                    f"copy with np.array(...) before close/context "
+                    f"exit")
+        # 2. return/yield of a view from inside the owning with body,
+        #    and 3. storing a view on self while the arena closes here.
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Return, ast.Yield)) \
+                    and node.value is not None:
+                for leaf in ast.walk(node.value):
+                    if not isinstance(leaf, ast.Name):
+                        continue
+                    arena = views.get(leaf.id)
+                    span = bounds.get(arena or "")
+                    if span and span[0] <= node.lineno <= span[1]:
+                        yield ctx.finding(
+                            "arena-lifetime", node,
+                            f"view {leaf.id!r} of memmap arena "
+                            f"{arena!r} escapes the with block that "
+                            f"owns the mapping; copy with "
+                            f"np.array(...) or keep the arena open")
+                        break
+            elif isinstance(node, ast.Assign):
+                arena = _view_source(node.value, views)
+                if arena is None or arena not in closed:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        yield ctx.finding(
+                            "arena-lifetime", node,
+                            f"view of memmap arena {arena!r} stored on "
+                            f"self outlives the arena closed in this "
+                            f"function; copy with np.array(...) first")
+
+
+ARENA_LIFETIME = register_rule(Rule(
+    name="arena-lifetime",
+    check_fn=_check_arena_lifetime,
+    aliases=("memmap-lifetime", "dangling-arena-view"),
+    description="flag numpy views of a memmap arena that outlive "
+                "close()/with exit (use-after-unmap)",
+    invariant="out-of-core safety (PR 10): word-block views alias the "
+              "arena's file mapping and die with it; consumers copy "
+              "or keep the arena open",
+    paths=("repro/data/*", "repro/mining/*"),
+))

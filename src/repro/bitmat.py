@@ -245,6 +245,7 @@ class BitMatrix:
 
     def class_supports_batch(self, indicators: np.ndarray,
                              block_bytes: int = DEFAULT_BLOCK_BYTES,
+                             word_block: int = 0,
                              ) -> np.ndarray:
         """``(B, n_rows)`` support matrix for ``B`` indicators at once.
 
@@ -256,6 +257,16 @@ class BitMatrix:
         ``block × n_rows × n_words`` broadcast intermediates stay
         within ``block_bytes``. Both paths count exact integers and
         return bit-identical matrices.
+
+        ``word_block > 0`` scores the matrix in record-range shards of
+        that many 64-record words, summing the per-shard partial
+        popcounts at the boundary — supports over disjoint record
+        ranges are exact integers, so the merged matrix is
+        bit-identical to the whole-matrix pass while only
+        ``n_rows × word_block`` words of the matrix (plus the matching
+        indicator columns) are materialized at a time. This is how a
+        memory-mapped or sharded forest scores without paging its full
+        width in.
         """
         flags = np.asarray(indicators, dtype=bool)
         if flags.ndim != 2 or flags.shape[1] != self.n_records:
@@ -264,10 +275,11 @@ class BitMatrix:
                 f"got {flags.shape}")
         n_batch = flags.shape[0]
         packed = pack_indicators(flags)
-        return self._supports_packed(packed, block_bytes)
+        return self._supports_packed(packed, block_bytes, word_block)
 
     def class_supports_multi(self, class_indicators: np.ndarray,
                              block_bytes: int = DEFAULT_BLOCK_BYTES,
+                             word_block: int = 0,
                              ) -> np.ndarray:
         """``(C, B, n_rows)`` supports for ``C`` classes × ``B`` rows.
 
@@ -278,6 +290,8 @@ class BitMatrix:
         pass costs one kernel call for *all* classes instead of one
         per class. Entry ``(c, b)`` equals
         ``class_supports(class_indicators[c, b])`` exactly.
+        ``word_block`` shards the pass by record range exactly as in
+        :meth:`class_supports_batch`.
         """
         flags = np.asarray(class_indicators, dtype=bool)
         if flags.ndim != 3 or flags.shape[2] != self.n_records:
@@ -287,13 +301,32 @@ class BitMatrix:
         n_classes, n_batch = flags.shape[0], flags.shape[1]
         packed = pack_indicators(
             flags.reshape(n_classes * n_batch, self.n_records))
-        out = self._supports_packed(packed, block_bytes)
+        out = self._supports_packed(packed, block_bytes, word_block)
         return out.reshape(n_classes, n_batch, self.n_rows)
 
-    def _supports_packed(self, packed: np.ndarray,
-                         block_bytes: int) -> np.ndarray:
+    def _supports_packed(self, packed: np.ndarray, block_bytes: int,
+                         word_block: int = 0) -> np.ndarray:
         """Supports of every row against already-packed labellings."""
         n_batch = packed.shape[0]
+        if word_block and 0 < word_block < self.n_words \
+                and self.n_rows and n_batch:
+            out = np.zeros((n_batch, self.n_rows), dtype=np.int64)
+            for start in range(0, self.n_words, word_block):
+                # Contiguous per-shard copies keep the native kernel
+                # eligible; their size is the word_block budget.
+                shard = BitMatrix.__new__(BitMatrix)
+                shard._words = np.ascontiguousarray(
+                    self._words[:, start:start + word_block])
+                shard.n_rows = self.n_rows
+                shard.n_words = shard._words.shape[1]
+                shard.n_records = min(self.n_records,
+                                      (start + shard.n_words) * 64
+                                      ) - start * 64
+                out += shard._supports_packed(
+                    np.ascontiguousarray(
+                        packed[:, start:start + word_block]),
+                    block_bytes)
+            return out
         suite = _native.load_suite()
         if suite is not None and self.n_rows and n_batch:
             return self._run_native(packed, suite.class_supports_batch)

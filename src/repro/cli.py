@@ -496,9 +496,14 @@ def _load_input(path: str, class_column: str) -> Dataset:
         return load_fimi(path)
     if suffix == ".arff":
         return load_arff(path)
+    if suffix == ".arena":
+        return Dataset.open_arena(path)
+    if suffix == ".parquet":
+        from .data.ingest import load_parquet
+        return load_parquet(path)
     raise ReproError(
         f"cannot infer format of {path!r}; expected .csv, .fimi/.dat, "
-        f".arff or builtin:<name>")
+        f".arff, .arena, .parquet or builtin:<name>")
 
 
 def _run_mine(args: argparse.Namespace, out) -> int:

@@ -466,8 +466,12 @@ class Pipeline:
                 "to worker processes; use backend='threads' or "
                 "'serial' for pipelines with custom stages")
         config = pipeline._config(n_jobs=1, backend="serial")
-        shards = [(config, dataset) for dataset in dataset_list]
-        slim = executor.map_shards(_run_one_worker, shards)
+        # The configuration is identical for every dataset: hoist it to
+        # the executor context (shipped once per worker per wave, and
+        # never re-sent on retries) so each unit carries its dataset
+        # only — which for arena-backed datasets is just a file path.
+        slim = executor.map_shards(_run_one_worker, dataset_list,
+                                   context=config)
         resolved = {r.requested: r for r in pipeline.resolved}
         return [PipelineResult(dataset=dataset,
                                # As above: surface the caller's
@@ -481,14 +485,14 @@ class Pipeline:
                 for dataset, (ctx, state) in zip(dataset_list, slim)]
 
 
-def _run_one_worker(payload):
+def _run_one_worker(config, dataset):
     """Run one dataset in a worker process.
 
+    ``config`` is the hoisted executor context shared by every unit.
     Rebuilds the pipeline from its plain configuration (the resolved
     correction specs hold lambdas, which do not pickle) and returns
     only the context and state; the parent re-attaches its own
     resolved specs to reassemble the :class:`PipelineResult`.
     """
-    config, dataset = payload
     result = Pipeline(**config).run(dataset)
     return result.context, result.state

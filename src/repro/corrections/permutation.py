@@ -149,6 +149,18 @@ class PermutationEngine:
         worker* — concurrent shards under ``threads`` each size
         their own blocks, so peak memory scales with ``n_jobs``.
         Block sizing never changes results, only peak memory.
+    word_block:
+        Record-range sharding of the packed scoring kernel, in uint64
+        words (64 records per word). ``None`` (default) resolves
+        automatically: whole-matrix scoring unless a single
+        permutation's kernel broadcast alone would blow
+        ``batch_bytes``, in which case the matrix is scored in
+        word-column shards sized to the budget and the exact int64
+        partial supports are summed at the shard boundary — the
+        out-of-core path for forests wider than RAM. ``0`` forces
+        whole-matrix scoring; any positive value is used as given.
+        Sharding never changes results (exact integer merge), only
+        peak memory.
     """
 
     def __init__(self, ruleset: RuleSet, n_permutations: int = 1000,
@@ -158,7 +170,8 @@ class PermutationEngine:
                  pvalue_mode: str = "vectorized",
                  n_jobs: int = 1,
                  backend: str = "serial",
-                 batch_bytes: int = DEFAULT_BLOCK_BYTES) -> None:
+                 batch_bytes: int = DEFAULT_BLOCK_BYTES,
+                 word_block: Optional[int] = None) -> None:
         if n_permutations < 1:
             raise CorrectionError("n_permutations must be >= 1")
         if policy not in POLICY_CHOICES:
@@ -197,6 +210,10 @@ class PermutationEngine:
         self._observed_p = np.array([r.p_value for r in rules])
         self._class_supports = [dataset.class_support(c)
                                 for c in range(dataset.n_classes)]
+        if word_block is not None and word_block < 0:
+            raise CorrectionError("word_block must be >= 0")
+        self.word_block = (self._auto_word_block()
+                           if word_block is None else word_block)
         if pvalue_mode == "vectorized":
             self._lookup = _VectorizedLookup(self)
         else:
@@ -243,9 +260,17 @@ class PermutationEngine:
                 or thread_unsafe):
             parts = [self._score_shard(children, order, observed_sorted)]
         else:
-            shards = [(self, seeds, order, observed_sorted)
-                      for seeds in slice_sequences(children, slices)]
-            parts = self._executor.map_shards(_score_shard_worker, shards)
+            # The engine (and with it the dataset/forest) is the shared
+            # payload: hoisted to the executor context, it is shipped
+            # once per worker per wave — free under fork, and never
+            # re-sent on a retry — while each shard unit carries only
+            # its slice of seed sequences. An arena-backed dataset
+            # additionally pickles as its file path, so process workers
+            # re-map the same on-disk pages instead of receiving words.
+            shards = list(slice_sequences(children, slices))
+            parts = self._executor.map_shards(
+                _score_shard_worker, shards,
+                context=(self, order, observed_sorted))
         self._min_p = np.sort(np.concatenate([p[0] for p in parts]))
         self._pooled_counts = sum(p[1] for p in parts)
         self._stepdown_counts = sum(p[2] for p in parts)
@@ -374,9 +399,32 @@ class PermutationEngine:
         matrix = self._forest.matrix
         if matrix is not None:
             # The packed kernel's own per-labelling intermediates —
-            # bitmat owns that accounting.
-            per_row += matrix.batch_row_bytes
+            # bitmat owns that accounting. A word-sharded pass only
+            # materializes one shard's broadcast at a time.
+            if self.word_block and self.word_block < matrix.n_words:
+                per_row += max(1, matrix.n_rows * self.word_block * 9)
+            else:
+                per_row += matrix.batch_row_bytes
         return max(1, self.batch_bytes // max(per_row, 1))
+
+    def _auto_word_block(self) -> int:
+        """Resolve ``word_block=None``: shard only when forced.
+
+        Whole-matrix scoring (``0``) unless one permutation's packed
+        broadcast (``n_nodes × n_words × 9`` bytes) alone exceeds
+        ``batch_bytes`` — then no block size fits the budget and the
+        kernel must shard by record range. The shard width is sized so
+        a single shard's broadcast consumes at most half the budget,
+        leaving the other half for the block's labellings and p-value
+        intermediates.
+        """
+        matrix = self._forest.matrix
+        if matrix is None or not matrix.n_rows or not matrix.n_words:
+            return 0
+        if matrix.batch_row_bytes <= self.batch_bytes:
+            return 0
+        return max(1, min(matrix.n_words - 1,
+                          self.batch_bytes // (matrix.n_rows * 9 * 2)))
 
     def _score_permutation(self, labels: np.ndarray) -> np.ndarray:
         """P-values of every rule under one shuffled labelling."""
@@ -441,13 +489,15 @@ class PermutationEngine:
         n_classes = self.ruleset.dataset.n_classes
         node_supports: Dict[int, np.ndarray] = {}
         if n_classes == 2:
-            supp0 = self._forest.class_supports_batch(labels == 0)
+            supp0 = self._forest.class_supports_batch(
+                labels == 0, word_block=self.word_block)
             node_supports[0] = supp0
             node_supports[1] = self._forest.supports[None, :] - supp0
         else:
             needed = sorted(set(int(c) for c in self._classes))
             stacked = np.stack([labels == c for c in needed])
-            per_class = self._forest.class_supports_multi(stacked)
+            per_class = self._forest.class_supports_multi(
+                stacked, word_block=self.word_block)
             for i, c in enumerate(needed):
                 node_supports[c] = per_class[i]
         out = np.empty((labels.shape[0], len(self._node_ids)),
@@ -624,9 +674,14 @@ class _VectorizedLookup:
         return self._flat[self._offsets[None, :] + supports]
 
 
-def _score_shard_worker(payload):
-    """Module-level shard entry point (picklable for ``processes``)."""
-    engine, seeds, order, observed_sorted = payload
+def _score_shard_worker(context, seeds):
+    """Module-level shard entry point (picklable for ``processes``).
+
+    ``context`` is the hoisted ``(engine, order, observed_sorted)``
+    payload shared by every shard; ``seeds`` is the shard's own slice
+    of per-permutation seed sequences.
+    """
+    engine, order, observed_sorted = context
     return engine._score_shard(seeds, order, observed_sorted)
 
 

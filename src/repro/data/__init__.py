@@ -1,6 +1,15 @@
 """Data substrate: datasets, items, loaders, discretization, generators."""
 
+from .arena import ArenaFile, ShardedDataset, write_arena
 from .dataset import ClassSummary, Dataset
+from .ingest import (
+    load_parquet,
+    load_sql,
+    stream_csv_to_arena,
+    stream_parquet_to_arena,
+    stream_records_to_arena,
+    stream_sql_to_arena,
+)
 from .discretize import (
     apply_cuts,
     discretize_columns,
@@ -9,7 +18,14 @@ from .discretize import (
     mdl_discretize,
 )
 from .items import Item, ItemCatalog
-from .loaders import load_arff, load_csv, load_fimi, save_csv, save_fimi
+from .loaders import (
+    load_arena,
+    load_arff,
+    load_csv,
+    load_fimi,
+    save_csv,
+    save_fimi,
+)
 from .quest import QuestConfig, QuestData, generate_quest
 from .summary import AttributeProfile, DatasetSummary, summarize
 from .synthetic import (
@@ -30,10 +46,20 @@ from .uci import (
 )
 
 __all__ = [
+    "ArenaFile",
+    "ShardedDataset",
+    "write_arena",
     "ClassSummary",
     "Dataset",
     "Item",
     "ItemCatalog",
+    "load_arena",
+    "load_parquet",
+    "load_sql",
+    "stream_csv_to_arena",
+    "stream_parquet_to_arena",
+    "stream_records_to_arena",
+    "stream_sql_to_arena",
     "apply_cuts",
     "discretize_columns",
     "equal_frequency_cuts",

@@ -1,0 +1,858 @@
+"""Out-of-core arena files and record-sharded dataset views.
+
+The packed ``(n_items, ceil(n/64))`` uint64 arena (see
+:mod:`repro.tidvector`) is the one representation every mining and
+scoring path consumes. This module puts that arena on disk in a shape
+that every access pattern can reach **without materializing the whole
+thing in RAM**:
+
+* :class:`ArenaFile` — the on-disk format: a magic + JSON header (item
+  catalog, class names, labels offset, per-segment metadata and the
+  dataset content fingerprint, so ``Dataset.fingerprint()`` is readable
+  without a full scan), an ``int64`` class-label block, an ``int64``
+  per-segment item-support block, and K *record-range segments*, each a
+  C-order ``(n_items, seg_words)`` uint64 block. Segment boundaries sit
+  at multiples of 64 records, so a segment's words are exactly a word
+  range of the logical whole arena and a single-segment file maps
+  zero-copy as the dataset's item arena (``np.memmap``). Files are
+  written to a temp sibling and atomically renamed into place, so a
+  crashed writer never leaves a half-written arena under the real name.
+* :class:`ShardedDataset` — a :class:`~repro.data.dataset.Dataset`-
+  shaped read view over K record-range shards. Per-shard class counts
+  and item supports are merged at the shard boundary (disjoint record
+  ranges → exact integer sums, proven equal to whole-dataset counts by
+  the property suite), and item tidsets are assembled lazily one item
+  at a time from per-segment row reads — so mining touches only the
+  rows it asks for and memory stays bounded by the frequent-item set,
+  not the dataset.
+
+Memory model: opening an arena reads the header, labels and support
+blocks (O(n + K·n_items) small integers) and maps *nothing*. The
+whole-file map is taken only by ``Dataset.open_arena`` on single-
+segment files (zero-copy workers); sharded access uses per-segment
+windows and pread-style row reads, so a process under a hard address-
+space cap (``ulimit -v``) smaller than the file can still mine it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import DataError
+from ..tidvector import TidVector, words_for
+from .dataset import Dataset
+from .items import ItemCatalog
+
+__all__ = [
+    "ARENA_MAGIC",
+    "ARENA_SUFFIX",
+    "ArenaFile",
+    "ArenaSegment",
+    "ShardedDataset",
+    "write_arena",
+]
+
+PathLike = Union[str, Path]
+
+ARENA_MAGIC = b"REPROARN"
+ARENA_VERSION = 1
+#: Conventional file suffix recognized by the CLI/service loaders.
+ARENA_SUFFIX = ".arena"
+
+_HEADER_FIXED = 16  # magic (8 bytes) + uint64 header length
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+class ArenaSegment:
+    """Metadata of one record-range segment of an :class:`ArenaFile`.
+
+    ``start`` is the global id of the segment's first record and is
+    always a multiple of 64 (except implicitly for ``start == 0``), so
+    local bit ``j`` of the segment is global record ``start + j`` and
+    the segment's ``(n_items, n_words)`` block is the global word range
+    ``[start // 64, start // 64 + n_words)`` of the logical arena.
+    """
+
+    __slots__ = ("index", "start", "n_records", "n_words", "offset",
+                 "class_counts")
+
+    def __init__(self, index: int, start: int, n_records: int,
+                 n_words: int, offset: int,
+                 class_counts: Sequence[int]) -> None:
+        self.index = index
+        self.start = start
+        self.n_records = n_records
+        self.n_words = n_words
+        self.offset = offset
+        self.class_counts = np.asarray(class_counts, dtype=np.int64)
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.n_records
+
+    def __repr__(self) -> str:
+        return (f"ArenaSegment(index={self.index}, start={self.start}, "
+                f"n_records={self.n_records})")
+
+
+def segment_boundaries(n_records: int, n_segments: int) -> List[int]:
+    """Record-range split points for ``n_segments`` word-aligned shards.
+
+    Returns ``n_segments + 1`` ascending offsets starting at 0 and
+    ending at ``n_records``; every interior boundary is a multiple of
+    64 so each segment's packed words are a clean word-range slice.
+    Requesting more segments than ``ceil(n_records / 64)`` words
+    collapses to one segment per word.
+    """
+    if n_records <= 0:
+        raise DataError("cannot segment an empty record range")
+    if n_segments < 1:
+        raise DataError("n_segments must be >= 1")
+    n_words = words_for(n_records)
+    n_segments = min(n_segments, n_words)
+    split = np.linspace(0, n_words, n_segments + 1).round().astype(int)
+    bounds = sorted({int(w) * 64 for w in split})
+    bounds[-1] = n_records
+    return bounds
+
+
+def _render_header(*, n_records: int, n_items: int, name: str,
+                   fingerprint: str, class_names: Sequence[str],
+                   items: Sequence[Tuple[str, str]],
+                   labels_offset: int, supports_offset: int,
+                   segments: Sequence[dict]) -> bytes:
+    header = {
+        "version": ARENA_VERSION,
+        "n_records": int(n_records),
+        "n_items": int(n_items),
+        "n_words": words_for(n_records),
+        "name": str(name),
+        "fingerprint": str(fingerprint),
+        "class_names": [str(c) for c in class_names],
+        "items": [[str(a), str(v)] for a, v in items],
+        "labels_offset": int(labels_offset),
+        "supports_offset": int(supports_offset),
+        "segments": segments,
+    }
+    return json.dumps(header, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+
+
+def write_arena(
+    path: PathLike,
+    *,
+    n_records: int,
+    items: Sequence[Tuple[str, str]],
+    class_names: Sequence[str],
+    labels: np.ndarray,
+    segments: Sequence[Tuple[int, int, Iterable[np.ndarray]]],
+    fingerprint: str = "",
+    name: str = "dataset",
+) -> Path:
+    """Stream an arena file to disk and atomically rename it into place.
+
+    ``segments`` is a sequence of ``(start, seg_records, chunks)``
+    entries covering ``[0, n_records)`` contiguously with interior
+    boundaries at multiples of 64; ``chunks`` is an *iterable* of
+    C-order ``(rows, seg_words)`` uint64 blocks whose row counts sum to
+    ``len(items)`` — a generator keeps the writer's memory bounded by
+    one chunk regardless of arena size. Per-segment class counts and
+    item supports are computed as the chunks stream through; all
+    offsets in the header are relative to the 8-aligned end of the
+    header, so the header never depends on its own rendered length.
+    """
+    path = Path(path)
+    labels = np.ascontiguousarray(labels, dtype=np.int64)
+    if labels.shape != (n_records,):
+        raise DataError(
+            f"{labels.shape} labels block for {n_records} records")
+    n_items = len(items)
+    n_classes = len(class_names)
+    cursor = 0  # relative to data start
+    labels_offset = cursor
+    cursor = _align8(labels_offset + labels.nbytes)
+    supports_offset = cursor
+    supports = np.zeros((len(segments), n_items), dtype=np.int64)
+    cursor = _align8(supports_offset + supports.nbytes)
+    seg_meta: List[dict] = []
+    expect_start = 0
+    for start, seg_records, _chunks in segments:
+        if start != expect_start or (start and start % 64) \
+                or seg_records <= 0:
+            raise DataError(
+                f"segment at record {start} breaks the contiguous "
+                f"64-aligned partition of [0, {n_records})")
+        seg_words = words_for(seg_records)
+        seg_meta.append({
+            "start": int(start),
+            "n_records": int(seg_records),
+            "n_words": int(seg_words),
+            "offset": int(cursor),
+            "class_counts": [0] * n_classes,
+        })
+        cursor = _align8(cursor + n_items * seg_words * 8)
+        expect_start = start + seg_records
+    if expect_start != n_records:
+        raise DataError(
+            f"segments cover {expect_start} of {n_records} records")
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            # Header placeholder: rendered once sizes are known, but
+            # its *length* must be fixed now; render with final-shaped
+            # metadata (counts still zero) to reserve the exact bytes.
+            for index, (start, seg_records, _) in enumerate(segments):
+                seg_meta[index]["class_counts"] = [
+                    int(c) for c in np.bincount(
+                        labels[start:start + seg_records],
+                        minlength=n_classes)]
+            header = _render_header(
+                n_records=n_records, n_items=n_items, name=name,
+                fingerprint=fingerprint, class_names=class_names,
+                items=items, labels_offset=labels_offset,
+                supports_offset=supports_offset, segments=seg_meta)
+            handle.write(ARENA_MAGIC)
+            handle.write(np.uint64(len(header)).tobytes())
+            handle.write(header)
+            data_start = _align8(handle.tell())
+            handle.write(b"\x00" * (data_start - handle.tell()))
+            handle.write(labels.tobytes())
+            handle.write(b"\x00" * (data_start + supports_offset
+                                    - handle.tell()))
+            supports_pos = handle.tell()
+            handle.write(supports.tobytes())  # placeholder, patched below
+            for index, (start, seg_records, chunks) in enumerate(segments):
+                seg_words = seg_meta[index]["n_words"]
+                target = data_start + seg_meta[index]["offset"]
+                handle.write(b"\x00" * (target - handle.tell()))
+                rows_done = 0
+                for chunk in chunks:
+                    chunk = np.ascontiguousarray(chunk, dtype=np.uint64)
+                    if chunk.ndim != 2 or chunk.shape[1] != seg_words:
+                        raise DataError(
+                            f"segment {index} chunk has shape "
+                            f"{chunk.shape}, need (*, {seg_words})")
+                    supports[index, rows_done:rows_done + chunk.shape[0]] \
+                        = np.bitwise_count(chunk).sum(axis=1,
+                                                      dtype=np.int64)
+                    handle.write(chunk.tobytes())
+                    rows_done += chunk.shape[0]
+                if rows_done != n_items:
+                    raise DataError(
+                        f"segment {index} received {rows_done} item "
+                        f"rows, expected {n_items}")
+            handle.seek(supports_pos)
+            handle.write(supports.tobytes())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+class ArenaFile:
+    """Read access to an on-disk packed arena (see module docstring).
+
+    Opening parses the header and reads the label and support blocks;
+    word blocks stay on disk until asked for. Three access grains:
+
+    * :meth:`segment_words` — a read-only ``np.memmap`` window over one
+      segment's ``(n_items, seg_words)`` block (address space = one
+      segment, released when the array is dropped);
+    * :meth:`whole_words` — the zero-copy whole-arena map, available
+      only on single-segment files;
+    * :meth:`item_words` — one item's full-width row assembled from
+      per-segment ``os.pread`` calls, mapping nothing at all.
+
+    Use as a context manager, or :meth:`close` explicitly; live numpy
+    views must not outlast the file (the ``arena-lifetime`` lint rule
+    enforces this in library code).
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        try:
+            self._handle = open(self.path, "rb")
+        except OSError as exc:
+            raise DataError(f"cannot open arena {self.path}: {exc}") \
+                from exc
+        try:
+            magic = self._handle.read(8)
+            if magic != ARENA_MAGIC:
+                raise DataError(
+                    f"{self.path} is not an arena file (bad magic)")
+            (header_len,) = np.frombuffer(self._handle.read(8),
+                                          dtype=np.uint64)
+            raw = self._handle.read(int(header_len))
+            if len(raw) != int(header_len):
+                raise DataError(f"{self.path}: truncated arena header")
+            header = json.loads(raw.decode("utf-8"))
+            if header.get("version") != ARENA_VERSION:
+                raise DataError(
+                    f"{self.path}: unsupported arena version "
+                    f"{header.get('version')!r}")
+            self._data_start = _align8(_HEADER_FIXED + int(header_len))
+            self.n_records = int(header["n_records"])
+            self.n_items = int(header["n_items"])
+            self.n_words = int(header["n_words"])
+            self.name = str(header["name"])
+            self.fingerprint = str(header["fingerprint"])
+            self.class_names = [str(c) for c in header["class_names"]]
+            self.items: List[Tuple[str, str]] = [
+                (str(a), str(v)) for a, v in header["items"]]
+            self.segments: List[ArenaSegment] = [
+                ArenaSegment(i, int(s["start"]), int(s["n_records"]),
+                             int(s["n_words"]),
+                             self._data_start + int(s["offset"]),
+                             s["class_counts"])
+                for i, s in enumerate(header["segments"])]
+            self._labels_offset = self._data_start \
+                + int(header["labels_offset"])
+            self._supports_offset = self._data_start \
+                + int(header["supports_offset"])
+            self._labels: Optional[np.ndarray] = None
+            self._supports: Optional[np.ndarray] = None
+            self._catalog: Optional[ItemCatalog] = None
+            self._validate_layout()
+        except BaseException:
+            self._handle.close()
+            raise
+
+    def _validate_layout(self) -> None:
+        if self.n_words != words_for(self.n_records):
+            raise DataError(f"{self.path}: header word count "
+                            f"disagrees with record count")
+        if len(self.items) != self.n_items:
+            raise DataError(f"{self.path}: header lists "
+                            f"{len(self.items)} items for "
+                            f"{self.n_items} declared")
+        expect, total_words = 0, 0
+        for segment in self.segments:
+            if segment.start != expect or (segment.start
+                                           and segment.start % 64):
+                raise DataError(f"{self.path}: segment table is not a "
+                                f"contiguous 64-aligned partition")
+            if segment.n_words != words_for(segment.n_records):
+                raise DataError(f"{self.path}: segment {segment.index} "
+                                f"word count mismatch")
+            expect = segment.stop
+            total_words += segment.n_words
+        if expect != self.n_records or total_words != self.n_words:
+            raise DataError(
+                f"{self.path}: segments cover {expect} of "
+                f"{self.n_records} records")
+        end = os.fstat(self._handle.fileno()).st_size
+        last = self.segments[-1]
+        if last.offset + self.n_items * last.n_words * 8 > end:
+            raise DataError(f"{self.path}: truncated arena data")
+
+    # ------------------------------------------------------------------
+    # metadata blocks (small, read once)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    def _check_open(self) -> None:
+        if self._handle.closed:
+            raise DataError(
+                f"{self.path} is closed; word blocks and labels are "
+                f"unreachable (views taken earlier alias dead pages)")
+
+    def labels(self) -> np.ndarray:
+        """Per-record class indices (``int64``, cached)."""
+        if self._labels is None:
+            self._check_open()
+            raw = os.pread(self._handle.fileno(), self.n_records * 8,
+                           self._labels_offset)
+            self._labels = np.frombuffer(raw, dtype=np.int64).copy()
+        return self._labels
+
+    def catalog(self) -> ItemCatalog:
+        """The item catalog, rebuilt in dense-id order (cached)."""
+        if self._catalog is None:
+            catalog = ItemCatalog()
+            for attribute, value in self.items:
+                catalog.add_pair(attribute, value)
+            self._catalog = catalog
+        return self._catalog
+
+    def segment_item_supports(self) -> np.ndarray:
+        """``(n_segments, n_items)`` per-segment item supports."""
+        if self._supports is None:
+            count = self.n_segments * self.n_items
+            raw = os.pread(self._handle.fileno(), count * 8,
+                           self._supports_offset)
+            self._supports = np.frombuffer(raw, dtype=np.int64) \
+                .reshape(self.n_segments, self.n_items).copy()
+        return self._supports
+
+    def segment_class_counts(self) -> np.ndarray:
+        """``(n_segments, n_classes)`` per-segment class counts."""
+        return np.stack([s.class_counts for s in self.segments])
+
+    def item_supports(self) -> np.ndarray:
+        """Whole-dataset item supports: per-segment sums merged."""
+        return self.segment_item_supports().sum(axis=0)
+
+    def class_counts(self) -> np.ndarray:
+        """Whole-dataset class supports: per-segment sums merged."""
+        return self.segment_class_counts().sum(axis=0)
+
+    # ------------------------------------------------------------------
+    # word blocks (on-disk until asked for)
+    # ------------------------------------------------------------------
+
+    def segment_words(self, index: int) -> np.ndarray:
+        """Read-only memmap window of one segment's word block.
+
+        Address space charged to the process is one segment, not the
+        file; drop the returned array to release it.
+        """
+        self._check_open()
+        segment = self.segments[index]
+        if self.n_items == 0 or segment.n_words == 0:
+            return np.zeros((self.n_items, segment.n_words),
+                            dtype=np.uint64)
+        return np.memmap(self.path, dtype=np.uint64, mode="r",
+                         offset=segment.offset,
+                         shape=(self.n_items, segment.n_words))
+
+    def whole_words(self) -> np.ndarray:
+        """Zero-copy map of the whole arena (single-segment files).
+
+        Multi-segment files interleave per-segment blocks row-major
+        within each segment, so the logical whole arena is not one
+        contiguous block; use :meth:`segment_words` /
+        :meth:`item_words` or materialize via :meth:`to_dataset`.
+        """
+        if self.n_segments != 1:
+            raise DataError(
+                f"{self.path} has {self.n_segments} segments; the "
+                f"whole-arena zero-copy map needs exactly one")
+        return self.segment_words(0)
+
+    def item_words(self, item_id: int,
+                   segment: Optional[int] = None) -> np.ndarray:
+        """One item's packed words via pread — no mapping, no paging
+        beyond the row itself.
+
+        With ``segment`` given, only that segment's ``seg_words`` are
+        read; otherwise the full-width row is assembled across all
+        segments (boundaries are word-aligned, so plain concatenation
+        is the logical row).
+        """
+        if not 0 <= item_id < self.n_items:
+            raise DataError(f"item id {item_id} out of range")
+        self._check_open()
+        fd = self._handle.fileno()
+        if segment is not None:
+            seg = self.segments[segment]
+            raw = os.pread(fd, seg.n_words * 8,
+                           seg.offset + item_id * seg.n_words * 8)
+            return np.frombuffer(raw, dtype=np.uint64).copy()
+        row = np.empty(self.n_words, dtype=np.uint64)
+        word = 0
+        for seg in self.segments:
+            raw = os.pread(fd, seg.n_words * 8,
+                           seg.offset + item_id * seg.n_words * 8)
+            row[word:word + seg.n_words] = np.frombuffer(
+                raw, dtype=np.uint64)
+            word += seg.n_words
+        return row
+
+    def item_tidset(self, item_id: int) -> TidVector:
+        """Full-width :class:`TidVector` of one item (owned copy)."""
+        return TidVector(self.item_words(item_id), self.n_records)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __enter__(self) -> "ArenaFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ArenaFile(path={str(self.path)!r}, "
+                f"n_records={self.n_records}, n_items={self.n_items}, "
+                f"n_segments={self.n_segments})")
+
+
+# ----------------------------------------------------------------------
+# sharded dataset view
+# ----------------------------------------------------------------------
+
+
+class _Shard:
+    """One record-range shard: local counts plus local item rows."""
+
+    __slots__ = ("start", "n_records")
+
+    def __init__(self, start: int, n_records: int) -> None:
+        self.start = start
+        self.n_records = n_records
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.n_records
+
+    @property
+    def word_aligned(self) -> bool:
+        return self.start % 64 == 0
+
+    def class_counts(self) -> np.ndarray:     # pragma: no cover
+        raise NotImplementedError
+
+    def item_supports(self) -> np.ndarray:    # pragma: no cover
+        raise NotImplementedError
+
+    def item_words(self, item_id: int) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def item_bool(self, item_id: int) -> np.ndarray:
+        words = self.item_words(item_id)
+        return np.unpackbits(words.view(np.uint8),
+                             bitorder="little")[:self.n_records] \
+            .astype(bool)
+
+
+class _FileShard(_Shard):
+    """Shard backed by one :class:`ArenaFile` segment."""
+
+    __slots__ = ("_arena", "_index")
+
+    def __init__(self, arena: ArenaFile, index: int) -> None:
+        segment = arena.segments[index]
+        super().__init__(segment.start, segment.n_records)
+        self._arena = arena
+        self._index = index
+
+    def class_counts(self) -> np.ndarray:
+        return self._arena.segments[self._index].class_counts
+
+    def item_supports(self) -> np.ndarray:
+        return self._arena.segment_item_supports()[self._index]
+
+    def item_words(self, item_id: int) -> np.ndarray:
+        return self._arena.item_words(item_id, segment=self._index)
+
+
+class _MemoryShard(_Shard):
+    """Shard over a re-indexed in-RAM :class:`Dataset` subset.
+
+    Supports arbitrary (sub-word) boundaries: the subset re-packs its
+    records locally, and full-width assembly goes through the boolean
+    path when a boundary is not word-aligned.
+    """
+
+    __slots__ = ("dataset",)
+
+    def __init__(self, dataset: Dataset, start: int) -> None:
+        super().__init__(start, dataset.n_records)
+        self.dataset = dataset
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(
+            np.asarray(self.dataset.class_labels, dtype=np.int64),
+            minlength=self.dataset.n_classes)
+
+    def item_supports(self) -> np.ndarray:
+        return np.bitwise_count(self.dataset.item_arena) \
+            .sum(axis=1, dtype=np.int64)
+
+    def item_words(self, item_id: int) -> np.ndarray:
+        return np.asarray(self.dataset.item_tidsets[item_id].words)
+
+
+class _LazyItemTidsets(Sequence[TidVector]):
+    """Item tidsets assembled on demand from shard-local rows.
+
+    Quacks like the ``Dataset.item_tidsets`` list (len / index /
+    iterate) but holds no arena: each access reads one item's rows
+    from every shard and merges them into a full-width
+    :class:`TidVector`. Nothing is cached — bounded memory is the
+    point; callers that need a row repeatedly hold the TidVector.
+    """
+
+    def __init__(self, owner: "ShardedDataset") -> None:
+        self._owner = owner
+
+    def __len__(self) -> int:
+        return self._owner.n_items
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return TidVector(self._owner._item_row(index),
+                         self._owner.n_records)
+
+    def __iter__(self) -> Iterator[TidVector]:
+        for i in range(len(self)):
+            yield self[i]
+
+
+class ShardedDataset:
+    """K record-range shards presenting one dataset's read surface.
+
+    Duck-compatible with the :class:`~repro.data.dataset.Dataset` read
+    API that mining, fingerprinting and scoring consume (``n_records``,
+    ``item_tidsets``, ``class_labels``, ``class_tidset``,
+    ``pattern_tidset``, ...), but item tidsets are *assembled lazily*
+    from per-shard rows and supports come from per-shard counts merged
+    at the boundary — record ranges are disjoint, so whole-dataset
+    support is the exact integer sum of shard supports (pinned against
+    the unsharded oracle by the property suite).
+
+    Build from an on-disk arena (:meth:`open`) for out-of-core mining,
+    or from an in-RAM dataset (:meth:`from_dataset`) to test the
+    boundary math on arbitrary — even sub-word — shard boundaries.
+    """
+
+    def __init__(self, shards: Sequence[_Shard], *, n_records: int,
+                 catalog: ItemCatalog, labels: np.ndarray,
+                 class_names: Sequence[str], name: str,
+                 fingerprint: str = "",
+                 arena: Optional[ArenaFile] = None) -> None:
+        if not shards:
+            raise DataError("sharded dataset needs at least one shard")
+        expect = 0
+        for shard in shards:
+            if shard.start != expect:
+                raise DataError(
+                    f"shard starting at record {shard.start} breaks "
+                    f"the contiguous partition (expected {expect})")
+            expect = shard.stop
+        if expect != n_records:
+            raise DataError(
+                f"shards cover {expect} of {n_records} records")
+        self.shards: List[_Shard] = list(shards)
+        self.n_records = n_records
+        self.catalog = catalog
+        self.class_names = [str(c) for c in class_names]
+        self.name = name
+        self._labels_array = np.ascontiguousarray(labels, dtype=np.int64)
+        self.class_labels: List[int] = [int(x) for x in
+                                        self._labels_array]
+        self._fingerprint = fingerprint or None
+        self._arena = arena
+        self.item_tidsets = _LazyItemTidsets(self)
+        self._class_tidsets: Optional[List[TidVector]] = None
+        self._word_aligned = all(s.word_aligned for s in self.shards)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: PathLike) -> "ShardedDataset":
+        """Open an arena file as one shard per on-disk segment."""
+        arena = ArenaFile(path)
+        return cls(
+            [_FileShard(arena, i) for i in range(arena.n_segments)],
+            n_records=arena.n_records, catalog=arena.catalog(),
+            labels=arena.labels(), class_names=arena.class_names,
+            name=arena.name, fingerprint=arena.fingerprint,
+            arena=arena)
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, n_shards: int = 2,
+                     boundaries: Optional[Sequence[int]] = None,
+                     ) -> "ShardedDataset":
+        """Partition an in-RAM dataset into record-range shards.
+
+        ``boundaries`` (ascending interior split points) overrides the
+        even word-aligned split and may cut *inside* a 64-record word —
+        the shard views re-pack locally, which is exactly the case the
+        boundary-math property tests must cover.
+        """
+        if boundaries is None:
+            bounds = segment_boundaries(dataset.n_records, n_shards)
+        else:
+            bounds = [0, *sorted(int(b) for b in boundaries),
+                      dataset.n_records]
+            if len(set(bounds)) != len(bounds) \
+                    or bounds[0] < 0 or bounds[-1] != dataset.n_records:
+                raise DataError(f"invalid shard boundaries {boundaries}")
+        shards = [
+            _MemoryShard(
+                dataset.subset(range(lo, hi),
+                               name=f"{dataset.name}[shard{i}]"), lo)
+            for i, (lo, hi) in enumerate(zip(bounds, bounds[1:]))]
+        fingerprint = getattr(dataset, "_fingerprint", None) or ""
+        return cls(shards, n_records=dataset.n_records,
+                   catalog=dataset.catalog,
+                   labels=np.asarray(dataset.class_labels,
+                                     dtype=np.int64),
+                   class_names=dataset.class_names, name=dataset.name,
+                   fingerprint=fingerprint)
+
+    # ------------------------------------------------------------------
+    # merged counts (no data scan)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        return len(self.catalog)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.catalog.attributes)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def class_supports_merged(self) -> np.ndarray:
+        """Whole-dataset class supports as the sum of shard counts."""
+        out = np.zeros(self.n_classes, dtype=np.int64)
+        for shard in self.shards:
+            out += shard.class_counts()
+        return out
+
+    def item_supports_merged(self) -> np.ndarray:
+        """Whole-dataset item supports as the sum of shard supports."""
+        out = np.zeros(self.n_items, dtype=np.int64)
+        for shard in self.shards:
+            out += shard.item_supports()
+        return out
+
+    def item_support(self, item_id: int) -> int:
+        return int(self.item_supports_merged()[item_id])
+
+    def class_support(self, class_index: int) -> int:
+        return int(self.class_supports_merged()[class_index])
+
+    # ------------------------------------------------------------------
+    # Dataset read surface
+    # ------------------------------------------------------------------
+
+    def _item_row(self, item_id: int) -> np.ndarray:
+        """Full-width packed words of one item across all shards."""
+        if self._word_aligned:
+            return np.concatenate(
+                [shard.item_words(item_id) for shard in self.shards])
+        flags = np.concatenate(
+            [shard.item_bool(item_id) for shard in self.shards])
+        return TidVector.from_bool(flags).words
+
+    def class_tidset(self, class_index: int) -> TidVector:
+        if self._class_tidsets is None:
+            from ..tidvector import arena_rows, pack_bool_matrix
+            arena = pack_bool_matrix(
+                self._labels_array[None, :]
+                == np.arange(self.n_classes, dtype=np.int64)[:, None])
+            self._class_tidsets = arena_rows(arena, self.n_records)
+        return self._class_tidsets[class_index]
+
+    def class_summaries(self):
+        from .dataset import ClassSummary
+        supports = self.class_supports_merged()
+        return [ClassSummary(i, self.class_names[i], int(supports[i]),
+                             self.class_tidset(i))
+                for i in range(self.n_classes)]
+
+    def pattern_tidset(self, item_ids: Iterable[int]) -> TidVector:
+        """Intersection of the pattern's item rows (early exit)."""
+        ids = [int(i) for i in item_ids]
+        if not ids:
+            return TidVector.universe(self.n_records)
+        words = self._item_row(ids[0])
+        for item_id in ids[1:]:
+            np.bitwise_and(words, self._item_row(item_id), out=words)
+            if not words.any():
+                break
+        return TidVector(words, self.n_records)
+
+    def pattern_support(self, item_ids: Iterable[int]) -> int:
+        return self.pattern_tidset(item_ids).count()
+
+    def rule_support(self, item_ids: Iterable[int],
+                     class_index: int) -> int:
+        return self.pattern_tidset(item_ids).intersection_count(
+            self.class_tidset(class_index))
+
+    def fingerprint(self) -> str:
+        """Header fingerprint when available, else computed lazily."""
+        if self._fingerprint is None:
+            from .fingerprint import dataset_fingerprint
+            self._fingerprint = dataset_fingerprint(self)
+        return self._fingerprint
+
+    def permuted_class_tidsets(self, rng=None) -> List[TidVector]:
+        """Label-shuffled per-class sets (permutation-engine surface)."""
+        from ..tidvector import arena_rows, pack_bool_matrix
+        generator = rng if rng is not None else np.random.default_rng()
+        labels = generator.permutation(self._labels_array)
+        arena = pack_bool_matrix(
+            labels[None, :]
+            == np.arange(self.n_classes, dtype=np.int64)[:, None])
+        return arena_rows(arena, self.n_records)
+
+    def to_dataset(self, name: Optional[str] = None) -> Dataset:
+        """Materialize the full in-RAM :class:`Dataset` (one shard's
+        words at a time; peak extra memory is the final arena)."""
+        arena = np.empty((self.n_items, words_for(self.n_records)),
+                         dtype=np.uint64)
+        for item_id in range(self.n_items):
+            arena[item_id] = self._item_row(item_id)
+        dataset = Dataset(self.n_records, self.catalog, arena,
+                          self.class_labels, self.class_names,
+                          name=name or self.name)
+        if self._fingerprint:
+            dataset._fingerprint = self._fingerprint
+        return dataset
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._arena is not None:
+            self._arena.close()
+
+    def __enter__(self) -> "ShardedDataset":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ShardedDataset(name={self.name!r}, "
+                f"n_records={self.n_records}, n_items={self.n_items}, "
+                f"n_shards={self.n_shards})")

@@ -33,6 +33,7 @@ from ..tidvector import (
     pack_bool_matrix,
     pack_id_lists,
     pack_pairs,
+    stack_tidvectors,
     unpack_arena,
     words_for,
 )
@@ -80,6 +81,8 @@ class Dataset:
         class_labels: Sequence[int],
         class_names: Sequence[str],
         name: str = "dataset",
+        *,
+        validate_arena: bool = True,
     ) -> None:
         class_labels = [int(label) for label in class_labels]
         if len(class_labels) != n_records:
@@ -93,7 +96,8 @@ class Dataset:
             raise DataError("dataset must have at least two classes")
         self.n_records = n_records
         self.catalog = catalog
-        self._item_arena = self._adopt_arena(item_tidsets, n_records)
+        self._item_arena = self._adopt_arena(item_tidsets, n_records,
+                                             validate=validate_arena)
         if self._item_arena.shape[0] != len(catalog):
             raise DataError(
                 f"{self._item_arena.shape[0]} tidsets for "
@@ -118,8 +122,15 @@ class Dataset:
         self._class_tidsets = arena_rows(self._class_arena, n_records)
 
     @staticmethod
-    def _adopt_arena(item_tidsets, n_records: int) -> np.ndarray:
-        """Normalize any accepted tidset input to one packed arena."""
+    def _adopt_arena(item_tidsets, n_records: int,
+                     validate: bool = True) -> np.ndarray:
+        """Normalize any accepted tidset input to one packed arena.
+
+        ``validate=False`` skips the tail-bit scan for arenas whose
+        builder already guarantees clean tail words — the memory-mapped
+        ``open_arena`` path, where touching the last word column would
+        page in the entire file for no reason.
+        """
         n_words = words_for(n_records)
         if isinstance(item_tidsets, np.ndarray) and item_tidsets.ndim == 2:
             arena = np.ascontiguousarray(item_tidsets, dtype=np.uint64)
@@ -128,21 +139,21 @@ class Dataset:
                     f"arena has {arena.shape[1]} words per row, need "
                     f"{n_words} for {n_records} records")
             tail = n_records % 64
-            if n_words and tail and np.any(
+            if validate and n_words and tail and np.any(
                     arena[:, -1] >> np.uint64(tail)):
                 raise DataError(
                     "arena tidsets reference records >= n")
             return arena
         rows = list(item_tidsets)
         if rows and all(isinstance(t, TidVector) for t in rows):
-            arena = np.empty((len(rows), n_words), dtype=np.uint64)
             for i, tids in enumerate(rows):
                 if tids.n != n_records:
                     raise DataError(
                         f"tidset of item {i} covers {tids.n} records, "
                         f"expected {n_records}")
-                arena[i] = tids.words
-            return arena
+            # stack_tidvectors returns a zero-copy arena slice when the
+            # rows already share one contiguous arena in order.
+            return stack_tidvectors(rows, n_records)
         arena = np.zeros((len(rows), n_words), dtype=np.uint64)
         for i, tids in enumerate(rows):
             try:
@@ -358,6 +369,81 @@ class Dataset:
             self._class_tidsets[class_index])
 
     # ------------------------------------------------------------------
+    # out-of-core arena files
+    # ------------------------------------------------------------------
+
+    def save_arena(self, path, n_segments: int = 1,
+                   fingerprint: bool = True):
+        """Write this dataset as an on-disk arena file (atomic rename).
+
+        ``n_segments`` partitions the records into word-aligned
+        row-range segments for out-of-core sharded access (see
+        :mod:`repro.data.arena`); the default single segment keeps the
+        file mappable as one zero-copy whole arena. With
+        ``fingerprint=True`` the content fingerprint is computed (if
+        not already cached) and stored in the header, so readers never
+        need a full scan to key caches.
+        """
+        from .arena import segment_boundaries, write_arena
+
+        bounds = segment_boundaries(self.n_records, n_segments)
+        segments = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            w0 = lo // 64
+            w1 = w0 + words_for(hi - lo)
+            segments.append((lo, hi - lo, self._arena_chunks(w0, w1)))
+        if fingerprint:
+            stamp = self.fingerprint()
+        else:
+            stamp = getattr(self, "_fingerprint", None) or ""
+        return write_arena(
+            path, n_records=self.n_records,
+            items=[(item.attribute, item.value) for item in self.catalog],
+            class_names=self.class_names, labels=self._labels_array,
+            segments=segments, fingerprint=stamp, name=self.name)
+
+    def _arena_chunks(self, w0: int, w1: int):
+        """Yield contiguous item-row chunks of one word-column range,
+        bounded to ~64 MB per chunk however wide the arena is."""
+        row_bytes = max(1, (w1 - w0) * 8)
+        chunk = max(1, (64 << 20) // row_bytes)
+        for start in range(0, self.n_items, chunk):
+            yield np.ascontiguousarray(
+                self._item_arena[start:start + chunk, w0:w1])
+
+    @classmethod
+    def open_arena(cls, path) -> "Dataset":
+        """Open an arena file as a dataset, zero-copy where possible.
+
+        Single-segment files (the ``save_arena`` default) are adopted
+        as a read-only ``np.memmap`` of the word block — no copy, no
+        validation scan, pages faulted in only as mining touches them,
+        and shared between processes that open the same file.
+        Multi-segment files are materialized segment-at-a-time into
+        RAM; use :class:`~repro.data.arena.ShardedDataset` to mine
+        them without materializing.
+
+        The returned dataset remembers its source path: pickling it
+        (e.g. shipping it to executor workers) transmits the *path*,
+        not the words, and the receiver re-maps the same pages.
+        """
+        return _rebuild_arena_dataset(str(path), None, None, None, None)
+
+    def __reduce_ex__(self, protocol):
+        source = getattr(self, "_arena_source", None)
+        if source is None:
+            # No __reduce__ override exists, so the base implementation
+            # takes the normal copyreg path (pickling the arena by
+            # value) instead of dispatching back here.
+            return super().__reduce_ex__(protocol)
+        labels = None
+        if not getattr(self, "_arena_labels_native", False):
+            labels = np.asarray(self._labels_array)
+        return (_rebuild_arena_dataset,
+                (source, labels, list(self.class_names), self.name,
+                 getattr(self, "_fingerprint", None)))
+
+    # ------------------------------------------------------------------
     # transformations
     # ------------------------------------------------------------------
 
@@ -367,16 +453,24 @@ class Dataset:
 
         The packed item arena is shared zero-copy (tidsets are
         immutable), so this is cheap; it is the primitive beneath
-        permutation testing.
+        permutation testing. An arena-file-backed dataset keeps its
+        source path, so relabelled copies still pickle as path plus
+        labels rather than by value.
         """
-        return Dataset(
+        clone = Dataset(
             self.n_records,
             self.catalog,
             self._item_arena,
             new_labels,
             self.class_names,
             name=name or self.name,
+            validate_arena=False,
         )
+        source = getattr(self, "_arena_source", None)
+        if source is not None:
+            clone._arena_source = source
+            clone._arena_labels_native = False
+        return clone
 
     def permuted(self, rng=None, name: Optional[str] = None) -> "Dataset":
         """Return a copy with class labels randomly shuffled.
@@ -505,6 +599,50 @@ class Dataset:
         return (f"Dataset(name={self.name!r}, n_records={self.n_records}, "
                 f"n_attributes={self.n_attributes}, n_items={self.n_items}, "
                 f"n_classes={self.n_classes})")
+
+
+def _rebuild_arena_dataset(path, labels, class_names, name, fingerprint):
+    """Open (or unpickle) a dataset from an arena file.
+
+    The reconstructor behind :meth:`Dataset.open_arena` and the
+    zero-copy pickle path: ``labels``/``class_names``/``name`` override
+    the file's values when a relabelled derivative was pickled;
+    ``None`` means "use the file's". Workers unpickling a shipped
+    dataset re-map the same on-disk pages instead of receiving a
+    by-value copy of the words.
+    """
+    from .arena import ArenaFile
+
+    with ArenaFile(path) as arena:
+        if arena.n_segments == 1:
+            words = arena.whole_words()
+        else:
+            words = np.empty((arena.n_items, arena.n_words),
+                             dtype=np.uint64)
+            column = 0
+            for index in range(arena.n_segments):
+                block = np.asarray(arena.segment_words(index))
+                words[:, column:column + block.shape[1]] = block
+                column += block.shape[1]
+        native_labels = labels is None
+        dataset = Dataset(
+            arena.n_records,
+            arena.catalog(),
+            words,
+            arena.labels() if labels is None else labels,
+            arena.class_names if class_names is None else class_names,
+            name=arena.name if name is None else name,
+            validate_arena=False,
+        )
+        stamp = fingerprint if fingerprint is not None \
+            else (arena.fingerprint or None)
+        if stamp and native_labels and class_names is None:
+            dataset._fingerprint = stamp
+        elif stamp and fingerprint is not None:
+            dataset._fingerprint = stamp
+        dataset._arena_source = str(path)
+        dataset._arena_labels_native = native_labels
+    return dataset
 
 
 def _encode_labels(

@@ -31,9 +31,14 @@ change cannot silently alias old cache entries.
 from __future__ import annotations
 
 import hashlib
-from typing import List
+from typing import Iterable, List, Sequence
 
-__all__ = ["FINGERPRINT_VERSION", "dataset_fingerprint"]
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "dataset_fingerprint",
+    "fingerprint_from_lines",
+    "record_line",
+]
 
 FINGERPRINT_VERSION = "sha256-v1"
 
@@ -42,6 +47,34 @@ FINGERPRINT_VERSION = "sha256-v1"
 _ITEM_SEP = "\x1f"
 _FIELD_SEP = "\x1e"
 _LINE_SEP = "\x1d"
+
+
+def record_line(rendered_items: Iterable[str], label: str) -> str:
+    """Canonical line of one record: sorted items plus its label name.
+
+    The unit the fingerprint hashes; exposed so streaming ingest
+    (:mod:`repro.data.ingest`) can render lines record-by-record
+    without ever materializing a :class:`~repro.data.dataset.Dataset`.
+    """
+    return _ITEM_SEP.join(sorted(rendered_items)) + _FIELD_SEP + label
+
+
+def fingerprint_from_lines(lines: List[str],
+                           class_names: Sequence[str]) -> str:
+    """Hash canonical record lines (sorted in place) to a fingerprint.
+
+    ``lines`` must contain one :func:`record_line` per record; the
+    record multiset — not its order — determines the digest.
+    """
+    lines.sort()
+    digest = hashlib.sha256()
+    digest.update(f"{FINGERPRINT_VERSION}\x00".encode("utf-8"))
+    digest.update((_LINE_SEP.join(sorted(class_names))
+                   + "\x00").encode("utf-8"))
+    for line in lines:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\x00")
+    return f"{FINGERPRINT_VERSION}:{digest.hexdigest()}"
 
 
 def dataset_fingerprint(dataset) -> str:
@@ -57,17 +90,9 @@ def dataset_fingerprint(dataset) -> str:
         rendered = str(dataset.catalog.item(item_id))
         for record_id in tidset.indices():
             per_record[record_id].append(rendered)
-    lines = []
-    for record_id in range(n):
-        label = dataset.class_names[dataset.class_labels[record_id]]
-        lines.append(_ITEM_SEP.join(sorted(per_record[record_id]))
-                     + _FIELD_SEP + label)
-    lines.sort()
-    digest = hashlib.sha256()
-    digest.update(f"{FINGERPRINT_VERSION}\x00".encode("utf-8"))
-    digest.update((_LINE_SEP.join(sorted(dataset.class_names))
-                   + "\x00").encode("utf-8"))
-    for line in lines:
-        digest.update(line.encode("utf-8"))
-        digest.update(b"\x00")
-    return f"{FINGERPRINT_VERSION}:{digest.hexdigest()}"
+    lines = [
+        record_line(per_record[record_id],
+                    dataset.class_names[dataset.class_labels[record_id]])
+        for record_id in range(n)
+    ]
+    return fingerprint_from_lines(lines, dataset.class_names)

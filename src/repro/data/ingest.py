@@ -1,0 +1,517 @@
+"""Bounded-memory streaming ingest into on-disk arena files.
+
+``Dataset.from_records`` tokenizes whole datasets in RAM; this module
+ingests *streams* — record iterators, CSV files, Parquet/Arrow tables,
+SQL cursors — in fixed-size chunks: tokenize a chunk, pack its cells
+into one word-aligned segment block (:func:`repro.tidvector.pack_pairs`)
+and spill it to disk, never holding more than one chunk of records plus
+the growing item catalog. The finalize pass rewrites the spilled blocks
+into a proper :class:`~repro.data.arena.ArenaFile` (zero-padding each
+early segment up to the final item count — items first seen later have
+no records earlier, so the padding rows are exactly their true empty
+tidsets) and atomically renames it into place.
+
+Catalog ids are assigned record-by-record, left-to-right within each
+record — precisely the historical first-seen order that
+``Dataset.from_records`` replays via its registration sort — so the
+streamed arena is **byte-identical** to ``from_records(...)`` +
+``save_arena(...)`` on the same rows: same item ids, same mining
+order, same CSV outputs downstream.
+
+Fingerprinting: the content fingerprint needs every record's canonical
+line, so with ``compute_fingerprint=True`` (the default) ingest
+accumulates one rendered line per record — O(total text) memory, the
+one knowingly unbounded cost — and hashes them at finalize. Pass
+``False`` for huge streams; the fingerprint is then computed lazily on
+first demand by whoever opens the arena.
+
+The Parquet/Arrow loader degrades gracefully when ``pyarrow`` is not
+installed (:class:`~repro.errors.LoaderError`); the SQL loader uses
+only the standard-library ``sqlite3`` driver or any DB-API cursor you
+hand it.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
+
+import numpy as np
+
+from ..errors import DataError, LoaderError
+from ..tidvector import pack_pairs, words_for
+from .dataset import Dataset
+from .fingerprint import fingerprint_from_lines, record_line
+from .items import ItemCatalog
+
+__all__ = [
+    "DEFAULT_CHUNK_RECORDS",
+    "stream_records_to_arena",
+    "stream_csv_to_arena",
+    "load_parquet",
+    "stream_parquet_to_arena",
+    "load_sql",
+    "stream_sql_to_arena",
+]
+
+PathLike = Union[str, Path]
+
+#: Records per ingest chunk (and per arena segment); a multiple of 64
+#: so every chunk block is a word-aligned segment.
+DEFAULT_CHUNK_RECORDS = 16384
+
+
+class _StreamBuilder:
+    """Accumulates a record stream chunk-by-chunk into spill blocks.
+
+    One instance per ingest; drive with :meth:`add` then
+    :meth:`finalize`. Memory held: the item catalog, per-chunk cell
+    buffers (cleared every flush), the int label list, and — only when
+    fingerprinting — one canonical line per record.
+    """
+
+    def __init__(self, out_path: PathLike, *,
+                 attribute_names: Optional[Sequence[str]],
+                 class_names: Optional[Sequence[str]],
+                 name: str, chunk_records: int,
+                 compute_fingerprint: bool) -> None:
+        if chunk_records < 64:
+            raise DataError("chunk_records must be at least 64")
+        self.out_path = Path(out_path)
+        self.chunk_records = chunk_records - chunk_records % 64
+        self.name = name
+        self.attribute_names = (list(attribute_names)
+                                if attribute_names is not None else None)
+        self.catalog = ItemCatalog()
+        self._fixed_classes = class_names is not None
+        self.class_names: List[str] = ([str(c) for c in class_names]
+                                       if class_names else [])
+        self._class_index: Dict[str, int] = {
+            c: i for i, c in enumerate(self.class_names)}
+        self.labels: List[int] = []
+        self._lines: Optional[List[str]] = \
+            [] if compute_fingerprint else None
+        self._chunk_sets: List[int] = []
+        self._chunk_records: List[int] = []
+        self._chunk_start = 0
+        self.n_records = 0
+        self._spill_path = self.out_path.with_name(
+            self.out_path.name + f".spill.{os.getpid()}")
+        self._spill = open(self._spill_path, "wb")
+        # (start, n_records, n_items_at_flush, n_words, spill_offset)
+        self._blocks: List[Tuple[int, int, int, int, int]] = []
+
+    # ------------------------------------------------------------------
+
+    def add(self, record: Sequence[object], label: object) -> None:
+        """Ingest one record; flushes a segment every chunk boundary."""
+        if self.attribute_names is None:
+            self.attribute_names = [f"A{j}" for j in range(len(record))]
+        if len(record) != len(self.attribute_names):
+            raise DataError(
+                f"record {self.n_records} has {len(record)} values, "
+                f"expected {len(self.attribute_names)}")
+        rendered: List[str] = []
+        local = self.n_records - self._chunk_start
+        for j, value in enumerate(record):
+            if value is None:
+                continue
+            value = value if type(value) is str else str(value)
+            item_id = self.catalog.add_pair(self.attribute_names[j],
+                                            value)
+            self._chunk_sets.append(item_id)
+            self._chunk_records.append(local)
+            if self._lines is not None:
+                rendered.append(f"{self.attribute_names[j]}={value}")
+        key = str(label)
+        index = self._class_index.get(key)
+        if index is None:
+            if self._fixed_classes:
+                raise DataError(f"label {key!r} not in class_names")
+            index = len(self.class_names)
+            self._class_index[key] = index
+            self.class_names.append(key)
+        self.labels.append(index)
+        if self._lines is not None:
+            self._lines.append(record_line(rendered, key))
+        self.n_records += 1
+        if self.n_records - self._chunk_start >= self.chunk_records:
+            self._flush_chunk()
+
+    def _flush_chunk(self) -> None:
+        chunk_len = self.n_records - self._chunk_start
+        if chunk_len == 0:
+            return
+        block = pack_pairs(
+            np.asarray(self._chunk_sets, dtype=np.int64),
+            np.asarray(self._chunk_records, dtype=np.int64),
+            len(self.catalog), chunk_len)
+        self._blocks.append((self._chunk_start, chunk_len,
+                             block.shape[0], block.shape[1],
+                             self._spill.tell()))
+        self._spill.write(np.ascontiguousarray(block).tobytes())
+        self._chunk_sets.clear()
+        self._chunk_records.clear()
+        self._chunk_start = self.n_records
+
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> Path:
+        """Rewrite spill blocks as the final arena file (atomic)."""
+        from .arena import write_arena
+
+        try:
+            self._flush_chunk()
+            self._spill.flush()
+            if self.n_records == 0:
+                raise DataError("no records supplied")
+            if len(self.class_names) < 2:
+                raise DataError(
+                    "dataset must have at least two classes")
+            n_items = len(self.catalog)
+            spill = open(self._spill_path, "rb")
+            try:
+                segments = [
+                    (start, seg_records,
+                     self._padded_chunks(spill, rows, n_words, offset,
+                                         n_items))
+                    for start, seg_records, rows, n_words, offset
+                    in self._blocks]
+                fingerprint = ""
+                if self._lines is not None:
+                    fingerprint = fingerprint_from_lines(
+                        self._lines, self.class_names)
+                return write_arena(
+                    self.out_path, n_records=self.n_records,
+                    items=[(item.attribute, item.value)
+                           for item in self.catalog],
+                    class_names=self.class_names,
+                    labels=np.asarray(self.labels, dtype=np.int64),
+                    segments=segments, fingerprint=fingerprint,
+                    name=self.name)
+            finally:
+                spill.close()
+        finally:
+            self.abort()
+
+    @staticmethod
+    def _padded_chunks(spill, rows: int, n_words: int, offset: int,
+                       n_items: int) -> Iterator[np.ndarray]:
+        """Yield one spilled block padded up to the final item count."""
+        raw = os.pread(spill.fileno(), rows * n_words * 8, offset)
+        yield np.frombuffer(raw, dtype=np.uint64).reshape(rows, n_words)
+        if n_items > rows:
+            yield np.zeros((n_items - rows, n_words), dtype=np.uint64)
+
+    def abort(self) -> None:
+        """Drop the spill file (idempotent; finalize calls it too)."""
+        if not self._spill.closed:
+            self._spill.close()
+        try:
+            os.unlink(self._spill_path)
+        except OSError:
+            pass
+
+
+def stream_records_to_arena(
+    records: Iterable[Sequence[object]],
+    class_labels: Iterable[object],
+    path: PathLike,
+    attribute_names: Optional[Sequence[str]] = None,
+    name: str = "dataset",
+    class_names: Optional[Sequence[str]] = None,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    compute_fingerprint: bool = True,
+) -> Path:
+    """Stream ``(records, labels)`` iterables into an arena file.
+
+    Accepts the same row/label semantics as ``Dataset.from_records``
+    (values stringified, ``None`` cells missing) but never holds more
+    than ``chunk_records`` rows; the result is byte-identical to
+    ``Dataset.from_records(...).save_arena(path, n_segments=1)`` up to
+    segmentation (one segment per chunk here).
+    """
+    builder = _StreamBuilder(
+        path, attribute_names=attribute_names, class_names=class_names,
+        name=name, chunk_records=chunk_records,
+        compute_fingerprint=compute_fingerprint)
+    try:
+        record_iter = iter(records)
+        label_iter = iter(class_labels)
+        sentinel = object()
+        for record in record_iter:
+            label = next(label_iter, sentinel)
+            if label is sentinel:
+                raise DataError(
+                    f"{builder.n_records} class labels for a longer "
+                    f"record stream")
+            builder.add(record, label)
+        if next(label_iter, sentinel) is not sentinel:
+            raise DataError(
+                f"more class labels than records "
+                f"({builder.n_records} records)")
+        return builder.finalize()
+    except BaseException:
+        builder.abort()
+        raise
+
+
+def stream_csv_to_arena(
+    csv_path: PathLike,
+    path: PathLike,
+    class_column: Union[int, str] = -1,
+    has_header: bool = True,
+    delimiter: str = ",",
+    missing_token: str = "?",
+    name: Optional[str] = None,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    compute_fingerprint: bool = True,
+) -> Path:
+    """Stream a delimited text file into an arena file.
+
+    Cell semantics match :func:`repro.data.loaders.load_csv` exactly —
+    stripped cells, empty rows skipped, ``missing_token`` cells
+    producing no item — so mining the streamed arena yields
+    byte-identical CSV outputs to mining the in-RAM load.
+    """
+    csv_path = Path(csv_path)
+    builder: Optional[_StreamBuilder] = None
+    try:
+        with open(csv_path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            header: Optional[List[str]] = None
+            class_index = 0
+            data_row = 0
+            for raw in reader:
+                if not raw:
+                    continue
+                row = [cell.strip() for cell in raw]
+                if header is None:
+                    if has_header:
+                        header = row
+                        continue
+                    header = [f"A{j}" for j in range(len(row))]
+                if builder is None:
+                    n_columns = len(header)
+                    if isinstance(class_column, str):
+                        try:
+                            class_index = header.index(class_column)
+                        except ValueError:
+                            raise LoaderError(
+                                f"class column {class_column!r} not in "
+                                f"header {header}") from None
+                    else:
+                        class_index = class_column % n_columns
+                    builder = _StreamBuilder(
+                        path,
+                        attribute_names=[h for j, h in enumerate(header)
+                                         if j != class_index],
+                        class_names=None, name=name or csv_path.stem,
+                        chunk_records=chunk_records,
+                        compute_fingerprint=compute_fingerprint)
+                if len(row) != len(header):
+                    raise LoaderError(
+                        f"row {data_row} has {len(row)} cells, "
+                        f"expected {len(header)}")
+                label = row[class_index]
+                record = [None if cell == missing_token else cell
+                          for j, cell in enumerate(row)
+                          if j != class_index]
+                builder.add(record, label)
+                data_row += 1
+        if builder is None:
+            if header is not None:
+                raise LoaderError("CSV has a header but no data rows")
+            raise LoaderError("empty CSV input")
+        return builder.finalize()
+    except BaseException as exc:
+        if builder is not None:
+            builder.abort()
+        if isinstance(exc, OSError):
+            raise LoaderError(f"cannot read {csv_path}: {exc}") from exc
+        raise
+
+
+# ----------------------------------------------------------------------
+# Parquet / Arrow (gated on pyarrow)
+# ----------------------------------------------------------------------
+
+
+def _require_pyarrow():
+    try:
+        import pyarrow.parquet as pq  # type: ignore
+    except ImportError as exc:
+        raise LoaderError(
+            "Parquet/Arrow ingest requires the optional pyarrow "
+            "dependency, which is not installed") from exc
+    return pq
+
+
+def _iter_parquet(path: PathLike, class_column: Union[int, str],
+                  batch_rows: int):
+    """Yield ``(attribute_names, class_index)`` then row lists."""
+    pq = _require_pyarrow()
+    parquet = pq.ParquetFile(str(path))
+    names = list(parquet.schema_arrow.names)
+    if isinstance(class_column, str):
+        if class_column not in names:
+            raise LoaderError(
+                f"class column {class_column!r} not in {names}")
+        class_index = names.index(class_column)
+    else:
+        class_index = class_column % len(names)
+    yield names, class_index
+    for batch in parquet.iter_batches(batch_size=batch_rows):
+        columns = [column.to_pylist() for column in batch.columns]
+        for row in zip(*columns):
+            yield list(row)
+
+
+def load_parquet(path: PathLike,
+                 class_column: Union[int, str] = -1,
+                 name: Optional[str] = None) -> Dataset:
+    """Load a Parquet file as an in-RAM dataset (requires pyarrow).
+
+    Non-null cells are stringified (discretize continuous columns
+    first); nulls are missing cells. Raises
+    :class:`~repro.errors.LoaderError` when pyarrow is unavailable.
+    """
+    path = Path(path)
+    rows = _iter_parquet(path, class_column, DEFAULT_CHUNK_RECORDS)
+    names, class_index = next(rows)
+    records: List[List[Optional[str]]] = []
+    labels: List[str] = []
+    for row in rows:
+        labels.append(str(row[class_index]))
+        records.append([None if cell is None else str(cell)
+                        for j, cell in enumerate(row)
+                        if j != class_index])
+    if not records:
+        raise LoaderError(f"{path} contains no rows")
+    return Dataset.from_records(
+        records, labels,
+        [n for j, n in enumerate(names) if j != class_index],
+        name=name or path.stem)
+
+
+def stream_parquet_to_arena(
+    parquet_path: PathLike,
+    path: PathLike,
+    class_column: Union[int, str] = -1,
+    name: Optional[str] = None,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    compute_fingerprint: bool = True,
+) -> Path:
+    """Stream a Parquet file into an arena, one record batch at a time."""
+    parquet_path = Path(parquet_path)
+    rows = _iter_parquet(parquet_path, class_column, chunk_records)
+    names, class_index = next(rows)
+    builder = _StreamBuilder(
+        path,
+        attribute_names=[n for j, n in enumerate(names)
+                         if j != class_index],
+        class_names=None, name=name or parquet_path.stem,
+        chunk_records=chunk_records,
+        compute_fingerprint=compute_fingerprint)
+    try:
+        for row in rows:
+            label = str(row[class_index])
+            record = [None if cell is None else str(cell)
+                      for j, cell in enumerate(row) if j != class_index]
+            builder.add(record, label)
+        return builder.finalize()
+    except BaseException:
+        builder.abort()
+        raise
+
+
+# ----------------------------------------------------------------------
+# SQL (stdlib sqlite3 or any DB-API connection)
+# ----------------------------------------------------------------------
+
+
+def _sql_rows(database, query: str, class_column: Union[int, str],
+              batch_rows: int):
+    """Yield ``(column_names, class_index)`` then row tuples."""
+    import sqlite3
+
+    own = isinstance(database, (str, Path))
+    connection = sqlite3.connect(str(database)) if own else database
+    try:
+        cursor = connection.execute(query)
+        if cursor.description is None:
+            raise LoaderError(f"query returns no columns: {query!r}")
+        names = [column[0] for column in cursor.description]
+        if isinstance(class_column, str):
+            if class_column not in names:
+                raise LoaderError(
+                    f"class column {class_column!r} not in {names}")
+            class_index = names.index(class_column)
+        else:
+            class_index = class_column % len(names)
+        yield names, class_index
+        while True:
+            batch = cursor.fetchmany(batch_rows)
+            if not batch:
+                break
+            yield from batch
+    finally:
+        if own:
+            connection.close()
+
+
+def load_sql(database, query: str,
+             class_column: Union[int, str] = -1,
+             name: str = "sql") -> Dataset:
+    """Load a SQL query result as an in-RAM dataset.
+
+    ``database`` is a sqlite database path or an open DB-API
+    connection; column names come from the cursor description and
+    NULLs become missing cells.
+    """
+    rows = _sql_rows(database, query, class_column,
+                     DEFAULT_CHUNK_RECORDS)
+    names, class_index = next(rows)
+    records: List[List[Optional[str]]] = []
+    labels: List[str] = []
+    for row in rows:
+        labels.append(str(row[class_index]))
+        records.append([None if cell is None else str(cell)
+                        for j, cell in enumerate(row)
+                        if j != class_index])
+    if not records:
+        raise LoaderError(f"query returned no rows: {query!r}")
+    return Dataset.from_records(
+        records, labels,
+        [n for j, n in enumerate(names) if j != class_index], name=name)
+
+
+def stream_sql_to_arena(
+    database, query: str, path: PathLike,
+    class_column: Union[int, str] = -1,
+    name: str = "sql",
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    compute_fingerprint: bool = True,
+) -> Path:
+    """Stream a SQL query result into an arena file batch-by-batch."""
+    rows = _sql_rows(database, query, class_column, chunk_records)
+    names, class_index = next(rows)
+    builder = _StreamBuilder(
+        path,
+        attribute_names=[n for j, n in enumerate(names)
+                         if j != class_index],
+        class_names=None, name=name, chunk_records=chunk_records,
+        compute_fingerprint=compute_fingerprint)
+    try:
+        for row in rows:
+            label = str(row[class_index])
+            record = [None if cell is None else str(cell)
+                      for j, cell in enumerate(row) if j != class_index]
+            builder.add(record, label)
+        return builder.finalize()
+    except BaseException:
+        builder.abort()
+        raise

@@ -19,6 +19,7 @@ from ..errors import LoaderError
 from .dataset import Dataset
 
 __all__ = [
+    "load_arena",
     "load_csv",
     "save_csv",
     "load_fimi",
@@ -101,6 +102,22 @@ def _parse_csv_text(
         ]
         records.append(record)
     return Dataset.from_records(records, labels, attribute_names, name=name)
+
+
+def load_arena(path: PathLike, sharded: bool = False):
+    """Open an on-disk arena file (see :mod:`repro.data.arena`).
+
+    With ``sharded=False`` (default) this is
+    :meth:`~repro.data.dataset.Dataset.open_arena`: a dataset whose
+    word block is memory-mapped zero-copy on single-segment files.
+    ``sharded=True`` returns the
+    :class:`~repro.data.arena.ShardedDataset` view instead — bounded
+    memory per access, for arenas larger than RAM.
+    """
+    if sharded:
+        from .arena import ShardedDataset
+        return ShardedDataset.open(path)
+    return Dataset.open_arena(path)
 
 
 def save_csv(dataset: Dataset, path: PathLike, delimiter: str = ",",

@@ -339,14 +339,18 @@ class PatternForest:
         return out
 
     def class_supports_batch(self, class_indicators: np.ndarray,
-                             ) -> np.ndarray:
+                             word_block: int = 0) -> np.ndarray:
         """``(B, n_nodes)`` class supports for ``B`` labellings at once.
 
         Row ``b`` equals ``class_supports(class_indicators[b])``. Under
         the ``"packed"`` policy the whole batch is a handful of
         C-level array operations (the batched permutation pass's hot
         kernel); the other policies answer row by row, so the ablation
-        arms stay comparable through one entry point.
+        arms stay comparable through one entry point. ``word_block``
+        (packed policy only) shards the pass by record range — exact
+        int64 partials summed at the boundary, so results are
+        bit-identical; see :meth:`repro.bitmat.BitMatrix.
+        class_supports_batch`.
         """
         indicators = np.asarray(class_indicators, dtype=bool)
         if indicators.ndim != 2 \
@@ -356,14 +360,15 @@ class PatternForest:
                 f"(B, {self.n_records})")
         if self.policy == "packed":
             assert self._matrix is not None
-            return self._matrix.class_supports_batch(indicators)
+            return self._matrix.class_supports_batch(
+                indicators, word_block=word_block)
         if indicators.shape[0] == 0:
             return np.zeros((0, self.n_nodes), dtype=np.int64)
         return np.stack([self.class_supports(row)
                          for row in indicators])
 
     def class_supports_multi(self, class_indicators: np.ndarray,
-                             ) -> np.ndarray:
+                             word_block: int = 0) -> np.ndarray:
         """``(C, B, n_nodes)`` supports: all classes, all labellings.
 
         ``class_indicators[c, b]`` marks the records labelled class
@@ -373,7 +378,9 @@ class PatternForest:
         kernel dispatch (:meth:`repro.bitmat.BitMatrix.
         class_supports_multi`) instead of one call per class — the
         multiclass permutation pass's entry point; other policies
-        flatten through :meth:`class_supports_batch`.
+        flatten through :meth:`class_supports_batch`. ``word_block``
+        shards by record range exactly as in
+        :meth:`class_supports_batch`.
         """
         indicators = np.asarray(class_indicators, dtype=bool)
         if indicators.ndim != 3 \
@@ -383,7 +390,8 @@ class PatternForest:
                 f"(C, B, {self.n_records})")
         if self.policy == "packed":
             assert self._matrix is not None
-            return self._matrix.class_supports_multi(indicators)
+            return self._matrix.class_supports_multi(
+                indicators, word_block=word_block)
         n_classes, n_batch = indicators.shape[:2]
         flat = indicators.reshape(n_classes * n_batch, self.n_records)
         return self.class_supports_batch(flat).reshape(

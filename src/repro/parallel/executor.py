@@ -78,6 +78,9 @@ BACKENDS = ("serial", "threads", "processes")
 S = TypeVar("S")
 R = TypeVar("R")
 
+#: Sentinel distinguishing "no context" from a ``None`` context.
+_NO_CONTEXT = object()
+
 #: One unit's outcome inside a wave: (unit index, succeeded, value or
 #: exception, formatted worker traceback when one crossed a process
 #: boundary).
@@ -189,8 +192,9 @@ class Executor:
 
     # ------------------------------------------------------------------
 
-    def map_shards(self, fn: Callable[[S], R],
-                   shards: Iterable[S]) -> List[R]:
+    def map_shards(self, fn: Callable[..., R],
+                   shards: Iterable[S],
+                   context: object = _NO_CONTEXT) -> List[R]:
         """``[fn(shard) for shard in shards]``, possibly in parallel.
 
         Results come back in shard order on every backend. The shard
@@ -198,6 +202,17 @@ class Executor:
         shards, which is what makes results independent of the worker
         count — and what makes retries invisible in the output, since
         a retried shard re-runs with the seeds it carries.
+
+        ``context`` hoists a payload shared by every unit out of the
+        per-unit shards: when given, ``fn`` is called as
+        ``fn(context, shard)`` and the processes backend ships the
+        payload through the pool *initializer* — once per worker per
+        wave (inherited for free under the fork start method, not
+        pickled at all) — so per-unit submissions and **retries**
+        re-send only the small shard, never the payload. Callers whose
+        payload is a dataset should pass it here rather than closing
+        over it, or the dataset is re-pickled for every unit of every
+        retry wave.
         """
         items: Sequence[S] = list(shards)
         if not items:
@@ -218,13 +233,14 @@ class Executor:
                           and (backend != "processes"
                                or self.deadline is None))
             if backend == "serial" or in_process:
-                outcomes = self._wave_serial(fn, items, pending)
+                outcomes = self._wave_serial(fn, items, pending,
+                                             context)
             elif backend == "threads":
                 outcomes = self._wave_threads(fn, items, pending,
-                                              workers)
+                                              workers, context)
             else:
                 outcomes = self._wave_processes(fn, items, pending,
-                                                workers)
+                                                workers, context)
             retry: List[int] = []
             deepest = 0
             for index, ok, value, formatted in outcomes:
@@ -284,12 +300,15 @@ class Executor:
     # waves (one attempt of every still-pending unit)
     # ------------------------------------------------------------------
 
-    def _wave_serial(self, fn: Callable[[S], R], items: Sequence[S],
-                     pending: Sequence[int]) -> List[_Outcome]:
+    def _wave_serial(self, fn: Callable[..., R], items: Sequence[S],
+                     pending: Sequence[int],
+                     context: object = _NO_CONTEXT) -> List[_Outcome]:
         outcomes: List[_Outcome] = []
         for index in pending:
             try:
-                outcomes.append((index, True, fn(items[index]), None))
+                value = (fn(items[index]) if context is _NO_CONTEXT
+                         else fn(context, items[index]))
+                outcomes.append((index, True, value, None))
             except Exception as exc:
                 outcomes.append((index, False, exc,
                                  traceback.format_exc()))
@@ -300,21 +319,23 @@ class Executor:
                     break
         return outcomes
 
-    def _wave_threads(self, fn: Callable[[S], R], items: Sequence[S],
-                      pending: Sequence[int],
-                      workers: int) -> List[_Outcome]:
+    def _wave_threads(self, fn: Callable[..., R], items: Sequence[S],
+                      pending: Sequence[int], workers: int,
+                      context: object = _NO_CONTEXT) -> List[_Outcome]:
         def guarded(index: int) -> _Outcome:
             try:
-                return index, True, fn(items[index]), None
+                value = (fn(items[index]) if context is _NO_CONTEXT
+                         else fn(context, items[index]))
+                return index, True, value, None
             except Exception as exc:
                 return index, False, exc, traceback.format_exc()
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(guarded, pending))
 
-    def _wave_processes(self, fn: Callable[[S], R], items: Sequence[S],
-                        pending: Sequence[int],
-                        workers: int) -> List[_Outcome]:
+    def _wave_processes(self, fn: Callable[..., R], items: Sequence[S],
+                        pending: Sequence[int], workers: int,
+                        context: object = _NO_CONTEXT) -> List[_Outcome]:
         # fork keeps the parent's modules/sys.path visible without
         # re-importing, and makes already-registered plugin
         # corrections (and the armed fault plan) available in workers;
@@ -325,14 +346,27 @@ class Executor:
         except ValueError:  # pragma: no cover - non-POSIX platforms
             ctx = multiprocessing.get_context()
         outcomes: List[_Outcome] = []
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        if context is _NO_CONTEXT:
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=ctx)
+            submit = lambda index: pool.submit(  # noqa: E731
+                _guarded_call, fn, index, items[index])
+        else:
+            # The shared payload rides the pool initializer: once per
+            # worker per wave (inherited, not pickled, under fork), so
+            # per-unit submissions — and every retry — carry only the
+            # small shard.
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx,
+                initializer=_install_wave_context,
+                initargs=(fn, context))
+            submit = lambda index: pool.submit(  # noqa: E731
+                _guarded_context_call, index, items[index])
         try:
             futures: List[_Submitted] = []
             for index in pending:
                 try:
-                    futures.append((index,
-                                    pool.submit(_guarded_call, fn,
-                                                index, items[index])))
+                    futures.append((index, submit(index)))
                 except BrokenExecutor as exc:
                     # A worker died while this wave was still being
                     # submitted: the pool refuses further work, so the
@@ -372,6 +406,18 @@ def _terminate_pool_workers(pool: ProcessPoolExecutor) -> None:
             continue
 
 
+#: Worker-side ``(fn, context)`` installed by the pool initializer for
+#: context-hoisted waves (one slot per worker process; each wave's
+#: fresh pool overwrites it).
+_WAVE_CONTEXT: Optional[Tuple[Callable, object]] = None
+
+
+def _install_wave_context(fn: Callable, context: object) -> None:
+    """Pool initializer: park the wave's shared payload in the worker."""
+    global _WAVE_CONTEXT
+    _WAVE_CONTEXT = (fn, context)
+
+
 def _guarded_call(fn: Callable[[S], R], index: int,
                   shard: S) -> Tuple[bool, object, Optional[str]]:
     """Run one shard in a worker, capturing the traceback on failure.
@@ -402,6 +448,16 @@ def _guarded_call(fn: Callable[[S], R], index: int,
             exc = WorkerError(
                 f"unpicklable worker exception {exc!r} on shard {index}")
         return False, exc, formatted
+
+
+def _guarded_context_call(index: int, shard: S,
+                          ) -> Tuple[bool, object, Optional[str]]:
+    """Context-hoisted flavour of :func:`_guarded_call`: the function
+    and shared payload come from the worker's installed wave context,
+    so this submission pickles only the unit index and shard."""
+    assert _WAVE_CONTEXT is not None, "pool initializer did not run"
+    fn, context = _WAVE_CONTEXT
+    return _guarded_call(lambda unit: fn(context, unit), index, shard)
 
 
 def get_executor(backend: str = "serial", n_jobs: int = 1,

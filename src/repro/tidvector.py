@@ -440,6 +440,44 @@ def arena_rows(arena: np.ndarray, n: int) -> List[TidVector]:
     return [TidVector(arena[i], n) for i in range(arena.shape[0])]
 
 
+def _shared_arena_view(vectors: Sequence[TidVector]) -> Optional[np.ndarray]:
+    """A zero-copy ``(len, n_words)`` view when the vectors are
+    consecutive rows of one contiguous 2-D arena, else ``None``.
+
+    This is the common adoption shape — ``arena_rows`` hands out row
+    views in order, and consumers immediately want the arena back —
+    so detecting it turns the stack into a slice of the original
+    arena instead of a fresh copy.
+    """
+    first = vectors[0].words
+    base = first.base
+    if base is None or first.ndim != 1 or first.dtype != np.uint64 \
+            or not first.flags.c_contiguous:
+        return None
+    n_words = first.shape[0]
+    if n_words == 0:
+        return None
+    # Numpy collapses view chains to the ultimate owning buffer, so the
+    # arena itself may be a view and ``base`` 1-D: verify sharing and
+    # adjacency by address, not by shape.
+    origin = first.__array_interface__["data"][0]
+    stride = n_words * first.itemsize
+    for i, vector in enumerate(vectors):
+        words = vector.words
+        if words.base is not base or words.ndim != 1 \
+                or words.shape[0] != n_words \
+                or words.dtype != np.uint64 \
+                or not words.flags.c_contiguous:
+            return None
+        if words.__array_interface__["data"][0] != origin + i * stride:
+            return None
+    # Every row is a live view of ``base`` and the rows are exactly
+    # consecutive, so the strided window stays within the buffer.
+    return np.lib.stride_tricks.as_strided(
+        first, shape=(len(vectors), n_words),
+        strides=(stride, first.itemsize))
+
+
 def stack_tidvectors(vectors: Sequence[TidVector],
                      n: Optional[int] = None) -> np.ndarray:
     """Stack vectors into a ``(len, n_words)`` uint64 matrix.
@@ -448,6 +486,13 @@ def stack_tidvectors(vectors: Sequence[TidVector],
     :class:`~repro.bitmat.BitMatrix` kernels: one contiguous copy of
     already-packed words, no bigint round-trip. ``n`` is required only
     for an empty sequence.
+
+    When the vectors are already consecutive row views over one shared
+    contiguous arena (the :func:`arena_rows` round trip), the original
+    arena slice is returned as a zero-copy view instead of a fresh
+    allocation — TidVector ops never write through their words, so the
+    view is as safe as a copy and keeps whole-arena adoption free even
+    for memory-mapped arenas.
     """
     if not vectors:
         if n is None:
@@ -462,4 +507,7 @@ def stack_tidvectors(vectors: Sequence[TidVector],
     if n is not None and n != width:
         raise ValueError(
             f"TidVectors cover {width} records, expected {n}")
+    shared = _shared_arena_view(vectors)
+    if shared is not None:
+        return shared
     return np.stack([vector.words for vector in vectors])

@@ -488,3 +488,105 @@ class TestSwallowedWorkerException:
                     pass
             """)
         assert hits == []
+
+
+class TestArenaLifetime:
+    RULE = "arena-lifetime"
+
+    def test_tp_view_used_after_with_exit(self):
+        hits = _run(self.RULE, "repro/data/consumer.py", """\
+            from repro.data.arena import ArenaFile
+
+            def supports(path):
+                with ArenaFile(path) as af:
+                    words = af.whole_words()
+                return words.sum()
+            """)
+        assert len(hits) == 1
+        assert "after the arena is closed" in hits[0].message
+
+    def test_tp_view_returned_from_with_body(self):
+        hits = _run(self.RULE, "repro/mining/reader.py", """\
+            from repro.data.arena import ArenaFile
+
+            def word_block(path, i):
+                with ArenaFile(path) as af:
+                    seg = af.segment_words(i)
+                    return seg
+            """)
+        assert len(hits) == 1
+        assert "escapes the with block" in hits[0].message
+
+    def test_tp_slice_survives_explicit_close(self):
+        # Slices of a view alias the same mapping as the view itself.
+        hits = _run(self.RULE, "repro/data/consumer.py", """\
+            from repro.data.arena import ArenaFile
+
+            def head(path):
+                af = ArenaFile(path)
+                block = af.whole_words()[:4]
+                af.close()
+                return block
+            """)
+        assert len(hits) == 1
+
+    def test_tp_view_stored_on_self(self):
+        hits = _run(self.RULE, "repro/data/cache.py", """\
+            from repro.data.arena import ArenaFile
+
+            class Cache:
+                def load(self, path):
+                    with ArenaFile(path) as af:
+                        self.words = af.whole_words()
+            """)
+        assert len(hits) == 1
+        assert "stored on self" in hits[0].message
+
+    def test_tn_copy_before_close(self):
+        # np.array(...) materializes; the copy may outlive the arena.
+        hits = _run(self.RULE, "repro/data/consumer.py", """\
+            import numpy as np
+
+            from repro.data.arena import ArenaFile
+
+            def supports(path):
+                with ArenaFile(path) as af:
+                    words = np.array(af.whole_words())
+                return words.sum()
+            """)
+        assert hits == []
+
+    def test_tn_use_inside_with(self):
+        hits = _run(self.RULE, "repro/data/consumer.py", """\
+            from repro.data.arena import ArenaFile
+
+            def supports(path):
+                with ArenaFile(path) as af:
+                    words = af.whole_words()
+                    total = int(words.sum())
+                return total
+            """)
+        assert hits == []
+
+    def test_tn_arena_kept_open(self):
+        # No close event in the function: the mapping's lifetime is
+        # managed elsewhere (the Dataset.open_arena idiom).
+        hits = _run(self.RULE, "repro/data/dataset_like.py", """\
+            from repro.data.arena import ArenaFile
+
+            def open_words(path):
+                af = ArenaFile(path)
+                return af, af.whole_words()
+            """)
+        assert hits == []
+
+    def test_tn_out_of_scope_module(self):
+        hits = _run(self.RULE, "repro/service/core.py", """\
+            from repro.data.arena import ArenaFile
+
+            def supports(path):
+                with ArenaFile(path) as af:
+                    words = af.whole_words()
+                return words.sum()
+            """)
+        assert hits == []

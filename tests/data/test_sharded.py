@@ -1,0 +1,172 @@
+"""ShardedDataset: merged counts, closure, and scoring vs the oracle.
+
+The load-bearing invariant of the out-of-core path: every quantity a
+consumer reads off a K-shard view — class counts, item supports,
+pattern tidsets, mined rules, permutation p-values — equals the same
+quantity computed on the whole in-RAM dataset, for any K, ragged word
+widths, and shards smaller than a single 64-bit word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset, ShardedDataset
+from repro.errors import DataError
+from repro.mining import mine_class_rules
+from repro.corrections.permutation import PermutationEngine
+
+
+def _dataset_from_bits(bits: np.ndarray, labels: np.ndarray) -> Dataset:
+    """Build a dataset whose item tidsets are the given bool matrix."""
+    n_records, n_attributes = bits.shape
+    records = [["y" if bits[r, a] else "n" for a in range(n_attributes)]
+               for r in range(n_records)]
+    names = [f"c{v}" for v in labels]
+    return Dataset.from_records(
+        records, names, [f"A{j}" for j in range(n_attributes)],
+        name="prop")
+
+
+@st.composite
+def sharded_instances(draw):
+    n_records = draw(st.integers(min_value=2, max_value=300))
+    n_attributes = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    bits = rng.random((n_records, n_attributes)) < 0.5
+    labels = rng.integers(0, 2, size=n_records)
+    labels[:2] = (0, 1)  # both classes always present
+    n_shards = draw(st.sampled_from([1, 2, 7]))
+    return bits, labels, n_shards
+
+
+@given(sharded_instances())
+@settings(max_examples=40, deadline=None)
+def test_merged_counts_equal_oracle(instance):
+    bits, labels, n_shards = instance
+    ds = _dataset_from_bits(bits, labels)
+    sharded = ShardedDataset.from_dataset(ds, n_shards=n_shards)
+    assert np.array_equal(
+        sharded.item_supports_merged(),
+        [t.count() for t in ds.item_tidsets])
+    assert np.array_equal(
+        sharded.class_supports_merged(),
+        [ds.class_support(c) for c in range(ds.n_classes)])
+    assert sharded.n_records == ds.n_records
+    assert sharded.fingerprint() == ds.fingerprint()
+
+
+@given(sharded_instances())
+@settings(max_examples=40, deadline=None)
+def test_lazy_tidsets_equal_oracle(instance):
+    bits, labels, n_shards = instance
+    ds = _dataset_from_bits(bits, labels)
+    sharded = ShardedDataset.from_dataset(ds, n_shards=n_shards)
+    assert len(sharded.item_tidsets) == len(ds.item_tidsets)
+    for lazy, ref in zip(sharded.item_tidsets, ds.item_tidsets):
+        assert np.array_equal(lazy.words, ref.words)
+        assert lazy.n == ref.n
+
+
+@given(sharded_instances())
+@settings(max_examples=25, deadline=None)
+def test_pattern_closure_equal_oracle(instance):
+    bits, labels, n_shards = instance
+    ds = _dataset_from_bits(bits, labels)
+    sharded = ShardedDataset.from_dataset(ds, n_shards=n_shards)
+    items = list(range(min(ds.n_items, 3)))
+    assert sharded.pattern_support(items) == ds.pattern_support(items)
+    assert np.array_equal(sharded.pattern_tidset(items).words,
+                          ds.pattern_tidset(items).words)
+
+
+@st.composite
+def subword_instances(draw):
+    """Boundaries that split inside a single 64-bit word."""
+    n_records = draw(st.integers(min_value=8, max_value=120))
+    cut_fracs = draw(st.lists(
+        st.floats(min_value=0.05, max_value=0.95), min_size=1,
+        max_size=3, unique=True))
+    cuts = sorted({max(1, min(n_records - 1, int(f * n_records)))
+                   for f in cut_fracs})
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n_records, cuts, seed
+
+
+@given(subword_instances())
+@settings(max_examples=30, deadline=None)
+def test_subword_boundaries_equal_oracle(instance):
+    n_records, cuts, seed = instance
+    rng = np.random.default_rng(seed)
+    bits = rng.random((n_records, 3)) < 0.5
+    labels = rng.integers(0, 2, size=n_records)
+    labels[:2] = (0, 1)
+    ds = _dataset_from_bits(bits, labels)
+    sharded = ShardedDataset.from_dataset(ds, boundaries=cuts)
+    assert np.array_equal(
+        sharded.item_supports_merged(),
+        [t.count() for t in ds.item_tidsets])
+    for lazy, ref in zip(sharded.item_tidsets, ds.item_tidsets):
+        assert np.array_equal(lazy.words, ref.words)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.sampled_from([1, 2, 7]))
+@settings(max_examples=8, deadline=None)
+def test_permutation_pvalues_equal_oracle(seed, n_shards):
+    rng = np.random.default_rng(seed)
+    bits = rng.random((180, 4)) < 0.5
+    labels = rng.integers(0, 2, size=180)
+    labels[:2] = (0, 1)
+    ds = _dataset_from_bits(bits, labels)
+    sharded = ShardedDataset.from_dataset(ds, n_shards=n_shards)
+    rs_ref = mine_class_rules(ds, min_sup=10)
+    rs_sh = mine_class_rules(sharded, min_sup=10)
+    assert [(r.pattern_id, r.class_index, r.coverage, r.p_value)
+            for r in rs_ref.rules] == \
+           [(r.pattern_id, r.class_index, r.coverage, r.p_value)
+            for r in rs_sh.rules]
+    if not rs_ref.rules:
+        return
+    e_ref = PermutationEngine(rs_ref, n_permutations=25, seed=3)
+    e_sh = PermutationEngine(rs_sh, n_permutations=25, seed=3)
+    assert e_ref.empirical_p_values() == e_sh.empirical_p_values()
+    assert np.array_equal(e_ref.min_p_distribution(),
+                          e_sh.min_p_distribution())
+
+
+class TestShardedValidation:
+    def test_non_contiguous_boundaries_rejected(self):
+        rng = np.random.default_rng(0)
+        ds = _dataset_from_bits(rng.random((50, 2)) < 0.5,
+                                rng.integers(0, 2, size=50))
+        with pytest.raises(DataError):
+            ShardedDataset.from_dataset(ds, boundaries=[30, 30])
+        with pytest.raises(DataError):
+            ShardedDataset.from_dataset(ds, boundaries=[75])
+
+    def test_to_dataset_round_trip(self):
+        rng = np.random.default_rng(1)
+        ds = _dataset_from_bits(rng.random((130, 3)) < 0.5,
+                                rng.integers(0, 2, size=130))
+        sharded = ShardedDataset.from_dataset(ds, n_shards=3)
+        back = sharded.to_dataset()
+        assert np.array_equal(back.item_arena, ds.item_arena)
+        assert back.fingerprint() == ds.fingerprint()
+
+    def test_open_from_file(self, tmp_path):
+        rng = np.random.default_rng(2)
+        ds = _dataset_from_bits(rng.random((400, 3)) < 0.5,
+                                rng.integers(0, 2, size=400))
+        path = tmp_path / "s.arena"
+        ds.save_arena(path, n_segments=3)
+        with ShardedDataset.open(path) as sharded:
+            assert sharded.n_shards == 3
+            assert np.array_equal(
+                sharded.item_supports_merged(),
+                [t.count() for t in ds.item_tidsets])
+            assert sharded.fingerprint() == ds.fingerprint()

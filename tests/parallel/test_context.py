@@ -1,0 +1,98 @@
+"""The hoisted wave context: shipped once per worker, never per task.
+
+The ``context=`` keyword of :meth:`Executor.map_shards` exists so the
+processes backend installs the shared payload (dataset, engine, config)
+through the pool initializer instead of closing over it in the task
+function — submissions and retries then carry only ``(index, shard)``.
+The pins here prove that: an *unpicklable* context still fans out under
+the fork start method, including across retries, which is impossible if
+any per-task submission embedded the context.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.parallel import Executor, RetryPolicy, TransientError
+from repro.parallel.resilience import CircuitBreaker
+
+
+def _fork_available() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+        return True
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return False
+
+
+class _RefusesPickling:
+    """A context payload that detonates if anything tries to pickle it."""
+
+    def __init__(self, factor: int) -> None:
+        self.factor = factor
+
+    def __getstate__(self):
+        raise AssertionError(
+            "wave context was pickled; it must ride the pool "
+            "initializer (inherited under fork), not the task payload")
+
+
+def _scale(context, shard):
+    return context.factor * shard
+
+
+def _flaky_scale(context, shard):
+    # Fails transiently once per shard, keyed by a cross-process
+    # marker file so forked workers observe prior attempts.
+    marker = f"{context.marker_dir}/shard-{shard}"
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise TransientError(f"first attempt on shard {shard}")
+    return context.factor * shard
+
+
+class _FlakyContext(_RefusesPickling):
+    def __init__(self, factor: int, marker_dir: str) -> None:
+        super().__init__(factor)
+        self.marker_dir = marker_dir
+
+
+class TestContextFanOut:
+    @pytest.mark.parametrize("backend", ["serial", "threads",
+                                         "processes"])
+    def test_context_threaded_through(self, backend):
+        if backend == "processes" and not _fork_available():
+            pytest.skip("fork start method unavailable")
+        ex = Executor(backend=backend, n_jobs=2)
+        got = ex.map_shards(_scale, [1, 2, 3, 4],
+                            context=_RefusesPickling(10))
+        assert got == [10, 20, 30, 40]
+
+    def test_no_context_keeps_single_arg_signature(self):
+        ex = Executor(backend="serial", n_jobs=1)
+        assert ex.map_shards(lambda s: s + 1, [1, 2]) == [2, 3]
+
+    def test_retries_reship_units_not_context(self, tmp_path):
+        if not _fork_available():
+            pytest.skip("fork start method unavailable")
+        # A private breaker: the injected transients must not degrade
+        # the process-wide backend for whatever test runs next.
+        ex = Executor(backend="processes", n_jobs=2,
+                      retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+                      breaker=CircuitBreaker())
+        context = _FlakyContext(7, str(tmp_path))
+        got = ex.map_shards(_flaky_scale, [1, 2, 3], context=context)
+        assert got == [7, 14, 21]
+        assert ex.stats["retries"] >= 1
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_results_identical_across_backends(self, backend):
+        reference = Executor(backend="serial", n_jobs=1).map_shards(
+            _scale, list(range(8)), context=_RefusesPickling(3))
+        got = Executor(backend=backend, n_jobs=3).map_shards(
+            _scale, list(range(8)), context=_RefusesPickling(3))
+        assert got == reference
